@@ -1,0 +1,48 @@
+// Command cograbench regenerates the figures and tables of the
+// paper's experimental study (§9). Run it with -exp to select one
+// experiment or without flags for the full suite; -scale shrinks or
+// grows every event count.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (fig5..fig10, table9, ablation) or 'all'")
+	scale := flag.Float64("scale", 1.0, "event-count scale factor")
+	twoStep := flag.Int64("twostep-budget", bench.DefaultConfig().TwoStepBudget, "work budget for SASE/Flink before DNF")
+	online := flag.Int64("online-budget", bench.DefaultConfig().OnlineBudget, "work budget for GRETA/A-Seq before DNF")
+	flatten := flag.Int("flatten-cap", bench.DefaultConfig().FlattenCap, "Kleene flattening cap for A-Seq/Flink")
+	verify := flag.Bool("verify", true, "cross-check baseline results against COGRA")
+	flag.Parse()
+
+	cfg := bench.Config{
+		Scale:         *scale,
+		TwoStepBudget: *twoStep,
+		OnlineBudget:  *online,
+		FlattenCap:    *flatten,
+		Verify:        *verify,
+	}
+	if *exp == "all" {
+		if err := bench.RunAll(cfg, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "cograbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	e, ok := bench.Registry()[*exp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "cograbench: unknown experiment %q (have %v)\n", *exp, bench.IDs())
+		os.Exit(1)
+	}
+	fmt.Printf("== %s ==\n", e.Title)
+	if err := e.Run(cfg, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "cograbench:", err)
+		os.Exit(1)
+	}
+}

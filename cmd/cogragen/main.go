@@ -1,0 +1,40 @@
+// Command cogragen emits the synthetic workloads of the experimental
+// study (§9.1) as CSV on stdout: stock, physical-activity,
+// public-transportation and ridesharing streams.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	cogra "repro"
+	"repro/internal/gen"
+)
+
+func main() {
+	dataset := flag.String("dataset", "stock", "stock | activity | transit | rideshare")
+	events := flag.Int("events", 10000, "number of events (trips for rideshare)")
+	seed := flag.Int64("seed", 1, "random seed")
+	groups := flag.Int("groups", 0, "number of groups (companies/persons/passengers/drivers); 0 = dataset default")
+	flag.Parse()
+
+	var out []*cogra.Event
+	switch *dataset {
+	case "stock":
+		out = gen.Stock(gen.StockConfig{Seed: *seed, Events: *events, Companies: *groups})
+	case "activity":
+		out = gen.Activity(gen.ActivityConfig{Seed: *seed, Events: *events, Persons: *groups})
+	case "transit":
+		out = gen.Transit(gen.TransitConfig{Seed: *seed, Events: *events, Passengers: *groups})
+	case "rideshare":
+		out = gen.Rideshare(gen.RideshareConfig{Seed: *seed, Trips: *events, Drivers: *groups})
+	default:
+		fmt.Fprintf(os.Stderr, "cogragen: unknown dataset %q\n", *dataset)
+		os.Exit(1)
+	}
+	if err := cogra.WriteCSV(os.Stdout, out); err != nil {
+		fmt.Fprintln(os.Stderr, "cogragen:", err)
+		os.Exit(1)
+	}
+}

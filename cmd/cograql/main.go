@@ -1,0 +1,106 @@
+// Command cograql evaluates an event trend aggregation query against
+// a CSV event stream:
+//
+//	cograql -query q1.etaq -input stream.csv
+//	cogragen -dataset stock | cograql -query 'RETURN company, COUNT(*)
+//	    PATTERN SEQ(Stock A+, Stock B+) WHERE [company]
+//	    GROUP-BY company WITHIN 100 SLIDE 100'
+//
+// The query is given inline with -query or in a file with -file; the
+// stream is read from -input or stdin. Results print one line per
+// window and group. -workers > 1 enables partition-parallel execution.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	cogra "repro"
+)
+
+func main() {
+	queryText := flag.String("query", "", "query text (SASE-style syntax)")
+	queryFile := flag.String("file", "", "file holding the query text")
+	input := flag.String("input", "", "CSV event stream (default stdin)")
+	workers := flag.Int("workers", 1, "partition-parallel workers")
+	explain := flag.Bool("explain", false, "print the compiled plan and exit")
+	memory := flag.Bool("memory", false, "report logical peak memory after the run")
+	flag.Parse()
+
+	if err := run(*queryText, *queryFile, *input, *workers, *explain, *memory); err != nil {
+		fmt.Fprintln(os.Stderr, "cograql:", err)
+		os.Exit(1)
+	}
+}
+
+func run(queryText, queryFile, input string, workers int, explain, memory bool) error {
+	if queryText == "" && queryFile == "" {
+		return fmt.Errorf("provide -query or -file")
+	}
+	if queryFile != "" {
+		data, err := os.ReadFile(queryFile)
+		if err != nil {
+			return err
+		}
+		queryText = string(data)
+	}
+	q, err := cogra.Parse(queryText)
+	if err != nil {
+		return err
+	}
+	plan, err := cogra.Compile(q)
+	if err != nil {
+		return err
+	}
+	if explain {
+		fmt.Println(plan)
+		return nil
+	}
+
+	in := os.Stdin
+	if input != "" {
+		f, err := os.Open(input)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	events, err := cogra.ReadCSV(in)
+	if err != nil {
+		return err
+	}
+
+	if workers > 1 {
+		exec := cogra.NewParallelExecutor(plan, workers)
+		if err := exec.Run(cogra.FromSlice(events)); err != nil {
+			return err
+		}
+		results, err := exec.Close()
+		if err != nil {
+			return err
+		}
+		for _, r := range results {
+			fmt.Println(r)
+		}
+		if memory {
+			fmt.Fprintf(os.Stderr, "peak memory: %d bytes across %d workers\n", exec.PeakBytes(), workers)
+		}
+		return nil
+	}
+
+	var acct cogra.Accountant
+	eng := cogra.NewEngine(plan, cogra.WithAccountant(&acct),
+		cogra.WithResultCallback(func(r cogra.Result) { fmt.Println(r) }))
+	for _, e := range events {
+		if err := eng.Process(e); err != nil {
+			return err
+		}
+	}
+	eng.Close()
+	if memory {
+		fmt.Fprintf(os.Stderr, "peak memory: %d bytes\n", acct.Peak())
+	}
+	return nil
+}

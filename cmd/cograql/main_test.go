@@ -1,0 +1,64 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const testCSV = `time,type,k,x:num
+1,A,g,1
+2,A,g,2
+3,B,g,3
+`
+
+func TestRunWithQueryFileAndInput(t *testing.T) {
+	qf := writeFile(t, "q.etaq", `RETURN COUNT(*) PATTERN SEQ(A+, B) WHERE [k] GROUP-BY k WITHIN 10 SLIDE 10`)
+	in := writeFile(t, "in.csv", testCSV)
+	if err := run("", qf, in, 1, false, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunParallelWorkers(t *testing.T) {
+	in := writeFile(t, "in.csv", testCSV)
+	err := run(`RETURN COUNT(*) PATTERN SEQ(A+, B) WHERE [k] GROUP-BY k WITHIN 10 SLIDE 10`,
+		"", in, 4, false, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunExplain(t *testing.T) {
+	if err := run(`RETURN COUNT(*) PATTERN A+ WITHIN 10 SLIDE 10`, "", "", 1, true, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", "", "", 1, false, false); err == nil {
+		t.Error("missing query accepted")
+	}
+	if err := run("garbage query", "", "", 1, false, false); err == nil {
+		t.Error("bad query accepted")
+	}
+	if err := run(`RETURN COUNT(*) PATTERN A+ WITHIN 10 SLIDE 10`, "", "/does/not/exist.csv", 1, false, false); err == nil {
+		t.Error("missing input accepted")
+	}
+	if err := run("", "/does/not/exist.q", "", 1, false, false); err == nil {
+		t.Error("missing query file accepted")
+	}
+	bad := writeFile(t, "bad.csv", "not,a,valid,header\n")
+	if err := run(`RETURN COUNT(*) PATTERN A+ WITHIN 10 SLIDE 10`, "", bad, 1, false, false); err == nil {
+		t.Error("bad CSV accepted")
+	}
+}

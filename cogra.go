@@ -1,0 +1,214 @@
+// Package cogra is the public API of the COGRA reproduction:
+// Coarse-Grained Event Trend Aggregation under rich event matching
+// semantics (Poppe, Lei, Rundensteiner, Maier — SIGMOD 2019).
+//
+// COGRA evaluates event trend aggregation queries — Kleene patterns
+// with COUNT/MIN/MAX/SUM/AVG aggregates, predicates, grouping and
+// sliding windows — online, without constructing the matched trends,
+// at the coarsest aggregate granularity each event matching semantics
+// permits: per pattern for skip-till-next-match and contiguous, per
+// event type for skip-till-any-match, and mixed when predicates on
+// adjacent events force some events to be kept.
+//
+// Quickstart:
+//
+//	q := cogra.MustParse(`
+//	    RETURN COUNT(*)
+//	    PATTERN (SEQ(A+, B))+
+//	    SEMANTICS skip-till-any-match
+//	    WITHIN 10 minutes SLIDE 10 minutes`)
+//	eng := cogra.NewEngine(cogra.MustCompile(q))
+//	for _, e := range events {
+//	    if err := eng.Process(e); err != nil { ... }
+//	}
+//	for _, r := range eng.Close() {
+//	    fmt.Println(r)
+//	}
+package cogra
+
+import (
+	"repro/internal/agg"
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/metrics"
+	"repro/internal/pattern"
+	"repro/internal/predicate"
+	"repro/internal/query"
+	"repro/internal/stream"
+)
+
+// Event is a typed, time-stamped message on the input stream.
+type Event = event.Event
+
+// Schema describes one event type's attributes.
+type Schema = event.Schema
+
+// NewEvent constructs an event of the given type and time; attach
+// attributes with WithNum and WithSym.
+func NewEvent(eventType string, time int64) *Event { return event.New(eventType, time) }
+
+// NewSchema builds a schema; prefix numeric attribute names with '#'.
+func NewSchema(eventType string, attrs ...string) *Schema {
+	return event.NewSchema(eventType, attrs...)
+}
+
+// Query is a parsed or built event trend aggregation query
+// (Definition 6 of the paper).
+type Query = query.Query
+
+// Builder constructs queries programmatically, clause by clause.
+type Builder = query.Builder
+
+// GroupKey is one GROUP-BY item.
+type GroupKey = query.GroupKey
+
+// Semantics selects the event matching semantics.
+type Semantics = query.Semantics
+
+// The three event matching semantics (§2.2).
+const (
+	// SkipTillAnyMatch detects all possible trends; relevant events
+	// may extend a trend or be skipped.
+	SkipTillAnyMatch = query.Any
+	// SkipTillNextMatch requires all relevant events to be matched
+	// and skips only irrelevant ones.
+	SkipTillNextMatch = query.Next
+	// Contiguous forbids any unmatched event between adjacent trend
+	// events.
+	Contiguous = query.Cont
+)
+
+// Parse parses a query in the paper's SASE-style syntax.
+func Parse(src string) (*Query, error) { return query.Parse(src) }
+
+// MustParse is Parse that panics on error.
+func MustParse(src string) *Query { return query.MustParse(src) }
+
+// NewQuery starts a programmatic query builder over a pattern.
+func NewQuery(p Pattern) *Builder { return query.NewBuilder(p) }
+
+// Pattern is a Kleene pattern AST node.
+type Pattern = pattern.Node
+
+// Pattern constructors (Definition 1 plus the §8 extensions).
+var (
+	// Type matches one event type (alias defaults to the type name).
+	Type = pattern.Type
+	// TypeAs matches an event type under an explicit alias, e.g.
+	// TypeAs("Stock", "A").
+	TypeAs = pattern.TypeAs
+	// Seq is the event sequence operator SEQ(P1, ..., Pk).
+	Seq = pattern.Seq
+	// Plus is the Kleene plus operator P+.
+	Plus = pattern.Plus
+	// Star is the Kleene star operator P* (§8).
+	Star = pattern.Star
+	// Opt is the optional operator P? (§8).
+	Opt = pattern.Opt
+	// OrPattern is the disjunction operator (§8).
+	OrPattern = pattern.Or
+	// NotPattern marks a negated sub-pattern inside SEQ (§8).
+	NotPattern = pattern.Not
+)
+
+// Aggregation spec constructors for Builder.Return.
+func CountStar() agg.Spec { return agg.Spec{Func: agg.CountStar} }
+
+// CountType counts occurrences of one event type across trends.
+func CountType(alias string) agg.Spec { return agg.Spec{Func: agg.CountType, Alias: alias} }
+
+// Min aggregates the minimum of an attribute over trends.
+func Min(alias, attr string) agg.Spec { return agg.Spec{Func: agg.Min, Alias: alias, Attr: attr} }
+
+// Max aggregates the maximum of an attribute over trends.
+func Max(alias, attr string) agg.Spec { return agg.Spec{Func: agg.Max, Alias: alias, Attr: attr} }
+
+// Sum aggregates the sum of an attribute over trends.
+func Sum(alias, attr string) agg.Spec { return agg.Spec{Func: agg.Sum, Alias: alias, Attr: attr} }
+
+// Avg aggregates the average of an attribute over trends.
+func Avg(alias, attr string) agg.Spec { return agg.Spec{Func: agg.Avg, Alias: alias, Attr: attr} }
+
+// Predicate constructors for the Builder (the parser produces these
+// from WHERE clauses).
+type (
+	// LocalPredicate restricts single events: Alias.Attr ◦ Value.
+	LocalPredicate = predicate.Local
+	// EquivalencePredicate is [attr] / [A.attr].
+	EquivalencePredicate = predicate.Equivalence
+	// AdjacentPredicate relates adjacent trend events, e.g.
+	// M.rate < NEXT(M).rate.
+	AdjacentPredicate = predicate.Adjacent
+)
+
+// Comparison operators for predicates.
+const (
+	Lt = predicate.Lt
+	Le = predicate.Le
+	Gt = predicate.Gt
+	Ge = predicate.Ge
+	Eq = predicate.Eq
+	Ne = predicate.Ne
+)
+
+// Plan is a compiled query: the pattern FSA, the classified
+// predicates and the selected aggregation granularity (Table 4).
+type Plan = core.Plan
+
+// Granularity identifies the selected aggregate granularity.
+type Granularity = core.Granularity
+
+// Granularities, coarse to fine.
+const (
+	PatternGrained = core.PatternGrained
+	TypeGrained    = core.TypeGrained
+	MixedGrained   = core.MixedGrained
+)
+
+// Compile runs the static query analyzer (§3).
+func Compile(q *Query) (*Plan, error) { return core.NewPlan(q) }
+
+// MustCompile is Compile that panics on error.
+func MustCompile(q *Query) *Plan { return core.MustPlan(q) }
+
+// Engine executes one plan over an in-order event stream.
+type Engine = core.Engine
+
+// Result is one aggregation output (window × group).
+type Result = core.Result
+
+// EngineOption configures an engine.
+type EngineOption = core.Option
+
+// Accountant tracks logical peak memory.
+type Accountant = metrics.Accountant
+
+// NewEngine builds an engine for a compiled plan.
+func NewEngine(p *Plan, opts ...EngineOption) *Engine { return core.NewEngine(p, opts...) }
+
+// WithAccountant wires logical memory accounting into an engine.
+func WithAccountant(a *Accountant) EngineOption { return core.WithAccountant(a) }
+
+// WithResultCallback streams results to fn instead of collecting them.
+func WithResultCallback(fn func(Result)) EngineOption { return core.WithResultCallback(fn) }
+
+// Iterator yields events in stream order.
+type Iterator = stream.Iterator
+
+// FromSlice wraps a pre-sorted event slice as an Iterator.
+func FromSlice(events []*Event) Iterator { return stream.FromSlice(events) }
+
+// MergeStreams merges per-source ordered feeds into one ordered
+// stream (§2.1: producers emit in order, the consumer needs a single
+// ordered stream).
+func MergeStreams(srcs ...Iterator) Iterator { return stream.Merge(srcs...) }
+
+// ParallelExecutor runs one engine per stream partition on worker
+// goroutines (§8, "Parallel Processing").
+type ParallelExecutor = stream.ParallelExecutor
+
+// NewParallelExecutor starts a partition-parallel execution with n
+// workers.
+func NewParallelExecutor(p *Plan, n int) *ParallelExecutor {
+	return stream.NewParallelExecutor(p, n)
+}

@@ -1,0 +1,207 @@
+package cogra_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	cogra "repro"
+	"repro/internal/core"
+)
+
+// TestPublicAPIQuickstart exercises the README quickstart end to end.
+func TestPublicAPIQuickstart(t *testing.T) {
+	q := cogra.MustParse(`
+		RETURN COUNT(*)
+		PATTERN (SEQ(A+, B))+
+		SEMANTICS skip-till-any-match
+		WITHIN 100 SLIDE 100`)
+	plan := cogra.MustCompile(q)
+	if plan.Granularity != cogra.TypeGrained {
+		t.Fatalf("granularity = %v", plan.Granularity)
+	}
+	eng := cogra.NewEngine(plan)
+	for _, e := range figure2Stream() {
+		if err := eng.Process(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := eng.Close()
+	if len(res) != 1 || res[0].Values[0].Count != 43 {
+		t.Fatalf("results = %v", res)
+	}
+}
+
+// TestPublicAPIBuilder builds q3 programmatically and checks the
+// granularity selector's output.
+func TestPublicAPIBuilder(t *testing.T) {
+	q := cogra.NewQuery(
+		cogra.Seq(cogra.Plus(cogra.TypeAs("Stock", "A")), cogra.Plus(cogra.TypeAs("Stock", "B")))).
+		Return(cogra.Avg("B", "price")).
+		Semantics(cogra.SkipTillAnyMatch).
+		WhereEquiv(cogra.EquivalencePredicate{Alias: "A", Attr: "company"}).
+		WhereEquiv(cogra.EquivalencePredicate{Alias: "B", Attr: "company"}).
+		WhereAdjacent(cogra.AdjacentPredicate{
+			Left: "A", LeftAttr: "price", Op: cogra.Gt, Right: "A", RightAttr: "price"}).
+		GroupBy(cogra.GroupKey{Alias: "A", Attr: "company"}, cogra.GroupKey{Alias: "B", Attr: "company"}).
+		Within(600, 10).
+		MustBuild()
+	plan := cogra.MustCompile(q)
+	if plan.Granularity != cogra.MixedGrained {
+		t.Fatalf("granularity = %v, want mixed", plan.Granularity)
+	}
+	if !plan.EventGrained["A"] || plan.EventGrained["B"] {
+		t.Fatalf("event-grained set = %v", plan.EventGrained)
+	}
+}
+
+// TestPublicAPIAggSpecs checks the spec constructors render the
+// RETURN clause of the paper's queries.
+func TestPublicAPIAggSpecs(t *testing.T) {
+	for want, spec := range map[string]string{
+		"COUNT(*)":    cogra.CountStar().String(),
+		"COUNT(M)":    cogra.CountType("M").String(),
+		"MIN(M.rate)": cogra.Min("M", "rate").String(),
+		"MAX(M.rate)": cogra.Max("M", "rate").String(),
+		"SUM(B.x)":    cogra.Sum("B", "x").String(),
+		"AVG(B.p)":    cogra.Avg("B", "p").String(),
+	} {
+		if want != spec {
+			t.Errorf("spec renders %q, want %q", spec, want)
+		}
+	}
+}
+
+// TestCSVRoundTrip exercises the heterogeneous CSV codec.
+func TestCSVRoundTrip(t *testing.T) {
+	events := []*cogra.Event{
+		cogra.NewEvent("Accept", 1).WithSym("driver", "d1"),
+		cogra.NewEvent("Stock", 2).WithSym("company", "IBM").WithNum("price", 101.5),
+		cogra.NewEvent("Stock", 3).WithSym("company", "HP").WithNum("price", 7),
+	}
+	var buf bytes.Buffer
+	if err := cogra.WriteCSV(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	back, err := cogra.ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 3 {
+		t.Fatalf("len = %d", len(back))
+	}
+	if back[0].Type != "Accept" || back[0].Sym["driver"] != "d1" {
+		t.Errorf("event 0 = %v", back[0])
+	}
+	if _, ok := back[0].NumAttr("price"); ok {
+		t.Error("absent attribute resurrected from empty cell")
+	}
+	if back[1].Num["price"] != 101.5 || back[2].Num["price"] != 7 {
+		t.Errorf("prices lost: %v %v", back[1], back[2])
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	for _, src := range []string{
+		"",
+		"wrong,header\n",
+		"time,type\nx,A\n",
+		"time,type,p:num\n1,A,notnum\n",
+		"time,type,a,b\n1,A,only-one-cell\n",
+	} {
+		if _, err := cogra.ReadCSV(strings.NewReader(src)); err == nil {
+			t.Errorf("ReadCSV(%q) accepted", src)
+		}
+	}
+	// Blank lines are tolerated.
+	events, err := cogra.ReadCSV(strings.NewReader("time,type\n1,A\n\n2,B\n"))
+	if err != nil || len(events) != 2 {
+		t.Errorf("blank-line handling: %v, %v", events, err)
+	}
+}
+
+// TestQ1Q2Q3Compile compiles all three paper queries through the
+// public API and checks their granularities (Table 4).
+func TestQ1Q2Q3Compile(t *testing.T) {
+	cases := []struct {
+		src  string
+		want cogra.Granularity
+	}{
+		{`RETURN patient, MIN(M.rate), MAX(M.rate)
+		  PATTERN Measurement M+
+		  SEMANTICS contiguous
+		  WHERE [patient] AND M.rate < NEXT(M).rate AND M.activity = passive
+		  GROUP-BY patient
+		  WITHIN 10 minutes SLIDE 30 seconds`, cogra.PatternGrained},
+		{`RETURN driver, COUNT(*)
+		  PATTERN SEQ(Accept, (SEQ(Call, Cancel))+, Finish)
+		  SEMANTICS skip-till-next-match
+		  WHERE [driver] GROUP-BY driver
+		  WITHIN 10 minutes SLIDE 30 seconds`, cogra.PatternGrained},
+		{`RETURN sector, A.company, B.company, AVG(B.price)
+		  PATTERN SEQ(Stock A+, Stock B+)
+		  SEMANTICS skip-till-any-match
+		  WHERE [A.company] AND [B.company] AND A.price > NEXT(A).price
+		  GROUP-BY sector, A.company, B.company
+		  WITHIN 10 minutes SLIDE 10 seconds`, cogra.MixedGrained},
+	}
+	for i, c := range cases {
+		plan, err := cogra.Compile(cogra.MustParse(c.src))
+		if err != nil {
+			t.Fatalf("q%d: %v", i+1, err)
+		}
+		if plan.Granularity != c.want {
+			t.Errorf("q%d granularity = %v, want %v", i+1, plan.Granularity, c.want)
+		}
+	}
+}
+
+// TestMergeStreams exercises the k-way merge through the public API.
+func TestMergeStreams(t *testing.T) {
+	s1 := cogra.FromSlice([]*cogra.Event{cogra.NewEvent("A", 1), cogra.NewEvent("A", 5)})
+	s2 := cogra.FromSlice([]*cogra.Event{cogra.NewEvent("B", 3)})
+	m := cogra.MergeStreams(s1, s2)
+	var times []int64
+	for {
+		e, ok := m.Next()
+		if !ok {
+			break
+		}
+		times = append(times, e.Time)
+	}
+	if len(times) != 3 || times[0] != 1 || times[1] != 3 || times[2] != 5 {
+		t.Errorf("merged times = %v", times)
+	}
+}
+
+// TestEngineResultCallbackAndAccounting exercises the remaining
+// public engine options.
+func TestEngineResultCallbackAndAccounting(t *testing.T) {
+	q := cogra.MustParse(`RETURN COUNT(*) PATTERN A+ WITHIN 10 SLIDE 10`)
+	var acct cogra.Accountant
+	var got []cogra.Result
+	eng := cogra.NewEngine(cogra.MustCompile(q),
+		cogra.WithAccountant(&acct),
+		cogra.WithResultCallback(func(r cogra.Result) { got = append(got, r) }))
+	eng.Process(cogra.NewEvent("A", 1))
+	eng.Process(cogra.NewEvent("A", 2))
+	if res := eng.Close(); res != nil {
+		t.Errorf("Close returned %v with callback installed", res)
+	}
+	if len(got) != 1 || got[0].Values[0].Count != 3 {
+		t.Errorf("callback results = %v", got)
+	}
+	if acct.Peak() == 0 {
+		t.Error("accountant saw nothing")
+	}
+}
+
+// TestPlanAliasExport sanity-checks that core types flow through the
+// public aliases.
+func TestPlanAliasExport(t *testing.T) {
+	var p *cogra.Plan = cogra.MustCompile(cogra.MustParse(`RETURN COUNT(*) PATTERN A+ WITHIN 1 SLIDE 1`))
+	var _ *core.Plan = p // same type
+	if p.Granularity.String() != "type" {
+		t.Errorf("granularity = %v", p.Granularity)
+	}
+}

@@ -1,0 +1,142 @@
+package cogra
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/event"
+)
+
+// CSV support for heterogeneous event streams. The header names the
+// shared column set:
+//
+//	time,type,company,sector,price:num,volume:num
+//
+// Columns suffixed ":num" are numeric attributes, all others symbolic;
+// empty cells mean "attribute absent on this event", which is how
+// streams carrying several event types with different schemas share
+// one file.
+
+// WriteCSV writes events with the union of their attributes as
+// columns. Events must already be in stream order.
+func WriteCSV(w io.Writer, events []*Event) error {
+	numSet := map[string]bool{}
+	symSet := map[string]bool{}
+	for _, e := range events {
+		for k := range e.Num {
+			numSet[k] = true
+		}
+		for k := range e.Sym {
+			symSet[k] = true
+		}
+	}
+	var numCols, symCols []string
+	for k := range numSet {
+		numCols = append(numCols, k)
+	}
+	for k := range symSet {
+		if !numSet[k] {
+			symCols = append(symCols, k)
+		}
+	}
+	sort.Strings(numCols)
+	sort.Strings(symCols)
+
+	bw := bufio.NewWriter(w)
+	bw.WriteString("time,type")
+	for _, c := range symCols {
+		fmt.Fprintf(bw, ",%s", c)
+	}
+	for _, c := range numCols {
+		fmt.Fprintf(bw, ",%s:num", c)
+	}
+	bw.WriteByte('\n')
+	for _, e := range events {
+		fmt.Fprintf(bw, "%d,%s", e.Time, e.Type)
+		for _, c := range symCols {
+			bw.WriteByte(',')
+			if v, ok := e.Sym[c]; ok {
+				bw.WriteString(v)
+			}
+		}
+		for _, c := range numCols {
+			bw.WriteByte(',')
+			if v, ok := e.Num[c]; ok {
+				bw.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+			}
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses a stream written by WriteCSV (or hand-authored in the
+// same format) and returns the events in file order.
+func ReadCSV(r io.Reader) ([]*Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("cogra: empty CSV input")
+	}
+	header := strings.Split(strings.TrimSpace(sc.Text()), ",")
+	if len(header) < 2 || header[0] != "time" || header[1] != "type" {
+		return nil, fmt.Errorf("cogra: CSV header must start with time,type; got %q", sc.Text())
+	}
+	type col struct {
+		name    string
+		numeric bool
+	}
+	cols := make([]col, 0, len(header)-2)
+	for _, h := range header[2:] {
+		if name, ok := strings.CutSuffix(h, ":num"); ok {
+			cols = append(cols, col{name: name, numeric: true})
+		} else {
+			cols = append(cols, col{name: h})
+		}
+	}
+	var out []*Event
+	line := 1
+	for sc.Scan() {
+		line++
+		row := strings.TrimSpace(sc.Text())
+		if row == "" {
+			continue
+		}
+		cells := strings.Split(row, ",")
+		if len(cells) != 2+len(cols) {
+			return nil, fmt.Errorf("cogra: line %d: %d cells, want %d", line, len(cells), 2+len(cols))
+		}
+		tm, err := strconv.ParseInt(cells[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("cogra: line %d: bad time %q: %w", line, cells[0], err)
+		}
+		e := event.New(cells[1], tm)
+		for i, c := range cols {
+			cell := cells[2+i]
+			if cell == "" {
+				continue
+			}
+			if c.numeric {
+				v, err := strconv.ParseFloat(cell, 64)
+				if err != nil {
+					return nil, fmt.Errorf("cogra: line %d: bad numeric %s=%q: %w", line, c.name, cell, err)
+				}
+				e.WithNum(c.name, v)
+			} else {
+				e.WithSym(c.name, cell)
+			}
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,367 @@
+// Package agg implements the incremental aggregation algebra of the
+// COGRA paper (§2.3, Table 8). Every aggregator in this repository —
+// the three COGRA granularities, the GRETA graph baseline and the
+// two-step baselines' per-trend fold — manipulates the same Node
+// values with the same two operations:
+//
+//   - Merge (⊕): combine the aggregates of two disjoint sets of
+//     (partial) trends;
+//   - Extend (⊗ by one event): given the merged aggregate of all
+//     partial trends a new event e continues, plus the number of fresh
+//     trends e begins, produce the aggregate of all trends ending at e.
+//
+// Because COUNT, MIN, MAX and SUM are distributive and AVG is
+// algebraic over (SUM, COUNT) [Gray et al. 1997], these two operations
+// are sufficient no matter at which granularity nodes are kept —
+// per event, per type or per pattern.
+//
+// Trend counts grow as 2^n under skip-till-any-match, so no fixed-
+// width integer can hold them exactly; all counts in this repository
+// are uint64 with well-defined wrap-around modulo 2^64. Every
+// approach uses the same arithmetic, so cross-approach equality
+// checks remain exact.
+package agg
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Func enumerates the aggregation functions of §2.3.
+type Func int
+
+// Aggregation functions. CountStar counts trends; the others aggregate
+// over the events of one alias within each trend.
+const (
+	CountStar Func = iota
+	CountType      // COUNT(E): total E-event occurrences across trends
+	Min            // MIN(E.attr)
+	Max            // MAX(E.attr)
+	Sum            // SUM(E.attr)
+	Avg            // AVG(E.attr) = SUM(E.attr)/COUNT(E)
+)
+
+// String renders the function name.
+func (f Func) String() string {
+	switch f {
+	case CountStar:
+		return "COUNT"
+	case CountType:
+		return "COUNT"
+	case Min:
+		return "MIN"
+	case Max:
+		return "MAX"
+	case Sum:
+		return "SUM"
+	case Avg:
+		return "AVG"
+	}
+	return "?"
+}
+
+// Spec is one aggregation request from the RETURN clause.
+type Spec struct {
+	Func Func
+	// Alias is the target event type in the pattern (the paper's E);
+	// empty for COUNT(*).
+	Alias string
+	// Attr is the aggregated attribute; empty for COUNT(*) / COUNT(E).
+	Attr string
+}
+
+// String renders the spec in query syntax, e.g. "MIN(M.rate)".
+func (s Spec) String() string {
+	switch s.Func {
+	case CountStar:
+		return "COUNT(*)"
+	case CountType:
+		return fmt.Sprintf("COUNT(%s)", s.Alias)
+	default:
+		return fmt.Sprintf("%s(%s.%s)", s.Func, s.Alias, s.Attr)
+	}
+}
+
+// Validate rejects malformed specs.
+func (s Spec) Validate() error {
+	switch s.Func {
+	case CountStar:
+		if s.Alias != "" || s.Attr != "" {
+			return fmt.Errorf("agg: COUNT(*) takes no operand")
+		}
+	case CountType:
+		if s.Alias == "" {
+			return fmt.Errorf("agg: COUNT(E) needs an event type")
+		}
+		if s.Attr != "" {
+			return fmt.Errorf("agg: COUNT(E) takes no attribute")
+		}
+	case Min, Max, Sum, Avg:
+		if s.Alias == "" || s.Attr == "" {
+			return fmt.Errorf("agg: %s needs E.attr", s.Func)
+		}
+	default:
+		return fmt.Errorf("agg: unknown function %d", s.Func)
+	}
+	return nil
+}
+
+// Aux is the per-spec auxiliary state inside a Node: N carries event
+// counts (COUNT(E), the count half of AVG), F carries min/max/sum, and
+// Valid marks whether F holds any contribution yet (a trend with no
+// target-alias event contributes nothing to MIN/MAX).
+type Aux struct {
+	N     uint64
+	F     float64
+	Valid bool
+}
+
+// Node is the aggregate of a set of (partial) trends: Count is the
+// number of trends in the set (the paper's e.count / E.count /
+// el.count, wrapping mod 2^64) and Aux holds one entry per spec.
+type Node struct {
+	Count uint64
+	Aux   []Aux
+}
+
+// Specs is a compiled RETURN clause; its methods implement Table 8.
+type Specs []Spec
+
+// Validate checks every spec.
+func (ss Specs) Validate() error {
+	if len(ss) == 0 {
+		return fmt.Errorf("agg: empty RETURN clause")
+	}
+	for _, s := range ss {
+		if err := s.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Zero returns the aggregate of the empty trend set.
+func (ss Specs) Zero() Node {
+	return Node{Aux: make([]Aux, len(ss))}
+}
+
+// Clone deep-copies a node.
+func (ss Specs) Clone(n Node) Node {
+	out := Node{Count: n.Count, Aux: make([]Aux, len(n.Aux))}
+	copy(out.Aux, n.Aux)
+	return out
+}
+
+// Merge folds src into dst: the aggregate of the union of two disjoint
+// trend sets.
+func (ss Specs) Merge(dst *Node, src Node) {
+	dst.Count += src.Count
+	for i, s := range ss {
+		a, b := &dst.Aux[i], src.Aux[i]
+		switch s.Func {
+		case CountStar:
+			// Count field carries everything.
+		case CountType:
+			a.N += b.N
+		case Min:
+			if b.Valid && (!a.Valid || b.F < a.F) {
+				a.F, a.Valid = b.F, true
+			}
+		case Max:
+			if b.Valid && (!a.Valid || b.F > a.F) {
+				a.F, a.Valid = b.F, true
+			}
+		case Sum:
+			a.F += b.F
+			a.Valid = a.Valid || b.Valid
+		case Avg:
+			a.N += b.N
+			a.F += b.F
+			a.Valid = a.Valid || b.Valid
+		}
+	}
+}
+
+// EventView is the minimal event interface Extend needs.
+type EventView interface {
+	NumAttr(name string) (float64, bool)
+}
+
+// Extend computes the aggregate of all trends ending at a new event e
+// matched under alias: pred is the merged aggregate of every partial
+// trend e continues, and started is the number of fresh trends e
+// begins (1 if alias is a start type of the pattern, else 0). This is
+// the ⊗ step of Table 8:
+//
+//	count  = pred.count + started
+//	countE = pred.countE + (alias==E ? count : 0)
+//	min    = alias==E ? min(pred.min, e.attr) : pred.min
+//	sum    = pred.sum + (alias==E ? e.attr * count : 0)
+func (ss Specs) Extend(pred Node, alias string, e EventView, started uint64) Node {
+	out := ss.Clone(pred)
+	out.Count = pred.Count + started
+	for i, s := range ss {
+		if s.Alias != alias {
+			continue // events of other types only propagate (Table 8)
+		}
+		a := &out.Aux[i]
+		switch s.Func {
+		case CountType:
+			a.N += out.Count
+		case Min:
+			if v, ok := e.NumAttr(s.Attr); ok && (!a.Valid || v < a.F) {
+				a.F, a.Valid = v, true
+			}
+		case Max:
+			if v, ok := e.NumAttr(s.Attr); ok && (!a.Valid || v > a.F) {
+				a.F, a.Valid = v, true
+			}
+		case Sum:
+			if v, ok := e.NumAttr(s.Attr); ok {
+				a.F += v * float64(out.Count)
+				a.Valid = true
+			}
+		case Avg:
+			a.N += out.Count
+			if v, ok := e.NumAttr(s.Attr); ok {
+				a.F += v * float64(out.Count)
+				a.Valid = true
+			}
+		}
+	}
+	return out
+}
+
+// aliasedEvent pairs an event with the alias it matched; used by
+// FoldTrend.
+type aliasedEvent struct {
+	alias string
+	e     EventView
+}
+
+// TrendEvent constructs an element for FoldTrend.
+func TrendEvent(alias string, e EventView) any { return aliasedEvent{alias, e} }
+
+// FoldTrend computes the aggregate Node of a single fully materialised
+// trend — the two-step baselines' second step. The trend is given as
+// TrendEvent(alias, event) values in trend order.
+func (ss Specs) FoldTrend(trend []any) Node {
+	n := ss.Zero()
+	for i, raw := range trend {
+		ae := raw.(aliasedEvent)
+		started := uint64(0)
+		if i == 0 {
+			started = 1
+		}
+		n = ss.Extend(n, ae.alias, ae.e, started)
+	}
+	return n
+}
+
+// Value is one reported aggregation result.
+type Value struct {
+	Spec Spec
+	// Count is set for COUNT(*) and COUNT(E).
+	Count uint64
+	// F is set for MIN/MAX/SUM/AVG; Valid is false when no trend
+	// contributed (e.g. MIN over zero trends).
+	F     float64
+	Valid bool
+}
+
+// String renders the value, e.g. "COUNT(*)=43" or "MIN(M.rate)=61".
+func (v Value) String() string {
+	switch v.Spec.Func {
+	case CountStar, CountType:
+		return fmt.Sprintf("%s=%d", v.Spec, v.Count)
+	default:
+		if !v.Valid {
+			return fmt.Sprintf("%s=null", v.Spec)
+		}
+		return fmt.Sprintf("%s=%g", v.Spec, v.F)
+	}
+}
+
+// Report converts a final Node (the merged aggregate of all finished
+// trends) into user-facing values; AVG divides SUM by COUNT(E).
+func (ss Specs) Report(final Node) []Value {
+	out := make([]Value, len(ss))
+	for i, s := range ss {
+		v := Value{Spec: s}
+		a := final.Aux[i]
+		switch s.Func {
+		case CountStar:
+			v.Count = final.Count
+			v.Valid = true
+		case CountType:
+			v.Count = a.N
+			v.Valid = true
+		case Min, Max:
+			v.F, v.Valid = a.F, a.Valid
+		case Sum:
+			v.F, v.Valid = a.F, a.Valid
+			if !a.Valid {
+				v.F = 0
+			}
+		case Avg:
+			if a.N == 0 || !a.Valid {
+				v.Valid = false
+				v.F = math.NaN()
+			} else {
+				v.F = a.F / float64(a.N)
+				v.Valid = true
+			}
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// Equal compares two reported value slices exactly (NaN equals NaN);
+// used by correctness tests to cross-check approaches.
+func Equal(a, b []Value) bool { return equal(a, b, 0) }
+
+// ApproxEqual compares reported values with a relative tolerance on
+// the float results. Counts are always compared exactly; SUM/AVG are
+// accumulated in algorithm-specific orders, so independent
+// implementations legitimately differ by rounding (the cross-approach
+// experiment harness uses 1e-9).
+func ApproxEqual(a, b []Value, relTol float64) bool { return equal(a, b, relTol) }
+
+func equal(a, b []Value, relTol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Spec != b[i].Spec || a[i].Count != b[i].Count || a[i].Valid != b[i].Valid {
+			return false
+		}
+		af, bf := a[i].F, b[i].F
+		if af == bf || (math.IsNaN(af) && math.IsNaN(bf)) {
+			continue
+		}
+		if relTol > 0 {
+			diff := math.Abs(af - bf)
+			scale := math.Max(math.Abs(af), math.Abs(bf))
+			if diff <= relTol*scale {
+				continue
+			}
+		}
+		return false
+	}
+	return true
+}
+
+// FormatValues renders a value list as "COUNT(*)=43, MIN(M.rate)=61".
+func FormatValues(vs []Value) string {
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = v.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+// FootprintBytes is the logical memory cost of one Node: 8 bytes for
+// the count plus 24 per auxiliary entry (metrics accounting).
+func (ss Specs) FootprintBytes() int64 { return 8 + 24*int64(len(ss)) }

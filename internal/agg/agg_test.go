@@ -1,0 +1,325 @@
+package agg
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/event"
+)
+
+func allSpecs() Specs {
+	return Specs{
+		{Func: CountStar},
+		{Func: CountType, Alias: "A"},
+		{Func: Min, Alias: "A", Attr: "x"},
+		{Func: Max, Alias: "A", Attr: "x"},
+		{Func: Sum, Alias: "A", Attr: "x"},
+		{Func: Avg, Alias: "A", Attr: "x"},
+	}
+}
+
+func ev(alias string, x float64) any {
+	return TrendEvent(alias, event.New("T", 0).WithNum("x", x))
+}
+
+func TestSpecValidate(t *testing.T) {
+	bad := []Spec{
+		{Func: CountStar, Alias: "A"},
+		{Func: CountType},
+		{Func: CountType, Alias: "A", Attr: "x"},
+		{Func: Min, Alias: "A"},
+		{Func: Sum, Attr: "x"},
+		{Func: Func(42)},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d (%v): accepted", i, s)
+		}
+	}
+	for _, s := range allSpecs() {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%v rejected: %v", s, err)
+		}
+	}
+	if err := (Specs{}).Validate(); err == nil {
+		t.Error("empty Specs accepted")
+	}
+}
+
+func TestSpecString(t *testing.T) {
+	cases := map[string]Spec{
+		"COUNT(*)": {Func: CountStar},
+		"COUNT(A)": {Func: CountType, Alias: "A"},
+		"MIN(A.x)": {Func: Min, Alias: "A", Attr: "x"},
+		"MAX(A.x)": {Func: Max, Alias: "A", Attr: "x"},
+		"SUM(A.x)": {Func: Sum, Alias: "A", Attr: "x"},
+		"AVG(A.x)": {Func: Avg, Alias: "A", Attr: "x"},
+	}
+	for want, s := range cases {
+		if got := s.String(); got != want {
+			t.Errorf("String = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestFoldSingleTrend(t *testing.T) {
+	ss := allSpecs()
+	// Trend (a:3, b, a:5): 1 trend, 2 A-events, min 3, max 5, sum 8, avg 4.
+	n := ss.FoldTrend([]any{ev("A", 3), ev("B", 100), ev("A", 5)})
+	vals := ss.Report(n)
+	if vals[0].Count != 1 {
+		t.Errorf("COUNT(*) = %d", vals[0].Count)
+	}
+	if vals[1].Count != 2 {
+		t.Errorf("COUNT(A) = %d", vals[1].Count)
+	}
+	if vals[2].F != 3 || vals[3].F != 5 || vals[4].F != 8 || vals[5].F != 4 {
+		t.Errorf("min/max/sum/avg = %v/%v/%v/%v", vals[2].F, vals[3].F, vals[4].F, vals[5].F)
+	}
+}
+
+func TestMergeTwoTrends(t *testing.T) {
+	ss := allSpecs()
+	t1 := ss.FoldTrend([]any{ev("A", 3), ev("A", 5)}) // min 3 max 5 sum 8, countA 2
+	t2 := ss.FoldTrend([]any{ev("A", 1)})             // min 1 max 1 sum 1, countA 1
+	final := ss.Zero()
+	ss.Merge(&final, t1)
+	ss.Merge(&final, t2)
+	vals := ss.Report(final)
+	if vals[0].Count != 2 || vals[1].Count != 3 {
+		t.Errorf("counts = %d, %d", vals[0].Count, vals[1].Count)
+	}
+	if vals[2].F != 1 || vals[3].F != 5 || vals[4].F != 9 || vals[5].F != 3 {
+		t.Errorf("min/max/sum/avg = %v/%v/%v/%v", vals[2].F, vals[3].F, vals[4].F, vals[5].F)
+	}
+}
+
+func TestExtendCountsMatchPaperSemantics(t *testing.T) {
+	// Extend implements: count = pred.count + started, and the target-
+	// alias event adds attr*count to SUM — one contribution per trend
+	// ending at the event.
+	ss := Specs{{Func: CountStar}, {Func: Sum, Alias: "A", Attr: "x"}}
+	pred := Node{Count: 3, Aux: []Aux{{}, {F: 10, Valid: true}}}
+	e := event.New("T", 0).WithNum("x", 2)
+	out := ss.Extend(pred, "A", e, 1)
+	if out.Count != 4 {
+		t.Errorf("count = %d, want 4", out.Count)
+	}
+	// sum = 10 + 2*4 = 18.
+	if out.Aux[1].F != 18 {
+		t.Errorf("sum = %v, want 18", out.Aux[1].F)
+	}
+	// Non-target alias propagates untouched.
+	out2 := ss.Extend(pred, "B", e, 0)
+	if out2.Count != 3 || out2.Aux[1].F != 10 {
+		t.Errorf("propagation changed aggregates: %+v", out2)
+	}
+}
+
+func TestExtendDoesNotMutatePred(t *testing.T) {
+	ss := allSpecs()
+	pred := ss.FoldTrend([]any{ev("A", 3)})
+	before := ss.Clone(pred)
+	_ = ss.Extend(pred, "A", event.New("T", 0).WithNum("x", 9), 1)
+	if pred.Count != before.Count || pred.Aux[4].F != before.Aux[4].F {
+		t.Error("Extend mutated its input")
+	}
+}
+
+func TestMinMaxValidity(t *testing.T) {
+	ss := Specs{{Func: Min, Alias: "A", Attr: "x"}}
+	zero := ss.Zero()
+	vals := ss.Report(zero)
+	if vals[0].Valid {
+		t.Error("MIN over zero trends reported valid")
+	}
+	if !strings.Contains(vals[0].String(), "null") {
+		t.Errorf("invalid MIN renders %q", vals[0].String())
+	}
+	// A trend without any A event leaves MIN invalid.
+	n := ss.FoldTrend([]any{ev("B", 7)})
+	if ss.Report(n)[0].Valid {
+		t.Error("MIN valid though no A event")
+	}
+}
+
+func TestAvgNoEvents(t *testing.T) {
+	ss := Specs{{Func: Avg, Alias: "A", Attr: "x"}}
+	vals := ss.Report(ss.FoldTrend([]any{ev("B", 7)}))
+	if vals[0].Valid || !math.IsNaN(vals[0].F) {
+		t.Errorf("AVG over zero A-events = %+v", vals[0])
+	}
+}
+
+func TestCountWrapsModulo64(t *testing.T) {
+	ss := Specs{{Func: CountStar}}
+	a := Node{Count: math.MaxUint64, Aux: make([]Aux, 1)}
+	b := Node{Count: 2, Aux: make([]Aux, 1)}
+	ss.Merge(&a, b)
+	if a.Count != 1 {
+		t.Errorf("wrap-around Count = %d, want 1", a.Count)
+	}
+}
+
+// TestMergeIsCommutativeMonoid property-checks ⊕: commutative,
+// associative, Zero identity — the algebraic core the granularities
+// rely on when they reorder merges.
+func TestMergeIsCommutativeMonoid(t *testing.T) {
+	ss := allSpecs()
+	// mk builds a node in canonical form: each aux slot only uses the
+	// fields its spec reads (CountStar none, CountType N, Min/Max/Sum
+	// F+Valid, Avg all), and invalid slots carry F == 0.
+	mk := func(count uint64, n uint64, f float64, valid bool) Node {
+		node := ss.Zero()
+		node.Count = count
+		if !valid {
+			f = 0
+		}
+		for i, s := range ss {
+			switch s.Func {
+			case CountType:
+				node.Aux[i] = Aux{N: n}
+			case Min, Max, Sum:
+				node.Aux[i] = Aux{F: f, Valid: valid}
+			case Avg:
+				node.Aux[i] = Aux{N: n, F: f, Valid: valid}
+			}
+		}
+		return node
+	}
+	f := func(c1, n1 uint64, f1 float64, v1 bool, c2, n2 uint64, f2 float64, v2 bool, c3 uint64, f3 float64) bool {
+		if f1 != f1 || f2 != f2 || f3 != f3 { // skip NaN inputs
+			return true
+		}
+		// Keep magnitudes moderate: float addition is only
+		// approximately associative and overflows near ±MaxFloat64.
+		f1, f2, f3 = math.Mod(f1, 1e6), math.Mod(f2, 1e6), math.Mod(f3, 1e6)
+		a, b, c := mk(c1, n1, f1, v1), mk(c2, n2, f2, v2), mk(c3, c3, f3, true)
+		// commutativity
+		ab := ss.Clone(a)
+		ss.Merge(&ab, b)
+		ba := ss.Clone(b)
+		ss.Merge(&ba, a)
+		if !nodeEq(ab, ba) {
+			return false
+		}
+		// associativity
+		abc1 := ss.Clone(ab)
+		ss.Merge(&abc1, c)
+		bc := ss.Clone(b)
+		ss.Merge(&bc, c)
+		abc2 := ss.Clone(a)
+		ss.Merge(&abc2, bc)
+		if !nodeEq(abc1, abc2) {
+			return false
+		}
+		// identity
+		az := ss.Clone(a)
+		ss.Merge(&az, ss.Zero())
+		return nodeEq(az, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestExtendDistributesOverMerge property-checks the law that makes
+// coarse granularities correct: extending the merged aggregate of two
+// trend sets equals merging the two extensions (started counted once).
+func TestExtendDistributesOverMerge(t *testing.T) {
+	ss := allSpecs()
+	e := event.New("T", 0).WithNum("x", 4.5)
+	f := func(c1, c2 uint64, s1 uint64, f1, f2 float64) bool {
+		if f1 != f1 || f2 != f2 {
+			return true
+		}
+		started := s1 % 2
+		a := ss.Zero()
+		a.Count = c1
+		a.Aux[2] = Aux{F: f1, Valid: true} // min
+		a.Aux[4] = Aux{F: f1, Valid: true} // sum
+		b := ss.Zero()
+		b.Count = c2
+		b.Aux[2] = Aux{F: f2, Valid: true}
+		b.Aux[4] = Aux{F: f2, Valid: true}
+
+		merged := ss.Clone(a)
+		ss.Merge(&merged, b)
+		left := ss.Extend(merged, "A", e, started)
+
+		ea := ss.Extend(a, "A", e, started)
+		eb := ss.Extend(b, "A", e, 0)
+		right := ss.Clone(ea)
+		ss.Merge(&right, eb)
+		return left.Count == right.Count &&
+			left.Aux[2] == right.Aux[2] &&
+			floatClose(left.Aux[4].F, right.Aux[4].F)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func floatClose(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	d := math.Abs(a - b)
+	m := math.Max(math.Abs(a), math.Abs(b))
+	return d <= 1e-9*m
+}
+
+func nodeEq(a, b Node) bool {
+	if a.Count != b.Count || len(a.Aux) != len(b.Aux) {
+		return false
+	}
+	for i := range a.Aux {
+		x, y := a.Aux[i], b.Aux[i]
+		if x.N != y.N || x.Valid != y.Valid || !floatClose(x.F, y.F) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestReportAndFormat(t *testing.T) {
+	ss := Specs{{Func: CountStar}, {Func: Min, Alias: "M", Attr: "rate"}}
+	n := ss.FoldTrend([]any{
+		TrendEvent("M", event.New("Measurement", 1).WithNum("rate", 61)),
+		TrendEvent("M", event.New("Measurement", 2).WithNum("rate", 65)),
+	})
+	got := FormatValues(ss.Report(n))
+	if got != "COUNT(*)=1, MIN(M.rate)=61" {
+		t.Errorf("FormatValues = %q", got)
+	}
+}
+
+func TestEqual(t *testing.T) {
+	ss := Specs{{Func: CountStar}, {Func: Avg, Alias: "A", Attr: "x"}}
+	a := ss.Report(ss.FoldTrend([]any{ev("A", 2)}))
+	b := ss.Report(ss.FoldTrend([]any{ev("A", 2)}))
+	c := ss.Report(ss.FoldTrend([]any{ev("A", 3)}))
+	if !Equal(a, b) {
+		t.Error("identical reports unequal")
+	}
+	if Equal(a, c) {
+		t.Error("different reports equal")
+	}
+	// NaN == NaN for AVG-of-nothing.
+	x := ss.Report(ss.FoldTrend([]any{ev("B", 2)}))
+	y := ss.Report(ss.FoldTrend([]any{ev("B", 9)}))
+	if !Equal(x, y) {
+		t.Error("NaN AVG reports unequal")
+	}
+	if Equal(a, a[:1]) {
+		t.Error("length mismatch equal")
+	}
+}
+
+func TestFootprint(t *testing.T) {
+	if allSpecs().FootprintBytes() != 8+24*6 {
+		t.Errorf("FootprintBytes = %d", allSpecs().FootprintBytes())
+	}
+}

@@ -1,0 +1,167 @@
+package aseq
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/agg"
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/metrics"
+	"repro/internal/pattern"
+	"repro/internal/predicate"
+	"repro/internal/query"
+)
+
+func anyPlan(p pattern.Node, opts ...func(*query.Builder)) *core.Plan {
+	b := query.NewBuilder(p).
+		Return(agg.Spec{Func: agg.CountStar}).
+		Semantics(query.Any).
+		Within(1000, 1000)
+	for _, o := range opts {
+		o(b)
+	}
+	return core.MustPlan(b.MustBuild())
+}
+
+func aEvents(n int) []*event.Event {
+	var out []*event.Event
+	for i := 1; i <= n; i++ {
+		out = append(out, event.New("A", int64(i)))
+	}
+	return out
+}
+
+func TestASeqCountsKleeneViaFlattening(t *testing.T) {
+	// A+ over n events: 2^n - 1 trends, summed across the flattened
+	// fixed-length queries (one per length).
+	plan := anyPlan(pattern.Plus(pattern.Type("A")))
+	for _, n := range []int{1, 3, 6, 10} {
+		results, err := New(plan).Run(aEvents(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := uint64(1)<<n - 1
+		if results[0].Values[0].Count != want {
+			t.Errorf("n=%d: count = %d, want %d", n, results[0].Values[0].Count, want)
+		}
+	}
+}
+
+func TestASeqMaxLenCapsTrendLength(t *testing.T) {
+	// With MaxLen 2, only trends of length <= 2 are counted:
+	// n=4 -> 4 singletons + C(4,2)=6 pairs = 10.
+	plan := anyPlan(pattern.Plus(pattern.Type("A")))
+	r := New(plan)
+	r.MaxLen = 2
+	results, err := r.Run(aEvents(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Values[0].Count != 10 {
+		t.Errorf("capped count = %d, want 10", results[0].Values[0].Count)
+	}
+}
+
+func TestASeqRejectsUnsupportedFeatures(t *testing.T) {
+	var unsup baselines.ErrUnsupported
+	nextPlan := core.MustPlan(query.NewBuilder(pattern.Plus(pattern.Type("A"))).
+		Return(agg.Spec{Func: agg.CountStar}).
+		Semantics(query.Next).Within(10, 10).MustBuild())
+	if _, err := New(nextPlan).Run(nil); !errors.As(err, &unsup) {
+		t.Errorf("NEXT: %v", err)
+	}
+	adjPlan := anyPlan(pattern.Plus(pattern.Type("A")), func(b *query.Builder) {
+		b.WhereAdjacent(predicate.Adjacent{Left: "A", LeftAttr: "x", Op: predicate.Lt, Right: "A", RightAttr: "x"})
+	})
+	if _, err := New(adjPlan).Run(nil); !errors.As(err, &unsup) {
+		t.Errorf("adjacent predicates: %v", err)
+	}
+	negPlan := anyPlan(pattern.Seq(pattern.Plus(pattern.Type("A")), pattern.Not(pattern.Type("N")), pattern.Type("B")))
+	if _, err := New(negPlan).Run(nil); !errors.As(err, &unsup) {
+		t.Errorf("negation: %v", err)
+	}
+}
+
+func TestASeqSlotPathMatchesFastPathSemantics(t *testing.T) {
+	// The alias-equivalence (slot) path and the fast path must agree
+	// with COGRA; exercised on the shared-type pattern.
+	p := pattern.Seq(pattern.Plus(pattern.TypeAs("S", "A")), pattern.Plus(pattern.TypeAs("S", "B")))
+	slotPlan := anyPlan(p, func(b *query.Builder) {
+		b.WhereEquiv(predicate.Equivalence{Alias: "A", Attr: "c"})
+		b.GroupBy(query.GroupKey{Alias: "A", Attr: "c"})
+	})
+	events := []*event.Event{
+		event.New("S", 1).WithSym("c", "x"),
+		event.New("S", 2).WithSym("c", "y"),
+		event.New("S", 3).WithSym("c", "x"),
+		event.New("S", 4).WithSym("c", "y"),
+	}
+	clone := func() []*event.Event {
+		out := make([]*event.Event, len(events))
+		for i, e := range events {
+			out[i] = e.Clone()
+		}
+		return out
+	}
+	got, err := New(slotPlan).Run(clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := baselines.NewCogra(slotPlan).Run(clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("results: %v vs %v", got, want)
+	}
+	for i := range want {
+		if got[i].String() != want[i].String() {
+			t.Errorf("result %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestASeqStateGrowsWithFlattening pins the paper's point: A-Seq's
+// memory grows with the number of flattened queries, i.e. with the
+// trend length bound (Figure 8b).
+func TestASeqStateGrowsWithFlattening(t *testing.T) {
+	plan := anyPlan(pattern.Plus(pattern.Type("A")))
+	peak := func(maxLen int) int64 {
+		r := New(plan)
+		r.MaxLen = maxLen
+		var acct metrics.Accountant
+		r.Acct = &acct
+		if _, err := r.Run(aEvents(30)); err != nil {
+			t.Fatal(err)
+		}
+		return acct.Peak()
+	}
+	if p10, p30 := peak(10), peak(30); p30 < 4*p10 {
+		t.Errorf("state did not grow with flattening: %d -> %d", p10, p30)
+	}
+}
+
+func TestASeqBudgetDNF(t *testing.T) {
+	plan := anyPlan(pattern.Plus(pattern.Type("A")))
+	r := New(plan)
+	r.BudgetUnits = 50
+	_, err := r.Run(aEvents(40))
+	var dnf baselines.ErrBudget
+	if !errors.As(err, &dnf) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestASeqSimultaneousEventsDoNotChain(t *testing.T) {
+	plan := anyPlan(pattern.Plus(pattern.Type("A")))
+	events := []*event.Event{event.New("A", 1), event.New("A", 1)}
+	results, err := New(plan).Run(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Values[0].Count != 2 {
+		t.Errorf("count = %d, want 2 (no pair across equal time stamps)", results[0].Values[0].Count)
+	}
+}

@@ -1,0 +1,275 @@
+// Package baselines provides the shared scaffolding for the four
+// state-of-the-art approaches the paper compares COGRA against
+// (Table 1): the two-step Kleene engine SASE [40], the online graph
+// approach GRETA [32], the online fixed-length-sequence approach
+// A-Seq [33], and an industrial-streaming-style engine modelled on
+// Flink [2]. Each lives in its own sub-package and implements Runner.
+//
+// The scaffolding — window routing, stream partitioning, equivalence
+// bindings, result assembly — is shared so that every approach
+// evaluates exactly the same sub-streams and reports results in the
+// same shape as the COGRA engine, making cross-validation exact. The
+// aggregation algorithms themselves are implemented independently per
+// package.
+package baselines
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/agg"
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/pattern"
+)
+
+// Runner evaluates a compiled query over a complete in-order stream.
+type Runner interface {
+	// Name identifies the approach in experiment reports.
+	Name() string
+	// Run returns the aggregation results per window and group, in
+	// the same order as core.Engine: by window id, then group key.
+	// Approaches exceeding their work budget return ErrBudget.
+	Run(events []*event.Event) ([]core.Result, error)
+}
+
+// ErrBudget marks a run that exceeded its work budget — the
+// reproduction of the paper's "fails to terminate" entries.
+type ErrBudget struct{ Units int64 }
+
+func (e ErrBudget) Error() string { return "baseline exceeded its work budget (DNF)" }
+
+// ErrUnsupported marks a query feature outside an approach's
+// expressive power (Table 9), e.g. Kleene semantics other than
+// skip-till-any-match for GRETA and A-Seq.
+type ErrUnsupported struct {
+	Approach string
+	Feature  string
+}
+
+func (e ErrUnsupported) Error() string {
+	return e.Approach + " does not support " + e.Feature + " (Table 9)"
+}
+
+// Substream is the unit every approach evaluates: the events of one
+// stream partition within one window, in stream order.
+type Substream struct {
+	Wid        int64
+	Start, End int64
+	PartKey    string
+	Events     []*event.Event
+}
+
+// SplitSubstreams routes a stream into per-window, per-partition
+// sub-streams (§7), identically to the COGRA engine. Events without a
+// partition key are dropped. IDs are assigned in arrival order when
+// absent so tie-breaking matches the engine.
+func SplitSubstreams(plan *core.Plan, events []*event.Event) []Substream {
+	type key struct {
+		wid  int64
+		part string
+	}
+	buckets := map[key][]*event.Event{}
+	spec := plan.Query.Window
+	var seq int64
+	for _, e := range events {
+		seq++
+		if e.ID == 0 {
+			e.ID = seq
+		}
+		pk, ok := plan.StreamKeyOf(e)
+		if !ok {
+			continue
+		}
+		first, last := spec.WindowsOf(e.Time)
+		for wid := first; wid <= last; wid++ {
+			k := key{wid, pk}
+			buckets[k] = append(buckets[k], e)
+		}
+	}
+	out := make([]Substream, 0, len(buckets))
+	for k, evs := range buckets {
+		start, end := spec.Bounds(k.wid)
+		out = append(out, Substream{Wid: k.wid, Start: start, End: end, PartKey: k.part, Events: evs})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Wid != out[j].Wid {
+			return out[i].Wid < out[j].Wid
+		}
+		return out[i].PartKey < out[j].PartKey
+	})
+	return out
+}
+
+// Binding tracks equivalence-slot values while a baseline builds a
+// trend; the zero-length binding is used when the plan has no slots.
+type Binding []string
+
+// NewBinding returns the all-unbound binding for a plan.
+func NewBinding(plan *core.Plan) Binding { return make(Binding, len(plan.Slots)) }
+
+// Clone copies the binding.
+func (b Binding) Clone() Binding { return append(Binding(nil), b...) }
+
+// Bind applies the equivalence slots an event matched under alias must
+// satisfy. It returns the (possibly new) binding and whether the event
+// is compatible; b itself is never mutated.
+func (b Binding) Bind(plan *core.Plan, alias string, e *event.Event) (Binding, bool) {
+	out := b
+	copied := false
+	for i, s := range plan.Slots {
+		if s.Alias != alias {
+			continue
+		}
+		v, ok := e.SymAttr(s.Attr)
+		if !ok {
+			return nil, false
+		}
+		switch out[i] {
+		case v:
+		case "":
+			if !copied {
+				out = b.Clone()
+				copied = true
+			}
+			out[i] = v
+		default:
+			return nil, false
+		}
+	}
+	return out, true
+}
+
+// GroupCollector merges per-trend (or per-binding) aggregates into
+// GROUP-BY groups of one window and assembles core.Results.
+type GroupCollector struct {
+	plan   *core.Plan
+	groups map[string]*groupAgg
+}
+
+type groupAgg struct {
+	group []string
+	node  agg.Node
+}
+
+// NewGroupCollector builds a collector for one window.
+func NewGroupCollector(plan *core.Plan) *GroupCollector {
+	return &GroupCollector{plan: plan, groups: map[string]*groupAgg{}}
+}
+
+// Add merges one aggregate node into the group derived from the
+// partition key and binding.
+func (g *GroupCollector) Add(partKey string, binding Binding, node agg.Node) {
+	group := g.plan.GroupOf(partKey, binding)
+	gk := strings.Join(group, "\x00")
+	ga, ok := g.groups[gk]
+	if !ok {
+		ga = &groupAgg{group: group, node: g.plan.Specs.Zero()}
+		g.groups[gk] = ga
+	}
+	g.plan.Specs.Merge(&ga.node, node)
+}
+
+// Results emits the window's results sorted by group key, matching
+// the COGRA engine's order. Groups with zero finished trends are
+// omitted.
+func (g *GroupCollector) Results(wid, start, end int64) []core.Result {
+	keys := make([]string, 0, len(g.groups))
+	for k := range g.groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]core.Result, 0, len(keys))
+	for _, k := range keys {
+		ga := g.groups[k]
+		if ga.node.Count == 0 {
+			continue
+		}
+		out = append(out, core.Result{
+			Wid: wid, Start: start, End: end,
+			Group:  ga.group,
+			Values: g.plan.Specs.Report(ga.node),
+		})
+	}
+	return out
+}
+
+// NegFireTimes precomputes, per negation constraint, the sorted times
+// at which the negated type matches within a sub-stream.
+func NegFireTimes(plan *core.Plan, events []*event.Event) [][]int64 {
+	n := len(plan.FSA.Negations)
+	if n == 0 {
+		return nil
+	}
+	out := make([][]int64, n)
+	for ci, nc := range plan.FSA.Negations {
+		leaf := nc.Neg.(*pattern.TypeNode)
+		for _, e := range events {
+			if e.Type == leaf.EventType && plan.Where.EvalLocal(leaf.Alias, e) {
+				ts := out[ci]
+				if len(ts) == 0 || ts[len(ts)-1] != e.Time {
+					out[ci] = append(ts, e.Time)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// BlockedBetween reports whether constraint ci fired strictly within
+// (t1, t2), given NegFireTimes output.
+func BlockedBetween(fires [][]int64, ci int, t1, t2 int64) bool {
+	ts := fires[ci]
+	i := sort.Search(len(ts), func(i int) bool { return ts[i] > t1 })
+	return i < len(ts) && ts[i] < t2
+}
+
+// NegGuardFor returns the negation constraint guarding the transition
+// pred -> succ, if any. It recomputes the guard map from the FSA so
+// baselines stay independent of core internals.
+func NegGuardFor(plan *core.Plan, pred, succ string) (int, bool) {
+	for ci, nc := range plan.FSA.Negations {
+		for _, p := range nc.Pred {
+			if p != pred {
+				continue
+			}
+			for _, f := range nc.Follow {
+				if f == succ {
+					return ci, true
+				}
+			}
+		}
+	}
+	return 0, false
+}
+
+// AdjacentOK checks Definition 7's predicate conditions between a
+// concrete predecessor (alias a, event ep) and successor (alias b,
+// event e): strict time order, the θ predicates, and negation guards.
+func AdjacentOK(plan *core.Plan, fires [][]int64, a string, ep *event.Event, b string, e *event.Event) bool {
+	if ep.Time >= e.Time {
+		return false
+	}
+	if !plan.Where.EvalAdjacent(a, ep, b, e) {
+		return false
+	}
+	if ci, guarded := NegGuardFor(plan, a, b); guarded && BlockedBetween(fires, ci, ep.Time, e.Time) {
+		return false
+	}
+	return true
+}
+
+// CandidateAliases returns the pattern types an event can be matched
+// under: its type's aliases filtered by local predicates.
+func CandidateAliases(plan *core.Plan, e *event.Event) []string {
+	var out []string
+	for _, alias := range plan.FSA.AliasesForType(e.Type) {
+		if plan.Where.EvalLocal(alias, e) {
+			out = append(out, alias)
+		}
+	}
+	return out
+}
+
+// SuccAliases returns the successor pattern types of an alias.
+func SuccAliases(plan *core.Plan, alias string) []string { return plan.FSA.Succ[alias] }

@@ -1,0 +1,184 @@
+// Package greta reimplements the GRETA approach [32] the paper
+// compares against: all matched events and their trend relationships
+// are captured as a graph, and trend aggregates are computed online
+// while the graph is built — no trend construction, but aggregates are
+// maintained at the finest granularity, one per matched event. Time is
+// quadratic in the number of events and the whole graph stays in
+// memory, which is exactly what Figures 8 and 10 expose. GRETA
+// supports only skip-till-any-match (Table 9).
+package greta
+
+import (
+	"repro/internal/agg"
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/metrics"
+	"repro/internal/query"
+)
+
+// Runner is the GRETA baseline.
+type Runner struct {
+	plan *core.Plan
+	// BudgetUnits bounds the work (node-to-node compatibility checks);
+	// 0 means unlimited.
+	BudgetUnits int64
+	// Acct receives logical memory accounting if non-nil.
+	Acct *metrics.Accountant
+}
+
+// New builds a GRETA runner. The plan's semantics must be
+// skip-till-any-match.
+func New(plan *core.Plan) *Runner { return &Runner{plan: plan} }
+
+// Name implements baselines.Runner.
+func (r *Runner) Name() string { return "GRETA" }
+
+// gNode is one graph node: a matched event with the aggregate of all
+// (partial) trends ending at it, per equivalence binding.
+type gNode struct {
+	ev      *event.Event
+	alias   string
+	binding baselines.Binding
+	node    agg.Node
+}
+
+// Run implements baselines.Runner.
+func (r *Runner) Run(events []*event.Event) ([]core.Result, error) {
+	if r.plan.Query.Semantics != query.Any {
+		return nil, baselines.ErrUnsupported{Approach: "GRETA", Feature: r.plan.Query.Semantics.String() + " semantics"}
+	}
+	budget := metrics.NewBudget(r.BudgetUnits)
+	acct := r.Acct
+	if acct == nil {
+		acct = &metrics.Accountant{}
+	}
+	var out []core.Result
+	subs := baselines.SplitSubstreams(r.plan, events)
+	i := 0
+	for i < len(subs) {
+		j := i
+		collector := baselines.NewGroupCollector(r.plan)
+		// Like the streaming engine, the graphs of every sub-stream of
+		// one window are live simultaneously until the window closes.
+		var releases []func()
+		releaseAll := func() {
+			for _, rel := range releases {
+				rel()
+			}
+		}
+		for j < len(subs) && subs[j].Wid == subs[i].Wid {
+			rel, err := r.evalSubstream(subs[j], collector, budget, acct)
+			releases = append(releases, rel)
+			if err != nil {
+				releaseAll()
+				return nil, err
+			}
+			j++
+		}
+		out = append(out, collector.Results(subs[i].Wid, subs[i].Start, subs[i].End)...)
+		releaseAll()
+		i = j
+	}
+	return out, nil
+}
+
+// evalSubstream builds the GRETA graph of one sub-stream and collects
+// the end-type node aggregates. The returned release function frees
+// the graph's accounted memory (called when the window closes).
+func (r *Runner) evalSubstream(sub baselines.Substream, collector *baselines.GroupCollector, budget *metrics.Budget, acct *metrics.Accountant) (func(), error) {
+	plan := r.plan
+	specs := plan.Specs
+	fires := baselines.NegFireTimes(plan, sub.Events)
+	var graph []gNode
+	var graphBytes int64
+	release := func() { acct.Add(-graphBytes) }
+
+	for _, e := range sub.Events {
+		for _, alias := range baselines.CandidateAliases(plan, e) {
+			binding0, ok := baselines.NewBinding(plan).Bind(plan, alias, e)
+			if !ok {
+				continue
+			}
+			// Aggregates of the trends e extends, per binding the
+			// extension lands in. Every graph node of a predecessor
+			// type is inspected — the event-granularity cost.
+			type ext struct {
+				binding baselines.Binding
+				node    agg.Node
+			}
+			contrib := map[string]*ext{}
+			if !budget.Spend(int64(len(graph))) {
+				return release, baselines.ErrBudget{Units: budget.Used()}
+			}
+			for gi := range graph {
+				g := &graph[gi]
+				if g.ev.Time >= e.Time {
+					break // graph is in arrival order
+				}
+				if !contains(plan.FSA.Pred[alias], g.alias) {
+					continue
+				}
+				if !baselines.AdjacentOK(plan, fires, g.alias, g.ev, alias, e) {
+					continue
+				}
+				nb, ok := g.binding.Bind(plan, alias, e)
+				if !ok {
+					continue
+				}
+				key := bindingKey(nb)
+				dst, ok := contrib[key]
+				if !ok {
+					dst = &ext{binding: nb, node: specs.Zero()}
+					contrib[key] = dst
+				}
+				specs.Merge(&dst.node, g.node)
+			}
+			startKey := bindingKey(binding0)
+			if plan.FSA.IsStart(alias) {
+				if _, ok := contrib[startKey]; !ok {
+					contrib[startKey] = &ext{binding: binding0, node: specs.Zero()}
+				}
+			}
+			for key, ex := range contrib {
+				started := uint64(0)
+				if plan.FSA.IsStart(alias) && key == startKey {
+					started = 1
+				}
+				node := specs.Extend(ex.node, alias, e, started)
+				gn := gNode{ev: e, alias: alias, binding: ex.binding, node: node}
+				graph = append(graph, gn)
+				grow := e.FootprintBytes() + specs.FootprintBytes() + 32
+				acct.Add(grow)
+				graphBytes += grow
+			}
+		}
+	}
+	for gi := range graph {
+		g := &graph[gi]
+		if plan.FSA.IsEnd(g.alias) {
+			collector.Add(sub.PartKey, g.binding, g.node)
+		}
+	}
+	return release, nil
+}
+
+func bindingKey(b baselines.Binding) string {
+	out := ""
+	for i, v := range b {
+		if i > 0 {
+			out += "\x00"
+		}
+		out += v
+	}
+	return out
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

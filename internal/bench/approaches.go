@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"repro/internal/baselines"
+	"repro/internal/baselines/aseq"
+	"repro/internal/baselines/flinklite"
+	"repro/internal/baselines/greta"
+	"repro/internal/baselines/sase"
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// newSase builds the SASE factory with the two-step budget.
+func newSase(c Config) runnerFactory {
+	return func(plan *core.Plan, acct *metrics.Accountant) baselines.Runner {
+		r := sase.New(plan)
+		r.BudgetUnits = c.TwoStepBudget
+		r.Acct = acct
+		return r
+	}
+}
+
+// newFlink builds the Flink factory: two-step budget plus the
+// flattening cap that stands in for "the length of the longest match"
+// of §9.1.
+func newFlink(c Config) runnerFactory {
+	return func(plan *core.Plan, acct *metrics.Accountant) baselines.Runner {
+		r := flinklite.New(plan)
+		r.BudgetUnits = c.TwoStepBudget
+		r.MaxLen = c.FlattenCap
+		r.Acct = acct
+		return r
+	}
+}
+
+// newGreta builds the GRETA factory with the online budget.
+func newGreta(c Config) runnerFactory {
+	return func(plan *core.Plan, acct *metrics.Accountant) baselines.Runner {
+		r := greta.New(plan)
+		r.BudgetUnits = c.OnlineBudget
+		r.Acct = acct
+		return r
+	}
+}
+
+// newASeq builds the A-Seq factory with the online budget and the
+// flattening cap.
+func newASeq(c Config) runnerFactory {
+	return func(plan *core.Plan, acct *metrics.Accountant) baselines.Runner {
+		r := aseq.New(plan)
+		r.BudgetUnits = c.OnlineBudget
+		r.MaxLen = c.FlattenCap
+		r.Acct = acct
+		return r
+	}
+}

@@ -1,0 +1,345 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/agg"
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/gen"
+	"repro/internal/metrics"
+	"repro/internal/pattern"
+	"repro/internal/predicate"
+	"repro/internal/query"
+)
+
+// all approaches in column order; unsupported combinations render n/s.
+var allApproaches = []string{ApproachCogra, ApproachGreta, ApproachASeq, ApproachSase, ApproachFlink}
+
+// tumblingQuery gives every sweep point exactly one full window so
+// "events per window" is the swept quantity, like the paper's x-axes.
+func tumbling(q *query.Builder, n int) *query.Builder {
+	return q.Within(int64(n), int64(n))
+}
+
+// Fig5 — contiguous semantics on the physical-activity stream:
+// q1-style contiguously increasing heart rate per patient. Two-step
+// approaches remain feasible here because contiguous trends are few
+// and short (§9.2), but COGRA still wins by a widening factor.
+func Fig5(cfg Config, out io.Writer) error {
+	table := &Table{
+		Title:   "Figure 5: latency/memory/throughput vs events per window — contiguous (physical activity)",
+		XLabel:  "events",
+		Columns: allApproaches,
+	}
+	for _, base := range []int{1000, 5000, 20000, 50000, 100000} {
+		n := cfg.scaled(base)
+		events := gen.Activity(gen.ActivityConfig{Seed: 5, Events: n, RunLength: 6})
+		q := tumbling(query.NewBuilder(pattern.Plus(pattern.TypeAs("Measurement", "M"))).
+			Return(agg.Spec{Func: agg.CountStar}, agg.Spec{Func: agg.Max, Alias: "M", Attr: "rate"}).
+			Semantics(query.Cont).
+			WhereAdjacent(predicate.Adjacent{Left: "M", LeftAttr: "rate", Op: predicate.Lt, Right: "M", RightAttr: "rate"}).
+			WhereEquiv(predicate.Equivalence{Attr: "patient"}).
+			GroupBy(query.GroupKey{Attr: "patient"}), n).
+			MustBuild()
+		plan, err := core.NewPlan(q)
+		if err != nil {
+			return err
+		}
+		row := cfg.sweep(plan, events, allApproaches, out)
+		row.X = fmt.Sprint(n)
+		table.Rows = append(table.Rows, row)
+	}
+	fmt.Fprint(out, table.Format())
+	return nil
+}
+
+// Fig6 — skip-till-next-match on the public-transportation stream:
+// Kleene trips per passenger. The number of NEXT trends is polynomial
+// (Table 3), so the two-step SASE degrades quadratically and stops
+// terminating, while COGRA stays linear.
+func Fig6(cfg Config, out io.Writer) error {
+	table := &Table{
+		Title:   "Figure 6: latency/memory/throughput vs events per window — skip-till-next-match (public transportation)",
+		XLabel:  "events",
+		Columns: allApproaches,
+	}
+	for _, base := range []int{1000, 5000, 20000, 50000, 100000} {
+		n := cfg.scaled(base)
+		events := gen.Transit(gen.TransitConfig{Seed: 6, Events: n, Passengers: 30})
+		q := tumbling(query.NewBuilder(
+			pattern.Plus(pattern.Seq(pattern.Plus(pattern.TypeAs("Board", "B")), pattern.TypeAs("Ride", "R")))).
+			Return(agg.Spec{Func: agg.CountStar}).
+			Semantics(query.Next).
+			WhereEquiv(predicate.Equivalence{Attr: "passenger"}).
+			GroupBy(query.GroupKey{Attr: "passenger"}), n).
+			MustBuild()
+		plan, err := core.NewPlan(q)
+		if err != nil {
+			return err
+		}
+		row := cfg.sweep(plan, events, allApproaches, out)
+		row.X = fmt.Sprint(n)
+		table.Rows = append(table.Rows, row)
+	}
+	fmt.Fprint(out, table.Format())
+	return nil
+}
+
+// fig7Query is the q3-shaped stock query without predicates on
+// adjacent events: COGRA runs it type-grained.
+func fig7Query(n int) *query.Query {
+	return tumbling(query.NewBuilder(
+		pattern.Seq(pattern.Plus(pattern.TypeAs("Stock", "A")), pattern.Plus(pattern.TypeAs("Stock", "B")))).
+		Return(agg.Spec{Func: agg.CountStar}, agg.Spec{Func: agg.Avg, Alias: "B", Attr: "price"}).
+		Semantics(query.Any).
+		WhereEquiv(predicate.Equivalence{Attr: "company"}).
+		GroupBy(query.GroupKey{Attr: "company"}), n).
+		MustBuild()
+}
+
+// Fig7 — skip-till-any-match on the stock stream, all approaches: the
+// number of trends grows exponentially (Table 3), so the two-step
+// approaches (Flink, SASE) blow up and stop terminating almost
+// immediately, while the online approaches survive.
+func Fig7(cfg Config, out io.Writer) error {
+	table := &Table{
+		Title:   "Figure 7: latency/memory/throughput vs events per window — skip-till-any-match (stock), all approaches",
+		XLabel:  "events",
+		Columns: allApproaches,
+	}
+	for _, base := range []int{200, 500, 1000, 5000, 20000} {
+		n := cfg.scaled(base)
+		events := gen.Stock(gen.StockConfig{Seed: 7, Events: n})
+		plan, err := core.NewPlan(fig7Query(n))
+		if err != nil {
+			return err
+		}
+		row := cfg.sweep(plan, events, allApproaches, out)
+		row.X = fmt.Sprint(n)
+		table.Rows = append(table.Rows, row)
+	}
+	fmt.Fprint(out, table.Format())
+	return nil
+}
+
+// Fig8 — skip-till-any-match at high rates, online approaches only:
+// GRETA's event-granularity graph degrades quadratically and stops
+// terminating; A-Seq pays its flattened query workload; COGRA's
+// latency stays linear with constant memory.
+func Fig8(cfg Config, out io.Writer) error {
+	table := &Table{
+		Title:   "Figure 8: latency/memory/throughput vs events per window — skip-till-any-match (stock), online approaches",
+		XLabel:  "events",
+		Columns: []string{ApproachCogra, ApproachGreta, ApproachASeq},
+	}
+	for _, base := range []int{10000, 50000, 100000, 200000} {
+		n := cfg.scaled(base)
+		events := gen.Stock(gen.StockConfig{Seed: 8, Events: n})
+		plan, err := core.NewPlan(fig7Query(n))
+		if err != nil {
+			return err
+		}
+		row := cfg.sweep(plan, events, table.Columns, out)
+		row.X = fmt.Sprint(n)
+		table.Rows = append(table.Rows, row)
+	}
+	fmt.Fprint(out, table.Format())
+	return nil
+}
+
+// Fig9 — predicate selectivity on the stock stream: adjacent-event
+// predicates make COGRA select the mixed granularity. Higher
+// selectivity means more and longer trends: the two-step approaches
+// degrade exponentially and stop terminating, the online ones stay
+// flat. A-Seq does not support such predicates (Table 9).
+func Fig9(cfg Config, out io.Writer) error {
+	table := &Table{
+		Title:   "Figure 9: latency/memory vs predicate selectivity — skip-till-any-match (stock)",
+		XLabel:  "selectivity",
+		Columns: allApproaches,
+	}
+	// The sweep reaches below the paper's 10% because the synthetic
+	// pair predicate is independent per pair: the expected predecessor
+	// fan-out is selectivity × sub-stream size, so the two-step
+	// explosion threshold sits at fan-out ≈ 1 (see EXPERIMENTS.md).
+	n := cfg.scaled(6000)
+	events := gen.Stock(gen.StockConfig{Seed: 9, Events: n})
+	for _, sel := range []float64{0.001, 0.01, 0.1, 0.5, 0.9} {
+		sel := sel
+		pass := func(prev, next any) bool {
+			u1, _ := prev.(float64)
+			u2, _ := next.(float64)
+			return gen.PairHash(u1, u2) < sel
+		}
+		// SEQ(A+, B) leaves no unguarded Kleene transition: the swept
+		// selectivity controls every adjacency. Predicates restrict
+		// pairs whose predecessor is an A, so Te = {A} (Theorem 5.1):
+		// COGRA stores A-events but keeps B at type granularity — the
+		// mixed-vs-event comparison of §9.3.
+		q := tumbling(query.NewBuilder(
+			pattern.Seq(pattern.Plus(pattern.TypeAs("Stock", "A")), pattern.TypeAs("Stock", "B"))).
+			Return(agg.Spec{Func: agg.CountStar}).
+			Semantics(query.Any).
+			WhereEquiv(predicate.Equivalence{Attr: "company"}).
+			WhereAdjacent(predicate.Adjacent{Left: "A", LeftAttr: "u", Right: "A", RightAttr: "u", Fn: pass}).
+			WhereAdjacent(predicate.Adjacent{Left: "A", LeftAttr: "u", Right: "B", RightAttr: "u", Fn: pass}).
+			GroupBy(query.GroupKey{Attr: "company"}), n).
+			MustBuild()
+		plan, err := core.NewPlan(q)
+		if err != nil {
+			return err
+		}
+		if plan.Granularity != core.MixedGrained || !plan.EventGrained["A"] || plan.EventGrained["B"] {
+			return fmt.Errorf("fig9: expected mixed granularity with Te={A}, got %v / %v", plan.Granularity, plan.EventGrained)
+		}
+		row := cfg.sweep(plan, events, allApproaches, out)
+		row.X = fmt.Sprintf("%g%%", sel*100)
+		table.Rows = append(table.Rows, row)
+	}
+	fmt.Fprint(out, table.Format())
+	return nil
+}
+
+// Fig10 — number of trend groups on the public-transportation stream:
+// grouping partitions the stream, so more groups mean smaller
+// sub-streams. The two-step approaches only terminate once the
+// sub-streams are small enough; the online approaches improve mildly.
+func Fig10(cfg Config, out io.Writer) error {
+	table := &Table{
+		Title:   "Figure 10: latency/memory vs number of trend groups — skip-till-any-match (public transportation)",
+		XLabel:  "groups",
+		Columns: allApproaches,
+	}
+	n := cfg.scaled(400)
+	for _, groups := range []int{5, 10, 15, 20, 25, 30} {
+		events := gen.Transit(gen.TransitConfig{Seed: 10, Events: n, Passengers: groups})
+		q := tumbling(query.NewBuilder(
+			pattern.Seq(pattern.Plus(pattern.TypeAs("Board", "B")), pattern.TypeAs("Ride", "R"))).
+			Return(agg.Spec{Func: agg.CountStar}, agg.Spec{Func: agg.Avg, Alias: "B", Attr: "wait"}).
+			Semantics(query.Any).
+			WhereEquiv(predicate.Equivalence{Attr: "passenger"}).
+			GroupBy(query.GroupKey{Attr: "passenger"}), n).
+			MustBuild()
+		plan, err := core.NewPlan(q)
+		if err != nil {
+			return err
+		}
+		row := cfg.sweep(plan, events, allApproaches, out)
+		row.X = fmt.Sprint(groups)
+		table.Rows = append(table.Rows, row)
+	}
+	fmt.Fprint(out, table.Format())
+	return nil
+}
+
+// Table9 — the expressive-power matrix, regenerated by probing every
+// approach with tiny queries rather than hardcoded.
+func Table9(cfg Config, out io.Writer) error {
+	probes := []struct {
+		feature string
+		mk      func() *query.Query
+	}{
+		{"skip-till-any-match", func() *query.Query {
+			return query.MustParse(`RETURN COUNT(*) PATTERN A+ SEMANTICS any WITHIN 10 SLIDE 10`)
+		}},
+		{"skip-till-next-match", func() *query.Query {
+			return query.MustParse(`RETURN COUNT(*) PATTERN A+ SEMANTICS next WITHIN 10 SLIDE 10`)
+		}},
+		{"contiguous", func() *query.Query {
+			return query.MustParse(`RETURN COUNT(*) PATTERN A+ SEMANTICS cont WITHIN 10 SLIDE 10`)
+		}},
+		{"adjacent predicates", func() *query.Query {
+			return query.MustParse(`RETURN COUNT(*) PATTERN A+ WHERE A.x < NEXT(A).x WITHIN 10 SLIDE 10`)
+		}},
+		{"negation", func() *query.Query {
+			return query.MustParse(`RETURN COUNT(*) PATTERN SEQ(A+, NOT(N), B) WITHIN 10 SLIDE 10`)
+		}},
+	}
+	events := []*event.Event{
+		event.New("A", 1).WithNum("x", 1),
+		event.New("A", 2).WithNum("x", 2),
+		event.New("B", 3).WithNum("x", 3),
+	}
+	fmt.Fprintf(out, "%-22s", "feature")
+	for _, a := range allApproaches {
+		fmt.Fprintf(out, "%-8s", a)
+	}
+	fmt.Fprintln(out)
+	facts := cfg.factories()
+	for _, p := range probes {
+		fmt.Fprintf(out, "%-22s", p.feature)
+		plan, err := core.NewPlan(p.mk())
+		if err != nil {
+			return err
+		}
+		for _, a := range allApproaches {
+			r := facts[a](plan, nil)
+			cloned := make([]*event.Event, len(events))
+			for i, e := range events {
+				cloned[i] = e.Clone()
+				cloned[i].ID = 0
+			}
+			_, err := r.Run(cloned)
+			if err != nil {
+				fmt.Fprintf(out, "%-8s", "-")
+			} else {
+				fmt.Fprintf(out, "%-8s", "+")
+			}
+		}
+		fmt.Fprintln(out)
+	}
+	return nil
+}
+
+// Ablation — the granularity design choice of §3.3 isolated on one
+// query and stream: the same skip-till-any-match query executed with
+// type-grained aggregates (COGRA's choice), mixed-grained aggregates
+// (forced by an always-true adjacent predicate) and event-grained
+// aggregates (GRETA).
+func Ablation(cfg Config, out io.Writer) error {
+	table := &Table{
+		Title:   "Ablation: aggregation granularity (type vs mixed vs event) on one ANY query",
+		XLabel:  "events",
+		Columns: []string{"type", "mixed", "event"},
+	}
+	for _, base := range []int{5000, 20000, 50000} {
+		n := cfg.scaled(base)
+		events := gen.Stock(gen.StockConfig{Seed: 11, Events: n})
+		mkBuilder := func() *query.Builder {
+			return tumbling(query.NewBuilder(
+				pattern.Seq(pattern.Plus(pattern.TypeAs("Stock", "A")), pattern.Plus(pattern.TypeAs("Stock", "B")))).
+				Return(agg.Spec{Func: agg.CountStar}).
+				Semantics(query.Any).
+				WhereEquiv(predicate.Equivalence{Attr: "company"}).
+				GroupBy(query.GroupKey{Attr: "company"}), n)
+		}
+		typePlan, err := core.NewPlan(mkBuilder().MustBuild())
+		if err != nil {
+			return err
+		}
+		mixedPlan, err := core.NewPlan(mkBuilder().
+			WhereAdjacent(predicate.Adjacent{
+				Left: "A", LeftAttr: "u", Right: "B", RightAttr: "u",
+				Fn: func(prev, next any) bool { return true },
+			}).MustBuild())
+		if err != nil {
+			return err
+		}
+		if typePlan.Granularity != core.TypeGrained || mixedPlan.Granularity != core.MixedGrained {
+			return fmt.Errorf("ablation: unexpected granularities %v/%v", typePlan.Granularity, mixedPlan.Granularity)
+		}
+		facts := cfg.factories()
+		rw := Row{X: fmt.Sprint(n), Runs: map[string]metrics.Run{}}
+		run, _ := measure("type", facts[ApproachCogra], typePlan, events)
+		rw.Runs["type"] = run
+		run, _ = measure("mixed", facts[ApproachCogra], mixedPlan, events)
+		rw.Runs["mixed"] = run
+		run, _ = measure("event", facts[ApproachGreta], typePlan, events)
+		rw.Runs["event"] = run
+		table.Rows = append(table.Rows, rw)
+	}
+	fmt.Fprint(out, table.Format())
+	return nil
+}

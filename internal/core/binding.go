@@ -1,0 +1,97 @@
+package core
+
+import (
+	"strings"
+
+	"repro/internal/predicate"
+)
+
+// bindings manages the alias-scoped equivalence slots of a plan. A
+// binding assigns a value to each slot, accumulated as a trend grows:
+// the first event matched under a slot's alias binds the slot, and
+// every later event of that alias must agree. Bindings key the
+// per-type and per-event aggregate tables so that each equivalence
+// group (the paper's "trend group", §7) is maintained separately.
+//
+// A binding is canonically a []string with "" meaning unbound; its
+// table key is the NUL-joined form.
+type bindings struct {
+	slots []predicate.Equivalence
+	empty string
+}
+
+// slotAssign is one slot assignment demanded by a concrete event.
+type slotAssign struct {
+	idx int
+	val string
+}
+
+func newBindings(slots []predicate.Equivalence) *bindings {
+	vals := make([]string, len(slots))
+	return &bindings{slots: slots, empty: strings.Join(vals, "\x00")}
+}
+
+// none reports whether there are no slots (the common fast path: every
+// binding is the empty key).
+func (b *bindings) none() bool { return len(b.slots) == 0 }
+
+// emptyKey returns the key of the all-unbound binding.
+func (b *bindings) emptyKey() string { return b.empty }
+
+// decode splits a key into slot values.
+func (b *bindings) decode(key string) []string {
+	if len(b.slots) == 0 {
+		return nil
+	}
+	return strings.Split(key, "\x00")
+}
+
+// assignments returns the slot values an event matched under alias
+// must bind. ok is false when the event lacks a required attribute,
+// in which case it cannot be matched under the alias at all.
+func (b *bindings) assignments(alias string, e attrEvent) ([]slotAssign, bool) {
+	var out []slotAssign
+	for i, s := range b.slots {
+		if s.Alias != alias {
+			continue
+		}
+		v, ok := e.SymAttr(s.Attr)
+		if !ok {
+			return nil, false
+		}
+		out = append(out, slotAssign{idx: i, val: v})
+	}
+	return out, true
+}
+
+// combine merges slot assignments into an existing binding key. ok is
+// false when a slot is already bound to a different value (the
+// equivalence predicate rejects the extension).
+func (b *bindings) combine(key string, assigns []slotAssign) (string, bool) {
+	if len(assigns) == 0 {
+		return key, true
+	}
+	vals := strings.Split(key, "\x00")
+	for _, a := range assigns {
+		switch vals[a.idx] {
+		case "", a.val:
+			vals[a.idx] = a.val
+		default:
+			return "", false
+		}
+	}
+	return strings.Join(vals, "\x00"), true
+}
+
+// startKey returns the binding of a trend consisting of only the new
+// event: all slots unbound except the event's own assignments.
+func (b *bindings) startKey(assigns []slotAssign) string {
+	if len(assigns) == 0 {
+		return b.empty
+	}
+	vals := make([]string, len(b.slots))
+	for _, a := range assigns {
+		vals[a.idx] = a.val
+	}
+	return strings.Join(vals, "\x00")
+}

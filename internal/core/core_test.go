@@ -1,0 +1,572 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/agg"
+	"repro/internal/event"
+	"repro/internal/metrics"
+	"repro/internal/pattern"
+	"repro/internal/predicate"
+	"repro/internal/query"
+)
+
+// figure2Pattern is P = (SEQ(A+, B))+ from Figure 2.
+func figure2Pattern() pattern.Node {
+	return pattern.Plus(pattern.Seq(pattern.Plus(pattern.Type("A")), pattern.Type("B")))
+}
+
+// figure2Stream is a1 b2 a3 a4 c5 b6 a7 b8; every event also carries
+// its time stamp as numeric attribute t (used by predicate tests).
+func figure2Stream() []*event.Event {
+	var out []*event.Event
+	for _, spec := range []struct {
+		typ string
+		t   int64
+	}{{"A", 1}, {"B", 2}, {"A", 3}, {"A", 4}, {"C", 5}, {"B", 6}, {"A", 7}, {"B", 8}} {
+		out = append(out, event.New(spec.typ, spec.t).WithNum("t", float64(spec.t)))
+	}
+	return out
+}
+
+func countQuery(sem query.Semantics) *query.Query {
+	return query.NewBuilder(figure2Pattern()).
+		Return(agg.Spec{Func: agg.CountStar}).
+		Semantics(sem).
+		Within(100, 100).
+		MustBuild()
+}
+
+func runCount(t *testing.T, q *query.Query, events []*event.Event) uint64 {
+	t.Helper()
+	eng := NewEngine(MustPlan(q))
+	if err := eng.ProcessAll(events); err != nil {
+		t.Fatal(err)
+	}
+	results := eng.Close()
+	if len(results) == 0 {
+		return 0
+	}
+	if len(results) != 1 {
+		t.Fatalf("expected one result, got %v", results)
+	}
+	return results[0].Values[0].Count
+}
+
+// TestPaperTable5 reproduces the type-grained trend count of Table 5:
+// 43 trends under skip-till-any-match.
+func TestPaperTable5(t *testing.T) {
+	q := countQuery(query.Any)
+	plan := MustPlan(q)
+	if plan.Granularity != TypeGrained {
+		t.Fatalf("granularity = %v, want type", plan.Granularity)
+	}
+	if got := runCount(t, q, figure2Stream()); got != 43 {
+		t.Errorf("COUNT(*) = %d, want 43", got)
+	}
+}
+
+// TestPaperTable5Intermediates checks the per-event intermediate
+// counts of Table 5 via the aggregator directly.
+func TestPaperTable5Intermediates(t *testing.T) {
+	plan := MustPlan(countQuery(query.Any))
+	tg := newTypeGrained(plan, nopAccountant{})
+	wantA := map[int64]uint64{1: 1, 3: 4, 4: 10, 7: 32}
+	wantB := map[int64]uint64{2: 1, 6: 11, 8: 43}
+	for _, e := range figure2Stream() {
+		tg.Process(e)
+		tg.flush() // commit so the tables are observable
+		if want, ok := wantA[e.Time]; ok {
+			if got := tg.tables["A"][""].Count; got != want {
+				t.Errorf("after %v: A.count = %d, want %d", e, got, want)
+			}
+		}
+		if want, ok := wantB[e.Time]; ok {
+			if got := tg.tables["B"][""].Count; got != want {
+				t.Errorf("after %v: B.count = %d, want %d", e, got, want)
+			}
+		}
+	}
+}
+
+// TestPaperTable6 reproduces the mixed-grained trend count of Table 6:
+// predicates restrict the adjacency between b's and a's; a7 is
+// adjacent to b2 but not b6. Final count 33.
+func TestPaperTable6(t *testing.T) {
+	q := query.NewBuilder(figure2Pattern()).
+		Return(agg.Spec{Func: agg.CountStar}).
+		Semantics(query.Any).
+		WhereAdjacent(predicate.Adjacent{
+			Left: "B", LeftAttr: "t", Right: "A", RightAttr: "t",
+			Fn: func(prev, next any) bool {
+				return !(prev.(float64) == 6 && next.(float64) == 7)
+			},
+		}).
+		Within(100, 100).
+		MustBuild()
+	plan := MustPlan(q)
+	if plan.Granularity != MixedGrained {
+		t.Fatalf("granularity = %v, want mixed", plan.Granularity)
+	}
+	if !plan.EventGrained["B"] || plan.EventGrained["A"] {
+		t.Fatalf("event-grained set = %v, want {B}", plan.EventGrained)
+	}
+	if got := runCount(t, q, figure2Stream()); got != 33 {
+		t.Errorf("COUNT(*) = %d, want 33", got)
+	}
+}
+
+// TestPaperTable7 reproduces the pattern-grained counts of Table 7:
+// 8 trends under skip-till-next-match, 2 under contiguous.
+func TestPaperTable7(t *testing.T) {
+	if got := runCount(t, countQuery(query.Next), figure2Stream()); got != 8 {
+		t.Errorf("NEXT COUNT(*) = %d, want 8", got)
+	}
+	if got := runCount(t, countQuery(query.Cont), figure2Stream()); got != 2 {
+		t.Errorf("CONT COUNT(*) = %d, want 2", got)
+	}
+}
+
+func TestGranularitySelection(t *testing.T) {
+	cases := []struct {
+		sem  query.Semantics
+		adj  bool
+		want Granularity
+	}{
+		{query.Any, false, TypeGrained},
+		{query.Any, true, MixedGrained},
+		{query.Next, false, PatternGrained},
+		{query.Next, true, PatternGrained},
+		{query.Cont, false, PatternGrained},
+		{query.Cont, true, PatternGrained},
+	}
+	for _, c := range cases {
+		if got := SelectGranularity(c.sem, c.adj); got != c.want {
+			t.Errorf("SelectGranularity(%v, %v) = %v, want %v", c.sem, c.adj, got, c.want)
+		}
+	}
+}
+
+func TestPlanRejections(t *testing.T) {
+	// Alias-scoped equivalence under pattern granularity.
+	q := query.NewBuilder(pattern.Plus(pattern.TypeAs("S", "A"))).
+		Return(agg.Spec{Func: agg.CountStar}).
+		Semantics(query.Next).
+		WhereEquiv(predicate.Equivalence{Alias: "A", Attr: "c"}).
+		Within(10, 10).MustBuild()
+	if _, err := NewPlan(q); err == nil {
+		t.Error("alias equivalence under NEXT accepted")
+	}
+	// Event type matching several pattern types under NEXT.
+	q2 := query.NewBuilder(pattern.Seq(pattern.Plus(pattern.TypeAs("S", "A")), pattern.Plus(pattern.TypeAs("S", "B")))).
+		Return(agg.Spec{Func: agg.CountStar}).
+		Semantics(query.Cont).
+		Within(10, 10).MustBuild()
+	if _, err := NewPlan(q2); err == nil {
+		t.Error("ambiguous event type under CONT accepted")
+	}
+	// Composite negated sub-pattern.
+	q3 := query.NewBuilder(pattern.Seq(pattern.Type("A"), pattern.Not(pattern.Seq(pattern.Type("N"), pattern.Type("M"))), pattern.Type("B"))).
+		Return(agg.Spec{Func: agg.CountStar}).
+		Within(10, 10).MustBuild()
+	if _, err := NewPlan(q3); err == nil {
+		t.Error("composite negation accepted")
+	}
+}
+
+func TestAggregatesMinMaxSumAvg(t *testing.T) {
+	// Pattern M+ under ANY over rates 60, 62, 61: trends are all
+	// non-empty ordered subsets: {60},{62},{61},{60,62},{60,61},
+	// {62,61},{60,62,61} -> 7 trends.
+	q := query.NewBuilder(pattern.Plus(pattern.TypeAs("M", "M"))).
+		Return(
+			agg.Spec{Func: agg.CountStar},
+			agg.Spec{Func: agg.CountType, Alias: "M"},
+			agg.Spec{Func: agg.Min, Alias: "M", Attr: "rate"},
+			agg.Spec{Func: agg.Max, Alias: "M", Attr: "rate"},
+			agg.Spec{Func: agg.Sum, Alias: "M", Attr: "rate"},
+			agg.Spec{Func: agg.Avg, Alias: "M", Attr: "rate"},
+		).
+		Semantics(query.Any).
+		Within(100, 100).
+		MustBuild()
+	events := []*event.Event{
+		event.New("M", 1).WithNum("rate", 60),
+		event.New("M", 2).WithNum("rate", 62),
+		event.New("M", 3).WithNum("rate", 61),
+	}
+	eng := NewEngine(MustPlan(q))
+	if err := eng.ProcessAll(events); err != nil {
+		t.Fatal(err)
+	}
+	res := eng.Close()
+	if len(res) != 1 {
+		t.Fatalf("results = %v", res)
+	}
+	v := res[0].Values
+	if v[0].Count != 7 {
+		t.Errorf("COUNT(*) = %d, want 7", v[0].Count)
+	}
+	// Occurrences: each event appears in 4 of the 7 trends -> 12.
+	if v[1].Count != 12 {
+		t.Errorf("COUNT(M) = %d, want 12", v[1].Count)
+	}
+	if v[2].F != 60 || v[3].F != 62 {
+		t.Errorf("MIN/MAX = %v/%v, want 60/62", v[2].F, v[3].F)
+	}
+	// SUM over occurrences: 4*(60+62+61) = 732; AVG = 61.
+	if v[4].F != 732 {
+		t.Errorf("SUM = %v, want 732", v[4].F)
+	}
+	if v[5].F != 61 {
+		t.Errorf("AVG = %v, want 61", v[5].F)
+	}
+}
+
+func TestSlidingWindowsSeparateState(t *testing.T) {
+	// WITHIN 4 SLIDE 2 over A+ (ANY): events at t=1 (win 0), t=3
+	// (wins 0,1), t=5 (wins 1,2).
+	q := query.NewBuilder(pattern.Plus(pattern.Type("A"))).
+		Return(agg.Spec{Func: agg.CountStar}).
+		Within(4, 2).MustBuild()
+	eng := NewEngine(MustPlan(q))
+	for _, tm := range []int64{1, 3, 5} {
+		if err := eng.Process(event.New("A", tm)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := eng.Close()
+	// Window 0 [0,4): a1,a3 -> 3 trends; window 1 [2,6): a3,a5 -> 3;
+	// window 2 [4,8): a5 -> 1.
+	if len(res) != 3 {
+		t.Fatalf("results = %v", res)
+	}
+	wantCounts := []uint64{3, 3, 1}
+	for i, r := range res {
+		if r.Wid != int64(i) || r.Values[0].Count != wantCounts[i] {
+			t.Errorf("window %d: %v (want count %d)", i, r, wantCounts[i])
+		}
+	}
+}
+
+func TestWindowsEmittedIncrementallyOnWatermark(t *testing.T) {
+	q := query.NewBuilder(pattern.Plus(pattern.Type("A"))).
+		Return(agg.Spec{Func: agg.CountStar}).
+		Within(2, 2).MustBuild()
+	var emitted []Result
+	eng := NewEngine(MustPlan(q), WithResultCallback(func(r Result) { emitted = append(emitted, r) }))
+	eng.Process(event.New("A", 0))
+	eng.Process(event.New("A", 1))
+	if len(emitted) != 0 {
+		t.Fatalf("window emitted before watermark: %v", emitted)
+	}
+	eng.Process(event.New("A", 2)) // watermark 2 closes window 0 = [0,2)
+	if len(emitted) != 1 || emitted[0].Values[0].Count != 3 {
+		t.Fatalf("after watermark: %v", emitted)
+	}
+	eng.Close()
+	if len(emitted) != 2 {
+		t.Fatalf("after close: %v", emitted)
+	}
+}
+
+func TestGroupByPartitionsStream(t *testing.T) {
+	// q1-style: [patient] + GROUP-BY patient under CONT.
+	q := query.MustParse(`
+		RETURN patient, COUNT(*)
+		PATTERN Measurement M+
+		SEMANTICS contiguous
+		WHERE [patient] AND M.rate < NEXT(M).rate
+		GROUP-BY patient
+		WITHIN 100 SLIDE 100`)
+	events := []*event.Event{
+		event.New("Measurement", 1).WithSym("patient", "p1").WithNum("rate", 60),
+		event.New("Measurement", 2).WithSym("patient", "p2").WithNum("rate", 80),
+		event.New("Measurement", 3).WithSym("patient", "p1").WithNum("rate", 61),
+		event.New("Measurement", 4).WithSym("patient", "p2").WithNum("rate", 79),
+		event.New("Measurement", 5).WithSym("patient", "p1").WithNum("rate", 62),
+	}
+	eng := NewEngine(MustPlan(q))
+	if err := eng.ProcessAll(events); err != nil {
+		t.Fatal(err)
+	}
+	res := eng.Close()
+	// p1: rates 60,61,62 contiguous increasing within the p1
+	// sub-stream: trends {60},{61},{62},{60,61},{61,62},{60,61,62} = 6.
+	// p2: 80,79 decreasing: trends {80},{79} = 2.
+	if len(res) != 2 {
+		t.Fatalf("results = %v", res)
+	}
+	if res[0].Group[0] != "p1" || res[0].Values[0].Count != 6 {
+		t.Errorf("p1: %v", res[0])
+	}
+	if res[1].Group[0] != "p2" || res[1].Values[0].Count != 2 {
+		t.Errorf("p2: %v", res[1])
+	}
+}
+
+func TestAliasEquivalenceBindings(t *testing.T) {
+	// q3-style: SEQ(Stock A+, Stock B+) with [A.company], [B.company],
+	// grouped by both; type-grained (no adjacent predicates).
+	q := query.MustParse(`
+		RETURN A.company, B.company, COUNT(*)
+		PATTERN SEQ(Stock A+, Stock B+)
+		WHERE [A.company] AND [B.company]
+		GROUP-BY A.company, B.company
+		WITHIN 100 SLIDE 100`)
+	mk := func(tm int64, company string) *event.Event {
+		return event.New("Stock", tm).WithSym("company", company).WithNum("price", 1)
+	}
+	// Stream: x@1, y@2, x@3.
+	// Trends SEQ(A+,B+): pick non-empty A-subset then non-empty
+	// B-subset, A's share a company, B's share a company, last A
+	// before first B.
+	// (A=x1, B=y2), (A=x1, B=x3), (A=y2, B=x3), (A=x1x3?) x3 after y2
+	// is fine for A+ only if no B precedes... enumerate:
+	//   A={x1}   B={y2}        -> (x,y)
+	//   A={x1}   B={x3}        -> (x,x)
+	//   A={x1}   B={y2? x3?} B's must share company: {y2},{x3} only
+	//   A={y2}   B={x3}        -> (y,x)
+	//   A={x1,x3}? x3 as A needs B after time 3: none
+	// So groups: (x,y)=1, (x,x)=1, (y,x)=1.
+	eng := NewEngine(MustPlan(q))
+	if err := eng.ProcessAll([]*event.Event{mk(1, "x"), mk(2, "y"), mk(3, "x")}); err != nil {
+		t.Fatal(err)
+	}
+	res := eng.Close()
+	if len(res) != 3 {
+		t.Fatalf("results = %v", res)
+	}
+	want := map[string]uint64{"x,x": 1, "x,y": 1, "y,x": 1}
+	for _, r := range res {
+		key := r.Group[0] + "," + r.Group[1]
+		if r.Values[0].Count != want[key] {
+			t.Errorf("group %s: count = %d, want %d", key, r.Values[0].Count, want[key])
+		}
+		delete(want, key)
+	}
+	if len(want) != 0 {
+		t.Errorf("missing groups: %v", want)
+	}
+}
+
+func TestOutOfOrderRejected(t *testing.T) {
+	q := countQuery(query.Any)
+	eng := NewEngine(MustPlan(q))
+	eng.Process(event.New("A", 5))
+	if err := eng.Process(event.New("A", 4)); err == nil {
+		t.Error("out-of-order event accepted")
+	}
+}
+
+func TestSimultaneousEventsAreNotAdjacent(t *testing.T) {
+	// Two A's at the same time under ANY: each starts a trend, neither
+	// extends the other (Definition 7: ep.time < e.time).
+	q := query.NewBuilder(pattern.Plus(pattern.Type("A"))).
+		Return(agg.Spec{Func: agg.CountStar}).
+		Within(10, 10).MustBuild()
+	eng := NewEngine(MustPlan(q))
+	eng.Process(event.New("A", 1))
+	eng.Process(event.New("A", 1))
+	res := eng.Close()
+	if res[0].Values[0].Count != 2 {
+		t.Errorf("COUNT(*) = %d, want 2", res[0].Values[0].Count)
+	}
+}
+
+func TestEventsWithoutPartitionKeySkipped(t *testing.T) {
+	q := query.MustParse(`
+		RETURN COUNT(*) PATTERN A+ WHERE [k] WITHIN 10 SLIDE 10`)
+	eng := NewEngine(MustPlan(q))
+	eng.Process(event.New("A", 1)) // lacks attribute k
+	eng.Process(event.New("A", 2).WithSym("k", "v"))
+	res := eng.Close()
+	if eng.EventsSkipped() != 1 {
+		t.Errorf("skipped = %d, want 1", eng.EventsSkipped())
+	}
+	if len(res) != 1 || res[0].Values[0].Count != 1 {
+		t.Errorf("results = %v", res)
+	}
+}
+
+// --- negation across the three granularities ---
+
+func negQuery(sem query.Semantics) *query.Query {
+	// SEQ(A+, NOT(N), B): no N between the last a and the b.
+	b := query.NewBuilder(pattern.Seq(
+		pattern.Plus(pattern.Type("A")), pattern.Not(pattern.Type("N")), pattern.Type("B"))).
+		Return(agg.Spec{Func: agg.CountStar}).
+		Semantics(sem).
+		Within(100, 100)
+	return b.MustBuild()
+}
+
+func negStream() []*event.Event {
+	return []*event.Event{
+		event.New("A", 1).WithNum("t", 1),
+		event.New("A", 2).WithNum("t", 2),
+		event.New("N", 3),
+		event.New("A", 4).WithNum("t", 4),
+		event.New("B", 5).WithNum("t", 5),
+	}
+}
+
+func TestNegationTypeGrained(t *testing.T) {
+	// ANY: A-subsets ending at a4 (after the N) can reach b5:
+	// {a4},{a1,a4},{a2,a4},{a1,a2,a4} -> 4 trends.
+	if got := runCount(t, negQuery(query.Any), negStream()); got != 4 {
+		t.Errorf("ANY with negation = %d, want 4", got)
+	}
+}
+
+func TestNegationMixedGrained(t *testing.T) {
+	q := query.NewBuilder(pattern.Seq(
+		pattern.Plus(pattern.Type("A")), pattern.Not(pattern.Type("N")), pattern.Type("B"))).
+		Return(agg.Spec{Func: agg.CountStar}).
+		Semantics(query.Any).
+		WhereAdjacent(predicate.Adjacent{Left: "A", LeftAttr: "t", Op: predicate.Lt, Right: "B", RightAttr: "t"}).
+		Within(100, 100).
+		MustBuild()
+	plan := MustPlan(q)
+	if plan.Granularity != MixedGrained || !plan.EventGrained["A"] {
+		t.Fatalf("plan = %v", plan)
+	}
+	if got := runCount(t, q, negStream()); got != 4 {
+		t.Errorf("mixed with negation = %d, want 4", got)
+	}
+}
+
+func TestNegationPatternGrained(t *testing.T) {
+	// NEXT chain: a1 -> a2 -> a4 (counts 1,2,3), b5 adjacent to a4 and
+	// the N fired at 3 is not within (4,5): final = 3.
+	if got := runCount(t, negQuery(query.Next), negStream()); got != 3 {
+		t.Errorf("NEXT with negation = %d, want 3", got)
+	}
+	// Move the N between a4 and the b: chain blocked, no trend.
+	events := []*event.Event{
+		event.New("A", 1), event.New("A", 2), event.New("A", 4),
+		event.New("N", 5), event.New("B", 6),
+	}
+	if got := runCount(t, negQuery(query.Next), events); got != 0 {
+		t.Errorf("NEXT with blocking negation = %d, want 0", got)
+	}
+}
+
+func TestAccountantReturnsToZero(t *testing.T) {
+	for _, sem := range []query.Semantics{query.Any, query.Next, query.Cont} {
+		var acct metrics.Accountant
+		q := countQuery(sem)
+		eng := NewEngine(MustPlan(q), WithAccountant(&acct))
+		if err := eng.ProcessAll(figure2Stream()); err != nil {
+			t.Fatal(err)
+		}
+		if acct.Peak() == 0 {
+			t.Errorf("%v: peak memory not tracked", sem)
+		}
+		eng.Close()
+		if acct.Current() != 0 {
+			t.Errorf("%v: %d bytes leaked after Close", sem, acct.Current())
+		}
+	}
+}
+
+func TestMixedGrainedAccountantReturnsToZero(t *testing.T) {
+	var acct metrics.Accountant
+	q := query.NewBuilder(figure2Pattern()).
+		Return(agg.Spec{Func: agg.CountStar}).
+		WhereAdjacent(predicate.Adjacent{Left: "B", LeftAttr: "t", Op: predicate.Lt, Right: "A", RightAttr: "t"}).
+		Within(100, 100).MustBuild()
+	eng := NewEngine(MustPlan(q), WithAccountant(&acct))
+	if err := eng.ProcessAll(figure2Stream()); err != nil {
+		t.Fatal(err)
+	}
+	eng.Close()
+	if acct.Current() != 0 {
+		t.Errorf("%d bytes leaked after Close", acct.Current())
+	}
+}
+
+func TestPatternGrainedStartBreaksChainUnderNext(t *testing.T) {
+	// SEQ(A+, B) under NEXT: a1 b2 a3 b4 -> (a1,b2) and (a3,b4).
+	q := query.NewBuilder(pattern.Seq(pattern.Plus(pattern.Type("A")), pattern.Type("B"))).
+		Return(agg.Spec{Func: agg.CountStar}).
+		Semantics(query.Next).
+		Within(100, 100).MustBuild()
+	events := []*event.Event{
+		event.New("A", 1), event.New("B", 2), event.New("A", 3), event.New("B", 4),
+	}
+	if got := runCount(t, q, events); got != 2 {
+		t.Errorf("COUNT(*) = %d, want 2", got)
+	}
+}
+
+func TestContiguityResetOnLocalPredicateFailure(t *testing.T) {
+	// CONT: an event failing its local predicate is irrelevant but
+	// cannot be skipped -> it invalidates partial trends.
+	q := query.MustParse(`
+		RETURN COUNT(*) PATTERN M+ SEMANTICS contiguous
+		WHERE M.rate > 50 WITHIN 100 SLIDE 100`)
+	events := []*event.Event{
+		event.New("M", 1).WithNum("rate", 60),
+		event.New("M", 2).WithNum("rate", 40), // fails local, resets
+		event.New("M", 3).WithNum("rate", 70),
+	}
+	// Trends: {60}, {70} (the failing event blocks {60,70} and {40}).
+	if got := runCount(t, q, events); got != 2 {
+		t.Errorf("COUNT(*) = %d, want 2", got)
+	}
+}
+
+func TestPlanString(t *testing.T) {
+	p := MustPlan(query.MustParse(`
+		RETURN sector, A.company, B.company, AVG(B.price)
+		PATTERN SEQ(Stock A+, Stock B+)
+		WHERE [A.company] AND [B.company] AND A.price > NEXT(A).price
+		GROUP-BY sector, A.company, B.company
+		WITHIN 600 SLIDE 10`))
+	s := p.String()
+	for _, frag := range []string{"granularity=mixed", "partition-by=[sector]", "binding-slots"} {
+		if !contains(s, frag) {
+			t.Errorf("Plan.String() = %q missing %q", s, frag)
+		}
+	}
+	if p.Granularity != MixedGrained || !p.EventGrained["A"] {
+		t.Errorf("q3 plan wrong: %v", p)
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 ||
+		indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+// TestMinLengthExcludesShortTrends verifies the §8 minimal-trend-
+// length unrolling end to end: A+ MIN-LENGTH 3 under ANY counts only
+// trends of length >= 3: 2^n - 1 - n - C(n,2).
+func TestMinLengthExcludesShortTrends(t *testing.T) {
+	q := query.MustParse(`RETURN COUNT(*) PATTERN A+ MIN-LENGTH 3 WITHIN 100 SLIDE 100`)
+	var events []*event.Event
+	for i := 1; i <= 6; i++ {
+		events = append(events, event.New("A", int64(i)))
+	}
+	// 2^6 - 1 - 6 - 15 = 42.
+	if got := runCount(t, q, events); got != 42 {
+		t.Errorf("COUNT(*) = %d, want 42", got)
+	}
+	// Unrolling maps one event type to several pattern types, which
+	// pattern granularity cannot disambiguate (Theorem 6.1): the
+	// planner must reject MIN-LENGTH under NEXT/CONT.
+	qn := query.MustParse(`RETURN COUNT(*) PATTERN A+ MIN-LENGTH 3 SEMANTICS next WITHIN 100 SLIDE 100`)
+	if _, err := NewPlan(qn); err == nil {
+		t.Error("MIN-LENGTH under NEXT accepted by the planner")
+	}
+}

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/agg"
+	"repro/internal/event"
+	"repro/internal/metrics"
+	"repro/internal/window"
+)
+
+// Result is one aggregation output: the aggregates of one group in one
+// closed window.
+type Result struct {
+	// Wid identifies the window; Start/End are its half-open bounds.
+	Wid   int64
+	Start int64
+	End   int64
+	// Group holds the GROUP-BY values in clause order (nil when the
+	// query has no GROUP-BY).
+	Group []string
+	// Values are the reported aggregates in RETURN-clause order.
+	Values []agg.Value
+}
+
+// String renders "window [0,600) group=(p1): COUNT(*)=43".
+func (r Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "window [%d,%d)", r.Start, r.End)
+	if len(r.Group) > 0 {
+		fmt.Fprintf(&b, " group=(%s)", strings.Join(r.Group, ","))
+	}
+	fmt.Fprintf(&b, ": %s", agg.FormatValues(r.Values))
+	return b.String()
+}
+
+// winState is the per-window execution state: one sub-aggregator per
+// stream partition key (§7: windows, single-event predicates and
+// grouping partition the stream into sub-streams).
+type winState struct {
+	wid   int64
+	parts map[string]subAggregator
+}
+
+// Engine executes one compiled plan over an in-order event stream.
+// It routes each event to the windows containing it and, within each
+// window, to the sub-stream its partition key selects; closed windows
+// emit Results. Engine is not safe for concurrent use — parallel
+// execution partitions the stream upstream (internal/stream).
+type Engine struct {
+	plan *Plan
+	acct accountant
+	bnd  *bindings
+	mgr  *window.Manager[*winState]
+
+	lastTime int64
+	sawEvent bool
+	seq      int64
+	eventsIn int64
+	skipped  int64
+
+	results  []Result
+	onResult func(Result)
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithAccountant wires logical memory accounting.
+func WithAccountant(a *metrics.Accountant) Option {
+	return func(e *Engine) { e.acct = a }
+}
+
+// WithResultCallback streams results to fn instead of collecting them.
+func WithResultCallback(fn func(Result)) Option {
+	return func(e *Engine) { e.onResult = fn }
+}
+
+// NewEngine builds an engine for a plan.
+func NewEngine(p *Plan, opts ...Option) *Engine {
+	e := &Engine{plan: p, acct: nopAccountant{}, bnd: newBindings(p.Slots)}
+	for _, opt := range opts {
+		opt(e)
+	}
+	e.mgr = window.NewManager(p.Query.Window, func(wid int64) *winState {
+		return &winState{wid: wid, parts: map[string]subAggregator{}}
+	})
+	return e
+}
+
+// Plan returns the executed plan.
+func (e *Engine) Plan() *Plan { return e.plan }
+
+// Process consumes the next event. Events must arrive in
+// non-decreasing time-stamp order (the stream scheduler of §8
+// guarantees this); an out-of-order event is rejected.
+func (e *Engine) Process(ev *event.Event) error {
+	if e.sawEvent && ev.Time < e.lastTime {
+		return fmt.Errorf("core: out-of-order event at time %d after %d", ev.Time, e.lastTime)
+	}
+	e.lastTime, e.sawEvent = ev.Time, true
+	e.seq++
+	if ev.ID == 0 {
+		ev.ID = e.seq
+	}
+	// The arrival of an event at time t is the watermark "every event
+	// with time < t has been seen": close and emit those windows.
+	for _, closed := range e.mgr.AdvanceTo(ev.Time) {
+		e.emit(closed.Wid, closed.State)
+	}
+	key, ok := e.plan.StreamKeyOf(ev)
+	if !ok {
+		e.skipped++ // no partition attribute: belongs to no sub-stream
+		return nil
+	}
+	e.eventsIn++
+	for _, ws := range e.mgr.StatesFor(ev.Time) {
+		part, ok := ws.parts[key]
+		if !ok {
+			part = newSubAggregator(e.plan, e.acct)
+			ws.parts[key] = part
+		}
+		part.Process(ev)
+	}
+	return nil
+}
+
+// ProcessAll feeds a pre-sorted batch of events.
+func (e *Engine) ProcessAll(events []*event.Event) error {
+	for _, ev := range events {
+		if err := e.Process(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close flushes every open window and returns all collected results
+// (nil when a result callback is installed).
+func (e *Engine) Close() []Result {
+	for _, closed := range e.mgr.Flush() {
+		e.emit(closed.Wid, closed.State)
+	}
+	return e.results
+}
+
+// Results returns the results collected so far.
+func (e *Engine) Results() []Result { return e.results }
+
+// EventsProcessed returns how many events entered a sub-stream.
+func (e *Engine) EventsProcessed() int64 { return e.eventsIn }
+
+// EventsSkipped returns how many events carried no partition key.
+func (e *Engine) EventsSkipped() int64 { return e.skipped }
+
+// emit finalises one closed window: collects per-partition,
+// per-binding aggregates, merges them into GROUP-BY groups, reports
+// and releases the state.
+func (e *Engine) emit(wid int64, ws *winState) {
+	start, end := e.plan.Query.Window.Bounds(wid)
+	type groupAgg struct {
+		group []string
+		node  agg.Node
+	}
+	groups := map[string]*groupAgg{}
+	partKeys := make([]string, 0, len(ws.parts))
+	for k := range ws.parts {
+		partKeys = append(partKeys, k)
+	}
+	sort.Strings(partKeys)
+	for _, pk := range partKeys {
+		part := ws.parts[pk]
+		for _, br := range part.Results() {
+			group := e.plan.GroupOf(pk, e.bnd.decode(br.key))
+			gk := strings.Join(group, "\x00")
+			ga, ok := groups[gk]
+			if !ok {
+				ga = &groupAgg{group: group, node: e.plan.Specs.Zero()}
+				groups[gk] = ga
+			}
+			e.plan.Specs.Merge(&ga.node, br.node)
+		}
+		part.Release()
+	}
+	gks := make([]string, 0, len(groups))
+	for gk := range groups {
+		gks = append(gks, gk)
+	}
+	sort.Strings(gks)
+	for _, gk := range gks {
+		ga := groups[gk]
+		r := Result{
+			Wid:    wid,
+			Start:  start,
+			End:    end,
+			Group:  ga.group,
+			Values: e.plan.Specs.Report(ga.node),
+		}
+		if e.onResult != nil {
+			e.onResult(r)
+		} else {
+			e.results = append(e.results, r)
+		}
+	}
+}

@@ -1,0 +1,340 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/agg"
+	"repro/internal/event"
+)
+
+// mixedGrained implements Algorithm 2: skip-till-any-match with
+// predicates on adjacent events θ. The event types of the pattern are
+// split into Tt and Te (Theorem 5.1): types whose events future
+// predicate evaluations never need keep one aggregate per type (and
+// binding), while events of types restricted by θ are stored
+// individually with an event-grained aggregate each. Time complexity
+// is O(n(t+nₑ)) and space Θ(t+nₑ) per sub-stream (Theorem 5.2).
+type mixedGrained struct {
+	plan *Plan
+	acct accountant
+	bnd  *bindings
+
+	// typeTables holds the Tt aggregates (Algorithm 2's hash table H).
+	typeTables map[string]map[string]*agg.Node
+	// shadows mirrors typeGrained's negation handling for Tt types.
+	shadows map[int]map[string]map[string]*agg.Node
+	// stored holds the Te events with their event-grained aggregates,
+	// in arrival order.
+	stored map[string][]storedEntry
+	// fires records negation matches; stored predecessors are blocked
+	// per pair by fire times strictly between the two events.
+	fires *negFires
+
+	staged       []stagedUpdate
+	stagedResets []int
+	curTime      int64
+	hasCur       bool
+}
+
+// storedEntry is one retained event of an event-grained type with the
+// aggregate of all partial trends ending at it.
+type storedEntry struct {
+	ev   *event.Event
+	key  string
+	node agg.Node
+}
+
+func newMixedGrained(p *Plan, acct accountant) *mixedGrained {
+	m := &mixedGrained{
+		plan:       p,
+		acct:       acct,
+		bnd:        newBindings(p.Slots),
+		typeTables: map[string]map[string]*agg.Node{},
+		shadows:    map[int]map[string]map[string]*agg.Node{},
+		stored:     map[string][]storedEntry{},
+		fires:      newNegFires(len(p.FSA.Negations)),
+	}
+	for _, a := range p.FSA.Aliases {
+		if p.EventGrained[a] {
+			m.stored[a] = nil
+		} else {
+			m.typeTables[a] = map[string]*agg.Node{}
+		}
+	}
+	for ci, nc := range p.FSA.Negations {
+		tbls := map[string]map[string]*agg.Node{}
+		for _, a := range nc.Pred {
+			if !p.EventGrained[a] {
+				tbls[a] = map[string]*agg.Node{}
+			}
+		}
+		m.shadows[ci] = tbls
+	}
+	return m
+}
+
+func (m *mixedGrained) entryBytes(key string) int64 {
+	return m.plan.Specs.FootprintBytes() + int64(len(key)) + 16
+}
+
+func (m *mixedGrained) storedBytes(se storedEntry) int64 {
+	return se.ev.FootprintBytes() + m.plan.Specs.FootprintBytes() + int64(len(se.key)) + 24
+}
+
+// Process implements Algorithm 2 lines 5–14 with Table 8 propagation.
+func (m *mixedGrained) Process(e *event.Event) {
+	if m.hasCur && e.Time != m.curTime {
+		m.flush()
+	}
+	m.curTime, m.hasCur = e.Time, true
+
+	specs := m.plan.Specs
+	fsa := m.plan.FSA
+	for _, alias := range fsa.AliasesForType(e.Type) {
+		if !m.plan.Where.EvalLocal(alias, e) {
+			continue
+		}
+		if m.bnd.none() {
+			// Fast path without equivalence slots: a single
+			// accumulator replaces the binding-keyed map; the stored-
+			// event scan dominates mixed-grained cost, so this inner
+			// loop stays allocation-free.
+			m.processFast(alias, e)
+			continue
+		}
+		assigns, ok := m.bnd.assignments(alias, e)
+		if !ok {
+			continue
+		}
+		contrib := map[string]*agg.Node{}
+		add := func(key string, node agg.Node) {
+			nk, compat := m.bnd.combine(key, assigns)
+			if !compat {
+				return
+			}
+			dst, ok := contrib[nk]
+			if !ok {
+				n := specs.Zero()
+				dst = &n
+				contrib[nk] = dst
+			}
+			specs.Merge(dst, node)
+		}
+		for _, p := range fsa.Pred[alias] {
+			if entries, eventGrained := m.stored[p]; eventGrained {
+				// Event-grained predecessor: compare e to each stored
+				// event (Algorithm 2 lines 9–10).
+				ci, guarded := m.plan.negGuard[[2]string{p, alias}]
+				for i := range entries {
+					se := &entries[i]
+					if se.ev.Time >= e.Time {
+						break // stored in arrival order
+					}
+					if guarded && m.fires.blockedBetween(ci, se.ev.Time, e.Time) {
+						continue
+					}
+					if !m.plan.Where.EvalAdjacent(p, se.ev, alias, e) {
+						continue
+					}
+					add(se.key, se.node)
+				}
+				continue
+			}
+			// Type-grained predecessor (Algorithm 2 lines 7–8).
+			for key, node := range m.tableFor(p, alias) {
+				add(key, *node)
+			}
+		}
+		startKey := ""
+		if fsa.IsStart(alias) {
+			startKey = m.bnd.startKey(assigns)
+			if _, ok := contrib[startKey]; !ok {
+				n := specs.Zero()
+				contrib[startKey] = &n
+			}
+		}
+		for nk, pred := range contrib {
+			started := uint64(0)
+			if nk == startKey && fsa.IsStart(alias) {
+				started = 1
+			}
+			out := specs.Extend(*pred, alias, e, started)
+			if _, eventGrained := m.stored[alias]; eventGrained {
+				se := storedEntry{ev: e, key: nk, node: out}
+				m.stored[alias] = append(m.stored[alias], se)
+				m.acct.Add(m.storedBytes(se))
+			} else {
+				m.staged = append(m.staged, stagedUpdate{alias: alias, key: nk, node: out})
+			}
+		}
+	}
+	for _, ref := range m.plan.negTypes[e.Type] {
+		if m.plan.Where.EvalLocal(ref.alias, e) {
+			if m.fires.fire(ref.ci, e.Time) {
+				m.acct.Add(8)
+			}
+			m.stagedResets = append(m.stagedResets, ref.ci)
+		}
+	}
+}
+
+// processFast is Process's inner loop for plans without equivalence
+// slots (every binding is the empty key).
+func (m *mixedGrained) processFast(alias string, e *event.Event) {
+	specs := m.plan.Specs
+	fsa := m.plan.FSA
+	contrib := specs.Zero()
+	for _, p := range fsa.Pred[alias] {
+		if entries, eventGrained := m.stored[p]; eventGrained {
+			ci, guarded := m.plan.negGuard[[2]string{p, alias}]
+			for i := range entries {
+				se := &entries[i]
+				if se.ev.Time >= e.Time {
+					break // stored in arrival order
+				}
+				if guarded && m.fires.blockedBetween(ci, se.ev.Time, e.Time) {
+					continue
+				}
+				if !m.plan.Where.EvalAdjacent(p, se.ev, alias, e) {
+					continue
+				}
+				specs.Merge(&contrib, se.node)
+			}
+			continue
+		}
+		for _, node := range m.tableFor(p, alias) {
+			specs.Merge(&contrib, *node)
+		}
+	}
+	started := uint64(0)
+	if fsa.IsStart(alias) {
+		started = 1
+	}
+	if contrib.Count == 0 && started == 0 {
+		hasAux := false
+		for _, a := range contrib.Aux {
+			if a != (agg.Aux{}) {
+				hasAux = true
+				break
+			}
+		}
+		if !hasAux {
+			return // nothing to extend and nothing started
+		}
+	}
+	out := specs.Extend(contrib, alias, e, started)
+	if _, eventGrained := m.stored[alias]; eventGrained {
+		se := storedEntry{ev: e, key: "", node: out}
+		m.stored[alias] = append(m.stored[alias], se)
+		m.acct.Add(m.storedBytes(se))
+	} else {
+		m.staged = append(m.staged, stagedUpdate{alias: alias, key: "", node: out})
+	}
+}
+
+func (m *mixedGrained) tableFor(p, successor string) map[string]*agg.Node {
+	if len(m.shadows) != 0 {
+		if ci, guarded := m.plan.negGuard[[2]string{p, successor}]; guarded {
+			if tbl, tracked := m.shadows[ci][p]; tracked {
+				return tbl
+			}
+		}
+	}
+	return m.typeTables[p]
+}
+
+func (m *mixedGrained) flush() {
+	for _, ci := range m.stagedResets {
+		for alias, tbl := range m.shadows[ci] {
+			for key := range tbl {
+				m.acct.Add(-m.entryBytes(key))
+			}
+			m.shadows[ci][alias] = map[string]*agg.Node{}
+		}
+	}
+	m.stagedResets = m.stagedResets[:0]
+	for _, u := range m.staged {
+		m.mergeInto(m.typeTables[u.alias], u.key, u.node)
+		for _, tbls := range m.shadows {
+			if tbl, tracked := tbls[u.alias]; tracked {
+				m.mergeInto(tbl, u.key, u.node)
+			}
+		}
+	}
+	m.staged = m.staged[:0]
+}
+
+func (m *mixedGrained) mergeInto(tbl map[string]*agg.Node, key string, node agg.Node) {
+	dst, ok := tbl[key]
+	if !ok {
+		n := m.plan.Specs.Zero()
+		tbl[key] = &n
+		dst = &n
+		m.acct.Add(m.entryBytes(key))
+	}
+	m.plan.Specs.Merge(dst, node)
+}
+
+// Results merges per binding: type-grained end aliases from their
+// tables, event-grained end aliases from their stored entries
+// (Algorithm 2 lines 15–16).
+func (m *mixedGrained) Results() []bindingResult {
+	m.flush()
+	merged := map[string]*agg.Node{}
+	mergeKey := func(key string, node agg.Node) {
+		dst, ok := merged[key]
+		if !ok {
+			n := m.plan.Specs.Zero()
+			dst = &n
+			merged[key] = dst
+		}
+		m.plan.Specs.Merge(dst, node)
+	}
+	for _, endAlias := range m.plan.FSA.EndAliases() {
+		if entries, eventGrained := m.stored[endAlias]; eventGrained {
+			for i := range entries {
+				mergeKey(entries[i].key, entries[i].node)
+			}
+			continue
+		}
+		for key, node := range m.typeTables[endAlias] {
+			mergeKey(key, *node)
+		}
+	}
+	keys := make([]string, 0, len(merged))
+	for k := range merged {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]bindingResult, 0, len(keys))
+	for _, k := range keys {
+		if merged[k].Count == 0 {
+			continue
+		}
+		out = append(out, bindingResult{key: k, node: *merged[k]})
+	}
+	return out
+}
+
+// Release returns all retained memory to the accountant.
+func (m *mixedGrained) Release() {
+	for _, tbl := range m.typeTables {
+		for key := range tbl {
+			m.acct.Add(-m.entryBytes(key))
+		}
+	}
+	for _, tbls := range m.shadows {
+		for _, tbl := range tbls {
+			for key := range tbl {
+				m.acct.Add(-m.entryBytes(key))
+			}
+		}
+	}
+	for _, entries := range m.stored {
+		for i := range entries {
+			m.acct.Add(-m.storedBytes(entries[i]))
+		}
+	}
+	m.acct.Add(-m.fires.footprint())
+	m.typeTables, m.shadows, m.stored = nil, nil, nil
+}

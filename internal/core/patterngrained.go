@@ -1,0 +1,147 @@
+package core
+
+import (
+	"repro/internal/agg"
+	"repro/internal/event"
+	"repro/internal/query"
+)
+
+// patternGrained implements Algorithm 3: skip-till-next-match and
+// contiguous semantics keep only the final aggregate and the aggregate
+// of the last matched event, because an event has at most one
+// predecessor under these semantics (Theorem 6.1). Time complexity is
+// O(n) and space O(1) per sub-stream (Theorems 6.3, 6.4).
+//
+// Operationally the aggregator maintains the chain of matched events:
+// a new event extends the last matched event when they are adjacent
+// (Definition 7 under the respective semantics), additionally starts a
+// fresh trend when it is of a start type, and — under the contiguous
+// semantics only — resets the chain when it cannot be matched at all,
+// invalidating the partial trends that end at the last matched event
+// (Example 7: event c5).
+type patternGrained struct {
+	plan *Plan
+	acct accountant
+
+	el      *event.Event
+	elAlias string
+	elNode  agg.Node
+	final   agg.Node
+	fires   *negFires
+}
+
+func newPatternGrained(p *Plan, acct accountant) *patternGrained {
+	g := &patternGrained{
+		plan:   p,
+		acct:   acct,
+		elNode: p.Specs.Zero(),
+		final:  p.Specs.Zero(),
+		fires:  newNegFires(len(p.FSA.Negations)),
+	}
+	// Constant state: two aggregate nodes.
+	acct.Add(2 * p.Specs.FootprintBytes())
+	return g
+}
+
+// Process implements Algorithm 3 lines 2–9.
+func (g *patternGrained) Process(e *event.Event) {
+	matched := false
+	aliases := g.plan.FSA.AliasesForType(e.Type)
+	if len(aliases) == 1 { // plan guarantees at most one
+		alias := aliases[0]
+		if g.plan.Where.EvalLocal(alias, e) {
+			started := g.plan.FSA.IsStart(alias)
+			adjacent := g.isAdjacent(alias, e)
+			if started || adjacent {
+				pred := g.plan.Specs.Zero()
+				if adjacent {
+					pred = g.elNode
+				}
+				s := uint64(0)
+				if started {
+					s = 1
+				}
+				node := g.plan.Specs.Extend(pred, alias, e, s)
+				if g.plan.FSA.IsEnd(alias) {
+					g.plan.Specs.Merge(&g.final, node)
+				}
+				g.setEl(e, alias, node)
+				matched = true
+			}
+		}
+	}
+	// Record negation matches; they block adjacency across the fire
+	// time (per-pair refinement of §8's "set el to null").
+	for _, ref := range g.plan.negTypes[e.Type] {
+		if g.plan.Where.EvalLocal(ref.alias, e) {
+			if g.fires.fire(ref.ci, e.Time) {
+				g.acct.Add(8)
+			}
+		}
+	}
+	if !matched && g.plan.Query.Semantics == query.Cont {
+		g.resetEl()
+	}
+}
+
+// isAdjacent checks Definition 7 against the last matched event: the
+// predecessor-type relation, strictly increasing time, the adjacent
+// predicates θ, and no negation fire in between.
+func (g *patternGrained) isAdjacent(alias string, e *event.Event) bool {
+	if g.el == nil || g.el.Time >= e.Time {
+		return false
+	}
+	found := false
+	for _, p := range g.plan.FSA.Pred[alias] {
+		if p == g.elAlias {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return false
+	}
+	if !g.plan.Where.EvalAdjacent(g.elAlias, g.el, alias, e) {
+		return false
+	}
+	if ci, guarded := g.plan.negGuard[[2]string{g.elAlias, alias}]; guarded {
+		if g.fires.blockedBetween(ci, g.el.Time, e.Time) {
+			return false
+		}
+	}
+	return true
+}
+
+func (g *patternGrained) setEl(e *event.Event, alias string, node agg.Node) {
+	if g.el != nil {
+		g.acct.Add(-g.el.FootprintBytes())
+	}
+	g.el, g.elAlias, g.elNode = e, alias, node
+	g.acct.Add(e.FootprintBytes())
+}
+
+func (g *patternGrained) resetEl() {
+	if g.el != nil {
+		g.acct.Add(-g.el.FootprintBytes())
+	}
+	g.el, g.elAlias, g.elNode = nil, "", g.plan.Specs.Zero()
+}
+
+// Results returns the final aggregate (Algorithm 3 line 10); pattern
+// granularity has no binding slots, so at most one result exists.
+func (g *patternGrained) Results() []bindingResult {
+	if g.final.Count == 0 {
+		return nil
+	}
+	return []bindingResult{{key: "", node: g.final}}
+}
+
+// Release returns the constant state to the accountant.
+func (g *patternGrained) Release() {
+	if g.el != nil {
+		g.acct.Add(-g.el.FootprintBytes())
+	}
+	g.acct.Add(-2 * g.plan.Specs.FootprintBytes())
+	g.acct.Add(-g.fires.footprint())
+	g.el = nil
+}

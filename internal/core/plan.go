@@ -1,0 +1,293 @@
+// Package core implements the COGRA runtime (§3–§7): the static query
+// analyzer that selects the coarsest safe aggregation granularity
+// (Table 4), the three incremental aggregators (Algorithms 1–3 with
+// the Table 8 aggregate propagation), and the streaming engine that
+// applies them per sliding window and per stream partition.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/agg"
+	"repro/internal/pattern"
+	"repro/internal/predicate"
+	"repro/internal/query"
+)
+
+// Granularity is the aggregate bookkeeping granularity chosen by the
+// selector (§3.3).
+type Granularity int
+
+// Granularities, coarse to fine. Event granularity is what GRETA uses
+// and is provided as an ablation baseline, not selected by Table 4.
+const (
+	// PatternGrained keeps one aggregate per pattern plus the last
+	// matched event (NEXT and CONT semantics, Algorithm 3).
+	PatternGrained Granularity = iota
+	// TypeGrained keeps one aggregate per event type in the pattern
+	// (ANY semantics without adjacent predicates, Algorithm 1).
+	TypeGrained
+	// MixedGrained keeps type aggregates where possible and per-event
+	// aggregates where adjacent predicates require stored events (ANY
+	// with adjacent predicates, Algorithm 2).
+	MixedGrained
+)
+
+// String renders the granularity name.
+func (g Granularity) String() string {
+	switch g {
+	case PatternGrained:
+		return "pattern"
+	case TypeGrained:
+		return "type"
+	case MixedGrained:
+		return "mixed"
+	}
+	return "?"
+}
+
+// SelectGranularity implements Table 4.
+func SelectGranularity(sem query.Semantics, hasAdjacentPredicates bool) Granularity {
+	if sem == query.Next || sem == query.Cont {
+		return PatternGrained
+	}
+	if hasAdjacentPredicates {
+		return MixedGrained
+	}
+	return TypeGrained
+}
+
+// groupKeyRef resolves one GROUP-BY item to its source: a stream
+// partition key (bare attribute) or a binding slot (alias-scoped
+// equivalence attribute).
+type groupKeyRef struct {
+	fromSlot bool
+	idx      int
+}
+
+// Plan is the compiled form of a query: the COGRA configuration the
+// static query analyzer hands to the runtime executor (Figure 3).
+type Plan struct {
+	// Query is the source query.
+	Query *query.Query
+	// FSA is the automaton representation of the pattern (§3.1).
+	FSA *pattern.FSA
+	// Granularity is the selected aggregation granularity (§3.3).
+	Granularity Granularity
+	// Specs is the compiled RETURN clause.
+	Specs agg.Specs
+	// Where holds the classified predicates.
+	Where *predicate.Set
+	// EventGrained is Te of Theorem 5.1 (empty unless MixedGrained).
+	EventGrained map[string]bool
+	// StreamKeys are the bare attributes that partition the stream
+	// (§7): bare GROUP-BY attributes plus global equivalence
+	// attributes, deduplicated in declaration order.
+	StreamKeys []string
+	// Slots are the alias-scoped equivalence predicates; each is one
+	// binding slot inside the aggregators.
+	Slots []predicate.Equivalence
+	// groupRefs maps each GROUP-BY item to StreamKeys/Slots.
+	groupRefs []groupKeyRef
+	// negTypes maps an event type to the negation constraints it
+	// fires (the §8 restriction: negated sub-patterns are single
+	// event types).
+	negTypes map[string][]negRef
+	// negGuard maps a (predecessor alias, successor alias) pair to the
+	// negation constraint guarding it, if any.
+	negGuard map[[2]string]int
+}
+
+// negRef identifies one negation constraint an event type fires,
+// together with the alias local predicates are evaluated under.
+type negRef struct {
+	ci    int
+	alias string
+}
+
+// NewPlan runs the static query analyzer: pattern analysis (§3.1),
+// predicate classification (§3.2) and granularity selection (§3.3).
+func NewPlan(q *query.Query) (*Plan, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	fsa, err := pattern.Compile(q.Pattern)
+	if err != nil {
+		return nil, err
+	}
+	p := &Plan{
+		Query:       q,
+		FSA:         fsa,
+		Granularity: SelectGranularity(q.Semantics, q.Where.HasAdjacent()),
+		Specs:       q.Returns,
+		Where:       q.Where,
+		negTypes:    map[string][]negRef{},
+		negGuard:    map[[2]string]int{},
+	}
+	p.EventGrained = q.Where.EventGrainedAliases(fsa)
+	if p.Granularity != MixedGrained {
+		p.EventGrained = map[string]bool{}
+	}
+
+	// Stream partition keys: bare GROUP-BY attrs, then global
+	// equivalence attrs not already grouped.
+	seen := map[string]int{}
+	for _, g := range q.GroupBy {
+		if g.Alias == "" {
+			if _, dup := seen[g.Attr]; !dup {
+				seen[g.Attr] = len(p.StreamKeys)
+				p.StreamKeys = append(p.StreamKeys, g.Attr)
+			}
+		}
+	}
+	for _, e := range q.Where.Equivalences {
+		if e.Alias == "" {
+			if _, dup := seen[e.Attr]; !dup {
+				seen[e.Attr] = len(p.StreamKeys)
+				p.StreamKeys = append(p.StreamKeys, e.Attr)
+			}
+		}
+	}
+	// Binding slots: alias-scoped equivalences in declaration order.
+	slotIdx := map[predicate.Equivalence]int{}
+	for _, e := range q.Where.Equivalences {
+		if e.Alias != "" {
+			if _, dup := slotIdx[e]; !dup {
+				slotIdx[e] = len(p.Slots)
+				p.Slots = append(p.Slots, e)
+			}
+		}
+	}
+	// Pattern granularity maintains a single last-event chain per
+	// sub-stream (Algorithm 3); alias-scoped equivalence would need
+	// one chain per binding, which Table 4 never requires for the
+	// paper's query classes. Reject the combination explicitly.
+	if p.Granularity == PatternGrained && len(p.Slots) > 0 {
+		return nil, fmt.Errorf("core: alias-scoped equivalence predicates (e.g. [%s.%s]) are not supported under %v semantics; use a global [attr] predicate",
+			p.Slots[0].Alias, p.Slots[0].Attr, q.Semantics)
+	}
+	// Pattern granularity relies on Theorem 6.1 (unique predecessor),
+	// which needs a deterministic alias for every incoming event.
+	if p.Granularity == PatternGrained {
+		for typ, aliases := range fsa.TypeAliases {
+			if len(aliases) > 1 {
+				return nil, fmt.Errorf("core: event type %q matches multiple pattern types %v; %v semantics needs one pattern type per event type",
+					typ, aliases, q.Semantics)
+			}
+		}
+	}
+	// Resolve GROUP-BY items.
+	for _, g := range q.GroupBy {
+		if g.Alias == "" {
+			p.groupRefs = append(p.groupRefs, groupKeyRef{idx: seen[g.Attr]})
+			continue
+		}
+		idx, ok := slotIdx[predicate.Equivalence{Alias: g.Alias, Attr: g.Attr}]
+		if !ok {
+			return nil, fmt.Errorf("core: GROUP-BY %s has no matching equivalence predicate", g)
+		}
+		p.groupRefs = append(p.groupRefs, groupKeyRef{fromSlot: true, idx: idx})
+	}
+	// Negated sub-patterns: restricted to single event types (§8).
+	for i, nc := range fsa.Negations {
+		leaf, ok := nc.Neg.(*pattern.TypeNode)
+		if !ok {
+			return nil, fmt.Errorf("core: negated sub-pattern %s must be a single event type", nc.Neg)
+		}
+		p.negTypes[leaf.EventType] = append(p.negTypes[leaf.EventType], negRef{ci: i, alias: leaf.Alias})
+		for _, pred := range nc.Pred {
+			for _, fol := range nc.Follow {
+				pair := [2]string{pred, fol}
+				if _, dup := p.negGuard[pair]; !dup {
+					p.negGuard[pair] = i
+				}
+			}
+		}
+	}
+	return p, nil
+}
+
+// MustPlan is NewPlan that panics on error.
+func MustPlan(q *query.Query) *Plan {
+	p, err := NewPlan(q)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// StreamKeyOf extracts the partition key of an event, or ok=false if
+// the event lacks a partition attribute (it then belongs to no
+// sub-stream and cannot contribute to or invalidate any trend). The
+// baselines share this routing so every approach sees identical
+// sub-streams.
+func (p *Plan) StreamKeyOf(e attrEvent) (string, bool) {
+	if len(p.StreamKeys) == 0 {
+		return "", true
+	}
+	var b strings.Builder
+	for i, attr := range p.StreamKeys {
+		v, ok := e.SymAttr(attr)
+		if !ok {
+			return "", false
+		}
+		if i > 0 {
+			b.WriteByte(0)
+		}
+		b.WriteString(v)
+	}
+	return b.String(), true
+}
+
+// attrEvent is the event view the plan needs.
+type attrEvent interface {
+	SymAttr(name string) (string, bool)
+	NumAttr(name string) (float64, bool)
+	Attr(name string) (any, bool)
+}
+
+// GroupOf materialises the GROUP-BY tuple for a result, given the
+// partition key parts and the binding.
+func (p *Plan) GroupOf(streamKey string, binding []string) []string {
+	if len(p.groupRefs) == 0 {
+		return nil
+	}
+	var parts []string
+	if len(p.StreamKeys) > 0 {
+		parts = strings.Split(streamKey, "\x00")
+	}
+	out := make([]string, len(p.groupRefs))
+	for i, ref := range p.groupRefs {
+		if ref.fromSlot {
+			out[i] = binding[ref.idx]
+		} else {
+			out[i] = parts[ref.idx]
+		}
+	}
+	return out
+}
+
+// String summarises the plan.
+func (p *Plan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan: granularity=%s semantics=%s pattern=%s", p.Granularity, p.Query.Semantics, p.Query.Pattern)
+	if len(p.EventGrained) > 0 {
+		var te []string
+		for a := range p.EventGrained {
+			te = append(te, a)
+		}
+		fmt.Fprintf(&b, " event-grained=%v", te)
+	}
+	if len(p.StreamKeys) > 0 {
+		fmt.Fprintf(&b, " partition-by=%v", p.StreamKeys)
+	}
+	if len(p.Slots) > 0 {
+		var ss []string
+		for _, s := range p.Slots {
+			ss = append(ss, s.String())
+		}
+		fmt.Fprintf(&b, " binding-slots=%v", ss)
+	}
+	return b.String()
+}

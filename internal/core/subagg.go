@@ -1,0 +1,98 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/agg"
+	"repro/internal/event"
+)
+
+// subAggregator is the per-sub-stream execution unit: one instance
+// exists per (window, stream partition key). Events arrive in stream
+// order; Results flushes pending state and reports the final
+// aggregates per binding.
+type subAggregator interface {
+	// Process consumes the next event of the sub-stream.
+	Process(e *event.Event)
+	// Results returns the aggregate of all finished trends, per
+	// binding key. Bindings with zero finished trends are omitted.
+	Results() []bindingResult
+	// Release returns the aggregator's logical memory to the
+	// accountant; the aggregator must not be used afterwards.
+	Release()
+}
+
+// bindingResult is the final aggregate of one equivalence binding.
+type bindingResult struct {
+	key  string
+	node agg.Node
+}
+
+// newSubAggregator builds the aggregator the plan's granularity
+// selector chose.
+func newSubAggregator(p *Plan, acct accountant) subAggregator {
+	switch p.Granularity {
+	case TypeGrained:
+		return newTypeGrained(p, acct)
+	case MixedGrained:
+		return newMixedGrained(p, acct)
+	default:
+		return newPatternGrained(p, acct)
+	}
+}
+
+// accountant is the metrics.Accountant surface the aggregators need.
+type accountant interface {
+	Add(delta int64)
+}
+
+// nopAccountant discards accounting; used when metrics are off.
+type nopAccountant struct{}
+
+func (nopAccountant) Add(int64) {}
+
+// negFires records, per negation constraint, the times at which the
+// negated type matched. A predecessor event at time t1 must not feed a
+// follower event at time t2 when some fire lies strictly between.
+// Fire times arrive in non-decreasing order.
+type negFires struct {
+	times [][]int64
+}
+
+func newNegFires(n int) *negFires {
+	if n == 0 {
+		return nil
+	}
+	return &negFires{times: make([][]int64, n)}
+}
+
+// fire records a match of constraint ci at time t and reports whether
+// a new entry was stored (duplicate fires at one time are equivalent).
+func (n *negFires) fire(ci int, t int64) bool {
+	ts := n.times[ci]
+	if len(ts) > 0 && ts[len(ts)-1] == t {
+		return false
+	}
+	n.times[ci] = append(ts, t)
+	return true
+}
+
+// blockedBetween reports whether constraint ci fired strictly within
+// (t1, t2).
+func (n *negFires) blockedBetween(ci int, t1, t2 int64) bool {
+	ts := n.times[ci]
+	i := sort.Search(len(ts), func(i int) bool { return ts[i] > t1 })
+	return i < len(ts) && ts[i] < t2
+}
+
+// footprint returns the logical bytes of the recorded fire times.
+func (n *negFires) footprint() int64 {
+	if n == nil {
+		return 0
+	}
+	var total int64
+	for _, ts := range n.times {
+		total += 8 * int64(len(ts))
+	}
+	return total
+}

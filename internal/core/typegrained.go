@@ -1,0 +1,240 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/agg"
+	"repro/internal/event"
+)
+
+// typeGrained implements Algorithm 1: one aggregate per event type in
+// the pattern (per equivalence binding), for skip-till-any-match
+// queries without predicates on adjacent events. Every matched event
+// updates the aggregate of its type and is discarded immediately;
+// time complexity is O(n·l) and space Θ(l) per sub-stream (Theorems
+// 4.2, 4.3).
+//
+// Definition 7 requires a predecessor to be strictly earlier, so
+// contributions of the current time stamp are staged and committed
+// only when time advances (the stream-transaction discipline of §8);
+// simultaneous events therefore never extend one another.
+//
+// Negated sub-patterns (§8) keep a shadow table per (constraint,
+// predecessor type): the shadow receives the same contributions as
+// the main table but is wiped whenever the negated type matches, and
+// transitions guarded by the constraint read the shadow instead of
+// the main table ("aggregates of all predecessor types are marked as
+// invalid to contribute to aggregates of the following types").
+type typeGrained struct {
+	plan *Plan
+	acct accountant
+	bnd  *bindings
+
+	// tables is E.count of Theorem 4.1 per alias and binding.
+	tables map[string]map[string]*agg.Node
+	// shadows[ci][alias] mirrors tables[alias] but resets on fires of
+	// negation constraint ci; only aliases in the constraint's Pred
+	// set are tracked.
+	shadows map[int]map[string]map[string]*agg.Node
+
+	staged       []stagedUpdate
+	stagedResets []int
+	curTime      int64
+	hasCur       bool
+}
+
+// stagedUpdate is one uncommitted contribution of the current
+// time stamp.
+type stagedUpdate struct {
+	alias string
+	key   string
+	node  agg.Node
+}
+
+func newTypeGrained(p *Plan, acct accountant) *typeGrained {
+	t := &typeGrained{
+		plan:    p,
+		acct:    acct,
+		bnd:     newBindings(p.Slots),
+		tables:  make(map[string]map[string]*agg.Node, len(p.FSA.Aliases)),
+		shadows: map[int]map[string]map[string]*agg.Node{},
+	}
+	for _, a := range p.FSA.Aliases {
+		t.tables[a] = map[string]*agg.Node{}
+	}
+	for ci, nc := range p.FSA.Negations {
+		m := map[string]map[string]*agg.Node{}
+		for _, a := range nc.Pred {
+			m[a] = map[string]*agg.Node{}
+		}
+		t.shadows[ci] = m
+	}
+	return t
+}
+
+// entryBytes is the logical size of one table entry.
+func (t *typeGrained) entryBytes(key string) int64 {
+	return t.plan.Specs.FootprintBytes() + int64(len(key)) + 16
+}
+
+// Process implements Algorithm 1 lines 3–8 with Table 8 aggregate
+// propagation.
+func (t *typeGrained) Process(e *event.Event) {
+	if t.hasCur && e.Time != t.curTime {
+		t.flush()
+	}
+	t.curTime, t.hasCur = e.Time, true
+
+	specs := t.plan.Specs
+	for _, alias := range t.plan.FSA.AliasesForType(e.Type) {
+		if !t.plan.Where.EvalLocal(alias, e) {
+			continue
+		}
+		assigns, ok := t.bnd.assignments(alias, e)
+		if !ok {
+			continue
+		}
+		// e.count per binding: sum the committed counts of every
+		// predecessor type compatible with e's slot assignments.
+		contrib := map[string]*agg.Node{}
+		for _, p := range t.plan.FSA.Pred[alias] {
+			tbl := t.tableFor(p, alias)
+			for key, node := range tbl {
+				nk, compat := t.bnd.combine(key, assigns)
+				if !compat {
+					continue
+				}
+				dst, ok := contrib[nk]
+				if !ok {
+					n := specs.Zero()
+					dst = &n
+					contrib[nk] = dst
+				}
+				specs.Merge(dst, *node)
+			}
+		}
+		// A start-type event also begins one fresh trend in the
+		// binding holding only its own slot values.
+		startKey := ""
+		if t.plan.FSA.IsStart(alias) {
+			startKey = t.bnd.startKey(assigns)
+			if _, ok := contrib[startKey]; !ok {
+				n := specs.Zero()
+				contrib[startKey] = &n
+			}
+		}
+		for nk, pred := range contrib {
+			started := uint64(0)
+			if nk == startKey && t.plan.FSA.IsStart(alias) {
+				started = 1
+			}
+			// Zero-count nodes are kept: a count may legitimately be
+			// congruent to 0 modulo 2^64 while its auxiliaries and
+			// future contributions remain meaningful.
+			out := specs.Extend(*pred, alias, e, started)
+			t.staged = append(t.staged, stagedUpdate{alias: alias, key: nk, node: out})
+		}
+	}
+	// Negation fires are also staged: they invalidate strictly earlier
+	// events only, and readers at this very time stamp must still see
+	// the pre-fire shadows.
+	for _, ref := range t.plan.negTypes[e.Type] {
+		if t.plan.Where.EvalLocal(ref.alias, e) {
+			t.stagedResets = append(t.stagedResets, ref.ci)
+		}
+	}
+}
+
+// tableFor selects the main or shadow table for the transition
+// p -> successor.
+func (t *typeGrained) tableFor(p, successor string) map[string]*agg.Node {
+	if len(t.shadows) != 0 {
+		if ci, guarded := t.plan.negGuard[[2]string{p, successor}]; guarded {
+			return t.shadows[ci][p]
+		}
+	}
+	return t.tables[p]
+}
+
+// flush commits the staged time stamp: resets first (they concern
+// strictly earlier events), then contributions (events of the fired
+// time stamp stay valid for the future).
+func (t *typeGrained) flush() {
+	for _, ci := range t.stagedResets {
+		for alias, tbl := range t.shadows[ci] {
+			for key := range tbl {
+				t.acct.Add(-t.entryBytes(key))
+			}
+			t.shadows[ci][alias] = map[string]*agg.Node{}
+		}
+	}
+	t.stagedResets = t.stagedResets[:0]
+	for _, u := range t.staged {
+		t.mergeInto(t.tables[u.alias], u.key, u.node)
+		for _, m := range t.shadows {
+			if tbl, tracked := m[u.alias]; tracked {
+				t.mergeInto(tbl, u.key, u.node)
+			}
+		}
+	}
+	t.staged = t.staged[:0]
+}
+
+func (t *typeGrained) mergeInto(tbl map[string]*agg.Node, key string, node agg.Node) {
+	dst, ok := tbl[key]
+	if !ok {
+		n := t.plan.Specs.Zero()
+		tbl[key] = &n
+		dst = &n
+		t.acct.Add(t.entryBytes(key))
+	}
+	t.plan.Specs.Merge(dst, node)
+}
+
+// Results merges the end-type tables per binding (Theorem 4.1: the
+// final count is the count of the end type of P).
+func (t *typeGrained) Results() []bindingResult {
+	t.flush()
+	merged := map[string]*agg.Node{}
+	for _, endAlias := range t.plan.FSA.EndAliases() {
+		for key, node := range t.tables[endAlias] {
+			dst, ok := merged[key]
+			if !ok {
+				n := t.plan.Specs.Zero()
+				dst = &n
+				merged[key] = dst
+			}
+			t.plan.Specs.Merge(dst, *node)
+		}
+	}
+	keys := make([]string, 0, len(merged))
+	for k := range merged {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]bindingResult, 0, len(keys))
+	for _, k := range keys {
+		if merged[k].Count == 0 {
+			continue
+		}
+		out = append(out, bindingResult{key: k, node: *merged[k]})
+	}
+	return out
+}
+
+// Release returns all table memory to the accountant.
+func (t *typeGrained) Release() {
+	for _, tbl := range t.tables {
+		for key := range tbl {
+			t.acct.Add(-t.entryBytes(key))
+		}
+	}
+	for _, m := range t.shadows {
+		for _, tbl := range m {
+			for key := range tbl {
+				t.acct.Add(-t.entryBytes(key))
+			}
+		}
+	}
+	t.tables, t.shadows = nil, nil
+}

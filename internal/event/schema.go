@@ -1,0 +1,134 @@
+package event
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// AttrKind distinguishes numeric from symbolic attributes in a schema.
+type AttrKind int
+
+const (
+	// NumAttrKind marks a float64-valued attribute.
+	NumAttrKind AttrKind = iota
+	// SymAttrKind marks a string-valued attribute.
+	SymAttrKind
+)
+
+// Schema describes one event type: its name and attribute kinds.
+// Schemas are used by the generators, the CSV codec and the query
+// compiler's attribute validation.
+type Schema struct {
+	// Type is the event type name this schema describes.
+	Type string
+	// Attrs maps attribute name to kind.
+	Attrs map[string]AttrKind
+}
+
+// NewSchema builds a schema. Attribute names prefixed with "#" are
+// numeric, all others symbolic; the prefix is stripped. Example:
+//
+//	NewSchema("Stock", "company", "sector", "#price", "#volume")
+func NewSchema(typ string, attrs ...string) *Schema {
+	s := &Schema{Type: typ, Attrs: make(map[string]AttrKind, len(attrs))}
+	for _, a := range attrs {
+		if strings.HasPrefix(a, "#") {
+			s.Attrs[a[1:]] = NumAttrKind
+		} else {
+			s.Attrs[a] = SymAttrKind
+		}
+	}
+	return s
+}
+
+// Validate reports an error if e does not conform to the schema: wrong
+// type name, unknown attribute, or missing attribute.
+func (s *Schema) Validate(e *Event) error {
+	if e.Type != s.Type {
+		return fmt.Errorf("event type %q does not match schema %q", e.Type, s.Type)
+	}
+	for name, kind := range s.Attrs {
+		switch kind {
+		case NumAttrKind:
+			if _, ok := e.Num[name]; !ok {
+				return fmt.Errorf("event %v: missing numeric attribute %q", e, name)
+			}
+		case SymAttrKind:
+			if _, ok := e.Sym[name]; !ok {
+				return fmt.Errorf("event %v: missing symbolic attribute %q", e, name)
+			}
+		}
+	}
+	for name := range e.Num {
+		if k, ok := s.Attrs[name]; !ok || k != NumAttrKind {
+			return fmt.Errorf("event %v: unexpected numeric attribute %q", e, name)
+		}
+	}
+	for name := range e.Sym {
+		if k, ok := s.Attrs[name]; !ok || k != SymAttrKind {
+			return fmt.Errorf("event %v: unexpected symbolic attribute %q", e, name)
+		}
+	}
+	return nil
+}
+
+// AttrNames returns attribute names in sorted order.
+func (s *Schema) AttrNames() []string {
+	names := make([]string, 0, len(s.Attrs))
+	for n := range s.Attrs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// MarshalCSVHeader returns the CSV header row for this schema:
+// time,type,<attrs sorted>.
+func (s *Schema) MarshalCSVHeader() string {
+	cols := append([]string{"time", "type"}, s.AttrNames()...)
+	return strings.Join(cols, ",")
+}
+
+// MarshalCSV renders e as a CSV row matching MarshalCSVHeader.
+func (s *Schema) MarshalCSV(e *Event) string {
+	cols := make([]string, 0, 2+len(s.Attrs))
+	cols = append(cols, strconv.FormatInt(e.Time, 10), e.Type)
+	for _, name := range s.AttrNames() {
+		if s.Attrs[name] == NumAttrKind {
+			cols = append(cols, strconv.FormatFloat(e.Num[name], 'g', -1, 64))
+		} else {
+			cols = append(cols, e.Sym[name])
+		}
+	}
+	return strings.Join(cols, ",")
+}
+
+// UnmarshalCSV parses a CSV row produced by MarshalCSV.
+func (s *Schema) UnmarshalCSV(row string) (*Event, error) {
+	cols := strings.Split(row, ",")
+	names := s.AttrNames()
+	if len(cols) != 2+len(names) {
+		return nil, fmt.Errorf("schema %s: expected %d columns, got %d in %q",
+			s.Type, 2+len(names), len(cols), row)
+	}
+	t, err := strconv.ParseInt(cols[0], 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("schema %s: bad time %q: %w", s.Type, cols[0], err)
+	}
+	e := New(cols[1], t)
+	for i, name := range names {
+		raw := cols[2+i]
+		if s.Attrs[name] == NumAttrKind {
+			v, err := strconv.ParseFloat(raw, 64)
+			if err != nil {
+				return nil, fmt.Errorf("schema %s: bad numeric %s=%q: %w", s.Type, name, raw, err)
+			}
+			e.WithNum(name, v)
+		} else {
+			e.WithSym(name, raw)
+		}
+	}
+	return e, nil
+}

@@ -1,0 +1,197 @@
+package gen
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStockDeterministicAndValid(t *testing.T) {
+	cfg := StockConfig{Seed: 1, Events: 500}
+	a, b := Stock(cfg), Stock(cfg)
+	if len(a) != 500 {
+		t.Fatalf("len = %d", len(a))
+	}
+	schema := StockSchema()
+	companies := map[string]bool{}
+	sectors := map[string]bool{}
+	for i, e := range a {
+		if err := schema.Validate(e); err != nil {
+			t.Fatalf("event %d invalid: %v", i, err)
+		}
+		if e.String() != b[i].String() {
+			t.Fatal("generator not deterministic")
+		}
+		if i > 0 && a[i-1].Time > e.Time {
+			t.Fatal("events out of order")
+		}
+		companies[e.Sym["company"]] = true
+		sectors[e.Sym["sector"]] = true
+		if e.Num["price"] <= 0 {
+			t.Fatalf("non-positive price at %d", i)
+		}
+	}
+	if len(companies) != 19 || len(sectors) != 10 {
+		t.Errorf("companies=%d sectors=%d, want 19/10", len(companies), len(sectors))
+	}
+}
+
+func TestStockDifferentSeedsDiffer(t *testing.T) {
+	a := Stock(StockConfig{Seed: 1, Events: 50})
+	b := Stock(StockConfig{Seed: 2, Events: 50})
+	same := true
+	for i := range a {
+		if a[i].Num["price"] != b[i].Num["price"] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestActivityRuns(t *testing.T) {
+	events := Activity(ActivityConfig{Seed: 3, Events: 2000, Persons: 2, RunLength: 6})
+	schema := ActivitySchema()
+	increases, total := 0, 0
+	last := map[string]float64{}
+	for _, e := range events {
+		if err := schema.Validate(e); err != nil {
+			t.Fatal(err)
+		}
+		p := e.Sym["patient"]
+		if prev, ok := last[p]; ok {
+			total++
+			if e.Num["rate"] > prev {
+				increases++
+			}
+		}
+		last[p] = e.Num["rate"]
+	}
+	frac := float64(increases) / float64(total)
+	// RunLength 6 means ~5/6 of steps increase.
+	if frac < 0.7 || frac > 0.95 {
+		t.Errorf("increase fraction = %.2f, want ~0.83", frac)
+	}
+}
+
+func TestTransitGroups(t *testing.T) {
+	events := Transit(TransitConfig{Seed: 4, Events: 3000, Passengers: 5})
+	passengers := map[string]bool{}
+	boards := 0
+	for _, e := range events {
+		passengers[e.Sym["passenger"]] = true
+		if e.Type == "Board" {
+			boards++
+		}
+	}
+	if len(passengers) != 5 {
+		t.Errorf("passengers = %d, want 5", len(passengers))
+	}
+	frac := float64(boards) / float64(len(events))
+	if frac < 0.6 || frac > 0.8 {
+		t.Errorf("board fraction = %.2f, want ~0.7", frac)
+	}
+}
+
+func TestRideshareWellFormedTrips(t *testing.T) {
+	events := Rideshare(RideshareConfig{Seed: 5, Trips: 50, Drivers: 4})
+	// Per session: exactly one Accept, one Finish, equal Calls and
+	// Cancels (>= 1), Accept first, Finish last among relevant types.
+	type tally struct{ accept, call, cancel, finish int }
+	perSession := map[string]*tally{}
+	for i, e := range events {
+		if i > 0 && events[i-1].Time >= e.Time {
+			t.Fatal("times not strictly increasing")
+		}
+		s := e.Sym["session"]
+		tl, ok := perSession[s]
+		if !ok {
+			tl = &tally{}
+			perSession[s] = tl
+		}
+		switch e.Type {
+		case "Accept":
+			tl.accept++
+		case "Call":
+			tl.call++
+		case "Cancel":
+			tl.cancel++
+		case "Finish":
+			tl.finish++
+		}
+	}
+	if len(perSession) != 50 {
+		t.Fatalf("sessions = %d", len(perSession))
+	}
+	for s, tl := range perSession {
+		if tl.accept != 1 || tl.finish != 1 || tl.call != tl.cancel || tl.call < 1 {
+			t.Errorf("session %s malformed: %+v", s, tl)
+		}
+	}
+}
+
+func TestPairHashUniformAndDeterministic(t *testing.T) {
+	if PairHash(0.123, 0.456) != PairHash(0.123, 0.456) {
+		t.Fatal("PairHash not deterministic")
+	}
+	// Uniformity: mean of PairHash over stock pairs should be ~0.5.
+	events := Stock(StockConfig{Seed: 7, Events: 2000})
+	var sum float64
+	n := 0
+	for i := 1; i < len(events); i++ {
+		sum += PairHash(events[i-1].Num["u"], events[i].Num["u"])
+		n++
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-0.5) > 0.05 {
+		t.Errorf("PairHash mean = %.3f, want ~0.5", mean)
+	}
+	// Selectivity control: fraction below 0.3 should be ~0.3.
+	below := 0
+	for i := 1; i < len(events); i++ {
+		if PairHash(events[i-1].Num["u"], events[i].Num["u"]) < 0.3 {
+			below++
+		}
+	}
+	frac := float64(below) / float64(n)
+	if math.Abs(frac-0.3) > 0.05 {
+		t.Errorf("selectivity 0.3 delivered %.3f", frac)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	if len(Stock(StockConfig{Events: 1})) != 1 {
+		t.Error("stock defaults")
+	}
+	if len(Activity(ActivityConfig{Events: 1})) != 1 {
+		t.Error("activity defaults")
+	}
+	if len(Transit(TransitConfig{Events: 1})) != 1 {
+		t.Error("transit defaults")
+	}
+	if len(Rideshare(RideshareConfig{Trips: 1})) < 4 {
+		t.Error("rideshare defaults")
+	}
+}
+
+func TestSchemasCoverGeneratedTypes(t *testing.T) {
+	types := map[string]bool{}
+	for _, s := range RideshareSchemas() {
+		types[s.Type] = true
+	}
+	for _, e := range Rideshare(RideshareConfig{Seed: 9, Trips: 20, NoiseFraction: 0.5}) {
+		if !types[e.Type] {
+			t.Fatalf("unschema'd type %q", e.Type)
+		}
+	}
+	ts := map[string]bool{}
+	for _, s := range TransitSchemas() {
+		ts[s.Type] = true
+	}
+	for _, e := range Transit(TransitConfig{Seed: 9, Events: 100}) {
+		if !ts[e.Type] {
+			t.Fatalf("unschema'd transit type %q", e.Type)
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// tokKind enumerates lexical token kinds of the query language.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokLParen
+	tokRParen
+	tokLBracket
+	tokRBracket
+	tokComma
+	tokDot
+	tokPlus
+	tokStar
+	tokQMark
+	tokLt
+	tokLe
+	tokGt
+	tokGe
+	tokEq
+	tokNe
+)
+
+// token is one lexical token with its source position for error
+// messages.
+type token struct {
+	kind tokKind
+	text string
+	num  float64
+	pos  int // byte offset in the input
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of query"
+	case tokNumber:
+		return fmt.Sprintf("number %v", t.num)
+	case tokString:
+		return fmt.Sprintf("string %q", t.text)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// lex tokenises a query string. Identifiers may contain letters,
+// digits, '_' and '-' (for skip-till-any-match); a '-' is part of an
+// identifier only when it glues two identifier characters, so
+// "GROUP-BY" and "skip-till-any-match" lex as single identifiers while
+// "WITHIN 10" minus signs on numbers are handled in the number rule.
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(':
+			toks = append(toks, token{kind: tokLParen, text: "(", pos: i})
+			i++
+		case c == ')':
+			toks = append(toks, token{kind: tokRParen, text: ")", pos: i})
+			i++
+		case c == '[':
+			toks = append(toks, token{kind: tokLBracket, text: "[", pos: i})
+			i++
+		case c == ']':
+			toks = append(toks, token{kind: tokRBracket, text: "]", pos: i})
+			i++
+		case c == ',':
+			toks = append(toks, token{kind: tokComma, text: ",", pos: i})
+			i++
+		case c == '.':
+			toks = append(toks, token{kind: tokDot, text: ".", pos: i})
+			i++
+		case c == '+':
+			toks = append(toks, token{kind: tokPlus, text: "+", pos: i})
+			i++
+		case c == '*':
+			toks = append(toks, token{kind: tokStar, text: "*", pos: i})
+			i++
+		case c == '?':
+			toks = append(toks, token{kind: tokQMark, text: "?", pos: i})
+			i++
+		case c == '<':
+			if i+1 < n && src[i+1] == '=' {
+				toks = append(toks, token{kind: tokLe, text: "<=", pos: i})
+				i += 2
+			} else {
+				toks = append(toks, token{kind: tokLt, text: "<", pos: i})
+				i++
+			}
+		case c == '>':
+			if i+1 < n && src[i+1] == '=' {
+				toks = append(toks, token{kind: tokGe, text: ">=", pos: i})
+				i += 2
+			} else {
+				toks = append(toks, token{kind: tokGt, text: ">", pos: i})
+				i++
+			}
+		case c == '=':
+			toks = append(toks, token{kind: tokEq, text: "=", pos: i})
+			i++
+		case c == '!':
+			if i+1 < n && src[i+1] == '=' {
+				toks = append(toks, token{kind: tokNe, text: "!=", pos: i})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("query: unexpected '!' at offset %d", i)
+			}
+		case c == '\'' || c == '"':
+			quote := c
+			j := i + 1
+			for j < n && src[j] != quote {
+				j++
+			}
+			if j >= n {
+				return nil, fmt.Errorf("query: unterminated string at offset %d", i)
+			}
+			toks = append(toks, token{kind: tokString, text: src[i+1 : j], pos: i})
+			i = j + 1
+		case c >= '0' && c <= '9':
+			j := i
+			for j < n && (src[j] >= '0' && src[j] <= '9' || src[j] == '.') {
+				// A '.' is part of the number only when followed by a digit
+				// (so "10.minutes" would not arise; attribute dots never
+				// follow digits in this grammar anyway).
+				if src[j] == '.' && (j+1 >= n || src[j+1] < '0' || src[j+1] > '9') {
+					break
+				}
+				j++
+			}
+			v, err := strconv.ParseFloat(src[i:j], 64)
+			if err != nil {
+				return nil, fmt.Errorf("query: bad number %q at offset %d", src[i:j], i)
+			}
+			toks = append(toks, token{kind: tokNumber, text: src[i:j], num: v, pos: i})
+			i = j
+		case isIdentStart(rune(c)):
+			j := i
+			for j < n && isIdentPart(src, j) {
+				j++
+			}
+			toks = append(toks, token{kind: tokIdent, text: src[i:j], pos: i})
+			i = j
+		default:
+			return nil, fmt.Errorf("query: unexpected character %q at offset %d", c, i)
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: n})
+	return toks, nil
+}
+
+func isIdentStart(c rune) bool {
+	return unicode.IsLetter(c) || c == '_'
+}
+
+// isIdentPart treats '-' as part of an identifier when squeezed
+// between identifier characters, so GROUP-BY and skip-till-next-match
+// are single tokens.
+func isIdentPart(src string, j int) bool {
+	c := rune(src[j])
+	if unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_' {
+		return true
+	}
+	if c == '-' && j+1 < len(src) {
+		next := rune(src[j+1])
+		return unicode.IsLetter(next) || unicode.IsDigit(next) || next == '_'
+	}
+	return false
+}
+
+// keyword matching is case-insensitive.
+func isKeyword(t token, kw string) bool {
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}

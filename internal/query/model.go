@@ -1,0 +1,289 @@
+// Package query defines the event trend aggregation query model of the
+// COGRA paper (Definition 6) and a parser for the SASE-style query
+// language the paper's examples q1–q3 are written in:
+//
+//	RETURN    patient, MIN(M.rate), MAX(M.rate)
+//	PATTERN   Measurement M+
+//	SEMANTICS contiguous
+//	WHERE     [patient] AND M.rate < NEXT(M).rate AND M.activity = passive
+//	GROUP-BY  patient
+//	WITHIN    10 minutes SLIDE 30 seconds
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/agg"
+	"repro/internal/pattern"
+	"repro/internal/predicate"
+	"repro/internal/window"
+)
+
+// Semantics is the event matching semantics S of a query (§2.2).
+type Semantics int
+
+// The three event matching semantics, from most flexible to most
+// restrictive.
+const (
+	// Any is skip-till-any-match: every relevant event may extend a
+	// trend or be skipped; all possible trends are detected.
+	Any Semantics = iota
+	// Next is skip-till-next-match: relevant events must be matched,
+	// irrelevant events are skipped.
+	Next
+	// Cont is contiguous: no event may occur between adjacent events
+	// of a trend.
+	Cont
+)
+
+// String renders the semantics in query syntax.
+func (s Semantics) String() string {
+	switch s {
+	case Any:
+		return "skip-till-any-match"
+	case Next:
+		return "skip-till-next-match"
+	case Cont:
+		return "contiguous"
+	}
+	return "?"
+}
+
+// ParseSemantics accepts the full names and short aliases.
+func ParseSemantics(s string) (Semantics, error) {
+	switch strings.ToLower(s) {
+	case "skip-till-any-match", "any":
+		return Any, nil
+	case "skip-till-next-match", "next":
+		return Next, nil
+	case "contiguous", "cont":
+		return Cont, nil
+	}
+	return 0, fmt.Errorf("query: unknown semantics %q", s)
+}
+
+// GroupKey is one GROUP-BY item: a bare stream attribute ("patient")
+// or an alias-scoped attribute ("A.company").
+type GroupKey struct {
+	// Alias is empty for bare attributes.
+	Alias string
+	Attr  string
+}
+
+// String renders the key in query syntax.
+func (g GroupKey) String() string {
+	if g.Alias == "" {
+		return g.Attr
+	}
+	return g.Alias + "." + g.Attr
+}
+
+// Query is an event trend aggregation query (Definition 6).
+type Query struct {
+	// Returns lists the requested aggregates (RETURN clause). Bare
+	// grouping attributes in the RETURN clause are recorded in
+	// ReturnKeys and echo the group.
+	Returns agg.Specs
+	// ReturnKeys are the non-aggregate RETURN items, which must also
+	// appear in GROUP-BY.
+	ReturnKeys []GroupKey
+	// Pattern is the Kleene pattern P.
+	Pattern pattern.Node
+	// Semantics is the event matching semantics S.
+	Semantics Semantics
+	// Where holds the classified predicates θ (may be empty).
+	Where *predicate.Set
+	// GroupBy lists the grouping keys G (may be empty).
+	GroupBy []GroupKey
+	// Window is the WITHIN/SLIDE clause in stream time units.
+	Window window.Spec
+}
+
+// String renders the query back into (normalised) query syntax.
+func (q *Query) String() string {
+	var b strings.Builder
+	b.WriteString("RETURN ")
+	var items []string
+	for _, k := range q.ReturnKeys {
+		items = append(items, k.String())
+	}
+	for _, s := range q.Returns {
+		items = append(items, s.String())
+	}
+	b.WriteString(strings.Join(items, ", "))
+	fmt.Fprintf(&b, "\nPATTERN %s", q.Pattern)
+	fmt.Fprintf(&b, "\nSEMANTICS %s", q.Semantics)
+	if q.Where != nil && q.Where.String() != "true" {
+		fmt.Fprintf(&b, "\nWHERE %s", q.Where)
+	}
+	if len(q.GroupBy) > 0 {
+		keys := make([]string, len(q.GroupBy))
+		for i, k := range q.GroupBy {
+			keys[i] = k.String()
+		}
+		fmt.Fprintf(&b, "\nGROUP-BY %s", strings.Join(keys, ", "))
+	}
+	fmt.Fprintf(&b, "\nWITHIN %d SLIDE %d", q.Window.Within, q.Window.Slide)
+	return b.String()
+}
+
+// Validate performs the static checks shared by all execution
+// strategies: well-formed pattern, aggregates referencing pattern
+// aliases, group keys consistent with equivalence predicates, and a
+// valid window.
+func (q *Query) Validate() error {
+	if q.Pattern == nil {
+		return fmt.Errorf("query: missing PATTERN clause")
+	}
+	if err := pattern.Validate(q.Pattern); err != nil {
+		return err
+	}
+	if err := q.Returns.Validate(); err != nil {
+		return err
+	}
+	if err := q.Window.Validate(); err != nil {
+		return err
+	}
+	aliases := map[string]bool{}
+	for _, a := range pattern.Aliases(q.Pattern) {
+		aliases[a] = true
+	}
+	for _, s := range q.Returns {
+		if s.Alias != "" && !aliases[s.Alias] {
+			return fmt.Errorf("query: aggregate %s references unknown event type %q", s, s.Alias)
+		}
+	}
+	if q.Where == nil {
+		q.Where = &predicate.Set{}
+	}
+	for _, p := range q.Where.Locals {
+		if p.Alias != "" && !aliases[p.Alias] {
+			return fmt.Errorf("query: predicate %s references unknown event type %q", p, p.Alias)
+		}
+	}
+	for _, p := range q.Where.Equivalences {
+		if p.Alias != "" && !aliases[p.Alias] {
+			return fmt.Errorf("query: predicate %s references unknown event type %q", p, p.Alias)
+		}
+	}
+	for _, p := range q.Where.Adjacents {
+		if !aliases[p.Left] || !aliases[p.Right] {
+			return fmt.Errorf("query: predicate %s references unknown event type", p)
+		}
+	}
+	// Alias-scoped grouping needs the matching equivalence predicate:
+	// GROUP-BY A.company requires [A.company] so that every trend has
+	// a single well-defined group (the paper's q3 pairs them).
+	for _, g := range q.GroupBy {
+		if g.Alias == "" {
+			continue
+		}
+		if !aliases[g.Alias] {
+			return fmt.Errorf("query: GROUP-BY %s references unknown event type %q", g, g.Alias)
+		}
+		found := false
+		for _, p := range q.Where.Equivalences {
+			if p.Alias == g.Alias && p.Attr == g.Attr {
+				found = true
+			}
+		}
+		if !found {
+			return fmt.Errorf("query: GROUP-BY %s requires the equivalence predicate [%s.%s]", g, g.Alias, g.Attr)
+		}
+	}
+	// RETURN keys must be grouped.
+	for _, k := range q.ReturnKeys {
+		found := false
+		for _, g := range q.GroupBy {
+			if g == k {
+				found = true
+			}
+		}
+		if !found {
+			return fmt.Errorf("query: RETURN item %s does not appear in GROUP-BY", k)
+		}
+	}
+	return nil
+}
+
+// Builder provides fluent programmatic query construction, mirroring
+// the text syntax clause for clause.
+type Builder struct {
+	q   Query
+	err error
+}
+
+// NewBuilder starts a query for the given pattern.
+func NewBuilder(p pattern.Node) *Builder {
+	return &Builder{q: Query{Pattern: p, Where: &predicate.Set{}, Semantics: Any}}
+}
+
+// Return adds aggregation specs.
+func (b *Builder) Return(specs ...agg.Spec) *Builder {
+	b.q.Returns = append(b.q.Returns, specs...)
+	return b
+}
+
+// ReturnKey echoes grouping keys in the result.
+func (b *Builder) ReturnKey(keys ...GroupKey) *Builder {
+	b.q.ReturnKeys = append(b.q.ReturnKeys, keys...)
+	return b
+}
+
+// Semantics sets the event matching semantics.
+func (b *Builder) Semantics(s Semantics) *Builder {
+	b.q.Semantics = s
+	return b
+}
+
+// WhereLocal adds a local predicate.
+func (b *Builder) WhereLocal(p predicate.Local) *Builder {
+	b.q.Where.Locals = append(b.q.Where.Locals, p)
+	return b
+}
+
+// WhereEquiv adds an equivalence predicate.
+func (b *Builder) WhereEquiv(p predicate.Equivalence) *Builder {
+	b.q.Where.Equivalences = append(b.q.Where.Equivalences, p)
+	return b
+}
+
+// WhereAdjacent adds a predicate on adjacent events.
+func (b *Builder) WhereAdjacent(p predicate.Adjacent) *Builder {
+	b.q.Where.Adjacents = append(b.q.Where.Adjacents, p)
+	return b
+}
+
+// GroupBy adds grouping keys.
+func (b *Builder) GroupBy(keys ...GroupKey) *Builder {
+	b.q.GroupBy = append(b.q.GroupBy, keys...)
+	return b
+}
+
+// Within sets the window clause.
+func (b *Builder) Within(within, slide int64) *Builder {
+	b.q.Window = window.Spec{Within: within, Slide: slide}
+	return b
+}
+
+// Build validates and returns the query.
+func (b *Builder) Build() (*Query, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	q := b.q // copy
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return &q, nil
+}
+
+// MustBuild is Build that panics on error.
+func (b *Builder) MustBuild() *Query {
+	q, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return q
+}

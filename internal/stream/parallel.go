@@ -1,0 +1,150 @@
+package stream
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/metrics"
+)
+
+// ParallelExecutor exploits the stream partitioning of §7/§8:
+// equivalence predicates and grouping split the stream into
+// non-overlapping sub-streams, each processed by its own COGRA engine
+// on a worker goroutine. Events are routed by hashing the partition
+// key, so each worker sees an in-order sub-stream and no cross-worker
+// coordination is needed; results are merged and re-ordered on Close.
+type ParallelExecutor struct {
+	plan    *core.Plan
+	workers []*worker
+	skipped int64
+	closed  bool
+}
+
+type worker struct {
+	in      chan *event.Event
+	done    chan struct{}
+	engine  *core.Engine
+	acct    metrics.Accountant
+	results []core.Result
+	err     error
+}
+
+// NewParallelExecutor starts n workers (n >= 1). A plan without
+// partition keys yields a single worker, since an unpartitioned
+// stream has a single sub-stream.
+func NewParallelExecutor(plan *core.Plan, n int) *ParallelExecutor {
+	if n < 1 || len(plan.StreamKeys) == 0 {
+		n = 1
+	}
+	p := &ParallelExecutor{plan: plan}
+	for i := 0; i < n; i++ {
+		w := &worker{
+			in:   make(chan *event.Event, 1024),
+			done: make(chan struct{}),
+		}
+		w.engine = core.NewEngine(plan, core.WithAccountant(&w.acct))
+		p.workers = append(p.workers, w)
+		go w.run()
+	}
+	return p
+}
+
+func (w *worker) run() {
+	defer close(w.done)
+	for e := range w.in {
+		if w.err != nil {
+			continue // drain after failure
+		}
+		w.err = w.engine.Process(e)
+	}
+	if w.err == nil {
+		w.results = w.engine.Close()
+	}
+}
+
+// Process routes one event to its partition's worker. Events without
+// a partition key are counted and dropped (they belong to no
+// sub-stream).
+func (p *ParallelExecutor) Process(e *event.Event) error {
+	if p.closed {
+		return fmt.Errorf("stream: Process after Close")
+	}
+	key, ok := p.plan.StreamKeyOf(e)
+	if !ok {
+		p.skipped++
+		return nil
+	}
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	w := p.workers[int(h.Sum32())%len(p.workers)]
+	w.in <- e
+	return nil
+}
+
+// Run consumes an entire ordered source.
+func (p *ParallelExecutor) Run(src Iterator) error {
+	var seq int64
+	for {
+		e, ok := src.Next()
+		if !ok {
+			return nil
+		}
+		seq++
+		if e.ID == 0 {
+			e.ID = seq
+		}
+		if err := p.Process(e); err != nil {
+			return err
+		}
+	}
+}
+
+// Close drains the workers and returns all results ordered by window
+// then group, exactly like a single engine would emit them.
+func (p *ParallelExecutor) Close() ([]core.Result, error) {
+	if p.closed {
+		return nil, fmt.Errorf("stream: double Close")
+	}
+	p.closed = true
+	var wg sync.WaitGroup
+	for _, w := range p.workers {
+		close(w.in)
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			<-w.done
+		}(w)
+	}
+	wg.Wait()
+	var out []core.Result
+	for _, w := range p.workers {
+		if w.err != nil {
+			return nil, w.err
+		}
+		out = append(out, w.results...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Wid != out[j].Wid {
+			return out[i].Wid < out[j].Wid
+		}
+		return strings.Join(out[i].Group, "\x00") < strings.Join(out[j].Group, "\x00")
+	})
+	return out, nil
+}
+
+// Skipped returns the number of events without a partition key.
+func (p *ParallelExecutor) Skipped() int64 { return p.skipped }
+
+// PeakBytes returns the summed logical peak memory across workers.
+func (p *ParallelExecutor) PeakBytes() int64 {
+	var total int64
+	for _, w := range p.workers {
+		total += w.acct.Peak()
+	}
+	return total
+}

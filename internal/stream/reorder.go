@@ -1,0 +1,76 @@
+package stream
+
+import (
+	"container/heap"
+
+	"repro/internal/event"
+)
+
+// Reorderer is a K-slack buffer that repairs bounded disorder: events
+// may arrive up to Slack time units later than the maximum time stamp
+// seen so far and are re-emitted in (time, ID) order. Events arriving
+// later than the slack allows are dropped and counted.
+//
+// The paper assumes in-order streams (§2.1) and cites AFA [10] for
+// native disorder handling; a slack buffer in front of the engine is
+// the standard way to meet the in-order contract with real sources.
+type Reorderer struct {
+	slack   int64
+	h       eventHeap
+	maxSeen int64
+	sawAny  bool
+	dropped int64
+}
+
+// NewReorderer builds a buffer tolerating the given slack (>= 0).
+func NewReorderer(slack int64) *Reorderer {
+	return &Reorderer{slack: slack}
+}
+
+type eventHeap []*event.Event
+
+func (h eventHeap) Len() int           { return len(h) }
+func (h eventHeap) Less(i, j int) bool { return h[i].Before(h[j]) }
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)        { *h = append(*h, x.(*event.Event)) }
+func (h *eventHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// Offer inserts one possibly-disordered event and returns the events
+// that became safe to emit, in order. An event older than
+// maxSeen - slack is dropped (counted by Dropped).
+func (r *Reorderer) Offer(e *event.Event) []*event.Event {
+	if r.sawAny && e.Time < r.maxSeen-r.slack {
+		r.dropped++
+		return nil
+	}
+	heap.Push(&r.h, e)
+	if !r.sawAny || e.Time > r.maxSeen {
+		r.maxSeen = e.Time
+		r.sawAny = true
+	}
+	return r.drain(r.maxSeen - r.slack)
+}
+
+// drain pops every buffered event with time <= watermark.
+func (r *Reorderer) drain(watermark int64) []*event.Event {
+	var out []*event.Event
+	for r.h.Len() > 0 && r.h[0].Time <= watermark {
+		out = append(out, heap.Pop(&r.h).(*event.Event))
+	}
+	return out
+}
+
+// Flush emits everything still buffered, in order (end of stream).
+func (r *Reorderer) Flush() []*event.Event {
+	var out []*event.Event
+	for r.h.Len() > 0 {
+		out = append(out, heap.Pop(&r.h).(*event.Event))
+	}
+	return out
+}
+
+// Dropped reports how many events exceeded the slack.
+func (r *Reorderer) Dropped() int64 { return r.dropped }
+
+// Buffered reports the current buffer size.
+func (r *Reorderer) Buffered() int { return r.h.Len() }

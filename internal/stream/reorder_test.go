@@ -1,0 +1,126 @@
+package stream
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/agg"
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/pattern"
+	"repro/internal/query"
+)
+
+func TestReordererRepairsBoundedDisorder(t *testing.T) {
+	r := NewReorderer(3)
+	input := []int64{5, 3, 7, 6, 4, 10, 9, 8, 12}
+	var emitted []int64
+	for i, tm := range input {
+		for _, e := range r.Offer(&event.Event{Time: tm, ID: int64(i)}) {
+			emitted = append(emitted, e.Time)
+		}
+	}
+	for _, e := range r.Flush() {
+		emitted = append(emitted, e.Time)
+	}
+	if len(emitted) != len(input) {
+		t.Fatalf("emitted %d of %d events", len(emitted), len(input))
+	}
+	for i := 1; i < len(emitted); i++ {
+		if emitted[i-1] > emitted[i] {
+			t.Fatalf("out of order after repair: %v", emitted)
+		}
+	}
+	if r.Dropped() != 0 {
+		t.Errorf("dropped = %d", r.Dropped())
+	}
+}
+
+func TestReordererDropsBeyondSlack(t *testing.T) {
+	r := NewReorderer(2)
+	r.Offer(&event.Event{Time: 10, ID: 1})
+	if got := r.Offer(&event.Event{Time: 7, ID: 2}); got != nil {
+		t.Errorf("too-late event emitted: %v", got)
+	}
+	if r.Dropped() != 1 {
+		t.Errorf("dropped = %d", r.Dropped())
+	}
+	// Exactly at the boundary (10-2=8) is accepted.
+	r.Offer(&event.Event{Time: 8, ID: 3})
+	if r.Dropped() != 1 {
+		t.Error("boundary event dropped")
+	}
+}
+
+func TestReordererZeroSlackPassesThrough(t *testing.T) {
+	r := NewReorderer(0)
+	out := r.Offer(&event.Event{Time: 1, ID: 1})
+	if len(out) != 1 {
+		t.Fatalf("zero-slack buffer held the event: %v", out)
+	}
+	if r.Buffered() != 0 {
+		t.Error("event stuck in buffer")
+	}
+}
+
+// TestReordererFeedsEngine is the end-to-end contract: slack-repaired
+// streams are accepted by the engine and produce the same results as
+// the originally ordered stream.
+func TestReordererFeedsEngine(t *testing.T) {
+	q := query.NewBuilder(pattern.Plus(pattern.Type("A"))).
+		Return(agg.Spec{Func: agg.CountStar}).
+		Within(20, 10).MustBuild()
+	plan := core.MustPlan(q)
+
+	rng := rand.New(rand.NewSource(4))
+	var ordered []*event.Event
+	tm := int64(0)
+	for i := 0; i < 60; i++ {
+		tm += int64(rng.Intn(3))
+		ordered = append(ordered, event.New("A", tm))
+	}
+	ref := core.NewEngine(plan)
+	for _, e := range ordered {
+		if err := ref.Process(e.Clone()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := ref.Close()
+
+	// Shuffle within windows of 4 positions (disorder <= ~6 ticks).
+	shuffled := make([]*event.Event, len(ordered))
+	for i := range ordered {
+		shuffled[i] = ordered[i].Clone()
+		shuffled[i].ID = 0
+	}
+	for i := 0; i+3 < len(shuffled); i += 4 {
+		rng.Shuffle(4, func(a, b int) {
+			shuffled[i+a], shuffled[i+b] = shuffled[i+b], shuffled[i+a]
+		})
+	}
+	re := NewReorderer(10)
+	eng := core.NewEngine(plan)
+	feed := func(evs []*event.Event) {
+		for _, e := range evs {
+			if err := eng.Process(e); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, e := range shuffled {
+		feed(re.Offer(e))
+	}
+	feed(re.Flush())
+	got := eng.Close()
+	if re.Dropped() != 0 {
+		t.Fatalf("dropped %d within slack", re.Dropped())
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d results vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].String() != want[i].String() {
+			t.Errorf("result %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}

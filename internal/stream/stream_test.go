@@ -1,0 +1,243 @@
+package stream
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/agg"
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/pattern"
+	"repro/internal/predicate"
+	"repro/internal/query"
+)
+
+func TestSliceIterator(t *testing.T) {
+	evs := []*event.Event{event.New("A", 1), event.New("A", 2)}
+	it := FromSlice(evs)
+	for i := 0; i < 2; i++ {
+		e, ok := it.Next()
+		if !ok || e != evs[i] {
+			t.Fatalf("pos %d: %v, %v", i, e, ok)
+		}
+	}
+	if _, ok := it.Next(); ok {
+		t.Error("iterator not exhausted")
+	}
+}
+
+func TestMergeOrdersAcrossSources(t *testing.T) {
+	s1 := FromSlice([]*event.Event{
+		{Time: 1, ID: 1, Type: "A"}, {Time: 4, ID: 4, Type: "A"}, {Time: 9, ID: 9, Type: "A"},
+	})
+	s2 := FromSlice([]*event.Event{
+		{Time: 2, ID: 2, Type: "B"}, {Time: 4, ID: 5, Type: "B"},
+	})
+	s3 := FromSlice(nil)
+	m := Merge(s1, s2, s3)
+	var times []int64
+	var last *event.Event
+	for {
+		e, ok := m.Next()
+		if !ok {
+			break
+		}
+		if last != nil && e.Before(last) {
+			t.Fatalf("out of order: %v after %v", e, last)
+		}
+		last = e
+		times = append(times, e.Time)
+	}
+	want := []int64{1, 2, 4, 4, 9}
+	if len(times) != len(want) {
+		t.Fatalf("times = %v", times)
+	}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("times = %v, want %v", times, want)
+		}
+	}
+}
+
+func TestMergeRandomisedProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for iter := 0; iter < 50; iter++ {
+		var srcs []Iterator
+		total := 0
+		for s := 0; s < 1+rng.Intn(4); s++ {
+			var evs []*event.Event
+			tm := int64(0)
+			for i := 0; i < rng.Intn(20); i++ {
+				tm += int64(rng.Intn(3))
+				evs = append(evs, &event.Event{Time: tm, ID: int64(iter*1000 + s*100 + i)})
+			}
+			total += len(evs)
+			srcs = append(srcs, FromSlice(evs))
+		}
+		m := Merge(srcs...)
+		count := 0
+		var last *event.Event
+		for {
+			e, ok := m.Next()
+			if !ok {
+				break
+			}
+			if last != nil && e.Time < last.Time {
+				t.Fatalf("iter %d: out of order", iter)
+			}
+			last = e
+			count++
+		}
+		if count != total {
+			t.Fatalf("iter %d: merged %d of %d events", iter, count, total)
+		}
+	}
+}
+
+func TestSchedulerGroupsTransactions(t *testing.T) {
+	evs := []*event.Event{
+		{Time: 1}, {Time: 1}, {Time: 2}, {Time: 5}, {Time: 5}, {Time: 5},
+	}
+	s := NewScheduler(FromSlice(evs))
+	var sizes []int
+	var times []int64
+	for {
+		tx, ok := s.NextTransaction()
+		if !ok {
+			break
+		}
+		sizes = append(sizes, len(tx.Events))
+		times = append(times, tx.Time)
+	}
+	if fmt.Sprint(sizes) != "[2 1 3]" || fmt.Sprint(times) != "[1 2 5]" {
+		t.Errorf("sizes=%v times=%v", sizes, times)
+	}
+	if _, ok := s.NextTransaction(); ok {
+		t.Error("scheduler not exhausted")
+	}
+}
+
+func TestSchedulerEmptySource(t *testing.T) {
+	s := NewScheduler(FromSlice(nil))
+	if _, ok := s.NextTransaction(); ok {
+		t.Error("empty source produced a transaction")
+	}
+}
+
+// parallelQuery is a partitioned q1-style query.
+func parallelQuery() *query.Query {
+	return query.NewBuilder(pattern.Plus(pattern.TypeAs("M", "M"))).
+		Return(agg.Spec{Func: agg.CountStar}, agg.Spec{Func: agg.Max, Alias: "M", Attr: "rate"}).
+		Semantics(query.Cont).
+		WhereEquiv(predicate.Equivalence{Attr: "patient"}).
+		GroupBy(query.GroupKey{Attr: "patient"}).
+		Within(50, 25).
+		MustBuild()
+}
+
+func parallelStream(n, groups int) []*event.Event {
+	rng := rand.New(rand.NewSource(42))
+	var out []*event.Event
+	tm := int64(0)
+	for i := 0; i < n; i++ {
+		tm += int64(rng.Intn(2))
+		out = append(out, event.New("M", tm).
+			WithSym("patient", fmt.Sprintf("p%d", rng.Intn(groups))).
+			WithNum("rate", float64(50+rng.Intn(50))))
+	}
+	return out
+}
+
+// TestParallelMatchesSequential is the §8 correctness claim: stream
+// partitioning preserves results exactly.
+func TestParallelMatchesSequential(t *testing.T) {
+	plan := core.MustPlan(parallelQuery())
+	events := parallelStream(500, 7)
+
+	seqEng := core.NewEngine(plan)
+	for _, e := range events {
+		if err := seqEng.Process(e.Clone()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := seqEng.Close()
+
+	for _, workers := range []int{1, 2, 4, 8} {
+		p := NewParallelExecutor(plan, workers)
+		cloned := make([]*event.Event, len(events))
+		for i, e := range events {
+			cloned[i] = e.Clone()
+		}
+		if err := p.Run(FromSlice(cloned)); err != nil {
+			t.Fatal(err)
+		}
+		got, err := p.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Wid != want[i].Wid ||
+				fmt.Sprint(got[i].Group) != fmt.Sprint(want[i].Group) ||
+				!agg.Equal(got[i].Values, want[i].Values) {
+				t.Fatalf("workers=%d: result %d differs:\n%v\n%v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestParallelSkipsKeylessEvents(t *testing.T) {
+	plan := core.MustPlan(parallelQuery())
+	p := NewParallelExecutor(plan, 2)
+	p.Process(event.New("M", 1).WithNum("rate", 60)) // no patient attr
+	if _, err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Skipped() != 1 {
+		t.Errorf("skipped = %d", p.Skipped())
+	}
+}
+
+func TestParallelLifecycleErrors(t *testing.T) {
+	plan := core.MustPlan(parallelQuery())
+	p := NewParallelExecutor(plan, 2)
+	if _, err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Process(event.New("M", 1).WithSym("patient", "p").WithNum("rate", 1)); err == nil {
+		t.Error("Process after Close accepted")
+	}
+	if _, err := p.Close(); err == nil {
+		t.Error("double Close accepted")
+	}
+}
+
+func TestParallelPropagatesEngineErrors(t *testing.T) {
+	plan := core.MustPlan(parallelQuery())
+	p := NewParallelExecutor(plan, 1)
+	mk := func(tm int64) *event.Event {
+		return event.New("M", tm).WithSym("patient", "p").WithNum("rate", 60)
+	}
+	p.Process(mk(10))
+	p.Process(mk(5)) // out of order
+	if _, err := p.Close(); err == nil {
+		t.Error("out-of-order error not propagated")
+	}
+}
+
+func TestParallelPeakBytes(t *testing.T) {
+	plan := core.MustPlan(parallelQuery())
+	p := NewParallelExecutor(plan, 4)
+	for _, e := range parallelStream(200, 5) {
+		p.Process(e)
+	}
+	if _, err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if p.PeakBytes() <= 0 {
+		t.Error("peak bytes not tracked")
+	}
+}

@@ -1,0 +1,179 @@
+// Package window implements the WITHIN/SLIDE sliding-window clause
+// (§2.3, §7). The unbounded stream is partitioned into overlapping
+// finite intervals; window wid covers the half-open time interval
+// [wid*Slide, wid*Slide+Within). An event may fall into several
+// windows, expire in some and remain valid in others, so every
+// aggregate is maintained per window identifier (the paper adopts the
+// wid technique of Li et al. [21]).
+package window
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Spec is the WITHIN w SLIDE s clause in stream time units.
+type Spec struct {
+	// Within is the window length w (> 0).
+	Within int64
+	// Slide is the slide interval s (> 0, usually <= Within).
+	Slide int64
+}
+
+// Validate reports an error for non-positive lengths.
+func (s Spec) Validate() error {
+	if s.Within <= 0 {
+		return fmt.Errorf("window: WITHIN must be positive, got %d", s.Within)
+	}
+	if s.Slide <= 0 {
+		return fmt.Errorf("window: SLIDE must be positive, got %d", s.Slide)
+	}
+	return nil
+}
+
+// String renders the clause.
+func (s Spec) String() string {
+	return fmt.Sprintf("WITHIN %d SLIDE %d", s.Within, s.Slide)
+}
+
+// Bounds returns the half-open interval [start, end) of window wid.
+func (s Spec) Bounds(wid int64) (start, end int64) {
+	return wid * s.Slide, wid*s.Slide + s.Within
+}
+
+// WindowsOf returns the inclusive range [first, last] of window
+// identifiers containing time t: all wid >= 0 with
+// wid*Slide <= t < wid*Slide+Within. first > last means no window
+// (cannot happen for t >= 0).
+func (s Spec) WindowsOf(t int64) (first, last int64) {
+	last = floorDiv(t, s.Slide)
+	first = floorDiv(t-s.Within, s.Slide) + 1
+	if first < 0 {
+		first = 0
+	}
+	return first, last
+}
+
+// MaxConcurrent returns the maximum number of windows any time point
+// belongs to: ceil(Within/Slide).
+func (s Spec) MaxConcurrent() int64 {
+	return (s.Within + s.Slide - 1) / s.Slide
+}
+
+// ClosedBefore returns the largest wid whose window has fully closed
+// at watermark time t (exclusive: every event with time < t has been
+// seen), i.e. the largest wid with wid*Slide+Within <= t. Returns -1
+// if no window has closed.
+func (s Spec) ClosedBefore(t int64) int64 {
+	return floorDiv(t-s.Within, s.Slide)
+}
+
+// floorDiv is integer division rounding toward negative infinity.
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+// Manager tracks per-window state of type T keyed by window id,
+// creating states lazily and emitting them in wid order as the
+// watermark passes their close time. It is the scaffold every
+// aggregator (COGRA and baselines) hangs its per-window instances on.
+type Manager[T any] struct {
+	spec       Spec
+	newState   func(wid int64) T
+	active     map[int64]T
+	emitted    int64 // all wids < emitted have been closed and emitted
+	maxWid     int64
+	everSawWid bool
+}
+
+// NewManager builds a manager; newState creates the state for a window
+// the first time an event lands in it.
+func NewManager[T any](spec Spec, newState func(wid int64) T) *Manager[T] {
+	return &Manager[T]{spec: spec, newState: newState, active: map[int64]T{}}
+}
+
+// Spec returns the window specification.
+func (m *Manager[T]) Spec() Spec { return m.spec }
+
+// StatesFor returns the states of every window containing time t,
+// creating missing ones. The returned slice is ordered by wid.
+func (m *Manager[T]) StatesFor(t int64) []T {
+	first, last := m.spec.WindowsOf(t)
+	if first < m.emitted {
+		first = m.emitted // late windows already emitted are dropped
+	}
+	if first > last {
+		return nil
+	}
+	out := make([]T, 0, last-first+1)
+	for wid := first; wid <= last; wid++ {
+		st, ok := m.active[wid]
+		if !ok {
+			st = m.newState(wid)
+			m.active[wid] = st
+		}
+		if !m.everSawWid || wid > m.maxWid {
+			m.maxWid = wid
+			m.everSawWid = true
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// Closed emits (wid, state) pairs for every window that closed at
+// watermark t, in wid order, and forgets them. Windows that never
+// received an event are skipped.
+type Closed[T any] struct {
+	Wid   int64
+	State T
+}
+
+// AdvanceTo closes windows given a watermark: all events with time < t
+// have been observed.
+func (m *Manager[T]) AdvanceTo(t int64) []Closed[T] {
+	limit := m.spec.ClosedBefore(t)
+	if limit < m.emitted {
+		return nil
+	}
+	var out []Closed[T]
+	wids := make([]int64, 0, len(m.active))
+	for wid := range m.active {
+		if wid <= limit {
+			wids = append(wids, wid)
+		}
+	}
+	sort.Slice(wids, func(i, j int) bool { return wids[i] < wids[j] })
+	for _, wid := range wids {
+		out = append(out, Closed[T]{Wid: wid, State: m.active[wid]})
+		delete(m.active, wid)
+	}
+	m.emitted = limit + 1
+	return out
+}
+
+// Flush closes every remaining window (end of stream), in wid order.
+func (m *Manager[T]) Flush() []Closed[T] {
+	wids := make([]int64, 0, len(m.active))
+	for wid := range m.active {
+		wids = append(wids, wid)
+	}
+	sort.Slice(wids, func(i, j int) bool { return wids[i] < wids[j] })
+	out := make([]Closed[T], 0, len(wids))
+	for _, wid := range wids {
+		out = append(out, Closed[T]{Wid: wid, State: m.active[wid]})
+		delete(m.active, wid)
+	}
+	if m.everSawWid && m.maxWid >= m.emitted {
+		m.emitted = m.maxWid + 1
+	}
+	return out
+}
+
+// ActiveCount returns the number of live window states (for memory
+// accounting).
+func (m *Manager[T]) ActiveCount() int { return len(m.active) }

@@ -1,0 +1,187 @@
+package window
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestWindowsOfQ1Style(t *testing.T) {
+	// WITHIN 600 SLIDE 30 (q1: 10 minutes / 30 seconds).
+	s := Spec{Within: 600, Slide: 30}
+	first, last := s.WindowsOf(0)
+	if first != 0 || last != 0 {
+		t.Errorf("WindowsOf(0) = [%d,%d]", first, last)
+	}
+	first, last = s.WindowsOf(599)
+	if first != 0 || last != 19 {
+		t.Errorf("WindowsOf(599) = [%d,%d], want [0,19]", first, last)
+	}
+	first, last = s.WindowsOf(600)
+	if first != 1 || last != 20 {
+		t.Errorf("WindowsOf(600) = [%d,%d], want [1,20]", first, last)
+	}
+	if got := s.MaxConcurrent(); got != 20 {
+		t.Errorf("MaxConcurrent = %d, want 20", got)
+	}
+}
+
+func TestBoundsAndMembershipAgreeProperty(t *testing.T) {
+	f := func(rawW, rawS, rawT uint16) bool {
+		s := Spec{Within: int64(rawW%500) + 1, Slide: int64(rawS%100) + 1}
+		tm := int64(rawT % 2000)
+		first, last := s.WindowsOf(tm)
+		// Exhaustively check membership against Bounds over a range
+		// safely covering all candidate windows. first > last is legal
+		// when Slide > Within leaves gaps.
+		for wid := int64(0); wid <= tm/s.Slide+2; wid++ {
+			lo, hi := s.Bounds(wid)
+			member := lo <= tm && tm < hi
+			inRange := first <= wid && wid <= last
+			if member != inRange {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClosedBefore(t *testing.T) {
+	s := Spec{Within: 10, Slide: 5}
+	// Window 0 = [0,10). Closed once watermark reaches 10.
+	if got := s.ClosedBefore(9); got != -1 {
+		t.Errorf("ClosedBefore(9) = %d, want -1", got)
+	}
+	if got := s.ClosedBefore(10); got != 0 {
+		t.Errorf("ClosedBefore(10) = %d, want 0", got)
+	}
+	if got := s.ClosedBefore(20); got != 2 {
+		t.Errorf("ClosedBefore(20) = %d, want 2", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Spec{Within: 10, Slide: 5}).Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+	if err := (Spec{Within: 0, Slide: 5}).Validate(); err == nil {
+		t.Error("zero WITHIN accepted")
+	}
+	if err := (Spec{Within: 10, Slide: 0}).Validate(); err == nil {
+		t.Error("zero SLIDE accepted")
+	}
+}
+
+func TestManagerLifecycle(t *testing.T) {
+	created := []int64{}
+	m := NewManager(Spec{Within: 10, Slide: 5}, func(wid int64) *int {
+		created = append(created, wid)
+		v := 0
+		return &v
+	})
+	// t=7 belongs to windows 0 ([0,10)) and 1 ([5,15)).
+	states := m.StatesFor(7)
+	if len(states) != 2 || !reflect.DeepEqual(created, []int64{0, 1}) {
+		t.Fatalf("StatesFor(7): %d states, created %v", len(states), created)
+	}
+	for _, st := range states {
+		*st++
+	}
+	// Same windows again: no new state.
+	m.StatesFor(9)
+	if len(created) != 2 {
+		t.Errorf("states recreated: %v", created)
+	}
+	if m.ActiveCount() != 2 {
+		t.Errorf("ActiveCount = %d", m.ActiveCount())
+	}
+	// Watermark 12 closes window 0 only.
+	closed := m.AdvanceTo(12)
+	if len(closed) != 1 || closed[0].Wid != 0 || *closed[0].State != 1 {
+		t.Fatalf("AdvanceTo(12) = %+v", closed)
+	}
+	if m.ActiveCount() != 1 {
+		t.Errorf("ActiveCount after close = %d", m.ActiveCount())
+	}
+	// Flush emits the rest in order.
+	rest := m.Flush()
+	if len(rest) != 1 || rest[0].Wid != 1 {
+		t.Fatalf("Flush = %+v", rest)
+	}
+	if m.ActiveCount() != 0 {
+		t.Error("states remain after Flush")
+	}
+}
+
+func TestManagerSkipsEmittedWindows(t *testing.T) {
+	m := NewManager(Spec{Within: 10, Slide: 5}, func(wid int64) int64 { return wid })
+	m.StatesFor(3)
+	m.AdvanceTo(100) // closes everything so far
+	// A late event for an already-emitted window must not resurrect it.
+	states := m.StatesFor(3)
+	if len(states) != 0 {
+		t.Errorf("late event resurrected %d windows", len(states))
+	}
+	// AdvanceTo with an older watermark is a no-op.
+	if closed := m.AdvanceTo(50); closed != nil {
+		t.Errorf("regressed watermark closed %v", closed)
+	}
+}
+
+func TestManagerEmitsInWidOrder(t *testing.T) {
+	m := NewManager(Spec{Within: 4, Slide: 2}, func(wid int64) int64 { return wid })
+	for _, tm := range []int64{9, 1, 5, 3, 7} { // touch windows out of order
+		m.StatesFor(tm)
+	}
+	closed := m.AdvanceTo(100)
+	var wids []int64
+	for _, c := range closed {
+		wids = append(wids, c.Wid)
+	}
+	for i := 1; i < len(wids); i++ {
+		if wids[i-1] >= wids[i] {
+			t.Fatalf("emission out of order: %v", wids)
+		}
+	}
+}
+
+func TestTumblingWindow(t *testing.T) {
+	// Slide == Within: each event in exactly one window.
+	s := Spec{Within: 10, Slide: 10}
+	for tm := int64(0); tm < 100; tm++ {
+		first, last := s.WindowsOf(tm)
+		if first != last || first != tm/10 {
+			t.Fatalf("tumbling WindowsOf(%d) = [%d,%d]", tm, first, last)
+		}
+	}
+	if got := s.MaxConcurrent(); got != 1 {
+		t.Errorf("MaxConcurrent = %d", got)
+	}
+}
+
+func TestHoppingLargerSlide(t *testing.T) {
+	// Slide > Within: gaps between windows; some times in no window.
+	s := Spec{Within: 5, Slide: 10}
+	first, last := s.WindowsOf(7) // [0,5) and [10,15) exclude 7
+	if first <= last {
+		t.Errorf("time in gap reported windows [%d,%d]", first, last)
+	}
+	first, last = s.WindowsOf(12)
+	if first != 1 || last != 1 {
+		t.Errorf("WindowsOf(12) = [%d,%d], want [1,1]", first, last)
+	}
+}
+
+func TestFlushTwiceIsEmpty(t *testing.T) {
+	m := NewManager(Spec{Within: 10, Slide: 10}, func(wid int64) int64 { return wid })
+	m.StatesFor(5)
+	if got := len(m.Flush()); got != 1 {
+		t.Fatalf("first Flush = %d", got)
+	}
+	if got := len(m.Flush()); got != 0 {
+		t.Errorf("second Flush = %d, want 0", got)
+	}
+}

@@ -233,6 +233,77 @@ func (ss Specs) Extend(pred Node, alias string, e EventView, started uint64) Nod
 	return out
 }
 
+// SpecSource supplies the aggregated attribute value of spec i for the
+// event being extended, addressed by spec index instead of attribute
+// name. The COGRA runtime's per-event resolved view implements it with
+// array indexing, removing the per-extend map probes of the generic
+// EventView path.
+type SpecSource interface {
+	SpecNum(i int) (float64, bool)
+}
+
+// ExtendInto is Extend writing its result into dst, reusing dst's Aux
+// storage when capacity allows, with the alias comparison precomputed:
+// match[i] reports whether spec i targets the matched alias (the
+// s.Alias == alias test of Extend) and e supplies attribute values by
+// spec index. dst must not alias pred. Hot aggregation loops use it to
+// stay allocation-free; the semantics are exactly Extend's.
+func (ss Specs) ExtendInto(dst *Node, pred Node, match []bool, e SpecSource, started uint64) {
+	if cap(dst.Aux) >= len(ss) {
+		dst.Aux = dst.Aux[:len(ss)]
+	} else {
+		dst.Aux = make([]Aux, len(ss))
+	}
+	n := copy(dst.Aux, pred.Aux)
+	for i := n; i < len(dst.Aux); i++ {
+		dst.Aux[i] = Aux{}
+	}
+	dst.Count = pred.Count + started
+	for i, s := range ss {
+		if !match[i] {
+			continue
+		}
+		a := &dst.Aux[i]
+		switch s.Func {
+		case CountType:
+			a.N += dst.Count
+		case Min:
+			if v, ok := e.SpecNum(i); ok && (!a.Valid || v < a.F) {
+				a.F, a.Valid = v, true
+			}
+		case Max:
+			if v, ok := e.SpecNum(i); ok && (!a.Valid || v > a.F) {
+				a.F, a.Valid = v, true
+			}
+		case Sum:
+			if v, ok := e.SpecNum(i); ok {
+				a.F += v * float64(dst.Count)
+				a.Valid = true
+			}
+		case Avg:
+			a.N += dst.Count
+			if v, ok := e.SpecNum(i); ok {
+				a.F += v * float64(dst.Count)
+				a.Valid = true
+			}
+		}
+	}
+}
+
+// ZeroInto resets n to the aggregate of the empty trend set, reusing
+// its Aux storage.
+func (ss Specs) ZeroInto(n *Node) {
+	n.Count = 0
+	if cap(n.Aux) >= len(ss) {
+		n.Aux = n.Aux[:len(ss)]
+		for i := range n.Aux {
+			n.Aux[i] = Aux{}
+		}
+	} else {
+		n.Aux = make([]Aux, len(ss))
+	}
+}
+
 // aliasedEvent pairs an event with the alias it matched; used by
 // FoldTrend.
 type aliasedEvent struct {

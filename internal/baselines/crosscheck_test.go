@@ -410,6 +410,65 @@ func TestCrossCheckGrouping(t *testing.T) {
 	runAll(t, q, events, "q1-grouping")
 }
 
+// TestCrossCheckManySlots uses three alias-scoped equivalence
+// predicates, exercising the engine's interned-vector binding keys
+// (more than two slots cannot be packed into one word).
+func TestCrossCheckManySlots(t *testing.T) {
+	q := query.NewBuilder(pattern.Seq(
+		pattern.Plus(pattern.Type("A")),
+		pattern.Plus(pattern.Type("B")),
+		pattern.Plus(pattern.Type("C")))).
+		Return(agg.Spec{Func: agg.CountStar}, agg.Spec{Func: agg.Sum, Alias: "B", Attr: "x"}).
+		Semantics(query.Any).
+		WhereEquiv(predicate.Equivalence{Alias: "A", Attr: "c"}).
+		WhereEquiv(predicate.Equivalence{Alias: "B", Attr: "c"}).
+		WhereEquiv(predicate.Equivalence{Alias: "C", Attr: "k"}).
+		GroupBy(query.GroupKey{Alias: "A", Attr: "c"}, query.GroupKey{Alias: "C", Attr: "k"}).
+		Within(20, 10).
+		MustBuild()
+	rng := rand.New(rand.NewSource(3))
+	events := randomStream(rng, []string{"A", "B", "C"}, 14, 0.1)
+	runAll(t, q, events, "many-slots")
+}
+
+// TestCrossCheckNumericEquivalence partitions and binds on a numeric
+// attribute, exercising the SymAttr numeric-fallback formatting in
+// both the partition keys and the interned binding slots.
+func TestCrossCheckNumericEquivalence(t *testing.T) {
+	q := query.NewBuilder(pattern.Seq(pattern.Plus(pattern.Type("A")), pattern.Type("B"))).
+		Return(agg.Spec{Func: agg.CountStar}).
+		Semantics(query.Any).
+		WhereEquiv(predicate.Equivalence{Attr: "x"}).
+		WhereEquiv(predicate.Equivalence{Alias: "A", Attr: "c"}).
+		GroupBy(query.GroupKey{Attr: "x"}).
+		Within(100, 100).
+		MustBuild()
+	rng := rand.New(rand.NewSource(5))
+	events := randomStream(rng, []string{"A", "B"}, 16, 0.1)
+	runAll(t, q, events, "numeric-equivalence")
+}
+
+// TestCrossCheckEmptyStringSlotValue pins the unbound semantics of
+// empty-valued equivalence attributes: an empty slot value leaves the
+// slot unbound (it cannot be distinguished from "never bound"), and an
+// empty-valued event cannot extend a binding whose slot is non-empty.
+// The interned binding keys must agree with every baseline here.
+func TestCrossCheckEmptyStringSlotValue(t *testing.T) {
+	q := query.NewBuilder(pattern.Seq(pattern.Plus(pattern.Type("A")), pattern.Type("B"))).
+		Return(agg.Spec{Func: agg.CountStar}).
+		Semantics(query.Any).
+		WhereEquiv(predicate.Equivalence{Alias: "A", Attr: "c"}).
+		Within(100, 100).
+		MustBuild()
+	events := []*event.Event{
+		event.New("A", 1).WithSym("c", ""),
+		event.New("A", 2).WithSym("c", "x"),
+		event.New("A", 3).WithSym("c", ""),
+		event.New("B", 4),
+	}
+	runAll(t, q, events, "empty-slot-value")
+}
+
 // TestBudgetDNF verifies the DNF mechanism trips for the exponential
 // oracle on a hostile stream while COGRA sails through.
 func TestBudgetDNF(t *testing.T) {

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"strings"
-
 	"repro/internal/predicate"
 )
 
@@ -13,85 +11,184 @@ import (
 // per-type and per-event aggregate tables so that each equivalence
 // group (the paper's "trend group", §7) is maintained separately.
 //
-// A binding is canonically a []string with "" meaning unbound; its
-// table key is the NUL-joined form.
+// Slot values are interned to dense uint32 ids (0 = unbound) and a
+// binding is identified by a bkey: for plans with at most two slots
+// the two value ids packed into one uint64, otherwise the id of an
+// interned value-id vector. combine and startKey are therefore
+// allocation-free integer operations on the hot path; the string
+// values are only rematerialised by decode when a window closes.
+//
+// One bindings instance is shared per engine (it owns the intern
+// tables), so keys are comparable across all sub-aggregators and
+// windows of that engine. Engines are single-threaded, so the intern
+// tables need no locking.
 type bindings struct {
-	slots []predicate.Equivalence
-	empty string
+	nslots int
+	acct   accountant
+
+	// Value interning: vals[id] is the slot value; id 0 is unbound.
+	valIDs map[string]uint32
+	vals   []string
+
+	// Vector interning for nslots > 2: vecs[key] is the value-id
+	// vector of binding key; vecIDs maps the packed little-endian
+	// bytes of a vector to its key. Vector 0 is all-unbound.
+	vecIDs map[string]bkey
+	vecs   [][]uint32
+
+	scratchVec []uint32
+	scratchKey []byte
+	assignBuf  []slotAssign
 }
 
-// slotAssign is one slot assignment demanded by a concrete event.
+// bkey identifies one equivalence binding. 0 is the all-unbound
+// binding (and the only binding of slot-less plans).
+type bkey uint64
+
+// slotAssign is one slot assignment demanded by a concrete event:
+// slot idx must hold the interned value val.
 type slotAssign struct {
 	idx int
-	val string
+	val uint32
 }
 
-func newBindings(slots []predicate.Equivalence) *bindings {
-	vals := make([]string, len(slots))
-	return &bindings{slots: slots, empty: strings.Join(vals, "\x00")}
+// newBindings builds the intern tables for the plan's slots. The
+// tables live as long as the engine (they are never released per
+// window), so their growth is charged to the accountant as it happens:
+// one entry per distinct slot value (and, beyond two slots, per
+// distinct value combination) seen over the engine's lifetime.
+func newBindings(slots []predicate.Equivalence, acct accountant) *bindings {
+	b := &bindings{nslots: len(slots), acct: acct}
+	if b.nslots == 0 {
+		return b
+	}
+	// The empty string IS the unbound value (id 0): the string-keyed
+	// representation could not distinguish an empty-valued slot from an
+	// unbound one, so an empty value leaves a slot unbound (and cannot
+	// extend a binding whose slot holds a non-empty value) — the
+	// baselines' shared Binding logic agrees.
+	b.valIDs = map[string]uint32{"": 0}
+	b.vals = []string{""}
+	if b.nslots > 2 {
+		b.vecIDs = map[string]bkey{}
+		b.vecs = [][]uint32{make([]uint32, b.nslots)}
+		b.scratchVec = make([]uint32, b.nslots)
+		b.scratchKey = make([]byte, 0, 4*b.nslots)
+	}
+	return b
 }
 
 // none reports whether there are no slots (the common fast path: every
 // binding is the empty key).
-func (b *bindings) none() bool { return len(b.slots) == 0 }
+func (b *bindings) none() bool { return b.nslots == 0 }
 
 // emptyKey returns the key of the all-unbound binding.
-func (b *bindings) emptyKey() string { return b.empty }
+func (b *bindings) emptyKey() bkey { return 0 }
 
-// decode splits a key into slot values.
-func (b *bindings) decode(key string) []string {
-	if len(b.slots) == 0 {
-		return nil
+// internVal interns a slot value. The map lookup does not allocate;
+// the value string is retained only the first time it is seen.
+func (b *bindings) internVal(v string) uint32 {
+	if id, ok := b.valIDs[v]; ok {
+		return id
 	}
-	return strings.Split(key, "\x00")
+	id := uint32(len(b.vals))
+	b.vals = append(b.vals, v)
+	b.valIDs[v] = id
+	b.acct.Add(int64(len(v)) + 16) // value string + two table entries
+	return id
 }
 
-// assignments returns the slot values an event matched under alias
-// must bind. ok is false when the event lacks a required attribute,
-// in which case it cannot be matched under the alias at all.
-func (b *bindings) assignments(alias string, e attrEvent) ([]slotAssign, bool) {
-	var out []slotAssign
-	for i, s := range b.slots {
-		if s.Alias != alias {
-			continue
-		}
-		v, ok := e.SymAttr(s.Attr)
-		if !ok {
+// assignments returns the slot assignments an event matched under the
+// alias of ap must bind, reading slot values from the resolved view.
+// ok is false when the event lacks a required attribute, in which case
+// it cannot be matched under the alias at all. The returned slice is
+// a reused scratch buffer, valid until the next call.
+func (b *bindings) assignments(ap *aliasPlan, rv *resolvedVals) ([]slotAssign, bool) {
+	out := b.assignBuf[:0]
+	for _, sr := range ap.slots {
+		if rv.has[sr.attr]&hasSymVal == 0 {
+			b.assignBuf = out
 			return nil, false
 		}
-		out = append(out, slotAssign{idx: i, val: v})
+		out = append(out, slotAssign{idx: sr.slot, val: b.internVal(rv.sym[sr.attr])})
 	}
+	b.assignBuf = out
 	return out, true
 }
 
 // combine merges slot assignments into an existing binding key. ok is
 // false when a slot is already bound to a different value (the
 // equivalence predicate rejects the extension).
-func (b *bindings) combine(key string, assigns []slotAssign) (string, bool) {
+func (b *bindings) combine(key bkey, assigns []slotAssign) (bkey, bool) {
 	if len(assigns) == 0 {
 		return key, true
 	}
-	vals := strings.Split(key, "\x00")
+	if b.nslots <= 2 {
+		for _, a := range assigns {
+			shift := uint(a.idx) * 32
+			switch cur := uint32(key >> shift); cur {
+			case 0:
+				key |= bkey(a.val) << shift
+			case a.val:
+			default:
+				return 0, false
+			}
+		}
+		return key, true
+	}
+	copy(b.scratchVec, b.vecs[key])
 	for _, a := range assigns {
-		switch vals[a.idx] {
-		case "", a.val:
-			vals[a.idx] = a.val
+		switch cur := b.scratchVec[a.idx]; cur {
+		case 0:
+			b.scratchVec[a.idx] = a.val
+		case a.val:
 		default:
-			return "", false
+			return 0, false
 		}
 	}
-	return strings.Join(vals, "\x00"), true
+	return b.internVec(b.scratchVec), true
+}
+
+// internVec interns a value-id vector; allocation-free when the
+// vector has been seen before.
+func (b *bindings) internVec(vec []uint32) bkey {
+	k := b.scratchKey[:0]
+	for _, v := range vec {
+		k = append(k, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	b.scratchKey = k
+	if id, ok := b.vecIDs[string(k)]; ok {
+		return id
+	}
+	id := bkey(len(b.vecs))
+	b.vecIDs[string(k)] = id
+	b.vecs = append(b.vecs, append([]uint32(nil), vec...))
+	b.acct.Add(int64(8*len(vec)) + 16) // vector + packed-bytes key
+	return id
 }
 
 // startKey returns the binding of a trend consisting of only the new
 // event: all slots unbound except the event's own assignments.
-func (b *bindings) startKey(assigns []slotAssign) string {
-	if len(assigns) == 0 {
-		return b.empty
+func (b *bindings) startKey(assigns []slotAssign) bkey {
+	key, _ := b.combine(0, assigns) // cannot conflict: all slots unbound
+	return key
+}
+
+// decode rematerialises the slot value strings of a binding key, ""
+// meaning unbound. Cold path: called per binding when a window closes.
+func (b *bindings) decode(key bkey) []string {
+	if b.nslots == 0 {
+		return nil
 	}
-	vals := make([]string, len(b.slots))
-	for _, a := range assigns {
-		vals[a.idx] = a.val
+	out := make([]string, b.nslots)
+	if b.nslots <= 2 {
+		for i := range out {
+			out[i] = b.vals[uint32(key>>(uint(i)*32))]
+		}
+		return out
 	}
-	return strings.Join(vals, "\x00")
+	for i, v := range b.vecs[key] {
+		out[i] = b.vals[v]
+	}
+	return out
 }

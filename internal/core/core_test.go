@@ -70,19 +70,21 @@ func TestPaperTable5(t *testing.T) {
 // counts of Table 5 via the aggregator directly.
 func TestPaperTable5Intermediates(t *testing.T) {
 	plan := MustPlan(countQuery(query.Any))
-	tg := newTypeGrained(plan, nopAccountant{})
+	tg := newTypeGrained(plan, nopAccountant{}, newBindings(plan.Slots, nopAccountant{}))
 	wantA := map[int64]uint64{1: 1, 3: 4, 4: 10, 7: 32}
 	wantB := map[int64]uint64{2: 1, 6: 11, 8: 43}
+	var rv resolvedVals
 	for _, e := range figure2Stream() {
-		tg.Process(e)
+		plan.resolveInto(&rv, e)
+		tg.Process(&rv)
 		tg.flush() // commit so the tables are observable
 		if want, ok := wantA[e.Time]; ok {
-			if got := tg.tables["A"][""].Count; got != want {
+			if got := tg.tables[plan.aliasIDs["A"]][0].Count; got != want {
 				t.Errorf("after %v: A.count = %d, want %d", e, got, want)
 			}
 		}
 		if want, ok := wantB[e.Time]; ok {
-			if got := tg.tables["B"][""].Count; got != want {
+			if got := tg.tables[plan.aliasIDs["B"]][0].Count; got != want {
 				t.Errorf("after %v: B.count = %d, want %d", e, got, want)
 			}
 		}

@@ -55,6 +55,13 @@ type Engine struct {
 	bnd  *bindings
 	mgr  *window.Manager[*winState]
 
+	// Per-event scratch, reused so the steady-state Process path does
+	// not allocate: the resolved attribute view, the partition-key
+	// bytes and the window-state slice.
+	rv     resolvedVals
+	keyBuf []byte
+	states []*winState
+
 	lastTime int64
 	sawEvent bool
 	seq      int64
@@ -80,10 +87,11 @@ func WithResultCallback(fn func(Result)) Option {
 
 // NewEngine builds an engine for a plan.
 func NewEngine(p *Plan, opts ...Option) *Engine {
-	e := &Engine{plan: p, acct: nopAccountant{}, bnd: newBindings(p.Slots)}
+	e := &Engine{plan: p, acct: nopAccountant{}}
 	for _, opt := range opts {
 		opt(e)
 	}
+	e.bnd = newBindings(p.Slots, e.acct) // after opts: intern tables charge e.acct
 	e.mgr = window.NewManager(p.Query.Window, func(wid int64) *winState {
 		return &winState{wid: wid, parts: map[string]subAggregator{}}
 	})
@@ -110,19 +118,24 @@ func (e *Engine) Process(ev *event.Event) error {
 	for _, closed := range e.mgr.AdvanceTo(ev.Time) {
 		e.emit(closed.Wid, closed.State)
 	}
-	key, ok := e.plan.StreamKeyOf(ev)
+	// Resolve the event once: every predicate evaluation, binding-slot
+	// read and partition-key byte below is array indexing on this view.
+	e.plan.resolveInto(&e.rv, ev)
+	keyBuf, ok := e.plan.appendStreamKey(e.keyBuf[:0], &e.rv)
+	e.keyBuf = keyBuf
 	if !ok {
 		e.skipped++ // no partition attribute: belongs to no sub-stream
 		return nil
 	}
 	e.eventsIn++
-	for _, ws := range e.mgr.StatesFor(ev.Time) {
-		part, ok := ws.parts[key]
+	e.states = e.mgr.AppendStatesFor(e.states[:0], ev.Time)
+	for _, ws := range e.states {
+		part, ok := ws.parts[string(keyBuf)]
 		if !ok {
-			part = newSubAggregator(e.plan, e.acct)
-			ws.parts[key] = part
+			part = newSubAggregator(e.plan, e.acct, e.bnd)
+			ws.parts[string(keyBuf)] = part
 		}
-		part.Process(ev)
+		part.Process(&e.rv)
 	}
 	return nil
 }
@@ -173,7 +186,7 @@ func (e *Engine) emit(wid int64, ws *winState) {
 	for _, pk := range partKeys {
 		part := ws.parts[pk]
 		for _, br := range part.Results() {
-			group := e.plan.GroupOf(pk, e.bnd.decode(br.key))
+			group := e.plan.GroupOf(pk, br.vals)
 			gk := strings.Join(group, "\x00")
 			ga, ok := groups[gk]
 			if !ok {

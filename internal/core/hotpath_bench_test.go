@@ -1,0 +1,275 @@
+package core
+
+// Hot-path benchmarks for the per-event execution cost of the three
+// granularities, the binding-key machinery and per-event attribute
+// resolution. These are the regression guards for the interning layer:
+// run with -benchmem; the no-equivalence engine paths and the binding
+// combine/start operations must stay at 0 allocs/op.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/agg"
+	"repro/internal/event"
+	"repro/internal/pattern"
+	"repro/internal/predicate"
+	"repro/internal/query"
+)
+
+// benchRand is a tiny deterministic xorshift so benchmark streams are
+// reproducible without seeding math/rand.
+type benchRand uint64
+
+func (r *benchRand) next() uint64 {
+	x := uint64(*r)
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	*r = benchRand(x)
+	return x
+}
+
+// typeBenchStream emits (SEQ(A+,B))+-shaped traffic: runs of A events
+// closed by a B, with a cycling symbolic account and a numeric value.
+func typeBenchStream(n int) []*event.Event {
+	r := benchRand(42)
+	out := make([]*event.Event, 0, n)
+	for i := 0; i < n; i++ {
+		typ := "A"
+		if i%4 == 3 {
+			typ = "B"
+		}
+		out = append(out, event.New(typ, int64(i)).
+			WithSym("acct", fmt.Sprintf("acct-%d", r.next()%4)).
+			WithNum("v", float64(r.next()%1000)))
+	}
+	return out
+}
+
+// measureBenchStream emits M+ traffic partitioned over four patients
+// with a random-walk rate, the q1/q2-style workload.
+func measureBenchStream(n int) []*event.Event {
+	r := benchRand(7)
+	rates := [4]float64{60, 70, 80, 90}
+	out := make([]*event.Event, 0, n)
+	for i := 0; i < n; i++ {
+		p := int(r.next() % 4)
+		rates[p] += float64(int(r.next()%7)) - 3
+		out = append(out, event.New("Measurement", int64(i)).
+			WithSym("patient", fmt.Sprintf("p%d", p)).
+			WithNum("rate", rates[p]))
+	}
+	return out
+}
+
+func benchEngine(b *testing.B, q *query.Query, events []*event.Event) {
+	b.Helper()
+	plan := MustPlan(q)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := NewEngine(plan)
+		if err := eng.ProcessAll(events); err != nil {
+			b.Fatal(err)
+		}
+		eng.Close()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(events))*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkEngineProcessTypeGrained is the no-equivalence fast path:
+// one aggregate per pattern type, no binding slots, no partitions.
+func BenchmarkEngineProcessTypeGrained(b *testing.B) {
+	q := query.NewBuilder(pattern.Plus(pattern.Seq(pattern.Plus(pattern.Type("A")), pattern.Type("B")))).
+		Return(agg.Spec{Func: agg.CountStar}, agg.Spec{Func: agg.Sum, Alias: "A", Attr: "v"}).
+		Semantics(query.Any).
+		Within(1024, 1024).
+		MustBuild()
+	benchEngine(b, q, typeBenchStream(4096))
+}
+
+// BenchmarkEngineProcessTypeGrainedSlots adds an alias-scoped
+// equivalence predicate, exercising binding-key combine per event.
+func BenchmarkEngineProcessTypeGrainedSlots(b *testing.B) {
+	q := query.NewBuilder(pattern.Plus(pattern.Seq(pattern.Plus(pattern.Type("A")), pattern.Type("B")))).
+		Return(agg.Spec{Func: agg.CountStar}, agg.Spec{Func: agg.Sum, Alias: "A", Attr: "v"}).
+		Semantics(query.Any).
+		WhereEquiv(predicate.Equivalence{Alias: "A", Attr: "acct"}).
+		Within(1024, 1024).
+		MustBuild()
+	benchEngine(b, q, typeBenchStream(4096))
+}
+
+// BenchmarkEngineProcessMixedAdjacent is the adjacent-predicate
+// workload: mixed granularity stores every M event and evaluates the
+// predicate against each stored predecessor.
+func BenchmarkEngineProcessMixedAdjacent(b *testing.B) {
+	q := query.NewBuilder(pattern.Plus(pattern.TypeAs("Measurement", "M"))).
+		Return(agg.Spec{Func: agg.CountStar}).
+		Semantics(query.Any).
+		WhereEquiv(predicate.Equivalence{Attr: "patient"}).
+		WhereAdjacent(predicate.Adjacent{Left: "M", LeftAttr: "rate", Op: predicate.Lt, Right: "M", RightAttr: "rate"}).
+		GroupBy(query.GroupKey{Attr: "patient"}).
+		Within(512, 512).
+		MustBuild()
+	benchEngine(b, q, measureBenchStream(4096))
+}
+
+// BenchmarkEngineProcessMixedAdjacentSlots combines stored-event scans
+// with alias-scoped binding keys.
+func BenchmarkEngineProcessMixedAdjacentSlots(b *testing.B) {
+	q := query.NewBuilder(pattern.Plus(pattern.TypeAs("Measurement", "M"))).
+		Return(agg.Spec{Func: agg.CountStar}).
+		Semantics(query.Any).
+		WhereEquiv(predicate.Equivalence{Alias: "M", Attr: "patient"}).
+		WhereAdjacent(predicate.Adjacent{Left: "M", LeftAttr: "rate", Op: predicate.Lt, Right: "M", RightAttr: "rate"}).
+		Within(512, 512).
+		MustBuild()
+	benchEngine(b, q, measureBenchStream(4096))
+}
+
+// BenchmarkEngineProcessPatternGrained is the O(1)-state contiguous
+// path with an adjacent predicate and stream partitioning.
+func BenchmarkEngineProcessPatternGrained(b *testing.B) {
+	q := query.NewBuilder(pattern.Plus(pattern.TypeAs("Measurement", "M"))).
+		Return(agg.Spec{Func: agg.CountStar}).
+		Semantics(query.Cont).
+		WhereEquiv(predicate.Equivalence{Attr: "patient"}).
+		WhereAdjacent(predicate.Adjacent{Left: "M", LeftAttr: "rate", Op: predicate.Lt, Right: "M", RightAttr: "rate"}).
+		GroupBy(query.GroupKey{Attr: "patient"}).
+		Within(512, 512).
+		MustBuild()
+	benchEngine(b, q, measureBenchStream(4096))
+}
+
+// TestHotPathZeroAllocs enforces the interning layer's allocation
+// invariants as a regular test, so a regression fails `go test ./...`
+// rather than only shifting benchmark output: steady-state binding
+// combine (packed and interned-vector), value interning of seen
+// values, and per-event resolve must not allocate.
+func TestHotPathZeroAllocs(t *testing.T) {
+	packed := newBindings([]predicate.Equivalence{
+		{Alias: "A", Attr: "x"}, {Alias: "B", Attr: "y"},
+	}, nopAccountant{})
+	pAssigns := []slotAssign{{idx: 0, val: packed.internVal("v1")}}
+	pKey := packed.startKey([]slotAssign{{idx: 1, val: packed.internVal("v2")}})
+	if n := testing.AllocsPerRun(1000, func() { packed.combine(pKey, pAssigns) }); n != 0 {
+		t.Errorf("packed combine allocates %v/op", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { packed.internVal("v1") }); n != 0 {
+		t.Errorf("repeat internVal allocates %v/op", n)
+	}
+
+	wide := newBindings([]predicate.Equivalence{
+		{Alias: "A", Attr: "x"}, {Alias: "B", Attr: "y"}, {Alias: "C", Attr: "z"},
+	}, nopAccountant{})
+	wAssigns := []slotAssign{{idx: 0, val: wide.internVal("v1")}}
+	wKey := wide.startKey([]slotAssign{{idx: 2, val: wide.internVal("v3")}})
+	wide.combine(wKey, wAssigns) // pre-intern the result vector
+	if n := testing.AllocsPerRun(1000, func() { wide.combine(wKey, wAssigns) }); n != 0 {
+		t.Errorf("vector combine allocates %v/op", n)
+	}
+
+	q := query.NewBuilder(pattern.Plus(pattern.TypeAs("Measurement", "M"))).
+		Return(agg.Spec{Func: agg.CountStar}, agg.Spec{Func: agg.Avg, Alias: "M", Attr: "rate"}).
+		Semantics(query.Any).
+		WhereEquiv(predicate.Equivalence{Attr: "patient"}).
+		Within(512, 512).
+		MustBuild()
+	plan := MustPlan(q)
+	ev := event.New("Measurement", 1).WithSym("patient", "p1").WithNum("rate", 60)
+	var rv resolvedVals
+	plan.resolveInto(&rv, ev) // warm the scratch buffers
+	if n := testing.AllocsPerRun(1000, func() { plan.resolveInto(&rv, ev) }); n != 0 {
+		t.Errorf("resolveInto allocates %v/op", n)
+	}
+}
+
+// BenchmarkBindingCombine measures combine/startKey on the packed
+// (≤2 slot) representation; both must be allocation-free.
+func BenchmarkBindingCombine(b *testing.B) {
+	bnd := newBindings([]predicate.Equivalence{
+		{Alias: "A", Attr: "x"}, {Alias: "B", Attr: "y"},
+	}, nopAccountant{})
+	assigns := []slotAssign{{idx: 0, val: bnd.internVal("v1")}}
+	partial := bnd.startKey([]slotAssign{{idx: 1, val: bnd.internVal("v2")}})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := bnd.combine(partial, assigns); !ok {
+			b.Fatal("combine rejected compatible assignment")
+		}
+	}
+}
+
+// BenchmarkBindingCombineWide exercises the interned-vector fallback
+// for plans with more than two slots; steady-state combine re-interns
+// an already-seen vector without allocating.
+func BenchmarkBindingCombineWide(b *testing.B) {
+	bnd := newBindings([]predicate.Equivalence{
+		{Alias: "A", Attr: "x"}, {Alias: "B", Attr: "y"}, {Alias: "C", Attr: "z"},
+	}, nopAccountant{})
+	assigns := []slotAssign{{idx: 0, val: bnd.internVal("v1")}}
+	partial := bnd.startKey([]slotAssign{{idx: 2, val: bnd.internVal("v3")}})
+	if _, ok := bnd.combine(partial, assigns); !ok { // pre-intern the result vector
+		b.Fatal("combine rejected compatible assignment")
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := bnd.combine(partial, assigns); !ok {
+			b.Fatal("combine rejected compatible assignment")
+		}
+	}
+}
+
+// BenchmarkBindingIntern measures value interning on the repeat path
+// (the per-event case: the value has been seen before).
+func BenchmarkBindingIntern(b *testing.B) {
+	bnd := newBindings([]predicate.Equivalence{{Alias: "A", Attr: "x"}}, nopAccountant{})
+	bnd.internVal("account-42")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bnd.internVal("account-42")
+	}
+}
+
+// BenchmarkResolveView measures per-event resolved-view construction —
+// the one probe pass that replaces all downstream map lookups.
+func BenchmarkResolveView(b *testing.B) {
+	q := query.NewBuilder(pattern.Plus(pattern.TypeAs("Measurement", "M"))).
+		Return(agg.Spec{Func: agg.CountStar}, agg.Spec{Func: agg.Avg, Alias: "M", Attr: "rate"}).
+		Semantics(query.Any).
+		WhereEquiv(predicate.Equivalence{Attr: "patient"}).
+		WhereAdjacent(predicate.Adjacent{Left: "M", LeftAttr: "rate", Op: predicate.Lt, Right: "M", RightAttr: "rate"}).
+		GroupBy(query.GroupKey{Attr: "patient"}).
+		Within(512, 512).
+		MustBuild()
+	plan := MustPlan(q)
+	ev := event.New("Measurement", 1).WithSym("patient", "p1").WithNum("rate", 60)
+	var rv resolvedVals
+	plan.resolveInto(&rv, ev) // warm the scratch buffers
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		plan.resolveInto(&rv, ev)
+	}
+}
+
+// BenchmarkStreamKeyOf measures per-event partition-key extraction.
+func BenchmarkStreamKeyOf(b *testing.B) {
+	q := query.NewBuilder(pattern.Plus(pattern.TypeAs("Measurement", "M"))).
+		Return(agg.Spec{Func: agg.CountStar}).
+		Semantics(query.Any).
+		WhereEquiv(predicate.Equivalence{Attr: "patient"}).
+		GroupBy(query.GroupKey{Attr: "patient"}).
+		Within(512, 512).
+		MustBuild()
+	plan := MustPlan(q)
+	ev := event.New("Measurement", 1).WithSym("patient", "p1").WithNum("rate", 60)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := plan.StreamKeyOf(ev); !ok {
+			b.Fatal("no key")
+		}
+	}
+}

@@ -1,10 +1,7 @@
 package core
 
 import (
-	"sort"
-
 	"repro/internal/agg"
-	"repro/internal/event"
 )
 
 // mixedGrained implements Algorithm 2: skip-till-any-match with
@@ -14,205 +11,214 @@ import (
 // binding), while events of types restricted by θ are stored
 // individually with an event-grained aggregate each. Time complexity
 // is O(n(t+nₑ)) and space Θ(t+nₑ) per sub-stream (Theorem 5.2).
+//
+// Stored events retain only their adjacent-predicate left operands
+// (copied out of the resolved view), so the dominant stored-event scan
+// compares pre-resolved values — no map probes per stored entry.
 type mixedGrained struct {
 	plan *Plan
 	acct accountant
 	bnd  *bindings
 
-	// typeTables holds the Tt aggregates (Algorithm 2's hash table H).
-	typeTables map[string]map[string]*agg.Node
+	// typeTables holds the Tt aggregates (Algorithm 2's hash table H),
+	// indexed by alias id; nil for event-grained aliases.
+	typeTables []map[bkey]*agg.Node
 	// shadows mirrors typeGrained's negation handling for Tt types.
-	shadows map[int]map[string]map[string]*agg.Node
+	shadows [][]map[bkey]*agg.Node
 	// stored holds the Te events with their event-grained aggregates,
-	// in arrival order.
-	stored map[string][]storedEntry
+	// in arrival order, indexed by alias id.
+	stored [][]storedEntry
 	// fires records negation matches; stored predecessors are blocked
 	// per pair by fire times strictly between the two events.
 	fires *negFires
 
 	staged       []stagedUpdate
 	stagedResets []int
-	curTime      int64
-	hasCur       bool
+
+	contrib  contribTable
+	fastNode agg.Node
+
+	curTime int64
+	hasCur  bool
 }
 
 // storedEntry is one retained event of an event-grained type with the
-// aggregate of all partial trends ending at it.
+// aggregate of all partial trends ending at it. The event itself is
+// reduced to what future evaluations read: its time stamp and its
+// adjacent-predicate left operands.
 type storedEntry struct {
-	ev   *event.Event
-	key  string
+	time int64
+	left []attrVal
+	key  bkey
 	node agg.Node
+	foot int64 // accounted logical bytes of this entry
 }
 
-func newMixedGrained(p *Plan, acct accountant) *mixedGrained {
+func newMixedGrained(p *Plan, acct accountant, bnd *bindings) *mixedGrained {
 	m := &mixedGrained{
 		plan:       p,
 		acct:       acct,
-		bnd:        newBindings(p.Slots),
-		typeTables: map[string]map[string]*agg.Node{},
-		shadows:    map[int]map[string]map[string]*agg.Node{},
-		stored:     map[string][]storedEntry{},
+		bnd:        bnd,
+		typeTables: make([]map[bkey]*agg.Node, len(p.aliasNames)),
+		stored:     make([][]storedEntry, len(p.aliasNames)),
 		fires:      newNegFires(len(p.FSA.Negations)),
+		contrib:    newContribTable(p.Specs),
 	}
-	for _, a := range p.FSA.Aliases {
-		if p.EventGrained[a] {
-			m.stored[a] = nil
-		} else {
-			m.typeTables[a] = map[string]*agg.Node{}
+	for id := range m.typeTables {
+		if !p.eventGrainedByID[id] {
+			m.typeTables[id] = map[bkey]*agg.Node{}
 		}
 	}
+	m.shadows = make([][]map[bkey]*agg.Node, len(p.FSA.Negations))
 	for ci, nc := range p.FSA.Negations {
-		tbls := map[string]map[string]*agg.Node{}
+		row := make([]map[bkey]*agg.Node, len(p.aliasNames))
 		for _, a := range nc.Pred {
-			if !p.EventGrained[a] {
-				tbls[a] = map[string]*agg.Node{}
+			if id := p.aliasIDs[a]; !p.eventGrainedByID[id] {
+				row[id] = map[bkey]*agg.Node{}
 			}
 		}
-		m.shadows[ci] = tbls
+		m.shadows[ci] = row
 	}
 	return m
 }
 
-func (m *mixedGrained) entryBytes(key string) int64 {
-	return m.plan.Specs.FootprintBytes() + int64(len(key)) + 16
+func (m *mixedGrained) entryBytes() int64 {
+	return m.plan.Specs.FootprintBytes() + 8 + 16
 }
 
-func (m *mixedGrained) storedBytes(se storedEntry) int64 {
-	return se.ev.FootprintBytes() + m.plan.Specs.FootprintBytes() + int64(len(se.key)) + 24
+func (m *mixedGrained) storedBytes(rv *resolvedVals) int64 {
+	return rv.ev.FootprintBytes() + m.plan.Specs.FootprintBytes() + 8 + 24
 }
 
 // Process implements Algorithm 2 lines 5–14 with Table 8 propagation.
-func (m *mixedGrained) Process(e *event.Event) {
+func (m *mixedGrained) Process(rv *resolvedVals) {
+	e := rv.ev
 	if m.hasCur && e.Time != m.curTime {
 		m.flush()
 	}
 	m.curTime, m.hasCur = e.Time, true
 
+	tp := rv.tp
+	if tp == nil {
+		return
+	}
 	specs := m.plan.Specs
-	fsa := m.plan.FSA
-	for _, alias := range fsa.AliasesForType(e.Type) {
-		if !m.plan.Where.EvalLocal(alias, e) {
+	for ai := range tp.aliases {
+		ap := &tp.aliases[ai]
+		if !evalLocals(ap.locals, rv) {
 			continue
 		}
 		if m.bnd.none() {
-			// Fast path without equivalence slots: a single
-			// accumulator replaces the binding-keyed map; the stored-
-			// event scan dominates mixed-grained cost, so this inner
-			// loop stays allocation-free.
-			m.processFast(alias, e)
+			// Fast path without equivalence slots: a single reused
+			// accumulator replaces the binding-keyed contribution
+			// table; the stored-event scan dominates mixed-grained
+			// cost, so this inner loop stays allocation-free.
+			m.processFast(ap, rv)
 			continue
 		}
-		assigns, ok := m.bnd.assignments(alias, e)
+		assigns, ok := m.bnd.assignments(ap, rv)
 		if !ok {
 			continue
 		}
-		contrib := map[string]*agg.Node{}
-		add := func(key string, node agg.Node) {
-			nk, compat := m.bnd.combine(key, assigns)
-			if !compat {
-				return
-			}
-			dst, ok := contrib[nk]
-			if !ok {
-				n := specs.Zero()
-				dst = &n
-				contrib[nk] = dst
-			}
-			specs.Merge(dst, node)
-		}
-		for _, p := range fsa.Pred[alias] {
-			if entries, eventGrained := m.stored[p]; eventGrained {
+		for pi := range ap.preds {
+			edge := &ap.preds[pi]
+			if edge.eventGrained {
 				// Event-grained predecessor: compare e to each stored
 				// event (Algorithm 2 lines 9–10).
-				ci, guarded := m.plan.negGuard[[2]string{p, alias}]
-				for i := range entries {
-					se := &entries[i]
-					if se.ev.Time >= e.Time {
+				for i := range m.stored[edge.id] {
+					se := &m.stored[edge.id][i]
+					if se.time >= e.Time {
 						break // stored in arrival order
 					}
-					if guarded && m.fires.blockedBetween(ci, se.ev.Time, e.Time) {
+					if edge.guard != 0 && m.fires.blockedBetween(int(edge.guard-1), se.time, e.Time) {
 						continue
 					}
-					if !m.plan.Where.EvalAdjacent(p, se.ev, alias, e) {
+					if !evalAdjacent(edge.adj, se.left, rv) {
 						continue
 					}
-					add(se.key, se.node)
+					nk, compat := m.bnd.combine(se.key, assigns)
+					if !compat {
+						continue
+					}
+					m.contrib.add(nk, &se.node)
 				}
 				continue
 			}
 			// Type-grained predecessor (Algorithm 2 lines 7–8).
-			for key, node := range m.tableFor(p, alias) {
-				add(key, *node)
+			for key, node := range m.tableFor(edge) {
+				nk, compat := m.bnd.combine(key, assigns)
+				if !compat {
+					continue
+				}
+				m.contrib.add(nk, node)
 			}
 		}
-		startKey := ""
-		if fsa.IsStart(alias) {
+		startKey := m.bnd.emptyKey()
+		if ap.isStart {
 			startKey = m.bnd.startKey(assigns)
-			if _, ok := contrib[startKey]; !ok {
-				n := specs.Zero()
-				contrib[startKey] = &n
-			}
+			m.contrib.slot(startKey)
 		}
-		for nk, pred := range contrib {
+		for i, nk := range m.contrib.keys {
 			started := uint64(0)
-			if nk == startKey && fsa.IsStart(alias) {
+			if ap.isStart && nk == startKey {
 				started = 1
 			}
-			out := specs.Extend(*pred, alias, e, started)
-			if _, eventGrained := m.stored[alias]; eventGrained {
-				se := storedEntry{ev: e, key: nk, node: out}
-				m.stored[alias] = append(m.stored[alias], se)
-				m.acct.Add(m.storedBytes(se))
+			if ap.eventGrained {
+				var node agg.Node
+				specs.ExtendInto(&node, m.contrib.nodes[i], ap.specMatch, rv, started)
+				m.store(ap, rv, nk, node)
 			} else {
-				m.staged = append(m.staged, stagedUpdate{alias: alias, key: nk, node: out})
+				specs.ExtendInto(m.stage(ap.id, nk), m.contrib.nodes[i], ap.specMatch, rv, started)
 			}
 		}
+		m.contrib.reset()
 	}
-	for _, ref := range m.plan.negTypes[e.Type] {
-		if m.plan.Where.EvalLocal(ref.alias, e) {
-			if m.fires.fire(ref.ci, e.Time) {
+	for ni := range tp.negs {
+		ng := &tp.negs[ni]
+		if evalLocals(ng.locals, rv) {
+			if m.fires.fire(ng.ci, e.Time) {
 				m.acct.Add(8)
 			}
-			m.stagedResets = append(m.stagedResets, ref.ci)
+			m.stagedResets = append(m.stagedResets, ng.ci)
 		}
 	}
 }
 
 // processFast is Process's inner loop for plans without equivalence
 // slots (every binding is the empty key).
-func (m *mixedGrained) processFast(alias string, e *event.Event) {
+func (m *mixedGrained) processFast(ap *aliasPlan, rv *resolvedVals) {
 	specs := m.plan.Specs
-	fsa := m.plan.FSA
-	contrib := specs.Zero()
-	for _, p := range fsa.Pred[alias] {
-		if entries, eventGrained := m.stored[p]; eventGrained {
-			ci, guarded := m.plan.negGuard[[2]string{p, alias}]
-			for i := range entries {
-				se := &entries[i]
-				if se.ev.Time >= e.Time {
+	specs.ZeroInto(&m.fastNode)
+	e := rv.ev
+	for pi := range ap.preds {
+		edge := &ap.preds[pi]
+		if edge.eventGrained {
+			for i := range m.stored[edge.id] {
+				se := &m.stored[edge.id][i]
+				if se.time >= e.Time {
 					break // stored in arrival order
 				}
-				if guarded && m.fires.blockedBetween(ci, se.ev.Time, e.Time) {
+				if edge.guard != 0 && m.fires.blockedBetween(int(edge.guard-1), se.time, e.Time) {
 					continue
 				}
-				if !m.plan.Where.EvalAdjacent(p, se.ev, alias, e) {
+				if !evalAdjacent(edge.adj, se.left, rv) {
 					continue
 				}
-				specs.Merge(&contrib, se.node)
+				specs.Merge(&m.fastNode, se.node)
 			}
 			continue
 		}
-		for _, node := range m.tableFor(p, alias) {
-			specs.Merge(&contrib, *node)
+		for _, node := range m.tableFor(edge) {
+			specs.Merge(&m.fastNode, *node)
 		}
 	}
 	started := uint64(0)
-	if fsa.IsStart(alias) {
+	if ap.isStart {
 		started = 1
 	}
-	if contrib.Count == 0 && started == 0 {
+	if m.fastNode.Count == 0 && started == 0 {
 		hasAux := false
-		for _, a := range contrib.Aux {
+		for _, a := range m.fastNode.Aux {
 			if a != (agg.Aux{}) {
 				hasAux = true
 				break
@@ -222,41 +228,60 @@ func (m *mixedGrained) processFast(alias string, e *event.Event) {
 			return // nothing to extend and nothing started
 		}
 	}
-	out := specs.Extend(contrib, alias, e, started)
-	if _, eventGrained := m.stored[alias]; eventGrained {
-		se := storedEntry{ev: e, key: "", node: out}
-		m.stored[alias] = append(m.stored[alias], se)
-		m.acct.Add(m.storedBytes(se))
+	if ap.eventGrained {
+		var node agg.Node
+		specs.ExtendInto(&node, m.fastNode, ap.specMatch, rv, started)
+		m.store(ap, rv, 0, node)
 	} else {
-		m.staged = append(m.staged, stagedUpdate{alias: alias, key: "", node: out})
+		specs.ExtendInto(m.stage(ap.id, 0), m.fastNode, ap.specMatch, rv, started)
 	}
 }
 
-func (m *mixedGrained) tableFor(p, successor string) map[string]*agg.Node {
-	if len(m.shadows) != 0 {
-		if ci, guarded := m.plan.negGuard[[2]string{p, successor}]; guarded {
-			if tbl, tracked := m.shadows[ci][p]; tracked {
-				return tbl
-			}
+// store retains one event-grained entry: arrival-ordered, with the
+// event's adjacent-predicate left operands copied out of the resolved
+// view.
+func (m *mixedGrained) store(ap *aliasPlan, rv *resolvedVals, key bkey, node agg.Node) {
+	se := storedEntry{
+		time: rv.ev.Time,
+		left: m.plan.copyLeftVals(nil, rv),
+		key:  key,
+		node: node,
+		foot: m.storedBytes(rv),
+	}
+	m.stored[ap.id] = append(m.stored[ap.id], se)
+	m.acct.Add(se.foot)
+}
+
+// stage appends one staged update via the shared helper.
+func (m *mixedGrained) stage(alias int32, key bkey) *agg.Node {
+	return stageUpdate(&m.staged, alias, key)
+}
+
+func (m *mixedGrained) tableFor(edge *predEdge) map[bkey]*agg.Node {
+	if edge.guard != 0 {
+		if tbl := m.shadows[edge.guard-1][edge.id]; tbl != nil {
+			return tbl
 		}
 	}
-	return m.typeTables[p]
+	return m.typeTables[edge.id]
 }
 
 func (m *mixedGrained) flush() {
 	for _, ci := range m.stagedResets {
-		for alias, tbl := range m.shadows[ci] {
-			for key := range tbl {
-				m.acct.Add(-m.entryBytes(key))
+		for ai, tbl := range m.shadows[ci] {
+			if tbl == nil {
+				continue
 			}
-			m.shadows[ci][alias] = map[string]*agg.Node{}
+			m.acct.Add(-int64(len(tbl)) * m.entryBytes())
+			m.shadows[ci][ai] = map[bkey]*agg.Node{}
 		}
 	}
 	m.stagedResets = m.stagedResets[:0]
-	for _, u := range m.staged {
+	for i := range m.staged {
+		u := &m.staged[i]
 		m.mergeInto(m.typeTables[u.alias], u.key, u.node)
-		for _, tbls := range m.shadows {
-			if tbl, tracked := tbls[u.alias]; tracked {
+		for _, row := range m.shadows {
+			if tbl := row[u.alias]; tbl != nil {
 				m.mergeInto(tbl, u.key, u.node)
 			}
 		}
@@ -264,13 +289,13 @@ func (m *mixedGrained) flush() {
 	m.staged = m.staged[:0]
 }
 
-func (m *mixedGrained) mergeInto(tbl map[string]*agg.Node, key string, node agg.Node) {
+func (m *mixedGrained) mergeInto(tbl map[bkey]*agg.Node, key bkey, node agg.Node) {
 	dst, ok := tbl[key]
 	if !ok {
 		n := m.plan.Specs.Zero()
 		tbl[key] = &n
 		dst = &n
-		m.acct.Add(m.entryBytes(key))
+		m.acct.Add(m.entryBytes())
 	}
 	m.plan.Specs.Merge(dst, node)
 }
@@ -280,8 +305,8 @@ func (m *mixedGrained) mergeInto(tbl map[string]*agg.Node, key string, node agg.
 // (Algorithm 2 lines 15–16).
 func (m *mixedGrained) Results() []bindingResult {
 	m.flush()
-	merged := map[string]*agg.Node{}
-	mergeKey := func(key string, node agg.Node) {
+	merged := map[bkey]*agg.Node{}
+	mergeKey := func(key bkey, node agg.Node) {
 		dst, ok := merged[key]
 		if !ok {
 			n := m.plan.Specs.Zero()
@@ -290,49 +315,41 @@ func (m *mixedGrained) Results() []bindingResult {
 		}
 		m.plan.Specs.Merge(dst, node)
 	}
-	for _, endAlias := range m.plan.FSA.EndAliases() {
-		if entries, eventGrained := m.stored[endAlias]; eventGrained {
-			for i := range entries {
-				mergeKey(entries[i].key, entries[i].node)
+	for _, id := range m.plan.endAliasIDs {
+		if m.plan.eventGrainedByID[id] {
+			for i := range m.stored[id] {
+				mergeKey(m.stored[id][i].key, m.stored[id][i].node)
 			}
 			continue
 		}
-		for key, node := range m.typeTables[endAlias] {
+		for key, node := range m.typeTables[id] {
 			mergeKey(key, *node)
 		}
 	}
-	keys := make([]string, 0, len(merged))
-	for k := range merged {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	out := make([]bindingResult, 0, len(keys))
-	for _, k := range keys {
-		if merged[k].Count == 0 {
+	out := make([]bindingResult, 0, len(merged))
+	for k, n := range merged {
+		if n.Count == 0 {
 			continue
 		}
-		out = append(out, bindingResult{key: k, node: *merged[k]})
+		out = append(out, bindingResult{key: k, vals: m.bnd.decode(k), node: *n})
 	}
+	sortBindingResults(out)
 	return out
 }
 
 // Release returns all retained memory to the accountant.
 func (m *mixedGrained) Release() {
 	for _, tbl := range m.typeTables {
-		for key := range tbl {
-			m.acct.Add(-m.entryBytes(key))
-		}
+		m.acct.Add(-int64(len(tbl)) * m.entryBytes())
 	}
-	for _, tbls := range m.shadows {
-		for _, tbl := range tbls {
-			for key := range tbl {
-				m.acct.Add(-m.entryBytes(key))
-			}
+	for _, row := range m.shadows {
+		for _, tbl := range row {
+			m.acct.Add(-int64(len(tbl)) * m.entryBytes())
 		}
 	}
 	for _, entries := range m.stored {
 		for i := range entries {
-			m.acct.Add(-m.storedBytes(entries[i]))
+			m.acct.Add(-entries[i].foot)
 		}
 	}
 	m.acct.Add(-m.fires.footprint())

@@ -2,7 +2,6 @@ package core
 
 import (
 	"repro/internal/agg"
-	"repro/internal/event"
 	"repro/internal/query"
 )
 
@@ -19,15 +18,25 @@ import (
 // semantics only — resets the chain when it cannot be matched at all,
 // invalidating the partial trends that end at the last matched event
 // (Example 7: event c5).
+//
+// The last matched event el is retained as its resolved
+// adjacent-predicate left operands only, and the aggregate nodes are
+// reused buffers, so the steady-state path is allocation-free.
 type patternGrained struct {
 	plan *Plan
 	acct accountant
 
-	el      *event.Event
-	elAlias string
+	hasEl   bool
+	elTime  int64
+	elAlias int32
+	elFoot  int64 // accounted logical bytes of el
+	elLeft  []attrVal
 	elNode  agg.Node
-	final   agg.Node
-	fires   *negFires
+
+	scratch  agg.Node // Extend target, swapped with elNode on match
+	predZero agg.Node // reused zero predecessor for non-adjacent starts
+	final    agg.Node
+	fires    *negFires
 }
 
 func newPatternGrained(p *Plan, acct accountant) *patternGrained {
@@ -44,38 +53,45 @@ func newPatternGrained(p *Plan, acct accountant) *patternGrained {
 }
 
 // Process implements Algorithm 3 lines 2–9.
-func (g *patternGrained) Process(e *event.Event) {
+func (g *patternGrained) Process(rv *resolvedVals) {
+	e := rv.ev
 	matched := false
-	aliases := g.plan.FSA.AliasesForType(e.Type)
-	if len(aliases) == 1 { // plan guarantees at most one
-		alias := aliases[0]
-		if g.plan.Where.EvalLocal(alias, e) {
-			started := g.plan.FSA.IsStart(alias)
-			adjacent := g.isAdjacent(alias, e)
+	tp := rv.tp
+	if tp != nil && len(tp.aliases) == 1 { // plan guarantees at most one
+		ap := &tp.aliases[0]
+		if evalLocals(ap.locals, rv) {
+			started := ap.isStart
+			adjacent := g.isAdjacent(ap, rv)
 			if started || adjacent {
-				pred := g.plan.Specs.Zero()
+				specs := g.plan.Specs
+				pred := &g.predZero
 				if adjacent {
-					pred = g.elNode
+					pred = &g.elNode
+				} else {
+					specs.ZeroInto(&g.predZero)
 				}
 				s := uint64(0)
 				if started {
 					s = 1
 				}
-				node := g.plan.Specs.Extend(pred, alias, e, s)
-				if g.plan.FSA.IsEnd(alias) {
-					g.plan.Specs.Merge(&g.final, node)
+				specs.ExtendInto(&g.scratch, *pred, ap.specMatch, rv, s)
+				if ap.isEnd {
+					specs.Merge(&g.final, g.scratch)
 				}
-				g.setEl(e, alias, node)
+				g.setEl(rv, ap)
 				matched = true
 			}
 		}
 	}
 	// Record negation matches; they block adjacency across the fire
 	// time (per-pair refinement of §8's "set el to null").
-	for _, ref := range g.plan.negTypes[e.Type] {
-		if g.plan.Where.EvalLocal(ref.alias, e) {
-			if g.fires.fire(ref.ci, e.Time) {
-				g.acct.Add(8)
+	if tp != nil {
+		for ni := range tp.negs {
+			ng := &tp.negs[ni]
+			if evalLocals(ng.locals, rv) {
+				if g.fires.fire(ng.ci, e.Time) {
+					g.acct.Add(8)
+				}
 			}
 		}
 	}
@@ -87,44 +103,47 @@ func (g *patternGrained) Process(e *event.Event) {
 // isAdjacent checks Definition 7 against the last matched event: the
 // predecessor-type relation, strictly increasing time, the adjacent
 // predicates θ, and no negation fire in between.
-func (g *patternGrained) isAdjacent(alias string, e *event.Event) bool {
-	if g.el == nil || g.el.Time >= e.Time {
+func (g *patternGrained) isAdjacent(ap *aliasPlan, rv *resolvedVals) bool {
+	if !g.hasEl || g.elTime >= rv.ev.Time {
 		return false
 	}
-	found := false
-	for _, p := range g.plan.FSA.Pred[alias] {
-		if p == g.elAlias {
-			found = true
-			break
-		}
-	}
-	if !found {
+	ei := ap.predIdx[g.elAlias]
+	if ei < 0 {
 		return false
 	}
-	if !g.plan.Where.EvalAdjacent(g.elAlias, g.el, alias, e) {
+	edge := &ap.preds[ei]
+	if !evalAdjacent(edge.adj, g.elLeft, rv) {
 		return false
 	}
-	if ci, guarded := g.plan.negGuard[[2]string{g.elAlias, alias}]; guarded {
-		if g.fires.blockedBetween(ci, g.el.Time, e.Time) {
-			return false
-		}
+	if edge.guard != 0 && g.fires.blockedBetween(int(edge.guard-1), g.elTime, rv.ev.Time) {
+		return false
 	}
 	return true
 }
 
-func (g *patternGrained) setEl(e *event.Event, alias string, node agg.Node) {
-	if g.el != nil {
-		g.acct.Add(-g.el.FootprintBytes())
+// setEl installs the newly matched event as el: its trend aggregate is
+// the node just computed in scratch (swapped in, so both buffers are
+// reused), its left operands are copied out of the resolved view.
+func (g *patternGrained) setEl(rv *resolvedVals, ap *aliasPlan) {
+	if g.hasEl {
+		g.acct.Add(-g.elFoot)
 	}
-	g.el, g.elAlias, g.elNode = e, alias, node
-	g.acct.Add(e.FootprintBytes())
+	g.hasEl = true
+	g.elTime = rv.ev.Time
+	g.elAlias = ap.id
+	g.elFoot = rv.ev.FootprintBytes()
+	g.elLeft = g.plan.copyLeftVals(g.elLeft, rv)
+	g.elNode, g.scratch = g.scratch, g.elNode
+	g.acct.Add(g.elFoot)
 }
 
 func (g *patternGrained) resetEl() {
-	if g.el != nil {
-		g.acct.Add(-g.el.FootprintBytes())
+	if g.hasEl {
+		g.acct.Add(-g.elFoot)
 	}
-	g.el, g.elAlias, g.elNode = nil, "", g.plan.Specs.Zero()
+	g.hasEl = false
+	g.elFoot = 0
+	g.plan.Specs.ZeroInto(&g.elNode)
 }
 
 // Results returns the final aggregate (Algorithm 3 line 10); pattern
@@ -133,15 +152,15 @@ func (g *patternGrained) Results() []bindingResult {
 	if g.final.Count == 0 {
 		return nil
 	}
-	return []bindingResult{{key: "", node: g.final}}
+	return []bindingResult{{key: 0, node: g.final}}
 }
 
 // Release returns the constant state to the accountant.
 func (g *patternGrained) Release() {
-	if g.el != nil {
-		g.acct.Add(-g.el.FootprintBytes())
+	if g.hasEl {
+		g.acct.Add(-g.elFoot)
 	}
 	g.acct.Add(-2 * g.plan.Specs.FootprintBytes())
 	g.acct.Add(-g.fires.footprint())
-	g.el = nil
+	g.hasEl = false
 }

@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"repro/internal/agg"
+	"repro/internal/event"
 	"repro/internal/pattern"
 	"repro/internal/predicate"
 	"repro/internal/query"
@@ -97,6 +98,22 @@ type Plan struct {
 	// negGuard maps a (predecessor alias, successor alias) pair to the
 	// negation constraint guarding it, if any.
 	negGuard map[[2]string]int
+
+	// Compiled interning state (symbols.go), built once by compile():
+	// dense ids for aliases and referenced attributes, per-event-type
+	// dispatch tables, and the attribute-id projections of the specs,
+	// partition keys and adjacent-predicate left operands.
+	aliasNames       []string
+	aliasIDs         map[string]int32
+	attrNames        []string
+	attrIDs          map[string]int32
+	symNeeded        []bool
+	typePlans        map[string]*typePlan
+	specIDs          []int32
+	streamKeyIDs     []int32
+	adjLeft          []int32
+	endAliasIDs      []int32
+	eventGrainedByID []bool
 }
 
 // negRef identifies one negation constraint an event type fires,
@@ -205,6 +222,7 @@ func NewPlan(q *query.Query) (*Plan, error) {
 			}
 		}
 	}
+	p.compile()
 	return p, nil
 }
 
@@ -221,30 +239,42 @@ func MustPlan(q *query.Query) *Plan {
 // the event lacks a partition attribute (it then belongs to no
 // sub-stream and cannot contribute to or invalidate any trend). The
 // baselines share this routing so every approach sees identical
-// sub-streams.
-func (p *Plan) StreamKeyOf(e attrEvent) (string, bool) {
+// sub-streams. It is AppendStreamKey materialised as a string.
+func (p *Plan) StreamKeyOf(e *event.Event) (string, bool) {
 	if len(p.StreamKeys) == 0 {
 		return "", true
 	}
-	var b strings.Builder
-	for i, attr := range p.StreamKeys {
-		v, ok := e.SymAttr(attr)
-		if !ok {
-			return "", false
-		}
-		if i > 0 {
-			b.WriteByte(0)
-		}
-		b.WriteString(v)
+	buf, ok := p.AppendStreamKey(nil, e)
+	if !ok {
+		return "", false
 	}
-	return b.String(), true
+	return string(buf), true
 }
 
-// attrEvent is the event view the plan needs.
-type attrEvent interface {
-	SymAttr(name string) (string, bool)
-	NumAttr(name string) (float64, bool)
-	Attr(name string) (any, bool)
+// AppendStreamKey appends the partition key of e to buf and reports
+// whether e carries every partition attribute. This is the canonical
+// event-sourced key builder — the NUL-joined SymAttr values (symbolic
+// value, or the formatted numeric fallback) of the partition
+// attributes — and it does not allocate, so per-event routers can
+// hash or look up the key from a reused buffer. The only other
+// producer of the key bytes is the resolved-view variant in
+// symbols.go, pinned to this format by TestAppendStreamKeyMatches*.
+func (p *Plan) AppendStreamKey(buf []byte, e *event.Event) ([]byte, bool) {
+	for i, attr := range p.StreamKeys {
+		if i > 0 {
+			buf = append(buf, 0)
+		}
+		if v, ok := e.Sym[attr]; ok {
+			buf = append(buf, v...)
+			continue
+		}
+		if v, ok := e.Num[attr]; ok {
+			buf = event.AppendNum(buf, v)
+			continue
+		}
+		return buf, false
+	}
+	return buf, true
 }
 
 // GroupOf materialises the GROUP-BY tuple for a result, given the

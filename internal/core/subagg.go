@@ -4,41 +4,83 @@ import (
 	"sort"
 
 	"repro/internal/agg"
-	"repro/internal/event"
 )
 
 // subAggregator is the per-sub-stream execution unit: one instance
 // exists per (window, stream partition key). Events arrive in stream
-// order; Results flushes pending state and reports the final
-// aggregates per binding.
+// order as resolved views; Results flushes pending state and reports
+// the final aggregates per binding.
 type subAggregator interface {
-	// Process consumes the next event of the sub-stream.
-	Process(e *event.Event)
+	// Process consumes the next event of the sub-stream, presented as
+	// its per-event resolved view (symbols.go).
+	Process(rv *resolvedVals)
 	// Results returns the aggregate of all finished trends, per
-	// binding key. Bindings with zero finished trends are omitted.
+	// binding key, ordered by the decoded slot values. Bindings with
+	// zero finished trends are omitted.
 	Results() []bindingResult
 	// Release returns the aggregator's logical memory to the
 	// accountant; the aggregator must not be used afterwards.
 	Release()
 }
 
-// bindingResult is the final aggregate of one equivalence binding.
+// bindingResult is the final aggregate of one equivalence binding,
+// with the binding's slot values already decoded for result assembly.
 type bindingResult struct {
-	key  string
+	key  bkey
+	vals []string
 	node agg.Node
 }
 
+// sortBindingResults orders results by their decoded slot values,
+// matching the lexicographic order the string-keyed representation
+// reported (so emit merges groups in the identical order).
+func sortBindingResults(out []bindingResult) {
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].vals, out[j].vals
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+}
+
 // newSubAggregator builds the aggregator the plan's granularity
-// selector chose.
-func newSubAggregator(p *Plan, acct accountant) subAggregator {
+// selector chose. The engine-owned bindings instance is shared so
+// binding keys stay comparable across windows and partitions.
+func newSubAggregator(p *Plan, acct accountant, bnd *bindings) subAggregator {
 	switch p.Granularity {
 	case TypeGrained:
-		return newTypeGrained(p, acct)
+		return newTypeGrained(p, acct, bnd)
 	case MixedGrained:
-		return newMixedGrained(p, acct)
+		return newMixedGrained(p, acct, bnd)
 	default:
 		return newPatternGrained(p, acct)
 	}
+}
+
+// stagedUpdate is one uncommitted contribution of the current
+// time stamp (the stream-transaction discipline of §8).
+type stagedUpdate struct {
+	alias int32
+	key   bkey
+	node  agg.Node
+}
+
+// stageUpdate appends one staged update and returns its node for
+// ExtendInto, reusing the entry (and its Aux storage) left behind by
+// a previous flush; shared by the type- and mixed-grained aggregators.
+func stageUpdate(staged *[]stagedUpdate, alias int32, key bkey) *agg.Node {
+	n := len(*staged)
+	if n < cap(*staged) {
+		*staged = (*staged)[:n+1]
+	} else {
+		*staged = append(*staged, stagedUpdate{})
+	}
+	u := &(*staged)[n]
+	u.alias, u.key = alias, key
+	return &u.node
 }
 
 // accountant is the metrics.Accountant surface the aggregators need.

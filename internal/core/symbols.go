@@ -1,0 +1,503 @@
+package core
+
+// Symbol interning and plan compilation: the static query analyzer
+// interns every event-type, alias and attribute name referenced by a
+// query into dense integer ids, and compiles the WHERE clause and the
+// FSA transition metadata into per-event-type dispatch tables. At run
+// time each event is resolved ONCE into a slot array of its referenced
+// attribute values (the "resolved view"); every predicate evaluation,
+// binding-slot read and partition-key extraction afterwards is array
+// indexing — no map[string] probes and no string concatenation on the
+// per-event hot path. The interning is an internal representation
+// change only: results are identical to the string-keyed evaluator.
+
+import (
+	"repro/internal/agg"
+	"repro/internal/event"
+	"repro/internal/predicate"
+)
+
+// Presence bits of one resolved attribute slot.
+const (
+	hasNum    uint8 = 1 << iota // numeric attribute present on the event
+	hasSymRaw                   // symbolic attribute present on the event
+	hasSymVal                   // sym[] holds a value (raw, or numeric fallback)
+)
+
+// resolvedVals is the per-event resolved view: the values of every
+// plan-referenced attribute, indexed by interned attribute id, plus
+// the compiled dispatch entry for the event's type. One instance per
+// engine is reused across events; aggregators copy out what they
+// retain (stored-event left operands, binding-slot values).
+type resolvedVals struct {
+	ev *event.Event
+	tp *typePlan // compiled entry for ev.Type; nil for irrelevant types
+
+	num []float64
+	sym []string
+	has []uint8
+
+	specIDs []int32 // shared from the plan: spec index -> attr id (-1 none)
+}
+
+// SpecNum implements agg.SpecSource: the numeric attribute of spec i.
+func (rv *resolvedVals) SpecNum(i int) (float64, bool) {
+	id := rv.specIDs[i]
+	if id < 0 {
+		return 0, false
+	}
+	return rv.num[id], rv.has[id]&hasNum != 0
+}
+
+// attrVal is one retained attribute value of a stored event: the left
+// operand of adjacent-predicate evaluation, copied out of the resolved
+// view when an event-grained aggregator stores an event.
+type attrVal struct {
+	num float64
+	sym string
+	has uint8
+}
+
+// anyAttr reconstructs the Event.Attr (numeric-first) untyped value,
+// for user-supplied adjacent predicate functions.
+func (v *attrVal) anyAttr() any {
+	if v.has&hasNum != 0 {
+		return v.num
+	}
+	if v.has&hasSymRaw != 0 {
+		return v.sym
+	}
+	return nil
+}
+
+// anyAttrOf is anyAttr over a resolved view slot.
+func anyAttrOf(rv *resolvedVals, id int32) any {
+	h := rv.has[id]
+	if h&hasNum != 0 {
+		return rv.num[id]
+	}
+	if h&hasSymRaw != 0 {
+		return rv.sym[id]
+	}
+	return nil
+}
+
+// Value-kind of a compiled local predicate constant.
+const (
+	localNum uint8 = iota
+	localStr
+	localGeneric
+)
+
+// localCheck is one compiled local predicate applying to an alias:
+// resolved-attr ◦ constant.
+type localCheck struct {
+	attr    int32
+	op      predicate.Op
+	kind    uint8
+	num     float64
+	str     string
+	generic any // only for exotic constant types (kind == localGeneric)
+}
+
+// eval mirrors predicate.Local.Eval over the resolved view: the
+// attribute is read numeric-first (Event.Attr), a missing attribute
+// fails, and kind-mismatched operands compare unequal.
+func (c *localCheck) eval(rv *resolvedVals) bool {
+	h := rv.has[c.attr]
+	if h&hasNum != 0 {
+		switch c.kind {
+		case localNum:
+			return predicate.CompareFloats(rv.num[c.attr], c.num, c.op)
+		case localStr:
+			return c.op == predicate.Ne
+		default:
+			return predicate.Compare(rv.num[c.attr], c.generic, c.op)
+		}
+	}
+	if h&hasSymRaw != 0 {
+		switch c.kind {
+		case localStr:
+			return predicate.CompareStrings(rv.sym[c.attr], c.str, c.op)
+		case localNum:
+			return c.op == predicate.Ne
+		default:
+			return predicate.Compare(rv.sym[c.attr], c.generic, c.op)
+		}
+	}
+	return false
+}
+
+// evalLocals reports whether every compiled local check passes.
+func evalLocals(checks []localCheck, rv *resolvedVals) bool {
+	for i := range checks {
+		if !checks[i].eval(rv) {
+			return false
+		}
+	}
+	return true
+}
+
+// adjCheck is one compiled adjacent predicate guarding a transition
+// (predecessor alias -> alias): stored-left ◦ incoming-right.
+type adjCheck struct {
+	leftPos   int   // index into the stored event's attrVal slice
+	leftAttr  int32 // attr id of the left operand (for resolved lefts)
+	rightAttr int32
+	op        predicate.Op
+	fn        func(prev, next any) bool
+}
+
+// eval mirrors predicate.Adjacent.Eval: both operands read
+// numeric-first, missing operands fail, mixed kinds compare unequal.
+func (c *adjCheck) eval(left []attrVal, rv *resolvedVals) bool {
+	lv := &left[c.leftPos]
+	if c.fn != nil {
+		return c.fn(lv.anyAttr(), anyAttrOf(rv, c.rightAttr))
+	}
+	rh := rv.has[c.rightAttr]
+	if lv.has&(hasNum|hasSymRaw) == 0 || rh&(hasNum|hasSymRaw) == 0 {
+		return false
+	}
+	if lv.has&hasNum != 0 {
+		if rh&hasNum == 0 {
+			return c.op == predicate.Ne
+		}
+		return predicate.CompareFloats(lv.num, rv.num[c.rightAttr], c.op)
+	}
+	if rh&hasNum != 0 {
+		return c.op == predicate.Ne
+	}
+	return predicate.CompareStrings(lv.sym, rv.sym[c.rightAttr], c.op)
+}
+
+// evalAdjacent reports whether every adjacent check guarding a
+// transition accepts the (stored left, incoming right) pair.
+func evalAdjacent(checks []adjCheck, left []attrVal, rv *resolvedVals) bool {
+	for i := range checks {
+		if !checks[i].eval(left, rv) {
+			return false
+		}
+	}
+	return true
+}
+
+// slotRef is one binding-slot assignment demanded of an alias: the
+// event's resolved value of attr binds slot.
+type slotRef struct {
+	slot int
+	attr int32
+}
+
+// predEdge is one compiled FSA transition into an alias.
+type predEdge struct {
+	id           int32 // predecessor alias id
+	guard        int32 // negation constraint index + 1; 0 = unguarded
+	eventGrained bool  // predecessor keeps stored events (mixed Te)
+	adj          []adjCheck
+}
+
+// aliasPlan is the compiled per-alias dispatch entry: everything the
+// aggregators need to process an event matched under this alias, with
+// all name comparisons hoisted to compile time.
+type aliasPlan struct {
+	id           int32
+	name         string
+	isStart      bool
+	isEnd        bool
+	eventGrained bool
+	locals       []localCheck
+	preds        []predEdge
+	predIdx      []int32 // predIdx[aliasID]: index into preds, -1 if not a predecessor
+	slots        []slotRef
+	specMatch    []bool // specMatch[i]: does spec i target this alias
+}
+
+// negCheck is one negation constraint fired by an event type.
+type negCheck struct {
+	ci     int
+	locals []localCheck
+}
+
+// typePlan is the compiled dispatch entry of one stream event type.
+type typePlan struct {
+	aliases []aliasPlan
+	negs    []negCheck
+}
+
+// compile interns symbols and builds the dispatch tables. Called once
+// at the end of NewPlan, after all string-level analysis.
+func (p *Plan) compile() {
+	p.aliasIDs = make(map[string]int32, len(p.FSA.Aliases))
+	p.aliasNames = append([]string(nil), p.FSA.Aliases...)
+	for i, a := range p.aliasNames {
+		p.aliasIDs[a] = int32(i)
+	}
+	p.attrIDs = map[string]int32{}
+
+	// Attributes read symbolically (binding slots, partition keys) need
+	// the SymAttr numeric fallback materialised at resolve time.
+	p.streamKeyIDs = make([]int32, len(p.StreamKeys))
+	for i, a := range p.StreamKeys {
+		p.streamKeyIDs[i] = p.internAttr(a, true)
+	}
+	for _, s := range p.Slots {
+		p.internAttr(s.Attr, true)
+	}
+
+	p.specIDs = make([]int32, len(p.Specs))
+	for i, s := range p.Specs {
+		p.specIDs[i] = -1
+		if s.Attr != "" {
+			p.specIDs[i] = p.internAttr(s.Attr, false)
+		}
+	}
+
+	// Left operands of adjacent predicates are copied into stored
+	// events; assign each distinct left attribute a dense position.
+	leftPos := map[int32]int{}
+	for _, a := range p.Where.Adjacents {
+		id := p.internAttr(a.LeftAttr, false)
+		p.internAttr(a.RightAttr, false)
+		if _, ok := leftPos[id]; !ok {
+			leftPos[id] = len(p.adjLeft)
+			p.adjLeft = append(p.adjLeft, id)
+		}
+	}
+	for _, l := range p.Where.Locals {
+		p.internAttr(l.Attr, false)
+	}
+
+	p.endAliasIDs = make([]int32, 0, len(p.FSA.End))
+	for _, a := range p.FSA.EndAliases() {
+		p.endAliasIDs = append(p.endAliasIDs, p.aliasIDs[a])
+	}
+	p.eventGrainedByID = make([]bool, len(p.aliasNames))
+	for a := range p.EventGrained {
+		if id, ok := p.aliasIDs[a]; ok {
+			p.eventGrainedByID[id] = true
+		}
+	}
+
+	// Per-type dispatch tables: matching aliases plus fired negations.
+	p.typePlans = map[string]*typePlan{}
+	typePlanOf := func(typ string) *typePlan {
+		tp, ok := p.typePlans[typ]
+		if !ok {
+			tp = &typePlan{}
+			p.typePlans[typ] = tp
+		}
+		return tp
+	}
+	for typ, aliases := range p.FSA.TypeAliases {
+		tp := typePlanOf(typ)
+		for _, alias := range aliases {
+			tp.aliases = append(tp.aliases, p.compileAlias(alias, leftPos))
+		}
+	}
+	for typ, refs := range p.negTypes {
+		tp := typePlanOf(typ)
+		for _, ref := range refs {
+			tp.negs = append(tp.negs, negCheck{ci: ref.ci, locals: p.compileLocals(ref.alias)})
+		}
+	}
+}
+
+// compileAlias builds the dispatch entry of one alias.
+func (p *Plan) compileAlias(alias string, leftPos map[int32]int) aliasPlan {
+	id := p.aliasIDs[alias]
+	ap := aliasPlan{
+		id:           id,
+		name:         alias,
+		isStart:      p.FSA.IsStart(alias),
+		isEnd:        p.FSA.IsEnd(alias),
+		eventGrained: p.EventGrained[alias],
+		locals:       p.compileLocals(alias),
+		predIdx:      make([]int32, len(p.aliasNames)),
+	}
+	for i := range ap.predIdx {
+		ap.predIdx[i] = -1
+	}
+	for _, pred := range p.FSA.Pred[alias] {
+		pid := p.aliasIDs[pred]
+		ap.predIdx[pid] = int32(len(ap.preds))
+		edge := predEdge{id: pid, eventGrained: p.EventGrained[pred]}
+		if ci, guarded := p.negGuard[[2]string{pred, alias}]; guarded {
+			edge.guard = int32(ci) + 1
+		}
+		for _, a := range p.Where.Adjacents {
+			if !a.Guards(pred, alias) {
+				continue
+			}
+			la := p.attrIDs[a.LeftAttr]
+			edge.adj = append(edge.adj, adjCheck{
+				leftPos:   leftPos[la],
+				leftAttr:  la,
+				rightAttr: p.attrIDs[a.RightAttr],
+				op:        a.Op,
+				fn:        a.Fn,
+			})
+		}
+		ap.preds = append(ap.preds, edge)
+	}
+	for i, s := range p.Slots {
+		if s.Alias == alias {
+			ap.slots = append(ap.slots, slotRef{slot: i, attr: p.attrIDs[s.Attr]})
+		}
+	}
+	ap.specMatch = make([]bool, len(p.Specs))
+	for i, s := range p.Specs {
+		ap.specMatch[i] = s.Alias == alias
+	}
+	return ap
+}
+
+// compileLocals compiles the local predicates constraining an alias
+// (its own plus the global ones); predicates scoped to other aliases
+// pass vacuously and are simply not compiled in.
+func (p *Plan) compileLocals(alias string) []localCheck {
+	var out []localCheck
+	for _, l := range p.Where.Locals {
+		if l.Alias != "" && l.Alias != alias {
+			continue
+		}
+		c := localCheck{attr: p.internAttr(l.Attr, false), op: l.Op}
+		switch v := l.Value.(type) {
+		case float64:
+			c.kind, c.num = localNum, v
+		case string:
+			c.kind, c.str = localStr, v
+		default:
+			c.kind, c.generic = localGeneric, l.Value
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// internAttr interns an attribute name; symNeeded marks attributes
+// read through SymAttr semantics, whose numeric fallback value is
+// materialised once per event at resolve time.
+func (p *Plan) internAttr(name string, symNeeded bool) int32 {
+	id, ok := p.attrIDs[name]
+	if !ok {
+		id = int32(len(p.attrNames))
+		p.attrIDs[name] = id
+		p.attrNames = append(p.attrNames, name)
+		p.symNeeded = append(p.symNeeded, false)
+	}
+	if symNeeded {
+		p.symNeeded[id] = true
+	}
+	return id
+}
+
+// resolveInto computes the resolved view of ev: one probe pass over
+// the plan's interned attributes, after which all predicate, binding
+// and partition-key reads are array indexing.
+func (p *Plan) resolveInto(rv *resolvedVals, ev *event.Event) {
+	n := len(p.attrNames)
+	if cap(rv.num) >= n {
+		rv.num, rv.sym, rv.has = rv.num[:n], rv.sym[:n], rv.has[:n]
+	} else {
+		rv.num = make([]float64, n)
+		rv.sym = make([]string, n)
+		rv.has = make([]uint8, n)
+	}
+	rv.ev = ev
+	rv.tp = p.typePlans[ev.Type]
+	rv.specIDs = p.specIDs
+	for i, name := range p.attrNames {
+		var h uint8
+		var nv float64
+		var sv string
+		if v, ok := ev.Num[name]; ok {
+			nv, h = v, hasNum
+		}
+		if s, ok := ev.Sym[name]; ok {
+			sv = s
+			h |= hasSymRaw | hasSymVal
+		} else if h&hasNum != 0 && p.symNeeded[i] {
+			sv = event.FormatNum(nv)
+			h |= hasSymVal
+		}
+		rv.num[i], rv.sym[i], rv.has[i] = nv, sv, h
+	}
+}
+
+// appendStreamKey appends the partition key of a resolved event:
+// the NUL-joined StreamKeys values, identical to StreamKeyOf.
+func (p *Plan) appendStreamKey(buf []byte, rv *resolvedVals) ([]byte, bool) {
+	for i, id := range p.streamKeyIDs {
+		if rv.has[id]&hasSymVal == 0 {
+			return buf, false
+		}
+		if i > 0 {
+			buf = append(buf, 0)
+		}
+		buf = append(buf, rv.sym[id]...)
+	}
+	return buf, true
+}
+
+// copyLeftVals copies the adjacent-predicate left operands out of a
+// resolved view, for retention alongside a stored event. Returns nil
+// when the plan has no adjacent predicates.
+func (p *Plan) copyLeftVals(dst []attrVal, rv *resolvedVals) []attrVal {
+	if len(p.adjLeft) == 0 {
+		return nil
+	}
+	if cap(dst) >= len(p.adjLeft) {
+		dst = dst[:len(p.adjLeft)]
+	} else {
+		dst = make([]attrVal, len(p.adjLeft))
+	}
+	for i, id := range p.adjLeft {
+		dst[i] = attrVal{num: rv.num[id], sym: rv.sym[id], has: rv.has[id]}
+	}
+	return dst
+}
+
+// contribTable accumulates the per-binding contribution of one event:
+// a scratch map from binding key to a reused aggregate node. Entries
+// are deleted on reset, so steady-state accumulation is
+// allocation-free.
+type contribTable struct {
+	specs agg.Specs
+	idx   map[bkey]int
+	keys  []bkey
+	nodes []agg.Node
+}
+
+func newContribTable(specs agg.Specs) contribTable {
+	return contribTable{specs: specs, idx: map[bkey]int{}}
+}
+
+// slot returns the accumulator node of key, creating it zeroed.
+func (c *contribTable) slot(k bkey) *agg.Node {
+	i, ok := c.idx[k]
+	if !ok {
+		i = len(c.keys)
+		c.keys = append(c.keys, k)
+		if i < len(c.nodes) {
+			c.specs.ZeroInto(&c.nodes[i])
+		} else {
+			c.nodes = append(c.nodes, c.specs.Zero())
+		}
+		c.idx[k] = i
+	}
+	return &c.nodes[i]
+}
+
+// add merges node into the accumulator of key.
+func (c *contribTable) add(k bkey, node *agg.Node) {
+	c.specs.Merge(c.slot(k), *node)
+}
+
+// reset clears the table for the next event, keeping node storage.
+func (c *contribTable) reset() {
+	for _, k := range c.keys {
+		delete(c.idx, k)
+	}
+	c.keys = c.keys[:0]
+}

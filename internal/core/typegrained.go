@@ -1,10 +1,7 @@
 package core
 
 import (
-	"sort"
-
 	"repro/internal/agg"
-	"repro/internal/event"
 )
 
 // typeGrained implements Algorithm 1: one aggregate per event type in
@@ -25,135 +22,166 @@ import (
 // transitions guarded by the constraint read the shadow instead of
 // the main table ("aggregates of all predecessor types are marked as
 // invalid to contribute to aggregates of the following types").
+//
+// All tables are keyed by interned binding keys and indexed by alias
+// id (symbols.go); the steady-state Process path performs no string
+// operations and no allocations.
 type typeGrained struct {
 	plan *Plan
 	acct accountant
 	bnd  *bindings
 
-	// tables is E.count of Theorem 4.1 per alias and binding.
-	tables map[string]map[string]*agg.Node
-	// shadows[ci][alias] mirrors tables[alias] but resets on fires of
-	// negation constraint ci; only aliases in the constraint's Pred
-	// set are tracked.
-	shadows map[int]map[string]map[string]*agg.Node
+	// tables is E.count of Theorem 4.1 per alias id and binding.
+	tables []map[bkey]*agg.Node
+	// shadows[ci][aliasID] mirrors tables[aliasID] but resets on fires
+	// of negation constraint ci; only aliases in the constraint's Pred
+	// set are tracked (nil otherwise).
+	shadows [][]map[bkey]*agg.Node
 
 	staged       []stagedUpdate
 	stagedResets []int
-	curTime      int64
-	hasCur       bool
+
+	contrib  contribTable
+	fastNode agg.Node
+
+	curTime int64
+	hasCur  bool
 }
 
-// stagedUpdate is one uncommitted contribution of the current
-// time stamp.
-type stagedUpdate struct {
-	alias string
-	key   string
-	node  agg.Node
-}
-
-func newTypeGrained(p *Plan, acct accountant) *typeGrained {
+func newTypeGrained(p *Plan, acct accountant, bnd *bindings) *typeGrained {
 	t := &typeGrained{
 		plan:    p,
 		acct:    acct,
-		bnd:     newBindings(p.Slots),
-		tables:  make(map[string]map[string]*agg.Node, len(p.FSA.Aliases)),
-		shadows: map[int]map[string]map[string]*agg.Node{},
+		bnd:     bnd,
+		tables:  make([]map[bkey]*agg.Node, len(p.aliasNames)),
+		contrib: newContribTable(p.Specs),
 	}
-	for _, a := range p.FSA.Aliases {
-		t.tables[a] = map[string]*agg.Node{}
+	for i := range t.tables {
+		t.tables[i] = map[bkey]*agg.Node{}
 	}
+	t.shadows = make([][]map[bkey]*agg.Node, len(p.FSA.Negations))
 	for ci, nc := range p.FSA.Negations {
-		m := map[string]map[string]*agg.Node{}
+		row := make([]map[bkey]*agg.Node, len(p.aliasNames))
 		for _, a := range nc.Pred {
-			m[a] = map[string]*agg.Node{}
+			row[p.aliasIDs[a]] = map[bkey]*agg.Node{}
 		}
-		t.shadows[ci] = m
+		t.shadows[ci] = row
 	}
 	return t
 }
 
-// entryBytes is the logical size of one table entry.
-func (t *typeGrained) entryBytes(key string) int64 {
-	return t.plan.Specs.FootprintBytes() + int64(len(key)) + 16
+// entryBytes is the logical size of one table entry: the aggregate
+// node, the 8-byte interned key and map overhead.
+func (t *typeGrained) entryBytes() int64 {
+	return t.plan.Specs.FootprintBytes() + 8 + 16
 }
 
 // Process implements Algorithm 1 lines 3–8 with Table 8 aggregate
 // propagation.
-func (t *typeGrained) Process(e *event.Event) {
+func (t *typeGrained) Process(rv *resolvedVals) {
+	e := rv.ev
 	if t.hasCur && e.Time != t.curTime {
 		t.flush()
 	}
 	t.curTime, t.hasCur = e.Time, true
 
+	tp := rv.tp
+	if tp == nil {
+		return
+	}
 	specs := t.plan.Specs
-	for _, alias := range t.plan.FSA.AliasesForType(e.Type) {
-		if !t.plan.Where.EvalLocal(alias, e) {
+	for ai := range tp.aliases {
+		ap := &tp.aliases[ai]
+		if !evalLocals(ap.locals, rv) {
 			continue
 		}
-		assigns, ok := t.bnd.assignments(alias, e)
+		if t.bnd.none() {
+			// Fast path without equivalence slots: every binding is the
+			// empty key, so a single reused accumulator replaces the
+			// contribution table.
+			t.processFast(ap, rv)
+			continue
+		}
+		assigns, ok := t.bnd.assignments(ap, rv)
 		if !ok {
 			continue
 		}
 		// e.count per binding: sum the committed counts of every
 		// predecessor type compatible with e's slot assignments.
-		contrib := map[string]*agg.Node{}
-		for _, p := range t.plan.FSA.Pred[alias] {
-			tbl := t.tableFor(p, alias)
-			for key, node := range tbl {
+		for pi := range ap.preds {
+			edge := &ap.preds[pi]
+			for key, node := range t.tableFor(edge) {
 				nk, compat := t.bnd.combine(key, assigns)
 				if !compat {
 					continue
 				}
-				dst, ok := contrib[nk]
-				if !ok {
-					n := specs.Zero()
-					dst = &n
-					contrib[nk] = dst
-				}
-				specs.Merge(dst, *node)
+				t.contrib.add(nk, node)
 			}
 		}
 		// A start-type event also begins one fresh trend in the
 		// binding holding only its own slot values.
-		startKey := ""
-		if t.plan.FSA.IsStart(alias) {
+		startKey := t.bnd.emptyKey()
+		if ap.isStart {
 			startKey = t.bnd.startKey(assigns)
-			if _, ok := contrib[startKey]; !ok {
-				n := specs.Zero()
-				contrib[startKey] = &n
-			}
+			t.contrib.slot(startKey)
 		}
-		for nk, pred := range contrib {
+		for i, nk := range t.contrib.keys {
 			started := uint64(0)
-			if nk == startKey && t.plan.FSA.IsStart(alias) {
+			if ap.isStart && nk == startKey {
 				started = 1
 			}
 			// Zero-count nodes are kept: a count may legitimately be
 			// congruent to 0 modulo 2^64 while its auxiliaries and
 			// future contributions remain meaningful.
-			out := specs.Extend(*pred, alias, e, started)
-			t.staged = append(t.staged, stagedUpdate{alias: alias, key: nk, node: out})
+			specs.ExtendInto(t.stage(ap.id, nk), t.contrib.nodes[i], ap.specMatch, rv, started)
 		}
+		t.contrib.reset()
 	}
 	// Negation fires are also staged: they invalidate strictly earlier
 	// events only, and readers at this very time stamp must still see
 	// the pre-fire shadows.
-	for _, ref := range t.plan.negTypes[e.Type] {
-		if t.plan.Where.EvalLocal(ref.alias, e) {
-			t.stagedResets = append(t.stagedResets, ref.ci)
+	for ni := range tp.negs {
+		ng := &tp.negs[ni]
+		if evalLocals(ng.locals, rv) {
+			t.stagedResets = append(t.stagedResets, ng.ci)
 		}
 	}
 }
 
-// tableFor selects the main or shadow table for the transition
-// p -> successor.
-func (t *typeGrained) tableFor(p, successor string) map[string]*agg.Node {
-	if len(t.shadows) != 0 {
-		if ci, guarded := t.plan.negGuard[[2]string{p, successor}]; guarded {
-			return t.shadows[ci][p]
+// processFast is Process's inner loop for plans without equivalence
+// slots: the single empty-key binding is accumulated in a reused node.
+func (t *typeGrained) processFast(ap *aliasPlan, rv *resolvedVals) {
+	specs := t.plan.Specs
+	specs.ZeroInto(&t.fastNode)
+	found := false
+	for pi := range ap.preds {
+		edge := &ap.preds[pi]
+		for _, node := range t.tableFor(edge) {
+			specs.Merge(&t.fastNode, *node)
+			found = true
 		}
 	}
-	return t.tables[p]
+	if !found && !ap.isStart {
+		return // no predecessor aggregates and nothing started
+	}
+	started := uint64(0)
+	if ap.isStart {
+		started = 1
+	}
+	specs.ExtendInto(t.stage(ap.id, 0), t.fastNode, ap.specMatch, rv, started)
+}
+
+// stage appends one staged update via the shared helper.
+func (t *typeGrained) stage(alias int32, key bkey) *agg.Node {
+	return stageUpdate(&t.staged, alias, key)
+}
+
+// tableFor selects the main or shadow table for a transition.
+func (t *typeGrained) tableFor(edge *predEdge) map[bkey]*agg.Node {
+	if edge.guard != 0 {
+		return t.shadows[edge.guard-1][edge.id]
+	}
+	return t.tables[edge.id]
 }
 
 // flush commits the staged time stamp: resets first (they concern
@@ -161,18 +189,20 @@ func (t *typeGrained) tableFor(p, successor string) map[string]*agg.Node {
 // time stamp stay valid for the future).
 func (t *typeGrained) flush() {
 	for _, ci := range t.stagedResets {
-		for alias, tbl := range t.shadows[ci] {
-			for key := range tbl {
-				t.acct.Add(-t.entryBytes(key))
+		for ai, tbl := range t.shadows[ci] {
+			if tbl == nil {
+				continue
 			}
-			t.shadows[ci][alias] = map[string]*agg.Node{}
+			t.acct.Add(-int64(len(tbl)) * t.entryBytes())
+			t.shadows[ci][ai] = map[bkey]*agg.Node{}
 		}
 	}
 	t.stagedResets = t.stagedResets[:0]
-	for _, u := range t.staged {
+	for i := range t.staged {
+		u := &t.staged[i]
 		t.mergeInto(t.tables[u.alias], u.key, u.node)
-		for _, m := range t.shadows {
-			if tbl, tracked := m[u.alias]; tracked {
+		for _, row := range t.shadows {
+			if tbl := row[u.alias]; tbl != nil {
 				t.mergeInto(tbl, u.key, u.node)
 			}
 		}
@@ -180,13 +210,13 @@ func (t *typeGrained) flush() {
 	t.staged = t.staged[:0]
 }
 
-func (t *typeGrained) mergeInto(tbl map[string]*agg.Node, key string, node agg.Node) {
+func (t *typeGrained) mergeInto(tbl map[bkey]*agg.Node, key bkey, node agg.Node) {
 	dst, ok := tbl[key]
 	if !ok {
 		n := t.plan.Specs.Zero()
 		tbl[key] = &n
 		dst = &n
-		t.acct.Add(t.entryBytes(key))
+		t.acct.Add(t.entryBytes())
 	}
 	t.plan.Specs.Merge(dst, node)
 }
@@ -195,9 +225,9 @@ func (t *typeGrained) mergeInto(tbl map[string]*agg.Node, key string, node agg.N
 // final count is the count of the end type of P).
 func (t *typeGrained) Results() []bindingResult {
 	t.flush()
-	merged := map[string]*agg.Node{}
-	for _, endAlias := range t.plan.FSA.EndAliases() {
-		for key, node := range t.tables[endAlias] {
+	merged := map[bkey]*agg.Node{}
+	for _, id := range t.plan.endAliasIDs {
+		for key, node := range t.tables[id] {
 			dst, ok := merged[key]
 			if !ok {
 				n := t.plan.Specs.Zero()
@@ -207,33 +237,25 @@ func (t *typeGrained) Results() []bindingResult {
 			t.plan.Specs.Merge(dst, *node)
 		}
 	}
-	keys := make([]string, 0, len(merged))
-	for k := range merged {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	out := make([]bindingResult, 0, len(keys))
-	for _, k := range keys {
-		if merged[k].Count == 0 {
+	out := make([]bindingResult, 0, len(merged))
+	for k, n := range merged {
+		if n.Count == 0 {
 			continue
 		}
-		out = append(out, bindingResult{key: k, node: *merged[k]})
+		out = append(out, bindingResult{key: k, vals: t.bnd.decode(k), node: *n})
 	}
+	sortBindingResults(out)
 	return out
 }
 
 // Release returns all table memory to the accountant.
 func (t *typeGrained) Release() {
 	for _, tbl := range t.tables {
-		for key := range tbl {
-			t.acct.Add(-t.entryBytes(key))
-		}
+		t.acct.Add(-int64(len(tbl)) * t.entryBytes())
 	}
-	for _, m := range t.shadows {
-		for _, tbl := range m {
-			for key := range tbl {
-				t.acct.Add(-t.entryBytes(key))
-			}
+	for _, row := range t.shadows {
+		for _, tbl := range row {
+			t.acct.Add(-int64(len(tbl)) * t.entryBytes())
 		}
 	}
 	t.tables, t.shadows = nil, nil

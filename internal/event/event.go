@@ -11,6 +11,7 @@ package event
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -135,11 +136,28 @@ func (e *Event) String() string {
 	return b.String()
 }
 
-func formatNum(v float64) string {
+func formatNum(v float64) string { return FormatNum(v) }
+
+// FormatNum renders a numeric attribute value the way SymAttr's
+// numeric fallback does: integral values without a fraction, others in
+// shortest %g form. Exposed so the symbol-interning layer in
+// internal/core resolves numeric attributes into symbolic slots with
+// byte-identical values. It is AppendNum materialised as a string, so
+// there is exactly one canonical formatter.
+func FormatNum(v float64) string {
+	return string(AppendNum(nil, v))
+}
+
+// AppendNum appends the canonical rendering of v to buf without
+// intermediate allocation; used by zero-alloc partition-key
+// construction. Partition routing, binding slots and resolved views
+// all rely on these bytes being identical wherever a numeric value is
+// read symbolically.
+func AppendNum(buf []byte, v float64) []byte {
 	if v == float64(int64(v)) {
-		return fmt.Sprintf("%d", int64(v))
+		return strconv.AppendInt(buf, int64(v), 10)
 	}
-	return fmt.Sprintf("%g", v)
+	return strconv.AppendFloat(buf, v, 'g', -1, 64)
 }
 
 // Clone returns a deep copy of e.

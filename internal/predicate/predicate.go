@@ -59,41 +59,55 @@ func Compare(l any, r any, op Op) bool {
 		if !ok {
 			return op == Ne
 		}
-		switch op {
-		case Lt:
-			return lv < rv
-		case Le:
-			return lv <= rv
-		case Gt:
-			return lv > rv
-		case Ge:
-			return lv >= rv
-		case Eq:
-			return lv == rv
-		case Ne:
-			return lv != rv
-		}
+		return CompareFloats(lv, rv, op)
 	case string:
 		rv, ok := r.(string)
 		if !ok {
 			return op == Ne
 		}
-		switch op {
-		case Lt:
-			return lv < rv
-		case Le:
-			return lv <= rv
-		case Gt:
-			return lv > rv
-		case Ge:
-			return lv >= rv
-		case Eq:
-			return lv == rv
-		case Ne:
-			return lv != rv
-		}
+		return CompareStrings(lv, rv, op)
 	}
 	return op == Ne
+}
+
+// CompareFloats evaluates l ◦ r on numeric operands without boxing;
+// the compiled predicate checks of the COGRA runtime call it once per
+// candidate pair on the hot path.
+func CompareFloats(l, r float64, op Op) bool {
+	switch op {
+	case Lt:
+		return l < r
+	case Le:
+		return l <= r
+	case Gt:
+		return l > r
+	case Ge:
+		return l >= r
+	case Eq:
+		return l == r
+	case Ne:
+		return l != r
+	}
+	return false
+}
+
+// CompareStrings evaluates l ◦ r on symbolic operands without boxing.
+func CompareStrings(l, r string, op Op) bool {
+	switch op {
+	case Lt:
+		return l < r
+	case Le:
+		return l <= r
+	case Gt:
+		return l > r
+	case Ge:
+		return l >= r
+	case Eq:
+		return l == r
+	case Ne:
+		return l != r
+	}
+	return false
 }
 
 // attrGetter is the minimal event view the evaluator needs; satisfied

@@ -2,7 +2,6 @@ package stream
 
 import (
 	"fmt"
-	"hash/fnv"
 	"sort"
 	"strings"
 	"sync"
@@ -12,22 +11,36 @@ import (
 	"repro/internal/metrics"
 )
 
+// routeBatchSize is how many events the router accumulates per worker
+// before handing the batch over; it amortises channel synchronisation
+// over bursts while keeping per-worker latency bounded.
+const routeBatchSize = 256
+
 // ParallelExecutor exploits the stream partitioning of §7/§8:
 // equivalence predicates and grouping split the stream into
 // non-overlapping sub-streams, each processed by its own COGRA engine
 // on a worker goroutine. Events are routed by hashing the partition
 // key, so each worker sees an in-order sub-stream and no cross-worker
 // coordination is needed; results are merged and re-ordered on Close.
+//
+// The routing hot path is allocation-free: the partition key is
+// appended into a reused buffer, hashed with an inlined FNV-1a loop,
+// and events travel in pooled batches instead of one channel send per
+// event.
 type ParallelExecutor struct {
 	plan    *core.Plan
 	workers []*worker
+	pending []*[]*event.Event // per-worker batch under construction
+	keyBuf  []byte
+	pool    sync.Pool
 	skipped int64
 	closed  bool
 }
 
 type worker struct {
-	in      chan *event.Event
+	in      chan *[]*event.Event
 	done    chan struct{}
+	pool    *sync.Pool
 	engine  *core.Engine
 	acct    metrics.Accountant
 	results []core.Result
@@ -42,10 +55,16 @@ func NewParallelExecutor(plan *core.Plan, n int) *ParallelExecutor {
 		n = 1
 	}
 	p := &ParallelExecutor{plan: plan}
+	p.pool.New = func() any {
+		b := make([]*event.Event, 0, routeBatchSize)
+		return &b
+	}
+	p.pending = make([]*[]*event.Event, n)
 	for i := 0; i < n; i++ {
 		w := &worker{
-			in:   make(chan *event.Event, 1024),
+			in:   make(chan *[]*event.Event, 16),
 			done: make(chan struct{}),
+			pool: &p.pool,
 		}
 		w.engine = core.NewEngine(plan, core.WithAccountant(&w.acct))
 		p.workers = append(p.workers, w)
@@ -56,33 +75,58 @@ func NewParallelExecutor(plan *core.Plan, n int) *ParallelExecutor {
 
 func (w *worker) run() {
 	defer close(w.done)
-	for e := range w.in {
-		if w.err != nil {
-			continue // drain after failure
+	for batch := range w.in {
+		if w.err == nil {
+			for _, e := range *batch {
+				if w.err = w.engine.Process(e); w.err != nil {
+					break // drain after failure
+				}
+			}
 		}
-		w.err = w.engine.Process(e)
+		*batch = (*batch)[:0]
+		w.pool.Put(batch)
 	}
 	if w.err == nil {
 		w.results = w.engine.Close()
 	}
 }
 
+// fnv1a is the 32-bit FNV-1a hash, inlined so routing does not
+// allocate a hasher per event (it matches hash/fnv exactly).
+func fnv1a(b []byte) uint32 {
+	h := uint32(2166136261)
+	for _, c := range b {
+		h ^= uint32(c)
+		h *= 16777619
+	}
+	return h
+}
+
 // Process routes one event to its partition's worker. Events without
 // a partition key are counted and dropped (they belong to no
-// sub-stream).
+// sub-stream). Events are delivered in batches; Close flushes any
+// partial batch.
 func (p *ParallelExecutor) Process(e *event.Event) error {
 	if p.closed {
 		return fmt.Errorf("stream: Process after Close")
 	}
-	key, ok := p.plan.StreamKeyOf(e)
+	keyBuf, ok := p.plan.AppendStreamKey(p.keyBuf[:0], e)
+	p.keyBuf = keyBuf
 	if !ok {
 		p.skipped++
 		return nil
 	}
-	h := fnv.New32a()
-	h.Write([]byte(key))
-	w := p.workers[int(h.Sum32())%len(p.workers)]
-	w.in <- e
+	wi := int(fnv1a(keyBuf) % uint32(len(p.workers)))
+	batch := p.pending[wi]
+	if batch == nil {
+		batch = p.pool.Get().(*[]*event.Event)
+		p.pending[wi] = batch
+	}
+	*batch = append(*batch, e)
+	if len(*batch) >= routeBatchSize {
+		p.workers[wi].in <- batch
+		p.pending[wi] = nil
+	}
 	return nil
 }
 
@@ -104,15 +148,20 @@ func (p *ParallelExecutor) Run(src Iterator) error {
 	}
 }
 
-// Close drains the workers and returns all results ordered by window
-// then group, exactly like a single engine would emit them.
+// Close flushes pending batches, drains the workers and returns all
+// results ordered by window then group, exactly like a single engine
+// would emit them.
 func (p *ParallelExecutor) Close() ([]core.Result, error) {
 	if p.closed {
 		return nil, fmt.Errorf("stream: double Close")
 	}
 	p.closed = true
 	var wg sync.WaitGroup
-	for _, w := range p.workers {
+	for i, w := range p.workers {
+		if batch := p.pending[i]; batch != nil && len(*batch) > 0 {
+			w.in <- batch
+			p.pending[i] = nil
+		}
 		close(w.in)
 		wg.Add(1)
 		go func(w *worker) {

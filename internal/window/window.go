@@ -102,14 +102,16 @@ func (m *Manager[T]) Spec() Spec { return m.spec }
 // StatesFor returns the states of every window containing time t,
 // creating missing ones. The returned slice is ordered by wid.
 func (m *Manager[T]) StatesFor(t int64) []T {
+	return m.AppendStatesFor(nil, t)
+}
+
+// AppendStatesFor is StatesFor appending into dst, so per-event
+// callers can reuse one scratch slice instead of allocating per event.
+func (m *Manager[T]) AppendStatesFor(dst []T, t int64) []T {
 	first, last := m.spec.WindowsOf(t)
 	if first < m.emitted {
 		first = m.emitted // late windows already emitted are dropped
 	}
-	if first > last {
-		return nil
-	}
-	out := make([]T, 0, last-first+1)
 	for wid := first; wid <= last; wid++ {
 		st, ok := m.active[wid]
 		if !ok {
@@ -120,9 +122,9 @@ func (m *Manager[T]) StatesFor(t int64) []T {
 			m.maxWid = wid
 			m.everSawWid = true
 		}
-		out = append(out, st)
+		dst = append(dst, st)
 	}
-	return out
+	return dst
 }
 
 // Closed emits (wid, state) pairs for every window that closed at

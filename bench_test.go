@@ -137,17 +137,15 @@ func BenchmarkFig8HighRate(b *testing.B) {
 func BenchmarkFig9Selectivity(b *testing.B) {
 	for _, sel := range []float64{0.1, 0.5, 0.9} {
 		sel := sel
-		pass := func(prev, next any) bool {
-			u1, _ := prev.(float64)
-			u2, _ := next.(float64)
-			return gen.PairHash(u1, u2) < sel
+		pass := func(prev, next float64) bool {
+			return gen.PairHash(prev, next) < sel
 		}
 		q := cogra.NewQuery(cogra.Seq(cogra.Plus(cogra.TypeAs("Stock", "A")), cogra.Plus(cogra.TypeAs("Stock", "B")))).
 			Return(cogra.CountStar()).
 			Semantics(cogra.SkipTillAnyMatch).
 			WhereEquiv(cogra.EquivalencePredicate{Attr: "company"}).
-			WhereAdjacent(cogra.AdjacentPredicate{Left: "A", LeftAttr: "u", Right: "A", RightAttr: "u", Fn: pass}).
-			WhereAdjacent(cogra.AdjacentPredicate{Left: "A", LeftAttr: "u", Right: "B", RightAttr: "u", Fn: pass}).
+			WhereAdjacent(cogra.AdjacentPredicate{Left: "A", LeftAttr: "u", Right: "A", RightAttr: "u", NumFn: pass}).
+			WhereAdjacent(cogra.AdjacentPredicate{Left: "A", LeftAttr: "u", Right: "B", RightAttr: "u", NumFn: pass}).
 			GroupBy(cogra.GroupKey{Attr: "company"}).
 			Within(5000, 5000).
 			MustBuild()
@@ -212,8 +210,8 @@ func BenchmarkTable6MixedGrained(b *testing.B) {
 		Semantics(cogra.SkipTillAnyMatch).
 		WhereAdjacent(cogra.AdjacentPredicate{
 			Left: "B", LeftAttr: "t", Right: "A", RightAttr: "t",
-			Fn: func(prev, next any) bool {
-				return !(prev.(float64) == 6 && next.(float64) == 7)
+			NumFn: func(prev, next float64) bool {
+				return !(prev == 6 && next == 7)
 			}}).
 		Within(100, 100).
 		MustBuild()
@@ -267,7 +265,7 @@ func BenchmarkAblationGranularity(b *testing.B) {
 		WhereEquiv(cogra.EquivalencePredicate{Attr: "company"}).
 		WhereAdjacent(cogra.AdjacentPredicate{
 			Left: "A", LeftAttr: "u", Right: "B", RightAttr: "u",
-			Fn: func(prev, next any) bool { return true }}).
+			NumFn: func(prev, next float64) bool { return true }}).
 		GroupBy(cogra.GroupKey{Attr: "company"}).
 		Within(int64(n), int64(n)).
 		MustBuild()

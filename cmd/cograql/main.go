@@ -1,14 +1,19 @@
-// Command cograql evaluates an event trend aggregation query against
-// a CSV event stream:
+// Command cograql evaluates one or more event trend aggregation
+// queries against a CSV event stream:
 //
 //	cograql -query q1.etaq -input stream.csv
 //	cogragen -dataset stock | cograql -query 'RETURN company, COUNT(*)
 //	    PATTERN SEQ(Stock A+, Stock B+) WHERE [company]
 //	    GROUP-BY company WITHIN 100 SLIDE 100'
 //
-// The query is given inline with -query or in a file with -file; the
+// Queries are given inline with -query or in files with -file; both
+// flags repeat, and all queries execute together in one pass over the
+// stream (the shared multi-query runtime): each event is resolved
+// once and dispatched only to the queries matching its type. The
 // stream is read from -input or stdin. Results print one line per
-// window and group. -workers > 1 enables partition-parallel execution.
+// window and group, prefixed with the query's index when more than
+// one query runs. -workers > 1 enables partition-parallel execution
+// (all queries, one worker pool).
 package main
 
 import (
@@ -19,42 +24,81 @@ import (
 	cogra "repro"
 )
 
+// querySource is one query given on the command line, in flag order —
+// interleaved -query and -file flags keep their relative positions, so
+// [qN] result prefixes match the order the user wrote.
+type querySource struct {
+	fromFile bool
+	value    string
+}
+
+// sourceFlag appends to a shared ordered list of query sources.
+type sourceFlag struct {
+	srcs     *[]querySource
+	fromFile bool
+}
+
+func (f sourceFlag) String() string { return "" }
+
+func (f sourceFlag) Set(v string) error {
+	*f.srcs = append(*f.srcs, querySource{fromFile: f.fromFile, value: v})
+	return nil
+}
+
 func main() {
-	queryText := flag.String("query", "", "query text (SASE-style syntax)")
-	queryFile := flag.String("file", "", "file holding the query text")
+	var sources []querySource
+	flag.Var(sourceFlag{&sources, false}, "query", "query text (SASE-style syntax); repeatable")
+	flag.Var(sourceFlag{&sources, true}, "file", "file holding one query text; repeatable")
 	input := flag.String("input", "", "CSV event stream (default stdin)")
 	workers := flag.Int("workers", 1, "partition-parallel workers")
-	explain := flag.Bool("explain", false, "print the compiled plan and exit")
+	explain := flag.Bool("explain", false, "print the compiled plans and exit")
 	memory := flag.Bool("memory", false, "report logical peak memory after the run")
 	flag.Parse()
 
-	if err := run(*queryText, *queryFile, *input, *workers, *explain, *memory); err != nil {
+	if err := run(sources, *input, *workers, *explain, *memory); err != nil {
 		fmt.Fprintln(os.Stderr, "cograql:", err)
 		os.Exit(1)
 	}
 }
 
-func run(queryText, queryFile, input string, workers int, explain, memory bool) error {
-	if queryText == "" && queryFile == "" {
-		return fmt.Errorf("provide -query or -file")
-	}
-	if queryFile != "" {
-		data, err := os.ReadFile(queryFile)
+func run(sources []querySource, input string, workers int, explain, memory bool) error {
+	texts := make([]string, 0, len(sources))
+	for _, src := range sources {
+		if !src.fromFile {
+			texts = append(texts, src.value)
+			continue
+		}
+		data, err := os.ReadFile(src.value)
 		if err != nil {
 			return err
 		}
-		queryText = string(data)
+		texts = append(texts, string(data))
 	}
-	q, err := cogra.Parse(queryText)
-	if err != nil {
-		return err
+	if len(texts) == 0 {
+		return fmt.Errorf("provide -query or -file (repeatable)")
 	}
-	plan, err := cogra.Compile(q)
-	if err != nil {
-		return err
+
+	// All queries compile against one shared catalog so the runtime
+	// resolves each event once for every query.
+	cat := cogra.NewCatalog()
+	plans := make([]*cogra.Plan, len(texts))
+	for i, text := range texts {
+		q, err := cogra.Parse(text)
+		if err != nil {
+			return fmt.Errorf("query %d: %w", i+1, err)
+		}
+		if plans[i], err = cogra.CompileIn(cat, q); err != nil {
+			return fmt.Errorf("query %d: %w", i+1, err)
+		}
 	}
 	if explain {
-		fmt.Println(plan)
+		for i, plan := range plans {
+			if len(plans) > 1 {
+				fmt.Printf("[q%d] %v\n", i+1, plan)
+			} else {
+				fmt.Println(plan)
+			}
+		}
 		return nil
 	}
 
@@ -72,8 +116,25 @@ func run(queryText, queryFile, input string, workers int, explain, memory bool) 
 		return err
 	}
 
+	// Result lines carry a [qN] prefix only in multi-query runs, so
+	// single-query output stays byte-compatible with earlier versions.
+	printResult := func(qi int, r cogra.Result) {
+		if len(plans) > 1 {
+			fmt.Printf("[q%d] %v\n", qi+1, r)
+		} else {
+			fmt.Println(r)
+		}
+	}
+
 	if workers > 1 {
-		exec := cogra.NewParallelExecutor(plan, workers)
+		exec, err := cogra.NewMultiExecutor(plans, workers)
+		if err != nil {
+			return err
+		}
+		if exec.Workers() < workers {
+			fmt.Fprintf(os.Stderr, "cograql: no shared partition attribute to route on; running %d worker(s) instead of %d\n",
+				exec.Workers(), workers)
+		}
 		if err := exec.Run(cogra.FromSlice(events)); err != nil {
 			return err
 		}
@@ -81,24 +142,38 @@ func run(queryText, queryFile, input string, workers int, explain, memory bool) 
 		if err != nil {
 			return err
 		}
-		for _, r := range results {
-			fmt.Println(r)
+		for qi, rs := range results {
+			for _, r := range rs {
+				printResult(qi, r)
+			}
 		}
 		if memory {
-			fmt.Fprintf(os.Stderr, "peak memory: %d bytes across %d workers\n", exec.PeakBytes(), workers)
+			fmt.Fprintf(os.Stderr, "peak memory: %d bytes across %d workers\n", exec.PeakBytes(), exec.Workers())
 		}
 		return nil
 	}
 
+	// Results stream as their windows close (watermark order, so
+	// multi-query output interleaves — the [qN] prefix disambiguates).
+	// One accountant spans every hosted query (they share this
+	// goroutine), so the reported peak is a true simultaneous footprint.
+	rt := cogra.NewRuntimeOn(cat)
 	var acct cogra.Accountant
-	eng := cogra.NewEngine(plan, cogra.WithAccountant(&acct),
-		cogra.WithResultCallback(func(r cogra.Result) { fmt.Println(r) }))
-	for _, e := range events {
-		if err := eng.Process(e); err != nil {
+	for i, plan := range plans {
+		qi := i
+		_, err := rt.SubscribePlan(plan,
+			cogra.WithAccountant(&acct),
+			cogra.WithResultCallback(func(r cogra.Result) { printResult(qi, r) }))
+		if err != nil {
 			return err
 		}
 	}
-	eng.Close()
+	for _, e := range events {
+		if err := rt.Process(e); err != nil {
+			return err
+		}
+	}
+	rt.Close()
 	if memory {
 		fmt.Fprintf(os.Stderr, "peak memory: %d bytes\n", acct.Peak())
 	}

@@ -15,6 +15,24 @@ func writeFile(t *testing.T, name, content string) string {
 	return path
 }
 
+// inline/fromFile build ordered query sources the way flag parsing
+// would.
+func inline(texts ...string) []querySource {
+	var out []querySource
+	for _, s := range texts {
+		out = append(out, querySource{value: s})
+	}
+	return out
+}
+
+func fromFile(paths ...string) []querySource {
+	var out []querySource
+	for _, p := range paths {
+		out = append(out, querySource{fromFile: true, value: p})
+	}
+	return out
+}
+
 const testCSV = `time,type,k,x:num
 1,A,g,1
 2,A,g,2
@@ -24,41 +42,82 @@ const testCSV = `time,type,k,x:num
 func TestRunWithQueryFileAndInput(t *testing.T) {
 	qf := writeFile(t, "q.etaq", `RETURN COUNT(*) PATTERN SEQ(A+, B) WHERE [k] GROUP-BY k WITHIN 10 SLIDE 10`)
 	in := writeFile(t, "in.csv", testCSV)
-	if err := run("", qf, in, 1, false, true); err != nil {
+	if err := run(fromFile(qf), in, 1, false, true); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunParallelWorkers(t *testing.T) {
 	in := writeFile(t, "in.csv", testCSV)
-	err := run(`RETURN COUNT(*) PATTERN SEQ(A+, B) WHERE [k] GROUP-BY k WITHIN 10 SLIDE 10`,
-		"", in, 4, false, true)
+	err := run(inline(`RETURN COUNT(*) PATTERN SEQ(A+, B) WHERE [k] GROUP-BY k WITHIN 10 SLIDE 10`),
+		in, 4, false, true)
 	if err != nil {
 		t.Fatal(err)
 	}
 }
 
+func TestRunMultipleQueries(t *testing.T) {
+	in := writeFile(t, "in.csv", testCSV)
+	queries := inline(
+		`RETURN COUNT(*) PATTERN SEQ(A+, B) WHERE [k] GROUP-BY k WITHIN 10 SLIDE 10`,
+		`RETURN COUNT(*) PATTERN A+ WHERE [k] GROUP-BY k WITHIN 10 SLIDE 10`,
+	)
+	if err := run(queries, in, 1, false, true); err != nil {
+		t.Fatalf("shared runtime: %v", err)
+	}
+	if err := run(queries, in, 3, false, true); err != nil {
+		t.Fatalf("multi executor: %v", err)
+	}
+	if err := run(queries, "", 1, true, false); err != nil {
+		t.Fatalf("multi explain: %v", err)
+	}
+}
+
+// TestSourceFlagPreservesOrder: interleaved -file and -query flags
+// keep command-line order, so [qN] labels match what the user wrote.
+func TestSourceFlagPreservesOrder(t *testing.T) {
+	var sources []querySource
+	q := sourceFlag{&sources, false}
+	f := sourceFlag{&sources, true}
+	f.Set("a.etaq")
+	q.Set("RETURN ...")
+	f.Set("b.etaq")
+	want := []querySource{
+		{fromFile: true, value: "a.etaq"},
+		{fromFile: false, value: "RETURN ..."},
+		{fromFile: true, value: "b.etaq"},
+	}
+	if len(sources) != len(want) {
+		t.Fatalf("sources = %v", sources)
+	}
+	for i := range want {
+		if sources[i] != want[i] {
+			t.Errorf("source %d = %+v, want %+v", i, sources[i], want[i])
+		}
+	}
+}
+
 func TestRunExplain(t *testing.T) {
-	if err := run(`RETURN COUNT(*) PATTERN A+ WITHIN 10 SLIDE 10`, "", "", 1, true, false); err != nil {
+	if err := run(inline(`RETURN COUNT(*) PATTERN A+ WITHIN 10 SLIDE 10`), "", 1, true, false); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("", "", "", 1, false, false); err == nil {
+	if err := run(nil, "", 1, false, false); err == nil {
 		t.Error("missing query accepted")
 	}
-	if err := run("garbage query", "", "", 1, false, false); err == nil {
+	if err := run(inline("garbage query"), "", 1, false, false); err == nil {
 		t.Error("bad query accepted")
 	}
-	if err := run(`RETURN COUNT(*) PATTERN A+ WITHIN 10 SLIDE 10`, "", "/does/not/exist.csv", 1, false, false); err == nil {
+	if err := run(inline(`RETURN COUNT(*) PATTERN A+ WITHIN 10 SLIDE 10`), "/does/not/exist.csv", 1, false, false); err == nil {
 		t.Error("missing input accepted")
 	}
-	if err := run("", "/does/not/exist.q", "", 1, false, false); err == nil {
+	if err := run(fromFile("/does/not/exist.q"), "", 1, false, false); err == nil {
 		t.Error("missing query file accepted")
 	}
 	bad := writeFile(t, "bad.csv", "not,a,valid,header\n")
-	if err := run(`RETURN COUNT(*) PATTERN A+ WITHIN 10 SLIDE 10`, "", bad, 1, false, false); err == nil {
+	if err := run(inline(`RETURN COUNT(*) PATTERN A+ WITHIN 10 SLIDE 10`), bad, 1, false, false); err == nil {
 		t.Error("bad CSV accepted")
 	}
 }

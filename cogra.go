@@ -34,6 +34,7 @@ import (
 	"repro/internal/pattern"
 	"repro/internal/predicate"
 	"repro/internal/query"
+	"repro/internal/runtime"
 	"repro/internal/stream"
 )
 
@@ -211,4 +212,60 @@ type ParallelExecutor = stream.ParallelExecutor
 // workers.
 func NewParallelExecutor(p *Plan, n int) *ParallelExecutor {
 	return stream.NewParallelExecutor(p, n)
+}
+
+// Catalog is the shared symbol table a set of plans is compiled
+// against: plans compiled in one catalog agree on dense type and
+// attribute ids, which lets a Runtime resolve each stream event once
+// for all of them.
+type Catalog = core.Catalog
+
+// NewCatalog returns an empty catalog for multi-query compilation.
+func NewCatalog() *Catalog { return core.NewCatalog() }
+
+// CompileIn compiles a query against a shared catalog, for hosting
+// alongside other plans in a Runtime or MultiExecutor. Compile all
+// plans before processing events.
+func CompileIn(cat *Catalog, q *Query) (*Plan, error) { return core.NewPlanIn(cat, q) }
+
+// Runtime executes many queries over one event stream in a single
+// pass: each event is resolved once into a shared attribute view, a
+// per-event-type index dispatches it only to the queries whose
+// patterns react to its type, and one watermark drives every hosted
+// window manager.
+//
+//	rt := cogra.NewRuntime()
+//	for _, q := range queries {
+//	    sub, err := rt.Subscribe(q) // or Subscribe(q, cogra.WithResultCallback(...))
+//	    ...
+//	}
+//	for _, e := range events {
+//	    if err := rt.Process(e); err != nil { ... }
+//	}
+//	for i, results := range rt.Close() { ... }
+//
+// Like Engine, a Runtime is single-threaded; use NewMultiExecutor for
+// partition-parallel multi-query execution.
+type Runtime = runtime.Runtime
+
+// Subscription is one query hosted by a Runtime.
+type Subscription = runtime.Subscription
+
+// NewRuntime returns an empty multi-query runtime over a fresh
+// catalog. Subscribe compiles queries directly into it.
+func NewRuntime() *Runtime { return runtime.New() }
+
+// NewRuntimeOn returns an empty multi-query runtime over an existing
+// catalog, for hosting plans compiled with CompileIn.
+func NewRuntimeOn(cat *Catalog) *Runtime { return runtime.NewOn(cat) }
+
+// MultiExecutor runs a set of queries partition-parallel: every worker
+// hosts a shared multi-query runtime over all plans, and events are
+// routed by the partition attributes the plans have in common.
+type MultiExecutor = stream.MultiExecutor
+
+// NewMultiExecutor starts a partition-parallel multi-query execution
+// with n workers. The plans must share one catalog (CompileIn).
+func NewMultiExecutor(plans []*Plan, n int) (*MultiExecutor, error) {
+	return stream.NewMultiExecutor(plans, n)
 }

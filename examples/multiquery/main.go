@@ -1,0 +1,92 @@
+// Multiquery: one stream, many COGRA plans. A hospital monitoring
+// deployment runs several standing queries over the same measurement
+// stream — dashboards, alerts and audits all at once. Instead of one
+// engine pass per query, a shared Runtime resolves every event once,
+// dispatches it only to the queries whose patterns react to its type,
+// and drives all sliding windows from a single watermark.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	cogra "repro"
+)
+
+func main() {
+	queries := []struct {
+		name string
+		src  string
+	}{
+		{"trend-count", `
+			RETURN COUNT(*)
+			PATTERN M+
+			SEMANTICS skip-till-any-match
+			WHERE [patient] AND M.rate < NEXT(M).rate
+			GROUP-BY patient
+			WITHIN 60 SLIDE 60`},
+		{"peak-rate", `
+			RETURN COUNT(*), MAX(M.rate)
+			PATTERN M+
+			SEMANTICS skip-till-any-match
+			WHERE [patient]
+			GROUP-BY patient
+			WITHIN 60 SLIDE 30`},
+		{"checkin-pairs", `
+			RETURN COUNT(*)
+			PATTERN SEQ(C+, M)
+			SEMANTICS skip-till-any-match
+			WHERE [patient]
+			GROUP-BY patient
+			WITHIN 120 SLIDE 120`},
+		{"steady-runs", `
+			RETURN COUNT(*)
+			PATTERN M+
+			SEMANTICS contiguous
+			WHERE [patient]
+			GROUP-BY patient
+			WITHIN 60 SLIDE 60`},
+	}
+
+	rt := cogra.NewRuntime()
+	for _, qd := range queries {
+		q, err := cogra.Parse(qd.src)
+		if err != nil {
+			log.Fatalf("%s: %v", qd.name, err)
+		}
+		sub, err := rt.Subscribe(q)
+		if err != nil {
+			log.Fatalf("%s: %v", qd.name, err)
+		}
+		fmt.Printf("subscribed %-14s granularity=%s\n", qd.name, sub.Plan().Granularity)
+	}
+
+	// One synthetic shift of measurements and check-ins for three
+	// patients; every event flows through the runtime exactly once.
+	rng := rand.New(rand.NewSource(3))
+	rates := []float64{62, 71, 80}
+	for t := int64(0); t < 240; t++ {
+		p := rng.Intn(3)
+		patient := fmt.Sprintf("p%d", p)
+		if rng.Intn(10) == 0 {
+			if err := rt.Process(cogra.NewEvent("C", t).WithSym("patient", patient)); err != nil {
+				log.Fatal(err)
+			}
+			continue
+		}
+		rates[p] += float64(rng.Intn(7)) - 3
+		ev := cogra.NewEvent("M", t).
+			WithSym("patient", patient).
+			WithNum("rate", rates[p])
+		if err := rt.Process(ev); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	for i, results := range rt.Close() {
+		for _, r := range results {
+			fmt.Printf("%-14s %s\n", queries[i].name, r)
+		}
+	}
+}

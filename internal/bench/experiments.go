@@ -168,10 +168,10 @@ func Fig9(cfg Config, out io.Writer) error {
 	events := gen.Stock(gen.StockConfig{Seed: 9, Events: n})
 	for _, sel := range []float64{0.001, 0.01, 0.1, 0.5, 0.9} {
 		sel := sel
-		pass := func(prev, next any) bool {
-			u1, _ := prev.(float64)
-			u2, _ := next.(float64)
-			return gen.PairHash(u1, u2) < sel
+		// Typed NumFn variant: operands stay unboxed float64s, so the
+		// dominant stored-event scan performs zero allocations.
+		pass := func(prev, next float64) bool {
+			return gen.PairHash(prev, next) < sel
 		}
 		// SEQ(A+, B) leaves no unguarded Kleene transition: the swept
 		// selectivity controls every adjacency. Predicates restrict
@@ -183,8 +183,8 @@ func Fig9(cfg Config, out io.Writer) error {
 			Return(agg.Spec{Func: agg.CountStar}).
 			Semantics(query.Any).
 			WhereEquiv(predicate.Equivalence{Attr: "company"}).
-			WhereAdjacent(predicate.Adjacent{Left: "A", LeftAttr: "u", Right: "A", RightAttr: "u", Fn: pass}).
-			WhereAdjacent(predicate.Adjacent{Left: "A", LeftAttr: "u", Right: "B", RightAttr: "u", Fn: pass}).
+			WhereAdjacent(predicate.Adjacent{Left: "A", LeftAttr: "u", Right: "A", RightAttr: "u", NumFn: pass}).
+			WhereAdjacent(predicate.Adjacent{Left: "A", LeftAttr: "u", Right: "B", RightAttr: "u", NumFn: pass}).
 			GroupBy(query.GroupKey{Attr: "company"}), n).
 			MustBuild()
 		plan, err := core.NewPlan(q)
@@ -322,7 +322,7 @@ func Ablation(cfg Config, out io.Writer) error {
 		mixedPlan, err := core.NewPlan(mkBuilder().
 			WhereAdjacent(predicate.Adjacent{
 				Left: "A", LeftAttr: "u", Right: "B", RightAttr: "u",
-				Fn: func(prev, next any) bool { return true },
+				NumFn: func(prev, next float64) bool { return true },
 			}).MustBuild())
 		if err != nil {
 			return err

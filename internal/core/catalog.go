@@ -1,0 +1,145 @@
+package core
+
+// Catalog is the shared symbol table a set of plans is compiled
+// against: every event-type and attribute name referenced by any plan
+// is interned into a dense integer id, so plans hosted together agree
+// on ids and a multi-query runtime can resolve each incoming event
+// ONCE into one union attribute view and hand the same resolved slots
+// to every interested engine.
+//
+// A Catalog is mutated only by compilation (NewPlanIn); it carries no
+// locks, so the rule is: no compilation while any other goroutine
+// reads the catalog. A catalog shared across runtimes or executor
+// workers must have every plan compiled before processing starts; a
+// catalog private to one single-threaded runtime may compile further
+// plans between events (runtime.Subscribe mid-stream). NewPlan
+// compiles a plan against a private catalog, which reproduces the
+// single-query layout exactly: one plan's union view is just its own
+// attribute set.
+
+import (
+	"repro/internal/event"
+)
+
+// Catalog interns the type and attribute names of all plans compiled
+// against it.
+type Catalog struct {
+	// Attribute interning: attrNames[id] is the name; symNeeded[id]
+	// marks attributes read through SymAttr semantics (binding slots,
+	// partition keys), whose numeric fallback value is materialised at
+	// resolve time.
+	attrIDs   map[string]int32
+	attrNames []string
+	symNeeded []bool
+
+	// Event-type interning: ids index the per-plan dispatch tables and
+	// the runtime's per-type subscription lists.
+	typeIDs   map[string]int32
+	typeNames []string
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{
+		attrIDs: map[string]int32{},
+		typeIDs: map[string]int32{},
+	}
+}
+
+// internAttr interns an attribute name; symNeeded marks attributes
+// read through SymAttr semantics, whose numeric fallback value is
+// materialised once per event at resolve time.
+func (c *Catalog) internAttr(name string, symNeeded bool) int32 {
+	id, ok := c.attrIDs[name]
+	if !ok {
+		id = int32(len(c.attrNames))
+		c.attrIDs[name] = id
+		c.attrNames = append(c.attrNames, name)
+		c.symNeeded = append(c.symNeeded, false)
+	}
+	if symNeeded {
+		c.symNeeded[id] = true
+	}
+	return id
+}
+
+// internType interns an event-type name.
+func (c *Catalog) internType(name string) int32 {
+	id, ok := c.typeIDs[name]
+	if !ok {
+		id = int32(len(c.typeNames))
+		c.typeIDs[name] = id
+		c.typeNames = append(c.typeNames, name)
+	}
+	return id
+}
+
+// TypeID returns the interned id of an event-type name. Unknown types
+// (never referenced by any plan in the catalog) return -1, false.
+func (c *Catalog) TypeID(name string) (int32, bool) {
+	id, ok := c.typeIDs[name]
+	if !ok {
+		return -1, false
+	}
+	return id, true
+}
+
+// NumTypes returns how many event types the catalog has interned.
+func (c *Catalog) NumTypes() int { return len(c.typeNames) }
+
+// NumAttrs returns how many attributes the catalog has interned.
+func (c *Catalog) NumAttrs() int { return len(c.attrNames) }
+
+// resolveInto computes the union resolved view of ev: one probe pass
+// over every catalog-interned attribute, after which all predicate,
+// binding and partition-key reads of every plan in the catalog are
+// array indexing. It fills only the value arrays; the caller installs
+// the plan-specific dispatch entry (rv.tp) and spec projection.
+func (c *Catalog) resolveInto(rv *resolvedVals, ev *event.Event) {
+	n := len(c.attrNames)
+	if cap(rv.num) >= n {
+		rv.num, rv.sym, rv.has = rv.num[:n], rv.sym[:n], rv.has[:n]
+	} else {
+		rv.num = make([]float64, n)
+		rv.sym = make([]string, n)
+		rv.has = make([]uint8, n)
+	}
+	rv.ev = ev
+	for i, name := range c.attrNames {
+		var h uint8
+		var nv float64
+		var sv string
+		if v, ok := ev.Num[name]; ok {
+			nv, h = v, hasNum
+		}
+		if s, ok := ev.Sym[name]; ok {
+			sv = s
+			h |= hasSymRaw | hasSymVal
+		} else if h&hasNum != 0 && c.symNeeded[i] {
+			sv = event.FormatNum(nv)
+			h |= hasSymVal
+		}
+		rv.num[i], rv.sym[i], rv.has[i] = nv, sv, h
+	}
+}
+
+// Resolver resolves events once against a catalog on behalf of every
+// plan compiled in it. One instance per single-threaded execution
+// context (a multi-query runtime, a worker); the resolved arrays are
+// reused across events and shared by reference with the hosted
+// engines, so resolution cost is paid once per event, not per query.
+type Resolver struct {
+	cat *Catalog
+	rv  resolvedVals
+}
+
+// NewResolver builds a resolver over a catalog.
+func NewResolver(cat *Catalog) *Resolver {
+	return &Resolver{cat: cat}
+}
+
+// Resolve computes the union resolved view of ev, valid until the next
+// call. Engines consume it through Engine.ProcessResolved.
+func (r *Resolver) Resolve(ev *event.Event) {
+	r.cat.resolveInto(&r.rv, ev)
+}

@@ -118,6 +118,83 @@ func TestPaperTable6(t *testing.T) {
 	}
 }
 
+// TestAdjacentNumFnMatchesOperator: the typed NumFn fast path is an
+// internal representation change only — a NumFn computing `prev < next`
+// produces the same trend counts as the compiled Lt operator and as
+// the equivalent untyped Fn, on both mixed and pattern granularity.
+func TestAdjacentNumFnMatchesOperator(t *testing.T) {
+	r := benchRand(17)
+	var events []*event.Event
+	for i := 0; i < 400; i++ {
+		events = append(events, event.New("Measurement", int64(i)).
+			WithNum("rate", float64(r.next()%50)))
+	}
+	for _, sem := range []query.Semantics{query.Any, query.Cont} {
+		mk := func(adj predicate.Adjacent) *query.Query {
+			return query.NewBuilder(pattern.Plus(pattern.TypeAs("Measurement", "M"))).
+				Return(agg.Spec{Func: agg.CountStar}).
+				Semantics(sem).
+				WhereAdjacent(adj).
+				Within(400, 400).
+				MustBuild()
+		}
+		op := runCount(t, mk(predicate.Adjacent{
+			Left: "M", LeftAttr: "rate", Op: predicate.Lt, Right: "M", RightAttr: "rate"}), events)
+		numFn := runCount(t, mk(predicate.Adjacent{
+			Left: "M", LeftAttr: "rate", Right: "M", RightAttr: "rate",
+			NumFn: func(prev, next float64) bool { return prev < next }}), events)
+		anyFn := runCount(t, mk(predicate.Adjacent{
+			Left: "M", LeftAttr: "rate", Right: "M", RightAttr: "rate",
+			Fn: func(prev, next any) bool {
+				l, lok := prev.(float64)
+				rv, rok := next.(float64)
+				return lok && rok && l < rv
+			}}), events)
+		if op != numFn || op != anyFn {
+			t.Errorf("%v: operator=%d numFn=%d anyFn=%d diverge", sem, op, numFn, anyFn)
+		}
+		if op == 0 {
+			t.Errorf("%v: zero trends; test is vacuous", sem)
+		}
+	}
+}
+
+// TestAdvanceWatermarkRecordsFloor: an external watermark is a
+// promise that every older event has been seen; an event contradicting
+// it must be rejected exactly like an out-of-order event, not silently
+// dropped into already-closed windows.
+func TestAdvanceWatermarkRecordsFloor(t *testing.T) {
+	q := query.NewBuilder(pattern.Plus(pattern.Type("A"))).
+		Return(agg.Spec{Func: agg.CountStar}).
+		Semantics(query.Any).
+		Within(10, 10).
+		MustBuild()
+	plan := MustPlan(q)
+	eng := NewEngine(plan)
+	res := NewResolver(plan.Catalog())
+	if err := eng.AdvanceWatermark(20); err != nil {
+		t.Fatal(err)
+	}
+	tid, _ := plan.Catalog().TypeID("A")
+	late := event.New("A", 7)
+	res.Resolve(late)
+	if err := eng.ProcessResolved(late, res, tid); err == nil {
+		t.Error("event older than the advanced watermark accepted")
+	}
+	if err := eng.Process(event.New("A", 7)); err == nil {
+		t.Error("Process accepted an event older than the watermark")
+	}
+	if err := eng.AdvanceWatermark(15); err == nil {
+		t.Error("regressing watermark accepted")
+	}
+	// Events at or after the watermark are fine.
+	ok := event.New("A", 20)
+	res.Resolve(ok)
+	if err := eng.ProcessResolved(ok, res, tid); err != nil {
+		t.Errorf("event at the watermark rejected: %v", err)
+	}
+}
+
 // TestPaperTable7 reproduces the pattern-grained counts of Table 7:
 // 8 trends under skip-till-next-match, 2 under contiguous.
 func TestPaperTable7(t *testing.T) {

@@ -57,10 +57,16 @@ type Engine struct {
 
 	// Per-event scratch, reused so the steady-state Process path does
 	// not allocate: the resolved attribute view, the partition-key
-	// bytes and the window-state slice.
-	rv     resolvedVals
-	keyBuf []byte
-	states []*winState
+	// bytes and the window-state slice. The window-state slice is
+	// cached per time stamp: a run of equal-time events reuses the
+	// states computed for the first of the run (the window set is a
+	// function of time alone), skipping the watermark check and the
+	// window-manager lookup for every follower.
+	rv          resolvedVals
+	keyBuf      []byte
+	states      []*winState
+	statesTime  int64
+	statesValid bool
 
 	lastTime int64
 	sawEvent bool
@@ -105,22 +111,76 @@ func (e *Engine) Plan() *Plan { return e.plan }
 // non-decreasing time-stamp order (the stream scheduler of §8
 // guarantees this); an out-of-order event is rejected.
 func (e *Engine) Process(ev *event.Event) error {
-	if e.sawEvent && ev.Time < e.lastTime {
-		return fmt.Errorf("core: out-of-order event at time %d after %d", ev.Time, e.lastTime)
+	if err := e.admitEvent(ev.Time); err != nil {
+		return err
 	}
-	e.lastTime, e.sawEvent = ev.Time, true
 	e.seq++
 	if ev.ID == 0 {
 		ev.ID = e.seq
 	}
-	// The arrival of an event at time t is the watermark "every event
-	// with time < t has been seen": close and emit those windows.
-	for _, closed := range e.mgr.AdvanceTo(ev.Time) {
-		e.emit(closed.Wid, closed.State)
-	}
 	// Resolve the event once: every predicate evaluation, binding-slot
 	// read and partition-key byte below is array indexing on this view.
 	e.plan.resolveInto(&e.rv, ev)
+	return e.processResolved(ev)
+}
+
+// admitEvent is the shared admission prologue of Process and
+// ProcessResolved: reject time regressions, advance the watermark on
+// time change (hoisted out of equal-time runs — a repeated time stamp
+// cannot close anything new), and record the new stream time.
+func (e *Engine) admitEvent(t int64) error {
+	if e.sawEvent && t < e.lastTime {
+		return fmt.Errorf("core: out-of-order event at time %d after %d", t, e.lastTime)
+	}
+	if !e.sawEvent || t != e.lastTime {
+		// The arrival of an event at time t is the watermark "every
+		// event with time < t has been seen": close and emit those
+		// windows.
+		e.advanceTo(t)
+	}
+	e.lastTime, e.sawEvent = t, true
+	return nil
+}
+
+// AdvanceWatermark closes and emits every window that is complete at
+// watermark t (every event with time < t has been seen). Process does
+// this implicitly per time-stamp change; a multi-query runtime calls
+// it directly so one stream watermark drives all hosted engines in a
+// single pass, including engines whose subscribed types the current
+// event does not match. The watermark is recorded: a later event with
+// time < t contradicts it and is rejected like any out-of-order event.
+func (e *Engine) AdvanceWatermark(t int64) error {
+	if e.sawEvent && t < e.lastTime {
+		return fmt.Errorf("core: watermark %d behind time %d", t, e.lastTime)
+	}
+	e.advanceTo(t)
+	e.lastTime, e.sawEvent = t, true
+	return nil
+}
+
+// ProcessResolved consumes an event resolved by a shared Resolver over
+// the plan's catalog: the per-query continuation of the runtime's
+// resolve-once path. tid is the event's catalog type id (-1 for types
+// unknown to the catalog). The caller is responsible for watermark
+// ordering across queries (AdvanceWatermark); like Process, the event
+// must not be older than anything this engine has seen.
+func (e *Engine) ProcessResolved(ev *event.Event, r *Resolver, tid int32) error {
+	if err := e.admitEvent(ev.Time); err != nil {
+		return err
+	}
+	// Borrow the resolver's union view (slice headers only): the
+	// engine reads it strictly before the next Resolve, and stored
+	// state copies out what it retains.
+	e.rv.ev = ev
+	e.rv.num, e.rv.sym, e.rv.has = r.rv.num, r.rv.sym, r.rv.has
+	e.rv.tp = e.plan.typePlanAt(tid)
+	e.rv.specIDs = e.plan.specIDs
+	return e.processResolved(ev)
+}
+
+// processResolved runs the per-event path after resolution: partition
+// key extraction, window-state lookup and sub-aggregator dispatch.
+func (e *Engine) processResolved(ev *event.Event) error {
 	keyBuf, ok := e.plan.appendStreamKey(e.keyBuf[:0], &e.rv)
 	e.keyBuf = keyBuf
 	if !ok {
@@ -128,7 +188,10 @@ func (e *Engine) Process(ev *event.Event) error {
 		return nil
 	}
 	e.eventsIn++
-	e.states = e.mgr.AppendStatesFor(e.states[:0], ev.Time)
+	if !e.statesValid || e.statesTime != ev.Time {
+		e.states = e.mgr.AppendStatesFor(e.states[:0], ev.Time)
+		e.statesTime, e.statesValid = ev.Time, true
+	}
 	for _, ws := range e.states {
 		part, ok := ws.parts[string(keyBuf)]
 		if !ok {
@@ -138,6 +201,15 @@ func (e *Engine) Process(ev *event.Event) error {
 		part.Process(&e.rv)
 	}
 	return nil
+}
+
+// advanceTo closes and emits the windows complete at watermark t and
+// invalidates the cached window-state slice.
+func (e *Engine) advanceTo(t int64) {
+	for _, closed := range e.mgr.AdvanceTo(t) {
+		e.emit(closed.Wid, closed.State)
+	}
+	e.statesValid = false
 }
 
 // ProcessAll feeds a pre-sorted batch of events.
@@ -156,6 +228,7 @@ func (e *Engine) Close() []Result {
 	for _, closed := range e.mgr.Flush() {
 		e.emit(closed.Wid, closed.State)
 	}
+	e.statesValid = false
 	return e.results
 }
 

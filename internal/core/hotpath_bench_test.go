@@ -130,6 +130,65 @@ func BenchmarkEngineProcessMixedAdjacentSlots(b *testing.B) {
 	benchEngine(b, q, measureBenchStream(4096))
 }
 
+// BenchmarkEngineProcessMixedAdjacentNumFn is the Fig9-style workload
+// with a user-supplied predicate function in its typed float64 form:
+// unlike the untyped Fn variant, operands reach the function unboxed,
+// so the dominant stored-event scan performs no allocations.
+func BenchmarkEngineProcessMixedAdjacentNumFn(b *testing.B) {
+	q := query.NewBuilder(pattern.Plus(pattern.TypeAs("Measurement", "M"))).
+		Return(agg.Spec{Func: agg.CountStar}).
+		Semantics(query.Any).
+		WhereEquiv(predicate.Equivalence{Attr: "patient"}).
+		WhereAdjacent(predicate.Adjacent{Left: "M", LeftAttr: "rate", Right: "M", RightAttr: "rate",
+			NumFn: func(prev, next float64) bool { return prev < next }}).
+		GroupBy(query.GroupKey{Attr: "patient"}).
+		Within(512, 512).
+		MustBuild()
+	benchEngine(b, q, measureBenchStream(4096))
+}
+
+// BenchmarkEngineProcessMixedAdjacentAnyFn is the same workload with
+// the untyped Fn fallback, kept as the boxing-cost baseline.
+func BenchmarkEngineProcessMixedAdjacentAnyFn(b *testing.B) {
+	q := query.NewBuilder(pattern.Plus(pattern.TypeAs("Measurement", "M"))).
+		Return(agg.Spec{Func: agg.CountStar}).
+		Semantics(query.Any).
+		WhereEquiv(predicate.Equivalence{Attr: "patient"}).
+		WhereAdjacent(predicate.Adjacent{Left: "M", LeftAttr: "rate", Right: "M", RightAttr: "rate",
+			Fn: func(prev, next any) bool {
+				l, lok := prev.(float64)
+				r, rok := next.(float64)
+				return lok && rok && l < r
+			}}).
+		GroupBy(query.GroupKey{Attr: "patient"}).
+		Within(512, 512).
+		MustBuild()
+	benchEngine(b, q, measureBenchStream(4096))
+}
+
+// denseBenchStream is typeBenchStream with runs of equal time stamps:
+// runLen events share each tick, the §8 stream-transaction shape that
+// the hoisted watermark/window-state path exploits.
+func denseBenchStream(n, runLen int) []*event.Event {
+	out := typeBenchStream(n)
+	for i := range out {
+		out[i].Time = int64(i / runLen)
+	}
+	return out
+}
+
+// BenchmarkEngineProcessDenseTimestamps measures the equal-time-stamp
+// fast path: with 16 events per tick the watermark check and the
+// window-state lookup run once per tick instead of once per event.
+func BenchmarkEngineProcessDenseTimestamps(b *testing.B) {
+	q := query.NewBuilder(pattern.Plus(pattern.Seq(pattern.Plus(pattern.Type("A")), pattern.Type("B")))).
+		Return(agg.Spec{Func: agg.CountStar}, agg.Spec{Func: agg.Sum, Alias: "A", Attr: "v"}).
+		Semantics(query.Any).
+		Within(64, 64).
+		MustBuild()
+	benchEngine(b, q, denseBenchStream(4096, 16))
+}
+
 // BenchmarkEngineProcessPatternGrained is the O(1)-state contiguous
 // path with an adjacent predicate and stream partitioning.
 func BenchmarkEngineProcessPatternGrained(b *testing.B) {
@@ -184,6 +243,28 @@ func TestHotPathZeroAllocs(t *testing.T) {
 	plan.resolveInto(&rv, ev) // warm the scratch buffers
 	if n := testing.AllocsPerRun(1000, func() { plan.resolveInto(&rv, ev) }); n != 0 {
 		t.Errorf("resolveInto allocates %v/op", n)
+	}
+
+	// Typed NumFn adjacent predicates evaluate without boxing; the
+	// untyped Fn fallback is known to allocate (interface contract).
+	qn := query.NewBuilder(pattern.Plus(pattern.TypeAs("Measurement", "M"))).
+		Return(agg.Spec{Func: agg.CountStar}).
+		Semantics(query.Any).
+		WhereAdjacent(predicate.Adjacent{Left: "M", LeftAttr: "rate", Right: "M", RightAttr: "rate",
+			NumFn: func(prev, next float64) bool { return prev < next }}).
+		Within(512, 512).
+		MustBuild()
+	plann := MustPlan(qn)
+	var rvn resolvedVals
+	plann.resolveInto(&rvn, event.New("Measurement", 1).WithNum("rate", 60))
+	left := plann.copyLeftVals(nil, &rvn) // stored predecessor: rate=60
+	plann.resolveInto(&rvn, event.New("Measurement", 2).WithNum("rate", 61))
+	edge := &rvn.tp.aliases[0].preds[0]
+	if !evalAdjacent(edge.adj, left, &rvn) {
+		t.Fatal("NumFn adjacent check rejected an increasing pair")
+	}
+	if n := testing.AllocsPerRun(1000, func() { evalAdjacent(edge.adj, left, &rvn) }); n != 0 {
+		t.Errorf("NumFn adjacent evaluation allocates %v/op", n)
 	}
 }
 

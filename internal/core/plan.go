@@ -100,15 +100,16 @@ type Plan struct {
 	negGuard map[[2]string]int
 
 	// Compiled interning state (symbols.go), built once by compile():
-	// dense ids for aliases and referenced attributes, per-event-type
-	// dispatch tables, and the attribute-id projections of the specs,
-	// partition keys and adjacent-predicate left operands.
+	// dense ids for aliases and — in the shared catalog — event types
+	// and referenced attributes, per-event-type dispatch tables, and
+	// the attribute-id projections of the specs, partition keys and
+	// adjacent-predicate left operands. typePlans is indexed by catalog
+	// type id (nil entries: types of other plans in the catalog).
+	cat              *Catalog
 	aliasNames       []string
 	aliasIDs         map[string]int32
-	attrNames        []string
-	attrIDs          map[string]int32
-	symNeeded        []bool
-	typePlans        map[string]*typePlan
+	typePlans        []*typePlan
+	typeIDs          []int32 // catalog ids of the types this plan matches
 	specIDs          []int32
 	streamKeyIDs     []int32
 	adjLeft          []int32
@@ -125,7 +126,18 @@ type negRef struct {
 
 // NewPlan runs the static query analyzer: pattern analysis (§3.1),
 // predicate classification (§3.2) and granularity selection (§3.3).
+// The plan is compiled against a private catalog; use NewPlanIn to
+// share ids with other plans for multi-query execution.
 func NewPlan(q *query.Query) (*Plan, error) {
+	return NewPlanIn(NewCatalog(), q)
+}
+
+// NewPlanIn is NewPlan compiling against a shared catalog: every plan
+// compiled in one catalog agrees on type/attribute ids, so one
+// resolver pass per event serves all of them (internal/runtime).
+// Compilation mutates the catalog and must finish before engines or
+// resolvers over it start processing events.
+func NewPlanIn(cat *Catalog, q *query.Query) (*Plan, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
@@ -135,6 +147,7 @@ func NewPlan(q *query.Query) (*Plan, error) {
 	}
 	p := &Plan{
 		Query:       q,
+		cat:         cat,
 		FSA:         fsa,
 		Granularity: SelectGranularity(q.Semantics, q.Where.HasAdjacent()),
 		Specs:       q.Returns,
@@ -235,6 +248,33 @@ func MustPlan(q *query.Query) *Plan {
 	return p
 }
 
+// Catalog returns the catalog the plan was compiled against.
+func (p *Plan) Catalog() *Catalog { return p.cat }
+
+// SubscribedTypeIDs returns the catalog ids of every event type the
+// plan reacts to: pattern types plus negated types. A multi-query
+// runtime routes only these types to the plan's engine.
+func (p *Plan) SubscribedTypeIDs() []int32 { return p.typeIDs }
+
+// WantsAllEvents reports whether the plan's engine must observe every
+// stream event regardless of type: under contiguous semantics any
+// unmatched event resets the chain of matched events (Example 7), so
+// events of foreign types are semantically relevant. All other
+// semantics ignore foreign types entirely (they only advance the
+// watermark, which the runtime drives centrally).
+func (p *Plan) WantsAllEvents() bool {
+	return p.Query.Semantics == query.Cont
+}
+
+// typePlanAt returns the dispatch entry for a catalog type id, nil
+// when the type is irrelevant to this plan (foreign or unknown).
+func (p *Plan) typePlanAt(tid int32) *typePlan {
+	if tid < 0 || int(tid) >= len(p.typePlans) {
+		return nil
+	}
+	return p.typePlans[tid]
+}
+
 // StreamKeyOf extracts the partition key of an event, or ok=false if
 // the event lacks a partition attribute (it then belongs to no
 // sub-stream and cannot contribute to or invalidate any trend). The
@@ -260,7 +300,16 @@ func (p *Plan) StreamKeyOf(e *event.Event) (string, bool) {
 // producer of the key bytes is the resolved-view variant in
 // symbols.go, pinned to this format by TestAppendStreamKeyMatches*.
 func (p *Plan) AppendStreamKey(buf []byte, e *event.Event) ([]byte, bool) {
-	for i, attr := range p.StreamKeys {
+	return AppendEventKey(buf, e, p.StreamKeys)
+}
+
+// AppendEventKey appends the NUL-joined SymAttr values of attrs to buf
+// and reports whether e carries every attribute. It is the shared
+// key-building primitive: a plan's partition key is AppendEventKey
+// over its StreamKeys, and the multi-query router builds its routing
+// key over the partition attributes common to all hosted plans.
+func AppendEventKey(buf []byte, e *event.Event, attrs []string) ([]byte, bool) {
+	for i, attr := range attrs {
 		if i > 0 {
 			buf = append(buf, 0)
 		}

@@ -145,6 +145,7 @@ type adjCheck struct {
 	leftAttr  int32 // attr id of the left operand (for resolved lefts)
 	rightAttr int32
 	op        predicate.Op
+	numFn     func(prev, next float64) bool
 	fn        func(prev, next any) bool
 }
 
@@ -152,6 +153,16 @@ type adjCheck struct {
 // numeric-first, missing operands fail, mixed kinds compare unequal.
 func (c *adjCheck) eval(left []attrVal, rv *resolvedVals) bool {
 	lv := &left[c.leftPos]
+	if c.numFn != nil {
+		// Typed fast path: numeric operands reach the user predicate
+		// without boxing into `any`, keeping the stored-event scan
+		// allocation-free. Non-numeric operands fail, mirroring NumFn's
+		// contract in predicate.Adjacent.Eval.
+		if lv.has&hasNum == 0 || rv.has[c.rightAttr]&hasNum == 0 {
+			return false
+		}
+		return c.numFn(lv.num, rv.num[c.rightAttr])
+	}
 	if c.fn != nil {
 		return c.fn(lv.anyAttr(), anyAttrOf(rv, c.rightAttr))
 	}
@@ -225,15 +236,15 @@ type typePlan struct {
 	negs    []negCheck
 }
 
-// compile interns symbols and builds the dispatch tables. Called once
-// at the end of NewPlan, after all string-level analysis.
+// compile interns symbols into the plan's catalog and builds the
+// dispatch tables. Called once at the end of NewPlanIn, after all
+// string-level analysis.
 func (p *Plan) compile() {
 	p.aliasIDs = make(map[string]int32, len(p.FSA.Aliases))
 	p.aliasNames = append([]string(nil), p.FSA.Aliases...)
 	for i, a := range p.aliasNames {
 		p.aliasIDs[a] = int32(i)
 	}
-	p.attrIDs = map[string]int32{}
 
 	// Attributes read symbolically (binding slots, partition keys) need
 	// the SymAttr numeric fallback materialised at resolve time.
@@ -279,13 +290,20 @@ func (p *Plan) compile() {
 		}
 	}
 
-	// Per-type dispatch tables: matching aliases plus fired negations.
-	p.typePlans = map[string]*typePlan{}
+	// Per-type dispatch tables, indexed by catalog type id: matching
+	// aliases plus fired negations. Types of other plans in a shared
+	// catalog keep nil entries (and later types fall off the end), so
+	// dispatch is a bounds-checked array read.
 	typePlanOf := func(typ string) *typePlan {
-		tp, ok := p.typePlans[typ]
-		if !ok {
+		tid := p.cat.internType(typ)
+		for int(tid) >= len(p.typePlans) {
+			p.typePlans = append(p.typePlans, nil)
+		}
+		tp := p.typePlans[tid]
+		if tp == nil {
 			tp = &typePlan{}
-			p.typePlans[typ] = tp
+			p.typePlans[tid] = tp
+			p.typeIDs = append(p.typeIDs, tid)
 		}
 		return tp
 	}
@@ -329,12 +347,13 @@ func (p *Plan) compileAlias(alias string, leftPos map[int32]int) aliasPlan {
 			if !a.Guards(pred, alias) {
 				continue
 			}
-			la := p.attrIDs[a.LeftAttr]
+			la := p.cat.attrIDs[a.LeftAttr]
 			edge.adj = append(edge.adj, adjCheck{
 				leftPos:   leftPos[la],
 				leftAttr:  la,
-				rightAttr: p.attrIDs[a.RightAttr],
+				rightAttr: p.cat.attrIDs[a.RightAttr],
 				op:        a.Op,
+				numFn:     a.NumFn,
 				fn:        a.Fn,
 			})
 		}
@@ -342,7 +361,7 @@ func (p *Plan) compileAlias(alias string, leftPos map[int32]int) aliasPlan {
 	}
 	for i, s := range p.Slots {
 		if s.Alias == alias {
-			ap.slots = append(ap.slots, slotRef{slot: i, attr: p.attrIDs[s.Attr]})
+			ap.slots = append(ap.slots, slotRef{slot: i, attr: p.cat.attrIDs[s.Attr]})
 		}
 	}
 	ap.specMatch = make([]bool, len(p.Specs))
@@ -375,54 +394,20 @@ func (p *Plan) compileLocals(alias string) []localCheck {
 	return out
 }
 
-// internAttr interns an attribute name; symNeeded marks attributes
-// read through SymAttr semantics, whose numeric fallback value is
-// materialised once per event at resolve time.
+// internAttr interns an attribute name into the plan's catalog.
 func (p *Plan) internAttr(name string, symNeeded bool) int32 {
-	id, ok := p.attrIDs[name]
-	if !ok {
-		id = int32(len(p.attrNames))
-		p.attrIDs[name] = id
-		p.attrNames = append(p.attrNames, name)
-		p.symNeeded = append(p.symNeeded, false)
-	}
-	if symNeeded {
-		p.symNeeded[id] = true
-	}
-	return id
+	return p.cat.internAttr(name, symNeeded)
 }
 
 // resolveInto computes the resolved view of ev: one probe pass over
-// the plan's interned attributes, after which all predicate, binding
-// and partition-key reads are array indexing.
+// the catalog's interned attributes (catalog.go), after which all
+// predicate, binding and partition-key reads are array indexing. The
+// type dispatch entry and spec projection are the plan's own.
 func (p *Plan) resolveInto(rv *resolvedVals, ev *event.Event) {
-	n := len(p.attrNames)
-	if cap(rv.num) >= n {
-		rv.num, rv.sym, rv.has = rv.num[:n], rv.sym[:n], rv.has[:n]
-	} else {
-		rv.num = make([]float64, n)
-		rv.sym = make([]string, n)
-		rv.has = make([]uint8, n)
-	}
-	rv.ev = ev
-	rv.tp = p.typePlans[ev.Type]
+	p.cat.resolveInto(rv, ev)
+	tid, _ := p.cat.TypeID(ev.Type)
+	rv.tp = p.typePlanAt(tid)
 	rv.specIDs = p.specIDs
-	for i, name := range p.attrNames {
-		var h uint8
-		var nv float64
-		var sv string
-		if v, ok := ev.Num[name]; ok {
-			nv, h = v, hasNum
-		}
-		if s, ok := ev.Sym[name]; ok {
-			sv = s
-			h |= hasSymRaw | hasSymVal
-		} else if h&hasNum != 0 && p.symNeeded[i] {
-			sv = event.FormatNum(nv)
-			h |= hasSymVal
-		}
-		rv.num[i], rv.sym[i], rv.has[i] = nv, sv, h
-	}
 }
 
 // appendStreamKey appends the partition key of a resolved event:

@@ -127,7 +127,7 @@ func TestResolvedViewSemantics(t *testing.T) {
 	var rv resolvedVals
 	// Numeric patient: the slot reads the formatted fallback value.
 	plan.resolveInto(&rv, event.New("M", 1).WithNum("patient", 7).WithNum("rate", 61.5))
-	pid := plan.attrIDs["patient"]
+	pid := plan.cat.attrIDs["patient"]
 	if rv.has[pid]&hasSymVal == 0 || rv.sym[pid] != "7" {
 		t.Errorf("numeric patient resolved to %q (has=%b)", rv.sym[pid], rv.has[pid])
 	}

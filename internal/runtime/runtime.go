@@ -1,0 +1,218 @@
+// Package runtime executes many compiled COGRA plans over one event
+// stream in a single pass: the shared multi-query runtime. Production
+// trend aggregation runs hundreds of concurrent queries over the same
+// stream; executed naively that costs N full passes — N symbol tables,
+// N per-event attribute resolutions, N watermark checks — all
+// redundant, because the per-event work up to sub-aggregation depends
+// only on the stream, not on the query.
+//
+// The runtime eliminates the redundancy in three ways:
+//
+//   - Shared resolution. All hosted plans are compiled against one
+//     core.Catalog, so they agree on dense type/attribute ids, and each
+//     incoming event is resolved ONCE into a union attribute view
+//     (core.Resolver). Every interested engine receives the same
+//     resolved slots by reference.
+//
+//   - Per-type subscription index. Each plan declares the event types
+//     it reacts to (pattern types plus negated types); the runtime
+//     dispatches an event only to the engines subscribed to its type
+//     id — a slice index, not a per-query check. Queries under
+//     contiguous semantics observe every event (an unmatched event
+//     resets their chain), so they register on the wants-all list.
+//
+//   - Single watermark. Stream time advances once per distinct time
+//     stamp and drives every hosted window manager in one pass
+//     (Engine.AdvanceWatermark), so windows close and emit even for
+//     engines whose types the current event does not match.
+//
+// The runtime is single-threaded like the engines it hosts; partition
+// parallelism runs one runtime per worker (internal/stream).
+package runtime
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/query"
+)
+
+// Subscription is one hosted query: its plan, its engine, and its
+// position in the runtime.
+type Subscription struct {
+	id   int
+	plan *core.Plan
+	eng  *core.Engine
+}
+
+// ID returns the subscription's index in the runtime (0-based, in
+// Subscribe order).
+func (s *Subscription) ID() int { return s.id }
+
+// Plan returns the compiled plan of the hosted query.
+func (s *Subscription) Plan() *core.Plan { return s.plan }
+
+// Engine returns the hosted engine (for accounting or inspection; do
+// not feed it events directly while the runtime owns it).
+func (s *Subscription) Engine() *core.Engine { return s.eng }
+
+// Results returns the results the hosted engine has collected so far
+// (nil when the subscription streams through a result callback).
+func (s *Subscription) Results() []core.Result { return s.eng.Results() }
+
+// Runtime hosts any number of compiled plans over one catalog and
+// executes them against a single in-order event stream. Not safe for
+// concurrent use.
+type Runtime struct {
+	cat *core.Catalog
+	res *core.Resolver
+
+	subs []*Subscription
+	// byType[tid] lists the subscriptions whose plans react to catalog
+	// type id tid; wantsAll lists contiguous-semantics subscriptions,
+	// which must observe every event.
+	byType   [][]*Subscription
+	wantsAll []*Subscription
+
+	lastTime int64
+	sawEvent bool
+	seq      int64
+	closed   bool
+}
+
+// New returns an empty runtime over a fresh catalog.
+func New() *Runtime {
+	return NewOn(core.NewCatalog())
+}
+
+// NewOn returns an empty runtime over an existing catalog, for hosting
+// plans that were compiled elsewhere (core.NewPlanIn). Several
+// runtimes may share one catalog — the partition-parallel executor
+// runs one per worker.
+func NewOn(cat *core.Catalog) *Runtime {
+	return &Runtime{cat: cat, res: core.NewResolver(cat)}
+}
+
+// Catalog returns the runtime's catalog, for compiling further plans
+// against it.
+func (rt *Runtime) Catalog() *core.Catalog { return rt.cat }
+
+// Subscribe compiles a query against the runtime's catalog and hosts
+// it. Engine options (result callbacks, accounting) apply to the
+// query's private engine. Subscriptions are accepted until the first
+// Close. Subscribing mid-stream is allowed ONLY when the catalog is
+// private to this runtime (the NewRuntime case): compilation interns
+// new symbols, and a catalog shared with other runtimes, resolvers or
+// executor workers must stay read-only while any of them processes
+// events — for shared catalogs, compile every plan first.
+func (rt *Runtime) Subscribe(q *query.Query, opts ...core.Option) (*Subscription, error) {
+	plan, err := core.NewPlanIn(rt.cat, q)
+	if err != nil {
+		return nil, err
+	}
+	return rt.SubscribePlan(plan, opts...)
+}
+
+// SubscribePlan hosts an already-compiled plan. The plan must have
+// been compiled against the runtime's catalog.
+func (rt *Runtime) SubscribePlan(plan *core.Plan, opts ...core.Option) (*Subscription, error) {
+	if rt.closed {
+		return nil, fmt.Errorf("runtime: Subscribe after Close")
+	}
+	if plan.Catalog() != rt.cat {
+		return nil, fmt.Errorf("runtime: plan compiled against a different catalog")
+	}
+	s := &Subscription{
+		id:   len(rt.subs),
+		plan: plan,
+		eng:  core.NewEngine(plan, opts...),
+	}
+	rt.subs = append(rt.subs, s)
+	if plan.WantsAllEvents() {
+		rt.wantsAll = append(rt.wantsAll, s)
+		return s, nil
+	}
+	for _, tid := range plan.SubscribedTypeIDs() {
+		for int(tid) >= len(rt.byType) {
+			rt.byType = append(rt.byType, nil)
+		}
+		rt.byType[tid] = append(rt.byType[tid], s)
+	}
+	return s, nil
+}
+
+// Queries returns the hosted subscriptions in Subscribe order.
+func (rt *Runtime) Queries() []*Subscription { return rt.subs }
+
+// Process consumes the next stream event for every hosted query.
+// Events must arrive in non-decreasing time-stamp order.
+func (rt *Runtime) Process(ev *event.Event) error {
+	if rt.closed {
+		return fmt.Errorf("runtime: Process after Close")
+	}
+	if rt.sawEvent && ev.Time < rt.lastTime {
+		return fmt.Errorf("runtime: out-of-order event at time %d after %d", ev.Time, rt.lastTime)
+	}
+	rt.seq++
+	if ev.ID == 0 {
+		ev.ID = rt.seq
+	}
+	if !rt.sawEvent || ev.Time != rt.lastTime {
+		// One watermark pass closes complete windows across every
+		// hosted engine, including those the event's type won't reach.
+		for _, s := range rt.subs {
+			if err := s.eng.AdvanceWatermark(ev.Time); err != nil {
+				return err
+			}
+		}
+	}
+	rt.lastTime, rt.sawEvent = ev.Time, true
+
+	tid := int32(-1)
+	var interested []*Subscription
+	if id, ok := rt.cat.TypeID(ev.Type); ok {
+		tid = id
+		if int(id) < len(rt.byType) {
+			interested = rt.byType[id]
+		}
+	}
+	if len(interested) == 0 && len(rt.wantsAll) == 0 {
+		return nil // no hosted query reacts to this type
+	}
+	// Resolve once; every interested engine reads the same view.
+	rt.res.Resolve(ev)
+	for _, s := range interested {
+		if err := s.eng.ProcessResolved(ev, rt.res, tid); err != nil {
+			return err
+		}
+	}
+	for _, s := range rt.wantsAll {
+		if err := s.eng.ProcessResolved(ev, rt.res, tid); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ProcessAll feeds a pre-sorted batch of events.
+func (rt *Runtime) ProcessAll(events []*event.Event) error {
+	for _, ev := range events {
+		if err := rt.Process(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close flushes every open window of every hosted query and returns
+// the collected results indexed by subscription id (nil entries for
+// subscriptions that stream through callbacks).
+func (rt *Runtime) Close() [][]core.Result {
+	rt.closed = true
+	out := make([][]core.Result, len(rt.subs))
+	for i, s := range rt.subs {
+		out[i] = s.eng.Close()
+	}
+	return out
+}

@@ -1,0 +1,226 @@
+package runtime
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/agg"
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/pattern"
+	"repro/internal/predicate"
+	"repro/internal/query"
+)
+
+// testRand is a tiny deterministic xorshift.
+type testRand uint64
+
+func (r *testRand) next() uint64 {
+	x := uint64(*r)
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	*r = testRand(x)
+	return x
+}
+
+// mixedStream emits a multi-type stream exercising every query class:
+// A/B sequences with accounts, Measurement random walks with patients,
+// and X noise events no query matches (but contiguous semantics must
+// still observe). Time stamps repeat (dense runs) and jump (idle
+// gaps); IDs are pre-assigned so engines fed the same slice agree.
+func mixedStream(n int) []*event.Event {
+	r := testRand(99)
+	rates := [3]float64{60, 70, 80}
+	out := make([]*event.Event, 0, n)
+	t := int64(0)
+	for i := 0; i < n; i++ {
+		switch x := r.next() % 10; {
+		case x < 3:
+			out = append(out, event.New("A", t).
+				WithSym("acct", fmt.Sprintf("acct-%d", r.next()%3)).
+				WithNum("v", float64(r.next()%100)))
+		case x < 5:
+			out = append(out, event.New("B", t).
+				WithSym("acct", fmt.Sprintf("acct-%d", r.next()%3)).
+				WithNum("v", float64(r.next()%100)))
+		case x < 8:
+			p := int(r.next() % 3)
+			rates[p] += float64(int(r.next()%7)) - 3
+			out = append(out, event.New("Measurement", t).
+				WithSym("patient", fmt.Sprintf("p%d", p)).
+				WithNum("rate", rates[p]))
+		default:
+			out = append(out, event.New("X", t).WithNum("noise", 1))
+		}
+		out[i].ID = int64(i + 1)
+		// Dense runs of equal time stamps, occasional idle gaps.
+		switch r.next() % 8 {
+		case 0, 1, 2:
+			// same time stamp
+		case 7:
+			t += 40 + int64(r.next()%200) // idle gap spanning windows
+		default:
+			t++
+		}
+	}
+	return out
+}
+
+// testQueries covers all three granularities plus contiguous
+// semantics (the wants-all path) and a windowless-partition case.
+func testQueries() []*query.Query {
+	return []*query.Query{
+		// Type-grained: ANY without adjacent predicates.
+		query.NewBuilder(pattern.Plus(pattern.Seq(pattern.Plus(pattern.Type("A")), pattern.Type("B")))).
+			Return(agg.Spec{Func: agg.CountStar}, agg.Spec{Func: agg.Sum, Alias: "A", Attr: "v"}).
+			Semantics(query.Any).
+			Within(64, 32).
+			MustBuild(),
+		// Type-grained with binding slots and grouping.
+		query.NewBuilder(pattern.Seq(pattern.Plus(pattern.Type("A")), pattern.Type("B"))).
+			Return(agg.Spec{Func: agg.CountStar}).
+			Semantics(query.Any).
+			WhereEquiv(predicate.Equivalence{Attr: "acct"}).
+			GroupBy(query.GroupKey{Attr: "acct"}).
+			Within(128, 128).
+			MustBuild(),
+		// Mixed-grained: adjacent predicate forces stored events.
+		query.NewBuilder(pattern.Plus(pattern.TypeAs("Measurement", "M"))).
+			Return(agg.Spec{Func: agg.CountStar}, agg.Spec{Func: agg.Max, Alias: "M", Attr: "rate"}).
+			Semantics(query.Any).
+			WhereEquiv(predicate.Equivalence{Attr: "patient"}).
+			WhereAdjacent(predicate.Adjacent{Left: "M", LeftAttr: "rate", Op: predicate.Lt, Right: "M", RightAttr: "rate"}).
+			GroupBy(query.GroupKey{Attr: "patient"}).
+			Within(64, 64).
+			MustBuild(),
+		// Pattern-grained, skip-till-next-match.
+		query.NewBuilder(pattern.Plus(pattern.TypeAs("Measurement", "M"))).
+			Return(agg.Spec{Func: agg.CountStar}).
+			Semantics(query.Next).
+			WhereEquiv(predicate.Equivalence{Attr: "patient"}).
+			WhereAdjacent(predicate.Adjacent{Left: "M", LeftAttr: "rate", Op: predicate.Le, Right: "M", RightAttr: "rate"}).
+			GroupBy(query.GroupKey{Attr: "patient"}).
+			Within(96, 48).
+			MustBuild(),
+		// Pattern-grained, contiguous: X noise events reset the chain,
+		// so this query must observe every event (wants-all routing).
+		query.NewBuilder(pattern.Plus(pattern.TypeAs("Measurement", "M"))).
+			Return(agg.Spec{Func: agg.CountStar}).
+			Semantics(query.Cont).
+			WhereEquiv(predicate.Equivalence{Attr: "patient"}).
+			GroupBy(query.GroupKey{Attr: "patient"}).
+			Within(64, 64).
+			MustBuild(),
+	}
+}
+
+// TestRuntimeMatchesIndependentEngines is the differential guarantee
+// of the shared runtime: hosting N plans over one catalog and one
+// resolve pass produces output byte-identical to N independent
+// engines, each resolving and filtering the full stream on its own —
+// across all three granularities and the contiguous wants-all path.
+func TestRuntimeMatchesIndependentEngines(t *testing.T) {
+	events := mixedStream(4000)
+	queries := testQueries()
+
+	rt := New()
+	var subs []*Subscription
+	for qi, q := range queries {
+		s, err := rt.Subscribe(q)
+		if err != nil {
+			t.Fatalf("query %d: %v", qi, err)
+		}
+		subs = append(subs, s)
+	}
+	if err := rt.ProcessAll(events); err != nil {
+		t.Fatal(err)
+	}
+	shared := rt.Close()
+
+	for qi, q := range queries {
+		plan, err := core.NewPlan(q) // private catalog, like a solo run
+		if err != nil {
+			t.Fatalf("query %d: %v", qi, err)
+		}
+		eng := core.NewEngine(plan)
+		if err := eng.ProcessAll(events); err != nil {
+			t.Fatalf("query %d: %v", qi, err)
+		}
+		independent := eng.Close()
+		if got, want := fmt.Sprintf("%v", shared[qi]), fmt.Sprintf("%v", independent); got != want {
+			t.Errorf("query %d (%v): shared runtime diverges from independent engine\nshared:      %s\nindependent: %s",
+				qi, plan.Granularity, got, want)
+		}
+		if len(independent) == 0 {
+			t.Errorf("query %d produced no results; differential test is vacuous", qi)
+		}
+		if subs[qi].ID() != qi {
+			t.Errorf("subscription %d has id %d", qi, subs[qi].ID())
+		}
+	}
+}
+
+// TestRuntimeCallbacksAndErrors covers the per-query callback path,
+// out-of-order rejection and post-Close usage.
+func TestRuntimeCallbacksAndErrors(t *testing.T) {
+	rt := New()
+	var streamed []core.Result
+	q := query.NewBuilder(pattern.Seq(pattern.Plus(pattern.Type("A")), pattern.Type("B"))).
+		Return(agg.Spec{Func: agg.CountStar}).
+		Semantics(query.Any).
+		Within(10, 10).
+		MustBuild()
+	sub, err := rt.Subscribe(q, core.WithResultCallback(func(r core.Result) { streamed = append(streamed, r) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range []*event.Event{
+		event.New("A", 1), event.New("A", 2), event.New("B", 3),
+		event.New("Z", 15), // foreign type still advances the watermark
+	} {
+		if err := rt.Process(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(streamed) != 1 {
+		t.Fatalf("callback saw %d results before close, want 1 (watermark-driven emission)", len(streamed))
+	}
+	if err := rt.Process(event.New("A", 4)); err == nil {
+		t.Error("out-of-order event accepted")
+	}
+	if sub.Plan().Granularity != core.TypeGrained {
+		t.Errorf("granularity = %v", sub.Plan().Granularity)
+	}
+	rt.Close()
+	if err := rt.Process(event.New("A", 99)); err == nil {
+		t.Error("Process after Close accepted")
+	}
+	if _, err := rt.Subscribe(q); err == nil {
+		t.Error("Subscribe after Close accepted")
+	}
+	if got := len(streamed); got != 1 {
+		t.Fatalf("callback results = %d, want 1", got)
+	}
+	if streamed[0].Values[0].Count != 3 { // trends: A1B, A2B, A1A2B
+		t.Errorf("COUNT(*) = %v, want 3", streamed[0].Values[0].Count)
+	}
+}
+
+// TestRuntimeForeignCatalogPlan rejects hosting a plan compiled
+// against a different catalog (its ids would index the wrong arrays).
+func TestRuntimeForeignCatalogPlan(t *testing.T) {
+	q := query.NewBuilder(pattern.Plus(pattern.Type("A"))).
+		Return(agg.Spec{Func: agg.CountStar}).
+		Semantics(query.Any).
+		Within(10, 10).
+		MustBuild()
+	foreign, err := core.NewPlan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := New()
+	if _, err := rt.SubscribePlan(foreign); err == nil {
+		t.Error("foreign-catalog plan accepted")
+	}
+}

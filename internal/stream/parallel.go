@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/event"
 	"repro/internal/metrics"
+	"repro/internal/runtime"
 )
 
 // routeBatchSize is how many events the router accumulates per worker
@@ -16,69 +17,134 @@ import (
 // over bursts while keeping per-worker latency bounded.
 const routeBatchSize = 256
 
-// ParallelExecutor exploits the stream partitioning of §7/§8:
-// equivalence predicates and grouping split the stream into
-// non-overlapping sub-streams, each processed by its own COGRA engine
-// on a worker goroutine. Events are routed by hashing the partition
-// key, so each worker sees an in-order sub-stream and no cross-worker
-// coordination is needed; results are merged and re-ordered on Close.
+// MultiExecutor exploits the stream partitioning of §7/§8 for a whole
+// set of queries at once: every worker goroutine hosts one shared
+// multi-query runtime (internal/runtime) executing all plans, and
+// events are routed by hashing the partition attributes the plans have
+// in common. Because the routing attributes are a subset of every
+// plan's partition key, all events of any plan's sub-stream land on
+// the same worker in order — no cross-worker coordination is needed,
+// and each hosted engine sees exactly the sub-streams a solo run
+// would. Per-query results are merged and re-ordered on Close.
 //
-// The routing hot path is allocation-free: the partition key is
-// appended into a reused buffer, hashed with an inlined FNV-1a loop,
-// and events travel in pooled batches instead of one channel send per
-// event.
-type ParallelExecutor struct {
-	plan    *core.Plan
-	workers []*worker
-	pending []*[]*event.Event // per-worker batch under construction
-	keyBuf  []byte
-	pool    sync.Pool
-	skipped int64
-	closed  bool
+// Routing degenerates to a single worker when the hosted plans share
+// no partition attribute (some plan has an unpartitioned stream, or
+// the intersection is empty): the stream then has sub-streams that
+// only a single in-order pass preserves for every plan.
+//
+// The routing hot path is allocation-free: the routing key is appended
+// into a reused buffer, hashed with an inlined FNV-1a loop, and events
+// travel in pooled batches instead of one channel send per event.
+type MultiExecutor struct {
+	plans      []*core.Plan
+	routeAttrs []string
+	workers    []*mworker
+	pending    []*[]*event.Event // per-worker batch under construction
+	keyBuf     []byte
+	pool       sync.Pool
+	callbacks  []func(core.Result)
+	skipped    int64
+	closed     bool
 }
 
-type worker struct {
-	in      chan *[]*event.Event
-	done    chan struct{}
-	pool    *sync.Pool
-	engine  *core.Engine
+type mworker struct {
+	in   chan *[]*event.Event
+	done chan struct{}
+	pool *sync.Pool
+	rt   *runtime.Runtime
+	// acct is shared by every query the worker hosts (they run on one
+	// goroutine), so the worker peak is a true simultaneous footprint.
 	acct    metrics.Accountant
-	results []core.Result
+	results [][]core.Result
 	err     error
 }
 
-// NewParallelExecutor starts n workers (n >= 1). A plan without
-// partition keys yields a single worker, since an unpartitioned
-// stream has a single sub-stream.
-func NewParallelExecutor(plan *core.Plan, n int) *ParallelExecutor {
-	if n < 1 || len(plan.StreamKeys) == 0 {
+// NewMultiExecutor starts n workers (n >= 1) executing all plans over
+// one stream. The plans must be compiled against one shared catalog
+// (core.NewPlanIn), so each worker resolves every event once for all
+// of them.
+func NewMultiExecutor(plans []*core.Plan, n int) (*MultiExecutor, error) {
+	if len(plans) == 0 {
+		return nil, fmt.Errorf("stream: no plans")
+	}
+	cat := plans[0].Catalog()
+	for i, plan := range plans[1:] {
+		if plan.Catalog() != cat {
+			return nil, fmt.Errorf("stream: plan %d compiled against a different catalog (use core.NewPlanIn with one shared catalog)", i+1)
+		}
+	}
+	p := &MultiExecutor{
+		plans:      plans,
+		routeAttrs: sharedRouteAttrs(plans),
+		callbacks:  make([]func(core.Result), len(plans)),
+	}
+	if n < 1 || len(p.routeAttrs) == 0 {
 		n = 1
 	}
-	p := &ParallelExecutor{plan: plan}
 	p.pool.New = func() any {
 		b := make([]*event.Event, 0, routeBatchSize)
 		return &b
 	}
 	p.pending = make([]*[]*event.Event, n)
 	for i := 0; i < n; i++ {
-		w := &worker{
+		w := &mworker{
 			in:   make(chan *[]*event.Event, 16),
 			done: make(chan struct{}),
 			pool: &p.pool,
+			rt:   runtime.NewOn(cat),
 		}
-		w.engine = core.NewEngine(plan, core.WithAccountant(&w.acct))
+		for _, plan := range plans {
+			if _, err := w.rt.SubscribePlan(plan, core.WithAccountant(&w.acct)); err != nil {
+				return nil, err
+			}
+		}
 		p.workers = append(p.workers, w)
+	}
+	// Goroutines start only after every worker subscribed successfully,
+	// so an error return above cannot strand a blocked worker.
+	for _, w := range p.workers {
 		go w.run()
 	}
-	return p
+	return p, nil
 }
 
-func (w *worker) run() {
+// sharedRouteAttrs returns the partition attributes common to every
+// plan, in the first plan's declaration order. The routing key is a
+// function of every plan's full partition key (the routing attributes
+// are a subset of each plan's StreamKeys), so all events of any one
+// sub-stream hash identically and stay worker-local; one routing value
+// may still fan out into several sub-streams of a plan with extra
+// partition attributes, which is harmless.
+func sharedRouteAttrs(plans []*core.Plan) []string {
+	var out []string
+	for _, attr := range plans[0].StreamKeys {
+		inAll := true
+		for _, plan := range plans[1:] {
+			found := false
+			for _, a := range plan.StreamKeys {
+				if a == attr {
+					found = true
+					break
+				}
+			}
+			if !found {
+				inAll = false
+				break
+			}
+		}
+		if inAll {
+			out = append(out, attr)
+		}
+	}
+	return out
+}
+
+func (w *mworker) run() {
 	defer close(w.done)
 	for batch := range w.in {
 		if w.err == nil {
 			for _, e := range *batch {
-				if w.err = w.engine.Process(e); w.err != nil {
+				if w.err = w.rt.Process(e); w.err != nil {
 					break // drain after failure
 				}
 			}
@@ -87,7 +153,7 @@ func (w *worker) run() {
 		w.pool.Put(batch)
 	}
 	if w.err == nil {
-		w.results = w.engine.Close()
+		w.results = w.rt.Close()
 	}
 }
 
@@ -102,21 +168,33 @@ func fnv1a(b []byte) uint32 {
 	return h
 }
 
-// Process routes one event to its partition's worker. Events without
-// a partition key are counted and dropped (they belong to no
-// sub-stream). Events are delivered in batches; Close flushes any
-// partial batch.
-func (p *ParallelExecutor) Process(e *event.Event) error {
+// OnResult installs a result callback for one hosted query (by its
+// index in the plans slice). Close delivers the query's merged,
+// re-ordered results to the callback instead of returning them. Must
+// be called before Close.
+func (p *MultiExecutor) OnResult(qi int, fn func(core.Result)) {
+	p.callbacks[qi] = fn
+}
+
+// Process routes one event to its partition's worker. Events missing
+// a shared routing attribute are counted and dropped — such an event
+// lacks part of every plan's partition key, so no plan's engine would
+// admit it to a sub-stream. Events are delivered in batches; Close
+// flushes any partial batch.
+func (p *MultiExecutor) Process(e *event.Event) error {
 	if p.closed {
 		return fmt.Errorf("stream: Process after Close")
 	}
-	keyBuf, ok := p.plan.AppendStreamKey(p.keyBuf[:0], e)
-	p.keyBuf = keyBuf
-	if !ok {
-		p.skipped++
-		return nil
+	wi := 0
+	if len(p.routeAttrs) > 0 {
+		keyBuf, ok := core.AppendEventKey(p.keyBuf[:0], e, p.routeAttrs)
+		p.keyBuf = keyBuf
+		if !ok {
+			p.skipped++
+			return nil
+		}
+		wi = int(fnv1a(keyBuf) % uint32(len(p.workers)))
 	}
-	wi := int(fnv1a(keyBuf) % uint32(len(p.workers)))
 	batch := p.pending[wi]
 	if batch == nil {
 		batch = p.pool.Get().(*[]*event.Event)
@@ -131,7 +209,7 @@ func (p *ParallelExecutor) Process(e *event.Event) error {
 }
 
 // Run consumes an entire ordered source.
-func (p *ParallelExecutor) Run(src Iterator) error {
+func (p *MultiExecutor) Run(src Iterator) error {
 	var seq int64
 	for {
 		e, ok := src.Next()
@@ -148,10 +226,12 @@ func (p *ParallelExecutor) Run(src Iterator) error {
 	}
 }
 
-// Close flushes pending batches, drains the workers and returns all
-// results ordered by window then group, exactly like a single engine
-// would emit them.
-func (p *ParallelExecutor) Close() ([]core.Result, error) {
+// Close flushes pending batches, drains the workers and returns each
+// query's results ordered by window then group, exactly like a single
+// engine would emit them — indexed by the query's position in the
+// plans slice. Queries with an OnResult callback receive their results
+// through it (their slot is nil).
+func (p *MultiExecutor) Close() ([][]core.Result, error) {
 	if p.closed {
 		return nil, fmt.Errorf("stream: double Close")
 	}
@@ -164,36 +244,107 @@ func (p *ParallelExecutor) Close() ([]core.Result, error) {
 		}
 		close(w.in)
 		wg.Add(1)
-		go func(w *worker) {
+		go func(w *mworker) {
 			defer wg.Done()
 			<-w.done
 		}(w)
 	}
 	wg.Wait()
-	var out []core.Result
 	for _, w := range p.workers {
 		if w.err != nil {
 			return nil, w.err
 		}
-		out = append(out, w.results...)
 	}
+	out := make([][]core.Result, len(p.plans))
+	for qi := range p.plans {
+		var merged []core.Result
+		for _, w := range p.workers {
+			merged = append(merged, w.results[qi]...)
+		}
+		sortResults(merged)
+		if cb := p.callbacks[qi]; cb != nil {
+			for _, r := range merged {
+				cb(r)
+			}
+			continue
+		}
+		out[qi] = merged
+	}
+	return out, nil
+}
+
+// sortResults orders merged per-worker results by window then group,
+// the order a single engine emits.
+func sortResults(out []core.Result) {
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Wid != out[j].Wid {
 			return out[i].Wid < out[j].Wid
 		}
 		return strings.Join(out[i].Group, "\x00") < strings.Join(out[j].Group, "\x00")
 	})
-	return out, nil
 }
 
-// Skipped returns the number of events without a partition key.
-func (p *ParallelExecutor) Skipped() int64 { return p.skipped }
+// Skipped returns the number of events without a routing key.
+func (p *MultiExecutor) Skipped() int64 { return p.skipped }
+
+// Workers returns the actual worker count — 1 when the hosted plans
+// share no partition attribute, regardless of what was requested.
+func (p *MultiExecutor) Workers() int { return len(p.workers) }
 
 // PeakBytes returns the summed logical peak memory across workers.
-func (p *ParallelExecutor) PeakBytes() int64 {
+// Each worker's peak covers all queries it hosts simultaneously;
+// worker peaks may occur at different times, so the sum is an upper
+// bound on the fleet-wide footprint (as for ParallelExecutor).
+func (p *MultiExecutor) PeakBytes() int64 {
 	var total int64
 	for _, w := range p.workers {
 		total += w.acct.Peak()
 	}
 	return total
 }
+
+// ParallelExecutor runs one plan partition-parallel: the single-query
+// special case of MultiExecutor, kept as its own type for the public
+// API (§8, "Parallel Processing"). Each worker hosts the plan's engine
+// behind a one-query runtime; routing hashes the plan's own partition
+// key, so results are byte-identical to a solo engine run.
+type ParallelExecutor struct {
+	m *MultiExecutor
+}
+
+// NewParallelExecutor starts n workers (n >= 1). A plan without
+// partition keys yields a single worker, since an unpartitioned
+// stream has a single sub-stream.
+func NewParallelExecutor(plan *core.Plan, n int) *ParallelExecutor {
+	m, err := NewMultiExecutor([]*core.Plan{plan}, n)
+	if err != nil {
+		panic(err) // unreachable: one plan always shares its catalog
+	}
+	return &ParallelExecutor{m: m}
+}
+
+// Process routes one event to its partition's worker.
+func (p *ParallelExecutor) Process(e *event.Event) error { return p.m.Process(e) }
+
+// Run consumes an entire ordered source.
+func (p *ParallelExecutor) Run(src Iterator) error { return p.m.Run(src) }
+
+// Close flushes pending batches, drains the workers and returns all
+// results ordered by window then group, exactly like a single engine
+// would emit them.
+func (p *ParallelExecutor) Close() ([]core.Result, error) {
+	out, err := p.m.Close()
+	if err != nil {
+		return nil, err
+	}
+	return out[0], nil
+}
+
+// Skipped returns the number of events without a partition key.
+func (p *ParallelExecutor) Skipped() int64 { return p.m.Skipped() }
+
+// Workers returns the actual worker count (1 for unpartitioned plans).
+func (p *ParallelExecutor) Workers() int { return p.m.Workers() }
+
+// PeakBytes returns the summed logical peak memory across workers.
+func (p *ParallelExecutor) PeakBytes() int64 { return p.m.PeakBytes() }

@@ -241,3 +241,136 @@ func TestParallelPeakBytes(t *testing.T) {
 		t.Error("peak bytes not tracked")
 	}
 }
+
+// multiQueries returns a heterogeneous query set for the multi-query
+// executor: all partition by patient (the shared routing attribute),
+// one adds a second partition attribute, and semantics span all three
+// granularities.
+func multiQueries() []*query.Query {
+	return []*query.Query{
+		parallelQuery(), // contiguous, pattern-grained
+		query.NewBuilder(pattern.Plus(pattern.TypeAs("M", "M"))).
+			Return(agg.Spec{Func: agg.CountStar}).
+			Semantics(query.Any).
+			WhereEquiv(predicate.Equivalence{Attr: "patient"}).
+			GroupBy(query.GroupKey{Attr: "patient"}).
+			Within(40, 40).
+			MustBuild(),
+		query.NewBuilder(pattern.Plus(pattern.TypeAs("M", "M"))).
+			Return(agg.Spec{Func: agg.CountStar}, agg.Spec{Func: agg.Min, Alias: "M", Attr: "rate"}).
+			Semantics(query.Any).
+			WhereEquiv(predicate.Equivalence{Attr: "patient"}).
+			WhereEquiv(predicate.Equivalence{Attr: "ward"}).
+			WhereAdjacent(predicate.Adjacent{Left: "M", LeftAttr: "rate", Op: predicate.Lt, Right: "M", RightAttr: "rate"}).
+			GroupBy(query.GroupKey{Attr: "patient"}).
+			Within(60, 30).
+			MustBuild(),
+	}
+}
+
+func multiStream(n, groups int) []*event.Event {
+	rng := rand.New(rand.NewSource(7))
+	var out []*event.Event
+	tm := int64(0)
+	for i := 0; i < n; i++ {
+		tm += int64(rng.Intn(2))
+		out = append(out, event.New("M", tm).
+			WithSym("patient", fmt.Sprintf("p%d", rng.Intn(groups))).
+			WithSym("ward", fmt.Sprintf("w%d", rng.Intn(3))).
+			WithNum("rate", float64(50+rng.Intn(50))))
+	}
+	return out
+}
+
+// TestMultiExecutorMatchesSoloEngines: the multi-query executor routes
+// by the shared partition attributes and produces, per query, exactly
+// the results of a solo engine run — for any worker count.
+func TestMultiExecutorMatchesSoloEngines(t *testing.T) {
+	queries := multiQueries()
+	events := multiStream(600, 7)
+
+	var want [][]core.Result
+	for _, q := range queries {
+		eng := core.NewEngine(core.MustPlan(q))
+		for _, e := range events {
+			if err := eng.Process(e.Clone()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want = append(want, eng.Close())
+	}
+
+	for _, workers := range []int{1, 2, 4} {
+		cat := core.NewCatalog()
+		plans := make([]*core.Plan, len(queries))
+		for i, q := range queries {
+			var err error
+			if plans[i], err = core.NewPlanIn(cat, q); err != nil {
+				t.Fatal(err)
+			}
+		}
+		m, err := NewMultiExecutor(plans, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var viaCallback []core.Result
+		m.OnResult(1, func(r core.Result) { viaCallback = append(viaCallback, r) })
+		cloned := make([]*event.Event, len(events))
+		for i, e := range events {
+			cloned[i] = e.Clone()
+		}
+		if err := m.Run(FromSlice(cloned)); err != nil {
+			t.Fatal(err)
+		}
+		got, err := m.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got[1] = viaCallback // callback query returns through OnResult
+		for qi := range queries {
+			if fmt.Sprintf("%v", got[qi]) != fmt.Sprintf("%v", want[qi]) {
+				t.Errorf("workers=%d query=%d: multi-executor diverges\ngot:  %v\nwant: %v",
+					workers, qi, got[qi], want[qi])
+			}
+			if len(want[qi]) == 0 {
+				t.Errorf("query %d produced no results; test is vacuous", qi)
+			}
+		}
+	}
+}
+
+// TestMultiExecutorRejectsMixedCatalogs: plans must share a catalog.
+func TestMultiExecutorRejectsMixedCatalogs(t *testing.T) {
+	q := parallelQuery()
+	a := core.MustPlan(q)
+	b := core.MustPlan(q)
+	if _, err := NewMultiExecutor([]*core.Plan{a, b}, 2); err == nil {
+		t.Error("plans from different catalogs accepted")
+	}
+}
+
+// TestSharedRouteAttrs pins the routing-attribute intersection rule.
+func TestSharedRouteAttrs(t *testing.T) {
+	cat := core.NewCatalog()
+	mk := func(attrs ...string) *core.Plan {
+		b := query.NewBuilder(pattern.Plus(pattern.TypeAs("M", "M"))).
+			Return(agg.Spec{Func: agg.CountStar}).
+			Semantics(query.Any).
+			Within(10, 10)
+		for _, a := range attrs {
+			b = b.WhereEquiv(predicate.Equivalence{Attr: a})
+		}
+		p, err := core.NewPlanIn(cat, b.MustBuild())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	got := sharedRouteAttrs([]*core.Plan{mk("patient", "ward"), mk("ward", "room")})
+	if fmt.Sprint(got) != "[ward]" {
+		t.Errorf("sharedRouteAttrs = %v, want [ward]", got)
+	}
+	if got := sharedRouteAttrs([]*core.Plan{mk("patient"), mk()}); len(got) != 0 {
+		t.Errorf("unpartitioned plan should clear the routing set, got %v", got)
+	}
+}

@@ -185,3 +185,95 @@ func TestFlushTwiceIsEmpty(t *testing.T) {
 		t.Errorf("second Flush = %d, want 0", got)
 	}
 }
+
+// TestManagerWidGapsAcrossIdlePeriods: an idle stream period skips
+// window ids entirely — windows nothing landed in are neither created
+// nor emitted, and the emitted cursor jumps the gap without
+// materialising intermediate states.
+func TestManagerWidGapsAcrossIdlePeriods(t *testing.T) {
+	created := []int64{}
+	m := NewManager(Spec{Within: 10, Slide: 10}, func(wid int64) int64 {
+		created = append(created, wid)
+		return wid
+	})
+	m.StatesFor(3) // window 0
+	// Long idle gap: the next event lands in window 100.
+	closed := m.AdvanceTo(1000)
+	if len(closed) != 1 || closed[0].Wid != 0 {
+		t.Fatalf("AdvanceTo(1000) = %+v, want only wid 0", closed)
+	}
+	states := m.StatesFor(1000) // window 100
+	if len(states) != 1 || states[0] != 100 {
+		t.Fatalf("StatesFor(1000) = %v, want [100]", states)
+	}
+	if !reflect.DeepEqual(created, []int64{0, 100}) {
+		t.Errorf("created windows %v; idle-gap windows materialised", created)
+	}
+	// The gap windows 1..99 never existed, so nothing further closes
+	// until window 100's own close time.
+	if closed := m.AdvanceTo(1009); len(closed) != 0 {
+		t.Errorf("gap advance closed %v", closed)
+	}
+	if closed := m.AdvanceTo(1010); len(closed) != 1 || closed[0].Wid != 100 {
+		t.Errorf("AdvanceTo(1010) = %+v, want wid 100", closed)
+	}
+}
+
+// TestManagerFlushAfterAdvanceTo: Flush only emits what AdvanceTo has
+// not, never re-emits, and leaves the emitted cursor past everything
+// so stragglers cannot resurrect flushed windows.
+func TestManagerFlushAfterAdvanceTo(t *testing.T) {
+	m := NewManager(Spec{Within: 10, Slide: 5}, func(wid int64) int64 { return wid })
+	m.StatesFor(7)  // windows 0, 1
+	m.StatesFor(12) // windows 1, 2
+	if closed := m.AdvanceTo(12); len(closed) != 1 || closed[0].Wid != 0 {
+		t.Fatalf("AdvanceTo(12) = %+v, want wid 0", closed)
+	}
+	rest := m.Flush()
+	if len(rest) != 2 || rest[0].Wid != 1 || rest[1].Wid != 2 {
+		t.Fatalf("Flush after AdvanceTo = %+v, want wids 1,2", rest)
+	}
+	// Late events into flushed windows are dropped...
+	if states := m.StatesFor(12); len(states) != 0 {
+		t.Errorf("flushed window resurrected: %v", states)
+	}
+	// ...but genuinely new windows past the flush still open.
+	if states := m.StatesFor(15); len(states) != 1 || states[0] != 3 {
+		t.Errorf("StatesFor(15) after flush = %v, want [3]", states)
+	}
+}
+
+// TestManagerLateEventPartialOverlap: an event whose window range
+// straddles the emitted boundary contributes only to the still-open
+// windows — the emitted prefix is clamped off.
+func TestManagerLateEventPartialOverlap(t *testing.T) {
+	m := NewManager(Spec{Within: 15, Slide: 5}, func(wid int64) int64 { return wid })
+	// t=16 belongs to windows 1 ([5,20)), 2 ([10,25)), 3 ([15,30)).
+	if states := m.StatesFor(16); len(states) != 3 {
+		t.Fatalf("StatesFor(16) = %v", states)
+	}
+	// Watermark 21 closes windows 0 (empty, skipped) and 1.
+	if closed := m.AdvanceTo(21); len(closed) != 1 || closed[0].Wid != 1 {
+		t.Fatalf("AdvanceTo(21) = %+v, want wid 1", closed)
+	}
+	// Another t=16 event (same watermark) now reaches only 2 and 3.
+	states := m.StatesFor(16)
+	if len(states) != 2 || states[0] != 2 || states[1] != 3 {
+		t.Errorf("late StatesFor(16) = %v, want [2 3]", states)
+	}
+}
+
+// TestManagerAppendStatesForReusesDst: the append variant fills the
+// caller's scratch slice without reallocating when capacity suffices.
+func TestManagerAppendStatesForReusesDst(t *testing.T) {
+	m := NewManager(Spec{Within: 10, Slide: 5}, func(wid int64) int64 { return wid })
+	scratch := make([]int64, 0, 8)
+	out := m.AppendStatesFor(scratch, 7)
+	if len(out) != 2 || cap(out) != 8 {
+		t.Errorf("AppendStatesFor reallocated: len=%d cap=%d", len(out), cap(out))
+	}
+	out2 := m.AppendStatesFor(out[:0], 7)
+	if len(out2) != 2 || &out2[0] != &out[0] {
+		t.Error("AppendStatesFor did not reuse the scratch slice")
+	}
+}

@@ -290,7 +290,10 @@ func BenchmarkParallelExecutor(b *testing.B) {
 					cloned[j] = e.Clone()
 				}
 				b.StartTimer()
-				exec := cogra.NewParallelExecutor(plan, workers)
+				exec, err := cogra.NewParallelExecutor(plan, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
 				if err := exec.Run(cogra.FromSlice(cloned)); err != nil {
 					b.Fatal(err)
 				}

@@ -1,0 +1,124 @@
+// Command benchjson converts `go test -bench` text output into
+// machine-readable JSON, so CI can publish benchmark results as an
+// artifact and the performance trajectory can be tracked across PRs:
+//
+//	go test ./internal/bench/ -run XXX -bench . -benchmem | benchjson -o BENCH.json
+//
+// Each benchmark line becomes one record with the standard ns/op,
+// B/op and allocs/op fields plus any custom metrics reported with
+// b.ReportMetric (e.g. events/s). Non-benchmark lines are ignored;
+// context lines (goos/goarch/pkg/cpu) are captured into the header.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Name string `json:"name"`
+	// Pkg is the package the benchmark ran in — recorded per result,
+	// since CI concatenates the output of several `go test -bench`
+	// runs before piping it here.
+	Pkg        string  `json:"pkg,omitempty"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// Metrics holds every per-op and per-second measurement by unit,
+	// e.g. "ns/op", "B/op", "allocs/op", "events/s".
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Output is the whole report.
+type Output struct {
+	Goos    string   `json:"goos,omitempty"`
+	Goarch  string   `json:"goarch,omitempty"`
+	CPU     string   `json:"cpu,omitempty"`
+	Results []Result `json:"results"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+	report, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func parse(sc *bufio.Scanner) (*Output, error) {
+	report := &Output{}
+	pkg := "" // most recent pkg: header — attributed to each result
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			report.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			report.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			report.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			r, ok := parseBench(line)
+			if ok {
+				r.Pkg = pkg
+				report.Results = append(report.Results, r)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(report.Results) == 0 {
+		return nil, fmt.Errorf("no benchmark lines on stdin")
+	}
+	return report, nil
+}
+
+// parseBench parses one result line of the form
+//
+//	BenchmarkName-16  20  17402628 ns/op  470733 events/s  865 B/op  112 allocs/op
+//
+// i.e. name, iteration count, then (value, unit) pairs.
+func parseBench(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		r.Metrics[fields[i+1]] = v
+	}
+	r.NsPerOp = r.Metrics["ns/op"]
+	return r, true
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+// sample concatenates two `go test -bench` outputs, the way the CI
+// job pipes several packages' benches through one benchjson run.
+const sample = `goos: linux
+goarch: amd64
+pkg: repro/internal/core
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkResolveView 	     100	       319.6 ns/op	      70 B/op	       0 allocs/op
+PASS
+ok  	repro/internal/core	0.100s
+goos: linux
+goarch: amd64
+pkg: repro/internal/bench
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSessionChurn8   	      20	  18545260 ns/op	    441730 events/s	 8877020 B/op	  113589 allocs/op
+BenchmarkMultiQuerySharedRuntime8 	      20	  18280803 ns/op	    448120 events/s	 8657383 B/op	  112621 allocs/op
+PASS
+ok  	repro/internal/bench	1.186s
+`
+
+func TestParse(t *testing.T) {
+	report, err := parse(bufio.NewScanner(strings.NewReader(sample)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Goos != "linux" {
+		t.Errorf("header = %+v", report)
+	}
+	if len(report.Results) != 3 {
+		t.Fatalf("results = %d", len(report.Results))
+	}
+	// Each result carries the pkg of the run it came from.
+	if report.Results[0].Pkg != "repro/internal/core" {
+		t.Errorf("result 0 pkg = %q", report.Results[0].Pkg)
+	}
+	r := report.Results[1]
+	if r.Pkg != "repro/internal/bench" {
+		t.Errorf("result 1 pkg = %q", r.Pkg)
+	}
+	if r.Name != "BenchmarkSessionChurn8" || r.Iterations != 20 {
+		t.Errorf("result 1 = %+v", r)
+	}
+	if r.NsPerOp != 18545260 {
+		t.Errorf("ns/op = %v", r.NsPerOp)
+	}
+	if r.Metrics["events/s"] != 441730 || r.Metrics["allocs/op"] != 113589 {
+		t.Errorf("metrics = %v", r.Metrics)
+	}
+}
+
+func TestParseRejectsEmpty(t *testing.T) {
+	if _, err := parse(bufio.NewScanner(strings.NewReader("PASS\n"))); err == nil {
+		t.Error("empty bench output accepted")
+	}
+}
+
+func TestParseBenchMalformed(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkX",
+		"BenchmarkX twenty 5 ns/op",
+		"BenchmarkX 20 abc ns/op",
+		"BenchmarkX 20 5",
+	} {
+		if _, ok := parseBench(line); ok {
+			t.Errorf("parseBench(%q) accepted", line)
+		}
+	}
+}

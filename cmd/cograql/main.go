@@ -78,22 +78,23 @@ func run(sources []querySource, input string, workers int, explain, memory bool)
 		return fmt.Errorf("provide -query or -file (repeatable)")
 	}
 
-	// All queries compile against one shared catalog so the runtime
-	// resolves each event once for every query.
-	cat := cogra.NewCatalog()
-	plans := make([]*cogra.Plan, len(texts))
+	queries := make([]*cogra.Query, len(texts))
 	for i, text := range texts {
 		q, err := cogra.Parse(text)
 		if err != nil {
 			return fmt.Errorf("query %d: %w", i+1, err)
 		}
-		if plans[i], err = cogra.CompileIn(cat, q); err != nil {
-			return fmt.Errorf("query %d: %w", i+1, err)
-		}
+		queries[i] = q
 	}
 	if explain {
-		for i, plan := range plans {
-			if len(plans) > 1 {
+		// Compile against one shared catalog, the way a session would.
+		cat := cogra.NewCatalog()
+		for i, q := range queries {
+			plan, err := cogra.CompileIn(cat, q)
+			if err != nil {
+				return fmt.Errorf("query %d: %w", i+1, err)
+			}
+			if len(queries) > 1 {
 				fmt.Printf("[q%d] %v\n", i+1, plan)
 			} else {
 				fmt.Println(plan)
@@ -119,63 +120,49 @@ func run(sources []querySource, input string, workers int, explain, memory bool)
 	// Result lines carry a [qN] prefix only in multi-query runs, so
 	// single-query output stays byte-compatible with earlier versions.
 	printResult := func(qi int, r cogra.Result) {
-		if len(plans) > 1 {
+		if len(queries) > 1 {
 			fmt.Printf("[q%d] %v\n", qi+1, r)
 		} else {
 			fmt.Println(r)
 		}
 	}
 
+	// One Session hosts the whole fleet: inline when workers <= 1
+	// (results stream as their windows close — multi-query output
+	// interleaves in watermark order, the [qN] prefix disambiguates),
+	// partition-parallel otherwise (results print when gathered from
+	// the workers at Close).
+	var opts []cogra.SessionOption
 	if workers > 1 {
-		exec, err := cogra.NewMultiExecutor(plans, workers)
-		if err != nil {
-			return err
-		}
-		if exec.Workers() < workers {
-			fmt.Fprintf(os.Stderr, "cograql: no shared partition attribute to route on; running %d worker(s) instead of %d\n",
-				exec.Workers(), workers)
-		}
-		if err := exec.Run(cogra.FromSlice(events)); err != nil {
-			return err
-		}
-		results, err := exec.Close()
-		if err != nil {
-			return err
-		}
-		for qi, rs := range results {
-			for _, r := range rs {
-				printResult(qi, r)
-			}
-		}
-		if memory {
-			fmt.Fprintf(os.Stderr, "peak memory: %d bytes across %d workers\n", exec.PeakBytes(), exec.Workers())
-		}
-		return nil
+		opts = append(opts, cogra.WithWorkers(workers))
 	}
-
-	// Results stream as their windows close (watermark order, so
-	// multi-query output interleaves — the [qN] prefix disambiguates).
-	// One accountant spans every hosted query (they share this
-	// goroutine), so the reported peak is a true simultaneous footprint.
-	rt := cogra.NewRuntimeOn(cat)
-	var acct cogra.Accountant
-	for i, plan := range plans {
+	sess := cogra.NewSession(opts...)
+	for i, q := range queries {
 		qi := i
-		_, err := rt.SubscribePlan(plan,
-			cogra.WithAccountant(&acct),
-			cogra.WithResultCallback(func(r cogra.Result) { printResult(qi, r) }))
+		_, err := sess.Subscribe(q,
+			cogra.OnResult(func(r cogra.Result) { printResult(qi, r) }))
+		if err != nil {
+			return fmt.Errorf("query %d: %w", qi+1, err)
+		}
+	}
+	if workers > 1 {
+		if st, err := sess.Stats(); err == nil && len(st.RoutingAttrs) == 0 {
+			fmt.Fprintf(os.Stderr, "cograql: no shared partition attribute to route on; all events run on 1 of %d workers\n", workers)
+		}
+	}
+	if err := sess.Run(cogra.FromSlice(events)); err != nil {
+		return err
+	}
+	if err := sess.Close(); err != nil {
+		return err
+	}
+	if memory {
+		st, err := sess.Stats()
 		if err != nil {
 			return err
 		}
-	}
-	for _, e := range events {
-		if err := rt.Process(e); err != nil {
-			return err
-		}
-	}
-	rt.Close()
-	if memory {
-		fmt.Fprintf(os.Stderr, "peak memory: %d bytes\n", acct.Peak())
+		fmt.Fprintf(os.Stderr, "peak memory: %d bytes across %d worker(s); binding intern tables: %d bytes\n",
+			st.PeakBytes, st.Workers, st.BindingInternBytes)
 	}
 	return nil
 }

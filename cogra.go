@@ -10,20 +10,27 @@
 // event type for skip-till-any-match, and mixed when predicates on
 // adjacent events force some events to be kept.
 //
-// Quickstart:
+// Quickstart — a Session hosts any number of queries over one live
+// stream, and the query population may change while the stream runs:
 //
 //	q := cogra.MustParse(`
 //	    RETURN COUNT(*)
 //	    PATTERN (SEQ(A+, B))+
 //	    SEMANTICS skip-till-any-match
 //	    WITHIN 10 minutes SLIDE 10 minutes`)
-//	eng := cogra.NewEngine(cogra.MustCompile(q))
+//	sess := cogra.NewSession()            // cogra.WithWorkers(4) to parallelise
+//	sub, err := sess.Subscribe(q)         // subscribe any time, even mid-stream
 //	for _, e := range events {
-//	    if err := eng.Process(e); err != nil { ... }
+//	    if err := sess.Process(e); err != nil { ... }
 //	}
-//	for _, r := range eng.Close() {
+//	sess.Close()
+//	for _, r := range sub.Drain() {
 //	    fmt.Println(r)
 //	}
+//
+// Subscription.Unsubscribe detaches one query mid-stream and flushes
+// its windows; a query subscribed mid-stream reports results from the
+// first window it could observe completely (see Session).
 package cogra
 
 import (
@@ -172,7 +179,9 @@ func Compile(q *Query) (*Plan, error) { return core.NewPlan(q) }
 // MustCompile is Compile that panics on error.
 func MustCompile(q *Query) *Plan { return core.MustPlan(q) }
 
-// Engine executes one plan over an in-order event stream.
+// Engine executes one plan over an in-order event stream. It is the
+// single-query execution primitive under Session; prefer Session for
+// new code (one query is just a fleet of size one).
 type Engine = core.Engine
 
 // Result is one aggregation output (window × group).
@@ -210,7 +219,10 @@ type ParallelExecutor = stream.ParallelExecutor
 
 // NewParallelExecutor starts a partition-parallel execution with n
 // workers.
-func NewParallelExecutor(p *Plan, n int) *ParallelExecutor {
+//
+// Deprecated: use NewSession(WithWorkers(n)) and Subscribe — the
+// session hosts one query the same way and allows attaching more.
+func NewParallelExecutor(p *Plan, n int) (*ParallelExecutor, error) {
 	return stream.NewParallelExecutor(p, n)
 }
 
@@ -232,40 +244,38 @@ func CompileIn(cat *Catalog, q *Query) (*Plan, error) { return core.NewPlanIn(ca
 // pass: each event is resolved once into a shared attribute view, a
 // per-event-type index dispatches it only to the queries whose
 // patterns react to its type, and one watermark drives every hosted
-// window manager.
-//
-//	rt := cogra.NewRuntime()
-//	for _, q := range queries {
-//	    sub, err := rt.Subscribe(q) // or Subscribe(q, cogra.WithResultCallback(...))
-//	    ...
-//	}
-//	for _, e := range events {
-//	    if err := rt.Process(e); err != nil { ... }
-//	}
-//	for i, results := range rt.Close() { ... }
-//
-// Like Engine, a Runtime is single-threaded; use NewMultiExecutor for
-// partition-parallel multi-query execution.
+// window manager. It is the inline execution core behind Session.
 type Runtime = runtime.Runtime
 
-// Subscription is one query hosted by a Runtime.
-type Subscription = runtime.Subscription
+// RuntimeSubscription is one query hosted directly by a Runtime (the
+// Session API wraps it as Subscription).
+type RuntimeSubscription = runtime.Subscription
 
 // NewRuntime returns an empty multi-query runtime over a fresh
 // catalog. Subscribe compiles queries directly into it.
+//
+// Deprecated: use NewSession — a Session is the same single-pass
+// multi-query runtime plus dynamic subscribe/unsubscribe, per-
+// subscription lifecycle and stats.
 func NewRuntime() *Runtime { return runtime.New() }
 
 // NewRuntimeOn returns an empty multi-query runtime over an existing
 // catalog, for hosting plans compiled with CompileIn.
+//
+// Deprecated: use NewSession with SubscribePlan.
 func NewRuntimeOn(cat *Catalog) *Runtime { return runtime.NewOn(cat) }
 
 // MultiExecutor runs a set of queries partition-parallel: every worker
 // hosts a shared multi-query runtime over all plans, and events are
-// routed by the partition attributes the plans have in common.
+// routed by the partition attributes the plans have in common. It is
+// the parallel execution core behind Session (WithWorkers).
 type MultiExecutor = stream.MultiExecutor
 
 // NewMultiExecutor starts a partition-parallel multi-query execution
 // with n workers. The plans must share one catalog (CompileIn).
+//
+// Deprecated: use NewSession(WithWorkers(n)) — the session keeps the
+// same routing and adds dynamic membership over the live stream.
 func NewMultiExecutor(plans []*Plan, n int) (*MultiExecutor, error) {
 	return stream.NewMultiExecutor(plans, n)
 }

@@ -1,0 +1,95 @@
+// Dynamicfleet: the serving-shaped Session API. A monitoring service
+// hosts a changing population of queries over one live measurement
+// stream: a dashboard query runs from the start, an incident query is
+// attached mid-stream when an operator starts investigating, and is
+// detached — flushing its windows — when the incident closes, all
+// without stopping the stream or disturbing the other queries.
+//
+// A query subscribed mid-stream reports results from the first window
+// it could observe completely (the partial first window is
+// suppressed), so its numbers are trustworthy from the first line.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	cogra "repro"
+)
+
+func main() {
+	sess := cogra.NewSession() // cogra.WithWorkers(4) parallelises the same code
+
+	dashboard := mustSubscribe(sess, "dashboard", `
+		RETURN COUNT(*), MAX(M.rate)
+		PATTERN M+
+		SEMANTICS skip-till-any-match
+		WHERE [patient]
+		GROUP-BY patient
+		WITHIN 60 SLIDE 60`)
+
+	// One day of synthetic measurements for three patients.
+	rng := rand.New(rand.NewSource(7))
+	rates := []float64{62, 71, 80}
+	var incident *cogra.Subscription
+	for t := int64(0); t < 600; t++ {
+		p := rng.Intn(3)
+		rates[p] += float64(rng.Intn(7)) - 3
+		ev := cogra.NewEvent("M", t).
+			WithSym("patient", fmt.Sprintf("p%d", p)).
+			WithNum("rate", rates[p])
+		if err := sess.Process(ev); err != nil {
+			log.Fatal(err)
+		}
+
+		switch t {
+		case 150:
+			// Operator attaches an incident query mid-stream: rising
+			// heart-rate trends. Its first report covers the first
+			// window starting after t=150.
+			incident = mustSubscribe(sess, "incident", `
+				RETURN COUNT(*)
+				PATTERN M+
+				SEMANTICS skip-till-any-match
+				WHERE [patient] AND M.rate < NEXT(M).rate
+				GROUP-BY patient
+				WITHIN 60 SLIDE 60`)
+			fmt.Println("t=150: incident query attached")
+		case 450:
+			// Incident closed: detach the query; its remaining open
+			// windows flush here and its engine memory is released.
+			fmt.Println("t=450: incident query detached; final windows:")
+			for _, r := range incident.Unsubscribe() {
+				fmt.Printf("  incident  %v\n", r)
+			}
+		}
+	}
+
+	if err := sess.Close(); err != nil {
+		log.Fatal(err)
+	}
+	results := dashboard.Drain()
+	fmt.Printf("dashboard observed %d window results end to end; first 4:\n", len(results))
+	for i, r := range results {
+		if i == 4 {
+			break
+		}
+		fmt.Printf("  dashboard %v\n", r)
+	}
+
+	st, err := sess.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("session: %d events, %d interned types, %d interned attrs\n",
+		st.Events, st.InternedTypes, st.InternedAttrs)
+}
+
+func mustSubscribe(sess *cogra.Session, name, src string) *cogra.Subscription {
+	sub, err := sess.Subscribe(cogra.MustParse(src))
+	if err != nil {
+		log.Fatalf("%s: %v", name, err)
+	}
+	return sub
+}

@@ -1,9 +1,11 @@
 // Multiquery: one stream, many COGRA plans. A hospital monitoring
 // deployment runs several standing queries over the same measurement
 // stream — dashboards, alerts and audits all at once. Instead of one
-// engine pass per query, a shared Runtime resolves every event once,
+// engine pass per query, a shared Session resolves every event once,
 // dispatches it only to the queries whose patterns react to its type,
-// and drives all sliding windows from a single watermark.
+// and drives all sliding windows from a single watermark. (See
+// examples/dynamicfleet for changing the query population while the
+// stream runs.)
 package main
 
 import (
@@ -49,16 +51,18 @@ func main() {
 			WITHIN 60 SLIDE 60`},
 	}
 
-	rt := cogra.NewRuntime()
+	sess := cogra.NewSession()
+	subs := make([]*cogra.Subscription, 0, len(queries))
 	for _, qd := range queries {
 		q, err := cogra.Parse(qd.src)
 		if err != nil {
 			log.Fatalf("%s: %v", qd.name, err)
 		}
-		sub, err := rt.Subscribe(q)
+		sub, err := sess.Subscribe(q)
 		if err != nil {
 			log.Fatalf("%s: %v", qd.name, err)
 		}
+		subs = append(subs, sub)
 		fmt.Printf("subscribed %-14s granularity=%s\n", qd.name, sub.Plan().Granularity)
 	}
 
@@ -70,7 +74,7 @@ func main() {
 		p := rng.Intn(3)
 		patient := fmt.Sprintf("p%d", p)
 		if rng.Intn(10) == 0 {
-			if err := rt.Process(cogra.NewEvent("C", t).WithSym("patient", patient)); err != nil {
+			if err := sess.Process(cogra.NewEvent("C", t).WithSym("patient", patient)); err != nil {
 				log.Fatal(err)
 			}
 			continue
@@ -79,13 +83,16 @@ func main() {
 		ev := cogra.NewEvent("M", t).
 			WithSym("patient", patient).
 			WithNum("rate", rates[p])
-		if err := rt.Process(ev); err != nil {
+		if err := sess.Process(ev); err != nil {
 			log.Fatal(err)
 		}
 	}
 
-	for i, results := range rt.Close() {
-		for _, r := range results {
+	if err := sess.Close(); err != nil {
+		log.Fatal(err)
+	}
+	for i, sub := range subs {
+		for _, r := range sub.Drain() {
 			fmt.Printf("%-14s %s\n", queries[i].name, r)
 		}
 	}

@@ -46,7 +46,10 @@ func main() {
 	sequential := eng.Close()
 
 	// Partition-parallel execution on four workers.
-	exec := cogra.NewParallelExecutor(plan, 4)
+	exec, err := cogra.NewParallelExecutor(plan, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
 	cloned := make([]*cogra.Event, len(events))
 	for i, e := range events {
 		cloned[i] = e.Clone()

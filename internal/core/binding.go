@@ -25,6 +25,7 @@ import (
 type bindings struct {
 	nslots int
 	acct   accountant
+	bytes  int64 // live logical bytes of the intern tables
 
 	// Value interning: vals[id] is the slot value; id 0 is unbound.
 	valIDs map[string]uint32
@@ -94,8 +95,32 @@ func (b *bindings) internVal(v string) uint32 {
 	id := uint32(len(b.vals))
 	b.vals = append(b.vals, v)
 	b.valIDs[v] = id
-	b.acct.Add(int64(len(v)) + 16) // value string + two table entries
+	b.charge(int64(len(v)) + 16) // value string + two table entries
 	return id
+}
+
+// charge records intern-table growth with the accountant and the
+// table's own footprint counter (so release can credit it back).
+func (b *bindings) charge(delta int64) {
+	b.bytes += delta
+	b.acct.Add(delta)
+}
+
+// footprint returns the live logical bytes of the intern tables.
+func (b *bindings) footprint() int64 { return b.bytes }
+
+// release returns the intern tables' logical memory to the accountant
+// and drops them. The engine-lifetime tables grow monotonically with
+// distinct slot values; release is how an unsubscribing query hands
+// that memory back. The bindings must not be used afterwards.
+func (b *bindings) release() {
+	if b.bytes != 0 {
+		b.acct.Add(-b.bytes)
+		b.bytes = 0
+	}
+	b.valIDs, b.vals = nil, nil
+	b.vecIDs, b.vecs = nil, nil
+	b.scratchVec, b.scratchKey = nil, nil
 }
 
 // assignments returns the slot assignments an event matched under the
@@ -163,7 +188,7 @@ func (b *bindings) internVec(vec []uint32) bkey {
 	id := bkey(len(b.vecs))
 	b.vecIDs[string(k)] = id
 	b.vecs = append(b.vecs, append([]uint32(nil), vec...))
-	b.acct.Add(int64(8*len(vec)) + 16) // vector + packed-bytes key
+	b.charge(int64(8*len(vec)) + 16) // vector + packed-bytes key
 	return id
 }
 

@@ -7,27 +7,59 @@ package core
 // ONCE into one union attribute view and hand the same resolved slots
 // to every interested engine.
 //
-// A Catalog is mutated only by compilation (NewPlanIn); it carries no
-// locks, so the rule is: no compilation while any other goroutine
-// reads the catalog. A catalog shared across runtimes or executor
-// workers must have every plan compiled before processing starts; a
-// catalog private to one single-threaded runtime may compile further
-// plans between events (runtime.Subscribe mid-stream). NewPlan
-// compiles a plan against a private catalog, which reproduces the
-// single-query layout exactly: one plan's union view is just its own
-// attribute set.
+// Interning is epoch-based copy-on-write so the query population can
+// change while the stream runs. Compilation (NewPlanIn) mutates a
+// private staging area under the catalog's compile lock and, when the
+// plan is complete, publishes an immutable snapshot ("view") with an
+// atomic pointer swap. Readers — resolvers and engines on any
+// goroutine — load the current view once per event and never observe
+// a half-compiled plan. Because ids are append-only, a resolved view
+// produced against an older epoch stays valid forever: old ids index
+// the same names in every later epoch, and per-epoch growth only adds
+// slots at the tail. The one in-place update the staging area would
+// need (flipping symNeeded on an already-interned attribute) is
+// copy-on-written too, so published views are genuinely immutable.
+//
+// The locking rule is therefore: any number of goroutines may resolve
+// events concurrently with one compiling goroutine; compiles serialise
+// among themselves on the catalog's own lock. NewPlan compiles a plan
+// against a private catalog, which reproduces the single-query layout
+// exactly: one plan's union view is just its own attribute set.
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"repro/internal/event"
 )
 
+// catalogView is one immutable interning epoch: the id spaces as of
+// some published compile. Readers obtain it with an atomic load and
+// never write through it.
+type catalogView struct {
+	epoch     uint64
+	attrIDs   map[string]int32
+	attrNames []string
+	symNeeded []bool
+	typeIDs   map[string]int32
+	typeNames []string
+}
+
 // Catalog interns the type and attribute names of all plans compiled
-// against it.
+// against it. The exported read surface (TypeID, NumTypes, NumAttrs,
+// resolution) is safe for concurrent use with one compiling goroutine;
+// compilation itself is serialised internally.
 type Catalog struct {
+	// mu serialises compilation. The staging fields below are the
+	// mutable master copy, guarded by mu; publish snapshots them into
+	// view at the end of each plan compile.
+	mu sync.Mutex
+
 	// Attribute interning: attrNames[id] is the name; symNeeded[id]
 	// marks attributes read through SymAttr semantics (binding slots,
 	// partition keys), whose numeric fallback value is materialised at
-	// resolve time.
+	// resolve time. symNeeded is copy-on-written when an existing entry
+	// flips, so published views never change underfoot.
 	attrIDs   map[string]int32
 	attrNames []string
 	symNeeded []bool
@@ -36,19 +68,28 @@ type Catalog struct {
 	// the runtime's per-type subscription lists.
 	typeIDs   map[string]int32
 	typeNames []string
+
+	epoch uint64
+	view  atomic.Pointer[catalogView]
 }
 
 // NewCatalog returns an empty catalog.
 func NewCatalog() *Catalog {
-	return &Catalog{
+	c := &Catalog{
 		attrIDs: map[string]int32{},
 		typeIDs: map[string]int32{},
 	}
+	c.view.Store(&catalogView{
+		attrIDs: map[string]int32{},
+		typeIDs: map[string]int32{},
+	})
+	return c
 }
 
 // internAttr interns an attribute name; symNeeded marks attributes
 // read through SymAttr semantics, whose numeric fallback value is
-// materialised once per event at resolve time.
+// materialised once per event at resolve time. Caller holds mu
+// (compilation path).
 func (c *Catalog) internAttr(name string, symNeeded bool) int32 {
 	id, ok := c.attrIDs[name]
 	if !ok {
@@ -57,13 +98,18 @@ func (c *Catalog) internAttr(name string, symNeeded bool) int32 {
 		c.attrNames = append(c.attrNames, name)
 		c.symNeeded = append(c.symNeeded, false)
 	}
-	if symNeeded {
-		c.symNeeded[id] = true
+	if symNeeded && !c.symNeeded[id] {
+		// Copy-on-write: this slot may already be published in an older
+		// view, so flip the bit on a fresh copy rather than in place.
+		fresh := make([]bool, len(c.symNeeded))
+		copy(fresh, c.symNeeded)
+		fresh[id] = true
+		c.symNeeded = fresh
 	}
 	return id
 }
 
-// internType interns an event-type name.
+// internType interns an event-type name. Caller holds mu.
 func (c *Catalog) internType(name string) int32 {
 	id, ok := c.typeIDs[name]
 	if !ok {
@@ -74,10 +120,38 @@ func (c *Catalog) internType(name string) int32 {
 	return id
 }
 
+// publish snapshots the staging area into a new immutable view. Caller
+// holds mu. Maps are copied (readers probe them lock-free); the name
+// slices share backing arrays with staging, which is safe because
+// staging only ever appends past the published length.
+func (c *Catalog) publish() {
+	c.epoch++
+	v := &catalogView{
+		epoch:     c.epoch,
+		attrIDs:   make(map[string]int32, len(c.attrIDs)),
+		attrNames: c.attrNames[:len(c.attrNames):len(c.attrNames)],
+		symNeeded: c.symNeeded[:len(c.symNeeded):len(c.symNeeded)],
+		typeIDs:   make(map[string]int32, len(c.typeIDs)),
+		typeNames: c.typeNames[:len(c.typeNames):len(c.typeNames)],
+	}
+	for k, id := range c.attrIDs {
+		v.attrIDs[k] = id
+	}
+	for k, id := range c.typeIDs {
+		v.typeIDs[k] = id
+	}
+	c.view.Store(v)
+}
+
+// Epoch returns the current interning epoch: it advances by one per
+// published plan compile. Diagnostic only.
+func (c *Catalog) Epoch() uint64 { return c.view.Load().epoch }
+
 // TypeID returns the interned id of an event-type name. Unknown types
 // (never referenced by any plan in the catalog) return -1, false.
+// Safe for concurrent use with compilation.
 func (c *Catalog) TypeID(name string) (int32, bool) {
-	id, ok := c.typeIDs[name]
+	id, ok := c.view.Load().typeIDs[name]
 	if !ok {
 		return -1, false
 	}
@@ -85,18 +159,19 @@ func (c *Catalog) TypeID(name string) (int32, bool) {
 }
 
 // NumTypes returns how many event types the catalog has interned.
-func (c *Catalog) NumTypes() int { return len(c.typeNames) }
+func (c *Catalog) NumTypes() int { return len(c.view.Load().typeNames) }
 
 // NumAttrs returns how many attributes the catalog has interned.
-func (c *Catalog) NumAttrs() int { return len(c.attrNames) }
+func (c *Catalog) NumAttrs() int { return len(c.view.Load().attrNames) }
 
-// resolveInto computes the union resolved view of ev: one probe pass
-// over every catalog-interned attribute, after which all predicate,
-// binding and partition-key reads of every plan in the catalog are
-// array indexing. It fills only the value arrays; the caller installs
-// the plan-specific dispatch entry (rv.tp) and spec projection.
-func (c *Catalog) resolveInto(rv *resolvedVals, ev *event.Event) {
-	n := len(c.attrNames)
+// resolveInto computes the union resolved view of ev under the given
+// epoch: one probe pass over every interned attribute, after which all
+// predicate, binding and partition-key reads of every plan in the
+// catalog are array indexing. It fills only the value arrays; the
+// caller installs the plan-specific dispatch entry (rv.tp) and spec
+// projection.
+func (v *catalogView) resolveInto(rv *resolvedVals, ev *event.Event) {
+	n := len(v.attrNames)
 	if cap(rv.num) >= n {
 		rv.num, rv.sym, rv.has = rv.num[:n], rv.sym[:n], rv.has[:n]
 	} else {
@@ -105,17 +180,17 @@ func (c *Catalog) resolveInto(rv *resolvedVals, ev *event.Event) {
 		rv.has = make([]uint8, n)
 	}
 	rv.ev = ev
-	for i, name := range c.attrNames {
+	for i, name := range v.attrNames {
 		var h uint8
 		var nv float64
 		var sv string
-		if v, ok := ev.Num[name]; ok {
-			nv, h = v, hasNum
+		if val, ok := ev.Num[name]; ok {
+			nv, h = val, hasNum
 		}
 		if s, ok := ev.Sym[name]; ok {
 			sv = s
 			h |= hasSymRaw | hasSymVal
-		} else if h&hasNum != 0 && c.symNeeded[i] {
+		} else if h&hasNum != 0 && v.symNeeded[i] {
 			sv = event.FormatNum(nv)
 			h |= hasSymVal
 		}
@@ -128,6 +203,8 @@ func (c *Catalog) resolveInto(rv *resolvedVals, ev *event.Event) {
 // context (a multi-query runtime, a worker); the resolved arrays are
 // reused across events and shared by reference with the hosted
 // engines, so resolution cost is paid once per event, not per query.
+// Each Resolve loads the catalog's current epoch, so plans compiled
+// mid-stream are covered from the next event on.
 type Resolver struct {
 	cat *Catalog
 	rv  resolvedVals
@@ -139,7 +216,14 @@ func NewResolver(cat *Catalog) *Resolver {
 }
 
 // Resolve computes the union resolved view of ev, valid until the next
-// call. Engines consume it through Engine.ProcessResolved.
-func (r *Resolver) Resolve(ev *event.Event) {
-	r.cat.resolveInto(&r.rv, ev)
+// call. Engines consume it through Engine.ProcessResolved. It returns
+// the catalog id of ev's type (-1 when no plan references the type).
+func (r *Resolver) Resolve(ev *event.Event) int32 {
+	v := r.cat.view.Load()
+	v.resolveInto(&r.rv, ev)
+	id, ok := v.typeIDs[ev.Type]
+	if !ok {
+		return -1
+	}
+	return id
 }

@@ -222,6 +222,21 @@ func (e *Engine) ProcessAll(events []*event.Event) error {
 	return nil
 }
 
+// AlignTo aligns a late-joining engine to a live stream at watermark
+// t: the stream may already have emitted events up to and including
+// time t that this engine never saw, so every window that covers time
+// t or earlier is only partially observable and is suppressed. Results
+// start from the first fully covered window (the one whose start lies
+// strictly after t). Call once, before feeding the engine its first
+// event; events at time t itself are still accepted afterwards (they
+// fall only into suppressed windows).
+func (e *Engine) AlignTo(t int64) {
+	e.mgr.SkipBefore(e.mgr.Spec().FirstFullWindow(t))
+	if !e.sawEvent || t > e.lastTime {
+		e.lastTime, e.sawEvent = t, true
+	}
+}
+
 // Close flushes every open window and returns all collected results
 // (nil when a result callback is installed).
 func (e *Engine) Close() []Result {
@@ -232,8 +247,31 @@ func (e *Engine) Close() []Result {
 	return e.results
 }
 
+// ReleaseIntern returns the engine's binding intern tables — the only
+// engine state that outlives windows — to the accountant and drops
+// them. Call after Close when the engine is being discarded
+// (unsubscribe); the engine must not process events afterwards.
+func (e *Engine) ReleaseIntern() {
+	e.bnd.release()
+}
+
+// InternBytes returns the live logical bytes of the engine's binding
+// intern tables (they grow monotonically with distinct slot values
+// over the engine's lifetime).
+func (e *Engine) InternBytes() int64 { return e.bnd.footprint() }
+
 // Results returns the results collected so far.
 func (e *Engine) Results() []Result { return e.results }
+
+// TakeResults returns the results collected so far and clears the
+// engine's buffer, so a caller can drain incrementally without
+// re-reading earlier windows. Nil when a result callback streams
+// results instead.
+func (e *Engine) TakeResults() []Result {
+	out := e.results
+	e.results = nil
+	return out
+}
 
 // EventsProcessed returns how many events entered a sub-stream.
 func (e *Engine) EventsProcessed() int64 { return e.eventsIn }

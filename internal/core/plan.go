@@ -135,8 +135,11 @@ func NewPlan(q *query.Query) (*Plan, error) {
 // NewPlanIn is NewPlan compiling against a shared catalog: every plan
 // compiled in one catalog agrees on type/attribute ids, so one
 // resolver pass per event serves all of them (internal/runtime).
-// Compilation mutates the catalog and must finish before engines or
-// resolvers over it start processing events.
+// Compilation extends the catalog copy-on-write and publishes a new
+// interning epoch on success, so it may run concurrently with
+// resolvers and engines processing events over the same catalog —
+// the mechanism behind mid-stream Session.Subscribe. Concurrent
+// compiles serialise on the catalog's internal lock.
 func NewPlanIn(cat *Catalog, q *query.Query) (*Plan, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
@@ -235,7 +238,10 @@ func NewPlanIn(cat *Catalog, q *query.Query) (*Plan, error) {
 			}
 		}
 	}
+	cat.mu.Lock()
 	p.compile()
+	cat.publish()
+	cat.mu.Unlock()
 	return p, nil
 }
 

@@ -402,10 +402,16 @@ func (p *Plan) internAttr(name string, symNeeded bool) int32 {
 // resolveInto computes the resolved view of ev: one probe pass over
 // the catalog's interned attributes (catalog.go), after which all
 // predicate, binding and partition-key reads are array indexing. The
-// type dispatch entry and spec projection are the plan's own.
+// type dispatch entry and spec projection are the plan's own. The
+// catalog view is loaded once, so the tid and the value arrays agree
+// on one epoch.
 func (p *Plan) resolveInto(rv *resolvedVals, ev *event.Event) {
-	p.cat.resolveInto(rv, ev)
-	tid, _ := p.cat.TypeID(ev.Type)
+	v := p.cat.view.Load()
+	v.resolveInto(rv, ev)
+	tid, ok := v.typeIDs[ev.Type]
+	if !ok {
+		tid = -1
+	}
 	rv.tp = p.typePlanAt(tid)
 	rv.specIDs = p.specIDs
 }

@@ -26,6 +26,15 @@
 //     (Engine.AdvanceWatermark), so windows close and emit even for
 //     engines whose types the current event does not match.
 //
+// The query population is dynamic: Subscribe and Unsubscribe may be
+// called at any stream position. The catalog interns copy-on-write
+// (core.Catalog), so mid-stream compilation never invalidates resolved
+// views; the per-type index is rebuilt on membership change; a
+// late-joining query's window manager is aligned to the current
+// watermark, so it reports results starting from the first fully
+// covered window; and an unsubscribing query's windows are flushed and
+// its engine-side intern memory released.
+//
 // The runtime is single-threaded like the engines it hosts; partition
 // parallelism runs one runtime per worker (internal/stream).
 package runtime
@@ -41,13 +50,15 @@ import (
 // Subscription is one hosted query: its plan, its engine, and its
 // position in the runtime.
 type Subscription struct {
-	id   int
-	plan *core.Plan
-	eng  *core.Engine
+	id     int
+	plan   *core.Plan
+	eng    *core.Engine
+	rt     *Runtime
+	active bool
 }
 
-// ID returns the subscription's index in the runtime (0-based, in
-// Subscribe order).
+// ID returns the subscription's id: 0-based, in Subscribe order,
+// stable across later membership changes.
 func (s *Subscription) ID() int { return s.id }
 
 // Plan returns the compiled plan of the hosted query.
@@ -61,6 +72,25 @@ func (s *Subscription) Engine() *core.Engine { return s.eng }
 // (nil when the subscription streams through a result callback).
 func (s *Subscription) Results() []core.Result { return s.eng.Results() }
 
+// Drain returns the results collected since the last Drain and clears
+// the engine's buffer (nil when the subscription streams through a
+// result callback). Windows still open are not included — they emit
+// when the watermark passes them.
+func (s *Subscription) Drain() []core.Result { return s.eng.TakeResults() }
+
+// Active reports whether the subscription still receives events.
+func (s *Subscription) Active() bool { return s.active }
+
+// Unsubscribe detaches the query from the runtime at the current
+// stream position: its remaining open windows are flushed (returned,
+// or delivered to the subscription's result callback), its engine is
+// released, and its binding intern memory is returned to the
+// accountant. The rest of the fleet is untouched. Unsubscribing twice
+// or after Close is an error.
+func (s *Subscription) Unsubscribe() ([]core.Result, error) {
+	return s.rt.unsubscribe(s)
+}
+
 // Runtime hosts any number of compiled plans over one catalog and
 // executes them against a single in-order event stream. Not safe for
 // concurrent use.
@@ -68,17 +98,19 @@ type Runtime struct {
 	cat *core.Catalog
 	res *core.Resolver
 
-	subs []*Subscription
+	subs   []*Subscription // active subscriptions, in subscribe order
+	nextID int
 	// byType[tid] lists the subscriptions whose plans react to catalog
 	// type id tid; wantsAll lists contiguous-semantics subscriptions,
-	// which must observe every event.
+	// which must observe every event. Rebuilt on membership change.
 	byType   [][]*Subscription
 	wantsAll []*Subscription
 
-	lastTime int64
-	sawEvent bool
-	seq      int64
-	closed   bool
+	lastTime    int64
+	sawEvent    bool
+	seq         int64
+	closed      bool
+	dispatching bool // inside Process: membership changes must wait
 }
 
 // New returns an empty runtime over a fresh catalog.
@@ -100,12 +132,11 @@ func (rt *Runtime) Catalog() *core.Catalog { return rt.cat }
 
 // Subscribe compiles a query against the runtime's catalog and hosts
 // it. Engine options (result callbacks, accounting) apply to the
-// query's private engine. Subscriptions are accepted until the first
-// Close. Subscribing mid-stream is allowed ONLY when the catalog is
-// private to this runtime (the NewRuntime case): compilation interns
-// new symbols, and a catalog shared with other runtimes, resolvers or
-// executor workers must stay read-only while any of them processes
-// events — for shared catalogs, compile every plan first.
+// query's private engine. Subscribing is allowed at any stream
+// position — the catalog interns copy-on-write, so compilation is
+// safe even while other runtimes share the catalog; a mid-stream
+// subscriber is aligned to the current watermark and reports results
+// from the first fully covered window.
 func (rt *Runtime) Subscribe(q *query.Query, opts ...core.Option) (*Subscription, error) {
 	plan, err := core.NewPlanIn(rt.cat, q)
 	if err != nil {
@@ -115,42 +146,170 @@ func (rt *Runtime) Subscribe(q *query.Query, opts ...core.Option) (*Subscription
 }
 
 // SubscribePlan hosts an already-compiled plan. The plan must have
-// been compiled against the runtime's catalog.
+// been compiled against the runtime's catalog. Mid-stream, the new
+// engine is aligned to the runtime's own watermark; use
+// SubscribePlanFrom when a global stream position is known upstream
+// (the partition-parallel executor's workers lag the router).
 func (rt *Runtime) SubscribePlan(plan *core.Plan, opts ...core.Option) (*Subscription, error) {
+	s, err := rt.subscribePlan(plan, opts...)
+	if err != nil {
+		return nil, err
+	}
+	if rt.sawEvent {
+		s.eng.AlignTo(rt.lastTime)
+	}
+	return s, nil
+}
+
+// SubscribePlanFrom is SubscribePlan aligning the new engine to
+// watermark t: the stream may already have advanced to time t even if
+// this runtime has not seen an event that recent (its partition was
+// quiet). Results start from the first window fully after t.
+func (rt *Runtime) SubscribePlanFrom(plan *core.Plan, t int64, opts ...core.Option) (*Subscription, error) {
+	s, err := rt.subscribePlan(plan, opts...)
+	if err != nil {
+		return nil, err
+	}
+	if rt.sawEvent && rt.lastTime > t {
+		t = rt.lastTime
+	}
+	s.eng.AlignTo(t)
+	return s, nil
+}
+
+func (rt *Runtime) subscribePlan(plan *core.Plan, opts ...core.Option) (*Subscription, error) {
 	if rt.closed {
 		return nil, fmt.Errorf("runtime: Subscribe after Close")
+	}
+	if rt.dispatching {
+		return nil, fmt.Errorf("runtime: Subscribe from within event dispatch (e.g. a result callback); defer it until Process returns")
 	}
 	if plan.Catalog() != rt.cat {
 		return nil, fmt.Errorf("runtime: plan compiled against a different catalog")
 	}
 	s := &Subscription{
-		id:   len(rt.subs),
-		plan: plan,
-		eng:  core.NewEngine(plan, opts...),
+		id:     rt.nextID,
+		plan:   plan,
+		eng:    core.NewEngine(plan, opts...),
+		rt:     rt,
+		active: true,
 	}
+	rt.nextID++
 	rt.subs = append(rt.subs, s)
-	if plan.WantsAllEvents() {
+	rt.index(s)
+	return s, nil
+}
+
+// index registers a subscription in the per-type dispatch index.
+func (rt *Runtime) index(s *Subscription) {
+	if s.plan.WantsAllEvents() {
 		rt.wantsAll = append(rt.wantsAll, s)
-		return s, nil
+		return
 	}
-	for _, tid := range plan.SubscribedTypeIDs() {
+	for _, tid := range s.plan.SubscribedTypeIDs() {
 		for int(tid) >= len(rt.byType) {
 			rt.byType = append(rt.byType, nil)
 		}
 		rt.byType[tid] = append(rt.byType[tid], s)
 	}
-	return s, nil
 }
 
-// Queries returns the hosted subscriptions in Subscribe order.
+// rebuildIndex reconstructs the per-type index from the active
+// subscriptions — the membership-change slow path; the per-event path
+// never pays for it.
+func (rt *Runtime) rebuildIndex() {
+	for i := range rt.byType {
+		rt.byType[i] = nil
+	}
+	rt.wantsAll = nil
+	for _, s := range rt.subs {
+		rt.index(s)
+	}
+}
+
+// unsubscribe detaches s; see Subscription.Unsubscribe.
+func (rt *Runtime) unsubscribe(s *Subscription) ([]core.Result, error) {
+	if rt.closed {
+		return nil, fmt.Errorf("runtime: Unsubscribe after Close")
+	}
+	if rt.dispatching {
+		// Process is ranging over the subscription list right now (the
+		// call came from a result callback); splicing it here would
+		// skip a sibling's watermark advance and re-enter this engine's
+		// window manager mid-emission.
+		return nil, fmt.Errorf("runtime: Unsubscribe from within event dispatch (e.g. a result callback); defer it until Process returns")
+	}
+	if !s.active {
+		return nil, fmt.Errorf("runtime: subscription %d already unsubscribed", s.id)
+	}
+	s.active = false
+	for i, cur := range rt.subs {
+		if cur == s {
+			rt.subs = append(rt.subs[:i], rt.subs[i+1:]...)
+			break
+		}
+	}
+	rt.rebuildIndex()
+	out := s.eng.Close()
+	s.eng.ReleaseIntern()
+	return out, nil
+}
+
+// Queries returns the active subscriptions in Subscribe order.
 func (rt *Runtime) Queries() []*Subscription { return rt.subs }
 
+// Stats summarises the runtime's hosted state.
+type Stats struct {
+	// Queries is the number of active subscriptions.
+	Queries int
+	// Events is the number of events processed.
+	Events int64
+	// InternedTypes and InternedAttrs are the catalog id-space sizes.
+	InternedTypes int
+	InternedAttrs int
+	// BindingInternBytes is the summed live footprint of the hosted
+	// engines' binding intern tables.
+	BindingInternBytes int64
+}
+
+// Stats reports the runtime's hosted-query and interning state.
+func (rt *Runtime) Stats() Stats {
+	active := 0
+	for _, s := range rt.subs {
+		if s.active {
+			active++
+		}
+	}
+	return Stats{
+		Queries:            active,
+		Events:             rt.seq,
+		InternedTypes:      rt.cat.NumTypes(),
+		InternedAttrs:      rt.cat.NumAttrs(),
+		BindingInternBytes: rt.InternBytes(),
+	}
+}
+
+// InternBytes returns the summed live footprint of the hosted engines'
+// binding intern tables.
+func (rt *Runtime) InternBytes() int64 {
+	var total int64
+	for _, s := range rt.subs {
+		total += s.eng.InternBytes()
+	}
+	return total
+}
+
 // Process consumes the next stream event for every hosted query.
-// Events must arrive in non-decreasing time-stamp order.
+// Events must arrive in non-decreasing time-stamp order. Result
+// callbacks fire inside Process; they must not call Subscribe or
+// Unsubscribe (those return an error) — defer membership changes
+// until Process returns.
 func (rt *Runtime) Process(ev *event.Event) error {
 	if rt.closed {
 		return fmt.Errorf("runtime: Process after Close")
 	}
+	rt.dispatching = true
+	defer func() { rt.dispatching = false }()
 	if rt.sawEvent && ev.Time < rt.lastTime {
 		return fmt.Errorf("runtime: out-of-order event at time %d after %d", ev.Time, rt.lastTime)
 	}
@@ -169,19 +328,17 @@ func (rt *Runtime) Process(ev *event.Event) error {
 	}
 	rt.lastTime, rt.sawEvent = ev.Time, true
 
-	tid := int32(-1)
 	var interested []*Subscription
-	if id, ok := rt.cat.TypeID(ev.Type); ok {
-		tid = id
-		if int(id) < len(rt.byType) {
-			interested = rt.byType[id]
-		}
+	if id, ok := rt.cat.TypeID(ev.Type); ok && int(id) < len(rt.byType) {
+		interested = rt.byType[id]
 	}
 	if len(interested) == 0 && len(rt.wantsAll) == 0 {
 		return nil // no hosted query reacts to this type
 	}
-	// Resolve once; every interested engine reads the same view.
-	rt.res.Resolve(ev)
+	// Resolve once; every interested engine reads the same view. The
+	// tid returned here is from the same catalog epoch as the resolved
+	// arrays, so dispatch and values always agree.
+	tid := rt.res.Resolve(ev)
 	for _, s := range interested {
 		if err := s.eng.ProcessResolved(ev, rt.res, tid); err != nil {
 			return err
@@ -205,14 +362,16 @@ func (rt *Runtime) ProcessAll(events []*event.Event) error {
 	return nil
 }
 
-// Close flushes every open window of every hosted query and returns
-// the collected results indexed by subscription id (nil entries for
-// subscriptions that stream through callbacks).
+// Close flushes every open window of every still-subscribed query and
+// returns the collected results indexed by subscription id (nil
+// entries for subscriptions that stream through callbacks or already
+// unsubscribed — their results were returned at Unsubscribe time).
 func (rt *Runtime) Close() [][]core.Result {
 	rt.closed = true
-	out := make([][]core.Result, len(rt.subs))
-	for i, s := range rt.subs {
-		out[i] = s.eng.Close()
+	out := make([][]core.Result, rt.nextID)
+	for _, s := range rt.subs {
+		out[s.id] = s.eng.Close()
+		s.active = false
 	}
 	return out
 }

@@ -7,6 +7,7 @@ import (
 	"repro/internal/agg"
 	"repro/internal/core"
 	"repro/internal/event"
+	"repro/internal/metrics"
 	"repro/internal/pattern"
 	"repro/internal/predicate"
 	"repro/internal/query"
@@ -222,5 +223,170 @@ func TestRuntimeForeignCatalogPlan(t *testing.T) {
 	rt := New()
 	if _, err := rt.SubscribePlan(foreign); err == nil {
 		t.Error("foreign-catalog plan accepted")
+	}
+}
+
+// TestRuntimeUnsubscribeReleasesInternMemory: unsubscribing the last
+// query referencing a high-cardinality equivalence attribute flushes
+// its windows and returns its engine-side binding intern memory to the
+// accountant — the engine-lifetime tables otherwise grow forever.
+func TestRuntimeUnsubscribeReleasesInternMemory(t *testing.T) {
+	// Alias-scoped equivalence: every distinct tag value lands in the
+	// engine's binding intern tables.
+	hot := query.NewBuilder(pattern.Plus(pattern.TypeAs("A", "A"))).
+		Return(agg.Spec{Func: agg.CountStar}).
+		Semantics(query.Any).
+		WhereEquiv(predicate.Equivalence{Alias: "A", Attr: "tag"}).
+		Within(1000, 1000).
+		MustBuild()
+	cold := query.NewBuilder(pattern.Plus(pattern.TypeAs("A", "A"))).
+		Return(agg.Spec{Func: agg.CountStar}).
+		Semantics(query.Any).
+		Within(1000, 1000).
+		MustBuild()
+
+	rt := New()
+	var acct metrics.Accountant
+	hotSub, err := rt.Subscribe(hot, core.WithAccountant(&acct))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Subscribe(cold, core.WithAccountant(&acct)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 512; i++ {
+		ev := event.New("A", int64(i)).WithSym("tag", fmt.Sprintf("tag-%d", i))
+		if err := rt.Process(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	intern := rt.InternBytes()
+	if intern <= 0 {
+		t.Fatal("high-cardinality equivalence attribute interned nothing")
+	}
+	if got := rt.Stats().BindingInternBytes; got != intern {
+		t.Errorf("Stats.BindingInternBytes = %d, want %d", got, intern)
+	}
+	before := acct.Current()
+
+	res, err := hotSub.Unsubscribe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 {
+		t.Error("unsubscribe flushed no windows")
+	}
+	if got := rt.InternBytes(); got != 0 {
+		t.Errorf("intern bytes after unsubscribe = %d, want 0 (cold query has no slots)", got)
+	}
+	if drop := before - acct.Current(); drop < intern {
+		t.Errorf("accountant released %d bytes, want at least the %d intern bytes", drop, intern)
+	}
+	if hotSub.Active() {
+		t.Error("subscription still active")
+	}
+	if _, err := hotSub.Unsubscribe(); err == nil {
+		t.Error("double unsubscribe accepted")
+	}
+	if rt.Stats().Queries != 1 {
+		t.Errorf("queries = %d, want 1", rt.Stats().Queries)
+	}
+	// The surviving query keeps processing.
+	if err := rt.Process(event.New("A", 2000)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRuntimeMidStreamSubscribeAligns: a mid-stream subscriber starts
+// at the first fully covered window; its results over the suffix are
+// byte-identical to a solo engine fed the suffix with partial windows
+// filtered out.
+func TestRuntimeMidStreamSubscribeAligns(t *testing.T) {
+	events := mixedStream(3000)
+	queries := testQueries()
+	k := len(events) / 3
+	joinTime := events[k-1].Time
+
+	rt := New()
+	if _, err := rt.Subscribe(queries[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.ProcessAll(events[:k]); err != nil {
+		t.Fatal(err)
+	}
+	var late []*Subscription
+	for _, q := range queries[1:] {
+		s, err := rt.Subscribe(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		late = append(late, s)
+	}
+	if err := rt.ProcessAll(events[k:]); err != nil {
+		t.Fatal(err)
+	}
+	shared := rt.Close()
+
+	for i, q := range queries[1:] {
+		eng := core.NewEngine(core.MustPlan(q))
+		if err := eng.ProcessAll(events[k:]); err != nil {
+			t.Fatal(err)
+		}
+		var want []core.Result
+		for _, r := range eng.Close() {
+			if r.Start > joinTime {
+				want = append(want, r)
+			}
+		}
+		got := shared[late[i].ID()]
+		if fmt.Sprintf("%v", got) != fmt.Sprintf("%v", want) {
+			t.Errorf("late query %d diverges from filtered suffix solo run\ngot:  %v\nwant: %v", i+1, got, want)
+		}
+		if len(want) == 0 {
+			t.Errorf("late query %d produced no results; test is vacuous", i+1)
+		}
+	}
+}
+
+// TestRuntimeRejectsMembershipChangeFromCallback: result callbacks
+// fire inside Process while it ranges over the subscription list, so
+// Subscribe/Unsubscribe from a callback must be rejected, not corrupt
+// dispatch.
+func TestRuntimeRejectsMembershipChangeFromCallback(t *testing.T) {
+	q := query.NewBuilder(pattern.Plus(pattern.Type("A"))).
+		Return(agg.Spec{Func: agg.CountStar}).
+		Semantics(query.Any).
+		Within(10, 10).
+		MustBuild()
+	rt := New()
+	var sub *Subscription
+	var subErr, unsubErr error
+	fired := false
+	sub, err := rt.Subscribe(q, core.WithResultCallback(func(core.Result) {
+		fired = true
+		_, unsubErr = sub.Unsubscribe()
+		_, subErr = rt.Subscribe(q)
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Process(event.New("A", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Process(event.New("A", 25)); err != nil { // closes window [0,10)
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("callback never fired; test is vacuous")
+	}
+	if unsubErr == nil {
+		t.Error("Unsubscribe from a result callback accepted")
+	}
+	if subErr == nil {
+		t.Error("Subscribe from a result callback accepted")
+	}
+	// The runtime stays usable and the deferred change works now.
+	if _, err := sub.Unsubscribe(); err != nil {
+		t.Errorf("deferred Unsubscribe failed: %v", err)
 	}
 }

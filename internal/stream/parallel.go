@@ -19,13 +19,32 @@ const routeBatchSize = 256
 
 // MultiExecutor exploits the stream partitioning of §7/§8 for a whole
 // set of queries at once: every worker goroutine hosts one shared
-// multi-query runtime (internal/runtime) executing all plans, and
-// events are routed by hashing the partition attributes the plans have
-// in common. Because the routing attributes are a subset of every
-// plan's partition key, all events of any plan's sub-stream land on
-// the same worker in order — no cross-worker coordination is needed,
-// and each hosted engine sees exactly the sub-streams a solo run
-// would. Per-query results are merged and re-ordered on Close.
+// multi-query runtime (internal/runtime) executing the fleet, and
+// events are routed by hashing the partition attributes the hosted
+// plans have in common. Because the routing attributes are a subset of
+// every plan's partition key, all events of any plan's sub-stream land
+// on the same worker in order — no cross-worker coordination is
+// needed, and each hosted engine sees exactly the sub-streams a solo
+// run would. Per-query results are merged and re-ordered on Close.
+//
+// The query population is dynamic. SubscribePlan and Sub.Unsubscribe
+// may be called at any stream position; membership changes travel to
+// the workers over the same channels as the events (a control-plane
+// message ordered after every event routed so far), so all workers
+// apply them at one consistent stream prefix. A mid-stream subscriber
+// is aligned to the router's watermark and reports results from the
+// first fully covered window.
+//
+// Routing attributes are recomputed freely while no event has been
+// routed. Once the stream is running the routing function is frozen
+// (worker state depends on it); a late plan whose partition keys still
+// cover the routing attributes joins every partition worker, and a
+// late plan that breaks worker-locality (its key set does not cover
+// the routing attributes) falls back to a dedicated full-stream
+// worker: a lazily started (n+1)-th worker that receives every event
+// in order and hosts exactly the locality-breaking subscribers. The
+// fallback preserves correctness for everyone at the cost of streaming
+// each event twice (once to its partition, once to the full worker).
 //
 // Routing degenerates to a single worker when the hosted plans share
 // no partition attribute (some plan has an unpartitioned stream, or
@@ -36,19 +55,61 @@ const routeBatchSize = 256
 // into a reused buffer, hashed with an inlined FNV-1a loop, and events
 // travel in pooled batches instead of one channel send per event.
 type MultiExecutor struct {
-	plans      []*core.Plan
-	routeAttrs []string
-	workers    []*mworker
-	pending    []*[]*event.Event // per-worker batch under construction
-	keyBuf     []byte
-	pool       sync.Pool
-	callbacks  []func(core.Result)
-	skipped    int64
-	closed     bool
+	cat         *core.Catalog
+	routeAttrs  []string
+	workers     []*mworker
+	full        *mworker          // lazily created full-stream fallback worker
+	pending     []*[]*event.Event // per-worker batch under construction
+	fullPend    *[]*event.Event
+	keyBuf      []byte
+	pool        sync.Pool
+	subs        []*Sub // every subscription ever, indexed by id
+	seq         int64
+	lastTime    int64
+	sawEvent    bool
+	skipped     int64
+	retiredPeak int64 // summed peaks of retired fallback workers
+	closed      bool
 }
 
+// Sub is one query hosted by a MultiExecutor: the executor-level
+// subscription handle, spanning the per-worker runtime subscriptions.
+type Sub struct {
+	m      *MultiExecutor
+	id     int
+	plan   *core.Plan
+	cb     func(core.Result)
+	active bool
+	hosts  []*mworker
+	wsubs  []*runtime.Subscription // parallel to hosts
+}
+
+// ID returns the subscription's id: 0-based, in subscribe order
+// (constructor plans keep their slice positions).
+func (s *Sub) ID() int { return s.id }
+
+// Plan returns the hosted plan.
+func (s *Sub) Plan() *core.Plan { return s.plan }
+
+// Active reports whether the subscription still receives events.
+func (s *Sub) Active() bool { return s.active }
+
+// Unsubscribe detaches the query at the current stream position: every
+// hosting worker flushes its remaining open windows, the merged
+// results are returned (or delivered to the subscription's callback),
+// and the query's engines and binding intern memory are released.
+func (s *Sub) Unsubscribe() ([]core.Result, error) { return s.m.unsubscribe(s) }
+
+// Drain returns the results whose windows have closed since the last
+// Drain, merged across workers and ordered by window then group, and
+// clears them from the workers (delivered to the callback instead when
+// one is installed). Workers at different stream positions may close
+// windows at different times, so consecutive drains of a parallel run
+// are each internally ordered but may interleave across calls.
+func (s *Sub) Drain() ([]core.Result, error) { return s.m.drain(s) }
+
 type mworker struct {
-	in   chan *[]*event.Event
+	in   chan wmsg
 	done chan struct{}
 	pool *sync.Pool
 	rt   *runtime.Runtime
@@ -59,10 +120,47 @@ type mworker struct {
 	err     error
 }
 
+// wmsg is one unit of worker input: an event batch, or a control-plane
+// message ordered against the batches on the same channel.
+type wmsg struct {
+	batch *[]*event.Event
+	ctl   *ctlMsg
+}
+
+type ctlOp int
+
+const (
+	ctlSubscribe ctlOp = iota
+	ctlUnsubscribe
+	ctlDrain
+	ctlStats
+)
+
+// ctlMsg asks a worker to change or report its hosted state at the
+// current position of its input channel. The worker always replies
+// exactly once.
+type ctlMsg struct {
+	op       ctlOp
+	plan     *core.Plan
+	align    int64
+	hasAlign bool
+	wsub     *runtime.Subscription
+	reply    chan ctlReply
+}
+
+type ctlReply struct {
+	wsub    *runtime.Subscription
+	results []core.Result
+	intern  int64
+	peak    int64
+	err     error
+}
+
 // NewMultiExecutor starts n workers (n >= 1) executing all plans over
 // one stream. The plans must be compiled against one shared catalog
 // (core.NewPlanIn), so each worker resolves every event once for all
-// of them.
+// of them. Further queries may subscribe (and any query unsubscribe)
+// while the stream runs.
 func NewMultiExecutor(plans []*core.Plan, n int) (*MultiExecutor, error) {
 	if len(plans) == 0 {
 		return nil, fmt.Errorf("stream: no plans")
@@ -73,39 +171,334 @@ func NewMultiExecutor(plans []*core.Plan, n int) (*MultiExecutor, error) {
 			return nil, fmt.Errorf("stream: plan %d compiled against a different catalog (use core.NewPlanIn with one shared catalog)", i+1)
 		}
 	}
-	p := &MultiExecutor{
-		plans:      plans,
+	m := &MultiExecutor{
+		cat:        cat,
 		routeAttrs: sharedRouteAttrs(plans),
-		callbacks:  make([]func(core.Result), len(plans)),
 	}
-	if n < 1 || len(p.routeAttrs) == 0 {
+	if n < 1 || len(m.routeAttrs) == 0 {
 		n = 1
 	}
-	p.pool.New = func() any {
+	m.pool.New = func() any {
 		b := make([]*event.Event, 0, routeBatchSize)
 		return &b
 	}
-	p.pending = make([]*[]*event.Event, n)
+	m.pending = make([]*[]*event.Event, n)
 	for i := 0; i < n; i++ {
-		w := &mworker{
-			in:   make(chan *[]*event.Event, 16),
-			done: make(chan struct{}),
-			pool: &p.pool,
-			rt:   runtime.NewOn(cat),
+		m.workers = append(m.workers, m.newWorker())
+	}
+	for _, plan := range plans {
+		if _, err := m.SubscribePlan(plan); err != nil {
+			m.shutdown()
+			return nil, err
 		}
-		for _, plan := range plans {
-			if _, err := w.rt.SubscribePlan(plan, core.WithAccountant(&w.acct)); err != nil {
-				return nil, err
+	}
+	return m, nil
+}
+
+// NewMultiExecutorOn starts an EMPTY executor with n workers (n >= 1)
+// over an existing catalog — the serving-shaped entry point behind the
+// public Session API, where the query population is entirely dynamic.
+// Unlike NewMultiExecutor, the worker count is kept as requested even
+// while the (changing) fleet shares no routing attribute: routing then
+// sends every event to worker 0 and the others idle, so a membership
+// change arriving before the first event can still spread the stream
+// over all n. (Once an event has flowed the routing function is
+// frozen — see the type comment — so a collapsed stream stays on
+// worker 0 for its lifetime.)
+func NewMultiExecutorOn(cat *core.Catalog, n int) *MultiExecutor {
+	if n < 1 {
+		n = 1
+	}
+	m := &MultiExecutor{cat: cat}
+	m.pool.New = func() any {
+		b := make([]*event.Event, 0, routeBatchSize)
+		return &b
+	}
+	m.pending = make([]*[]*event.Event, n)
+	for i := 0; i < n; i++ {
+		m.workers = append(m.workers, m.newWorker())
+	}
+	return m
+}
+
+// newWorker builds and starts one worker goroutine.
+func (m *MultiExecutor) newWorker() *mworker {
+	w := &mworker{
+		in:   make(chan wmsg, 16),
+		done: make(chan struct{}),
+		pool: &m.pool,
+		rt:   runtime.NewOn(m.cat),
+	}
+	go w.run()
+	return w
+}
+
+// shutdown closes every worker channel and waits; used on constructor
+// failure before any event flowed.
+func (m *MultiExecutor) shutdown() {
+	m.closed = true
+	for _, w := range m.allWorkers() {
+		close(w.in)
+	}
+	for _, w := range m.allWorkers() {
+		<-w.done
+	}
+}
+
+// allWorkers returns the partition workers plus the full-stream worker
+// when it exists.
+func (m *MultiExecutor) allWorkers() []*mworker {
+	if m.full == nil {
+		return m.workers
+	}
+	return append(append([]*mworker(nil), m.workers...), m.full)
+}
+
+// activePlans returns the plans of the active subscriptions.
+func (m *MultiExecutor) activePlans() []*core.Plan {
+	var out []*core.Plan
+	for _, s := range m.subs {
+		if s.active {
+			out = append(out, s.plan)
+		}
+	}
+	return out
+}
+
+// SubscribePlan hosts an additional compiled plan, at any stream
+// position. The plan must share the executor's catalog (compile with
+// core.NewPlanIn against Catalog()). Before the first event the
+// routing attributes are recomputed over the new fleet; mid-stream the
+// routing is frozen, and the plan either joins every partition worker
+// (its partition keys cover the routing attributes — sub-streams stay
+// worker-local) or falls back to the dedicated full-stream worker.
+// The subscription takes effect at one consistent stream position on
+// every worker: after every event routed so far, before any event
+// routed later.
+func (m *MultiExecutor) SubscribePlan(plan *core.Plan) (*Sub, error) {
+	if m.closed {
+		return nil, fmt.Errorf("stream: Subscribe after Close")
+	}
+	if plan.Catalog() != m.cat {
+		return nil, fmt.Errorf("stream: plan compiled against a different catalog (use core.NewPlanIn with the executor's catalog)")
+	}
+	var hosts []*mworker
+	switch {
+	case !m.sawEvent:
+		m.routeAttrs = sharedRouteAttrs(append(m.activePlans(), plan))
+		hosts = m.workers
+	case attrsCovered(m.routeAttrs, plan.StreamKeys):
+		hosts = m.workers
+	default:
+		if m.full == nil {
+			m.full = m.newWorker()
+		}
+		hosts = []*mworker{m.full}
+	}
+	m.flushPending()
+	sub := &Sub{m: m, id: len(m.subs), plan: plan, active: true, hosts: hosts}
+	for _, w := range hosts {
+		ctl := &ctlMsg{op: ctlSubscribe, plan: plan, reply: make(chan ctlReply, 1)}
+		if m.sawEvent {
+			ctl.align, ctl.hasAlign = m.lastTime, true
+		}
+		w.in <- wmsg{ctl: ctl}
+		rep := <-ctl.reply
+		if rep.err != nil {
+			// Roll back the workers that already subscribed.
+			for i, prev := range sub.hosts[:len(sub.wsubs)] {
+				ctl := &ctlMsg{op: ctlUnsubscribe, wsub: sub.wsubs[i], reply: make(chan ctlReply, 1)}
+				prev.in <- wmsg{ctl: ctl}
+				<-ctl.reply
+			}
+			return nil, rep.err
+		}
+		sub.wsubs = append(sub.wsubs, rep.wsub)
+	}
+	m.subs = append(m.subs, sub)
+	return sub, nil
+}
+
+// attrsCovered reports whether every routing attribute appears in the
+// plan's partition keys — the condition under which the frozen routing
+// function keeps the plan's sub-streams worker-local.
+func attrsCovered(route, keys []string) bool {
+	for _, attr := range route {
+		found := false
+		for _, k := range keys {
+			if k == attr {
+				found = true
+				break
 			}
 		}
-		p.workers = append(p.workers, w)
+		if !found {
+			return false
+		}
 	}
-	// Goroutines start only after every worker subscribed successfully,
-	// so an error return above cannot strand a blocked worker.
-	for _, w := range p.workers {
-		go w.run()
+	return true
+}
+
+// unsubscribe implements Sub.Unsubscribe.
+func (m *MultiExecutor) unsubscribe(sub *Sub) ([]core.Result, error) {
+	if m.closed {
+		return nil, fmt.Errorf("stream: Unsubscribe after Close")
 	}
-	return p, nil
+	if !sub.active {
+		return nil, fmt.Errorf("stream: query %d already unsubscribed", sub.id)
+	}
+	sub.active = false
+	m.flushPending()
+	var merged []core.Result
+	var firstErr error
+	for i, w := range sub.hosts {
+		ctl := &ctlMsg{op: ctlUnsubscribe, wsub: sub.wsubs[i], reply: make(chan ctlReply, 1)}
+		w.in <- wmsg{ctl: ctl}
+		rep := <-ctl.reply
+		if rep.err != nil {
+			if firstErr == nil {
+				firstErr = rep.err
+			}
+			continue
+		}
+		merged = append(merged, rep.results...)
+	}
+	if !m.sawEvent && len(m.activePlans()) > 0 {
+		// No event routed yet: the routing attributes may re-expand now
+		// that the intersection spans fewer plans.
+		m.routeAttrs = sharedRouteAttrs(m.activePlans())
+	}
+	if err := m.retireFullWorker(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	// Even on a partial failure the healthy workers' engines have been
+	// flushed and released; return what they reported alongside the
+	// error rather than destroying it.
+	sortResults(merged)
+	if sub.cb != nil {
+		for _, r := range merged {
+			sub.cb(r)
+		}
+		return nil, firstErr
+	}
+	return merged, firstErr
+}
+
+// retireFullWorker shuts the full-stream fallback worker down once no
+// active subscription is hosted on it, so a long-lived stream stops
+// paying the duplicate event delivery after its last locality-breaking
+// subscriber leaves. A later locality-breaking subscribe starts a
+// fresh fallback worker, aligned to the watermark like any late
+// joiner.
+func (m *MultiExecutor) retireFullWorker() error {
+	if m.full == nil {
+		return nil
+	}
+	for _, s := range m.subs {
+		if s.active && len(s.hosts) == 1 && s.hosts[0] == m.full {
+			return nil
+		}
+	}
+	w := m.full
+	m.full, m.fullPend = nil, nil
+	close(w.in)
+	<-w.done
+	// Peak memory is a high-water mark over the whole run: keep the
+	// retired worker's contribution so the reported fleet peak stays
+	// monotone.
+	m.retiredPeak += w.acct.Peak()
+	return w.err
+}
+
+// drain implements Sub.Drain.
+func (m *MultiExecutor) drain(sub *Sub) ([]core.Result, error) {
+	if m.closed {
+		return nil, fmt.Errorf("stream: Drain after Close")
+	}
+	if !sub.active {
+		return nil, fmt.Errorf("stream: query %d already unsubscribed", sub.id)
+	}
+	m.flushPending()
+	var merged []core.Result
+	var firstErr error
+	for i, w := range sub.hosts {
+		ctl := &ctlMsg{op: ctlDrain, wsub: sub.wsubs[i], reply: make(chan ctlReply, 1)}
+		w.in <- wmsg{ctl: ctl}
+		rep := <-ctl.reply
+		if rep.err != nil && firstErr == nil {
+			firstErr = rep.err
+		}
+		merged = append(merged, rep.results...)
+	}
+	// Drained results are destructively taken from the worker engines;
+	// hand them over even when one worker reported an error.
+	sortResults(merged)
+	if sub.cb != nil {
+		for _, r := range merged {
+			sub.cb(r)
+		}
+		return nil, firstErr
+	}
+	return merged, firstErr
+}
+
+// Stats is the executor's aggregate hosted state, gathered from every
+// worker at the current stream position.
+type Stats struct {
+	// Queries is the number of active subscriptions; Workers counts the
+	// running workers (including the full-stream fallback worker).
+	Queries int
+	Workers int
+	// Events is the number of events routed; Skipped counts events that
+	// lacked a routing attribute (not delivered to partition workers).
+	Events  int64
+	Skipped int64
+	// InternedTypes/InternedAttrs are the catalog id-space sizes.
+	InternedTypes int
+	InternedAttrs int
+	// RoutingAttrs are the partition attributes events are routed by;
+	// empty means every event goes to worker 0 (no shared attribute).
+	RoutingAttrs []string
+	// BindingInternBytes sums the live binding intern tables across all
+	// workers' engines; PeakBytes sums the workers' logical peaks.
+	BindingInternBytes int64
+	PeakBytes          int64
+}
+
+// Stats gathers the executor-wide statistics: each worker reports at
+// its current position after receiving everything routed so far.
+func (m *MultiExecutor) Stats() (Stats, error) {
+	st := Stats{
+		Queries:       len(m.activePlans()),
+		Workers:       len(m.allWorkers()),
+		Events:        m.seq,
+		Skipped:       m.skipped,
+		InternedTypes: m.cat.NumTypes(),
+		InternedAttrs: m.cat.NumAttrs(),
+		RoutingAttrs:  m.routeAttrs,
+		PeakBytes:     m.retiredPeak,
+	}
+	if m.closed {
+		// Workers have exited (Close waited on them), so their state is
+		// safe to read directly; the engines still hold their intern
+		// tables, so the footprint stays comparable to the inline path.
+		for _, w := range m.allWorkers() {
+			st.PeakBytes += w.acct.Peak()
+			st.BindingInternBytes += w.rt.InternBytes()
+		}
+		return st, nil
+	}
+	m.flushPending()
+	for _, w := range m.allWorkers() {
+		ctl := &ctlMsg{op: ctlStats, reply: make(chan ctlReply, 1)}
+		w.in <- wmsg{ctl: ctl}
+		rep := <-ctl.reply
+		if rep.err != nil {
+			return st, rep.err
+		}
+		st.BindingInternBytes += rep.intern
+		st.PeakBytes += rep.peak
+	}
+	return st, nil
 }
 
 // sharedRouteAttrs returns the partition attributes common to every
@@ -116,18 +509,14 @@ func NewMultiExecutor(plans []*core.Plan, n int) (*MultiExecutor, error) {
 // may still fan out into several sub-streams of a plan with extra
 // partition attributes, which is harmless.
 func sharedRouteAttrs(plans []*core.Plan) []string {
+	if len(plans) == 0 {
+		return nil
+	}
 	var out []string
 	for _, attr := range plans[0].StreamKeys {
 		inAll := true
 		for _, plan := range plans[1:] {
-			found := false
-			for _, a := range plan.StreamKeys {
-				if a == attr {
-					found = true
-					break
-				}
-			}
-			if !found {
+			if !attrsCovered([]string{attr}, plan.StreamKeys) {
 				inAll = false
 				break
 			}
@@ -141,20 +530,55 @@ func sharedRouteAttrs(plans []*core.Plan) []string {
 
 func (w *mworker) run() {
 	defer close(w.done)
-	for batch := range w.in {
+	for msg := range w.in {
+		if msg.ctl != nil {
+			w.handleCtl(msg.ctl)
+			continue
+		}
 		if w.err == nil {
-			for _, e := range *batch {
+			for _, e := range *msg.batch {
 				if w.err = w.rt.Process(e); w.err != nil {
 					break // drain after failure
 				}
 			}
 		}
-		*batch = (*batch)[:0]
-		w.pool.Put(batch)
+		*msg.batch = (*msg.batch)[:0]
+		w.pool.Put(msg.batch)
 	}
 	if w.err == nil {
 		w.results = w.rt.Close()
 	}
+}
+
+// handleCtl applies one control-plane message on the worker goroutine
+// (the runtime is single-threaded) and always replies exactly once. A
+// worker in error state refuses membership changes — the stream is
+// already broken and Close will surface the error.
+func (w *mworker) handleCtl(c *ctlMsg) {
+	var rep ctlReply
+	if c.op == ctlStats {
+		// Stats stay readable even in error state: a caller polling
+		// PeakBytes after a worker failure gets the accumulated peak,
+		// not a silent zero (Close surfaces the error itself).
+		rep.intern = w.rt.InternBytes()
+		rep.peak = w.acct.Peak()
+	} else if w.err != nil {
+		rep.err = w.err
+	} else {
+		switch c.op {
+		case ctlSubscribe:
+			if c.hasAlign {
+				rep.wsub, rep.err = w.rt.SubscribePlanFrom(c.plan, c.align, core.WithAccountant(&w.acct))
+			} else {
+				rep.wsub, rep.err = w.rt.SubscribePlan(c.plan, core.WithAccountant(&w.acct))
+			}
+		case ctlUnsubscribe:
+			rep.results, rep.err = c.wsub.Unsubscribe()
+		case ctlDrain:
+			rep.results = c.wsub.Drain()
+		}
+	}
+	c.reply <- rep
 }
 
 // fnv1a is the 32-bit FNV-1a hash, inlined so routing does not
@@ -169,56 +593,101 @@ func fnv1a(b []byte) uint32 {
 }
 
 // OnResult installs a result callback for one hosted query (by its
-// index in the plans slice). Close delivers the query's merged,
-// re-ordered results to the callback instead of returning them. Must
-// be called before Close.
-func (p *MultiExecutor) OnResult(qi int, fn func(core.Result)) {
-	p.callbacks[qi] = fn
+// subscription id; constructor plans keep their slice positions).
+// Unsubscribe, Drain and Close deliver the query's merged, re-ordered
+// results to the callback instead of returning them. Installing a
+// callback after Close is an error — the results were already
+// returned.
+func (p *MultiExecutor) OnResult(qi int, fn func(core.Result)) error {
+	if p.closed {
+		return fmt.Errorf("stream: OnResult after Close")
+	}
+	if qi < 0 || qi >= len(p.subs) {
+		return fmt.Errorf("stream: OnResult for unknown query %d", qi)
+	}
+	p.subs[qi].cb = fn
+	return nil
 }
 
-// Process routes one event to its partition's worker. Events missing
-// a shared routing attribute are counted and dropped — such an event
-// lacks part of every plan's partition key, so no plan's engine would
-// admit it to a sub-stream. Events are delivered in batches; Close
-// flushes any partial batch.
+// Process routes one event to its partition's worker, and additionally
+// to the full-stream worker when one is running. Events missing a
+// shared routing attribute are counted and skipped for the partition
+// workers — such an event lacks part of every routed plan's partition
+// key, so no routed engine would admit it to a sub-stream — but they
+// still reach the full-stream worker, whose queries route on nothing.
+// Events are delivered in batches; Close flushes any partial batch.
 func (p *MultiExecutor) Process(e *event.Event) error {
 	if p.closed {
 		return fmt.Errorf("stream: Process after Close")
 	}
+	p.seq++
+	if e.ID == 0 {
+		// Assign the stream sequence here, before fan-out: two workers
+		// may observe the same event concurrently.
+		e.ID = p.seq
+	}
+	if !p.sawEvent || e.Time > p.lastTime {
+		p.lastTime = e.Time
+	}
+	p.sawEvent = true
+	routed := true
 	wi := 0
 	if len(p.routeAttrs) > 0 {
 		keyBuf, ok := core.AppendEventKey(p.keyBuf[:0], e, p.routeAttrs)
 		p.keyBuf = keyBuf
 		if !ok {
 			p.skipped++
-			return nil
+			routed = false
+		} else {
+			wi = int(fnv1a(keyBuf) % uint32(len(p.workers)))
 		}
-		wi = int(fnv1a(keyBuf) % uint32(len(p.workers)))
 	}
-	batch := p.pending[wi]
-	if batch == nil {
-		batch = p.pool.Get().(*[]*event.Event)
-		p.pending[wi] = batch
+	if routed {
+		p.append(p.workers[wi], &p.pending[wi], e)
 	}
-	*batch = append(*batch, e)
-	if len(*batch) >= routeBatchSize {
-		p.workers[wi].in <- batch
-		p.pending[wi] = nil
+	if p.full != nil {
+		p.append(p.full, &p.fullPend, e)
 	}
 	return nil
 }
 
+// append adds an event to a worker's batch under construction, handing
+// the batch over when it is full.
+func (p *MultiExecutor) append(w *mworker, slot **[]*event.Event, e *event.Event) {
+	batch := *slot
+	if batch == nil {
+		batch = p.pool.Get().(*[]*event.Event)
+		*slot = batch
+	}
+	*batch = append(*batch, e)
+	if len(*batch) >= routeBatchSize {
+		w.in <- wmsg{batch: batch}
+		*slot = nil
+	}
+}
+
+// flushPending hands every partial batch to its worker, so a
+// control-plane message sent next is ordered after every event routed
+// so far.
+func (p *MultiExecutor) flushPending() {
+	for i, w := range p.workers {
+		if batch := p.pending[i]; batch != nil && len(*batch) > 0 {
+			w.in <- wmsg{batch: batch}
+			p.pending[i] = nil
+		}
+	}
+	if p.full != nil && p.fullPend != nil && len(*p.fullPend) > 0 {
+		p.full.in <- wmsg{batch: p.fullPend}
+		p.fullPend = nil
+	}
+}
+
 // Run consumes an entire ordered source.
 func (p *MultiExecutor) Run(src Iterator) error {
-	var seq int64
 	for {
 		e, ok := src.Next()
 		if !ok {
 			return nil
-		}
-		seq++
-		if e.ID == 0 {
-			e.ID = seq
 		}
 		if err := p.Process(e); err != nil {
 			return err
@@ -228,20 +697,19 @@ func (p *MultiExecutor) Run(src Iterator) error {
 
 // Close flushes pending batches, drains the workers and returns each
 // query's results ordered by window then group, exactly like a single
-// engine would emit them — indexed by the query's position in the
-// plans slice. Queries with an OnResult callback receive their results
-// through it (their slot is nil).
+// engine would emit them — indexed by subscription id. Slots of
+// queries with an OnResult callback (delivered through it) and of
+// queries that already unsubscribed (returned at Unsubscribe time)
+// are nil.
 func (p *MultiExecutor) Close() ([][]core.Result, error) {
 	if p.closed {
 		return nil, fmt.Errorf("stream: double Close")
 	}
+	p.flushPending()
 	p.closed = true
+	workers := p.allWorkers()
 	var wg sync.WaitGroup
-	for i, w := range p.workers {
-		if batch := p.pending[i]; batch != nil && len(*batch) > 0 {
-			w.in <- batch
-			p.pending[i] = nil
-		}
+	for _, w := range workers {
 		close(w.in)
 		wg.Add(1)
 		go func(w *mworker) {
@@ -250,25 +718,29 @@ func (p *MultiExecutor) Close() ([][]core.Result, error) {
 		}(w)
 	}
 	wg.Wait()
-	for _, w := range p.workers {
+	for _, w := range workers {
 		if w.err != nil {
 			return nil, w.err
 		}
 	}
-	out := make([][]core.Result, len(p.plans))
-	for qi := range p.plans {
+	out := make([][]core.Result, len(p.subs))
+	for _, sub := range p.subs {
+		if !sub.active {
+			continue
+		}
+		sub.active = false
 		var merged []core.Result
-		for _, w := range p.workers {
-			merged = append(merged, w.results[qi]...)
+		for i, w := range sub.hosts {
+			merged = append(merged, w.results[sub.wsubs[i].ID()]...)
 		}
 		sortResults(merged)
-		if cb := p.callbacks[qi]; cb != nil {
+		if sub.cb != nil {
 			for _, r := range merged {
-				cb(r)
+				sub.cb(r)
 			}
 			continue
 		}
-		out[qi] = merged
+		out[sub.id] = merged
 	}
 	return out, nil
 }
@@ -287,20 +759,27 @@ func sortResults(out []core.Result) {
 // Skipped returns the number of events without a routing key.
 func (p *MultiExecutor) Skipped() int64 { return p.skipped }
 
-// Workers returns the actual worker count — 1 when the hosted plans
-// share no partition attribute, regardless of what was requested.
+// Workers returns the partition worker count — 1 when the hosted
+// plans share no partition attribute, regardless of what was
+// requested. The full-stream fallback worker, when running, is not
+// counted (see Stats).
 func (p *MultiExecutor) Workers() int { return len(p.workers) }
+
+// Catalog returns the shared catalog further plans must be compiled
+// against (core.NewPlanIn).
+func (p *MultiExecutor) Catalog() *core.Catalog { return p.cat }
 
 // PeakBytes returns the summed logical peak memory across workers.
 // Each worker's peak covers all queries it hosts simultaneously;
 // worker peaks may occur at different times, so the sum is an upper
-// bound on the fleet-wide footprint (as for ParallelExecutor).
+// bound on the fleet-wide footprint (as for ParallelExecutor). Before
+// Close this is a control-plane round trip to the workers.
 func (p *MultiExecutor) PeakBytes() int64 {
-	var total int64
-	for _, w := range p.workers {
-		total += w.acct.Peak()
+	st, err := p.Stats()
+	if err != nil {
+		return 0
 	}
-	return total
+	return st.PeakBytes
 }
 
 // ParallelExecutor runs one plan partition-parallel: the single-query
@@ -315,12 +794,12 @@ type ParallelExecutor struct {
 // NewParallelExecutor starts n workers (n >= 1). A plan without
 // partition keys yields a single worker, since an unpartitioned
 // stream has a single sub-stream.
-func NewParallelExecutor(plan *core.Plan, n int) *ParallelExecutor {
+func NewParallelExecutor(plan *core.Plan, n int) (*ParallelExecutor, error) {
 	m, err := NewMultiExecutor([]*core.Plan{plan}, n)
 	if err != nil {
-		panic(err) // unreachable: one plan always shares its catalog
+		return nil, err
 	}
-	return &ParallelExecutor{m: m}
+	return &ParallelExecutor{m: m}, nil
 }
 
 // Process routes one event to its partition's worker.

@@ -164,7 +164,10 @@ func TestParallelMatchesSequential(t *testing.T) {
 	want := seqEng.Close()
 
 	for _, workers := range []int{1, 2, 4, 8} {
-		p := NewParallelExecutor(plan, workers)
+		p, err := NewParallelExecutor(plan, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
 		cloned := make([]*event.Event, len(events))
 		for i, e := range events {
 			cloned[i] = e.Clone()
@@ -191,7 +194,10 @@ func TestParallelMatchesSequential(t *testing.T) {
 
 func TestParallelSkipsKeylessEvents(t *testing.T) {
 	plan := core.MustPlan(parallelQuery())
-	p := NewParallelExecutor(plan, 2)
+	p, err := NewParallelExecutor(plan, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	p.Process(event.New("M", 1).WithNum("rate", 60)) // no patient attr
 	if _, err := p.Close(); err != nil {
 		t.Fatal(err)
@@ -203,7 +209,10 @@ func TestParallelSkipsKeylessEvents(t *testing.T) {
 
 func TestParallelLifecycleErrors(t *testing.T) {
 	plan := core.MustPlan(parallelQuery())
-	p := NewParallelExecutor(plan, 2)
+	p, err := NewParallelExecutor(plan, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, err := p.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -217,7 +226,10 @@ func TestParallelLifecycleErrors(t *testing.T) {
 
 func TestParallelPropagatesEngineErrors(t *testing.T) {
 	plan := core.MustPlan(parallelQuery())
-	p := NewParallelExecutor(plan, 1)
+	p, err := NewParallelExecutor(plan, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	mk := func(tm int64) *event.Event {
 		return event.New("M", tm).WithSym("patient", "p").WithNum("rate", 60)
 	}
@@ -230,7 +242,10 @@ func TestParallelPropagatesEngineErrors(t *testing.T) {
 
 func TestParallelPeakBytes(t *testing.T) {
 	plan := core.MustPlan(parallelQuery())
-	p := NewParallelExecutor(plan, 4)
+	p, err := NewParallelExecutor(plan, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, e := range parallelStream(200, 5) {
 		p.Process(e)
 	}
@@ -372,5 +387,217 @@ func TestSharedRouteAttrs(t *testing.T) {
 	}
 	if got := sharedRouteAttrs([]*core.Plan{mk("patient"), mk()}); len(got) != 0 {
 		t.Errorf("unpartitioned plan should clear the routing set, got %v", got)
+	}
+}
+
+// TestMultiExecutorOnResultLifecycleGuards: OnResult must refuse to
+// install a callback that can never fire (after Close) or for an
+// unknown query, mirroring the Process-after-Close guard.
+func TestMultiExecutorOnResultLifecycleGuards(t *testing.T) {
+	plan := core.MustPlan(parallelQuery())
+	m, err := NewMultiExecutor([]*core.Plan{plan}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.OnResult(1, func(core.Result) {}); err == nil {
+		t.Error("OnResult for unknown query accepted")
+	}
+	if err := m.OnResult(0, func(core.Result) {}); err != nil {
+		t.Errorf("OnResult before Close rejected: %v", err)
+	}
+	if _, err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.OnResult(0, func(core.Result) {}); err == nil {
+		t.Error("OnResult after Close accepted")
+	}
+	if err := m.Process(event.New("M", 1)); err == nil {
+		t.Error("Process after Close accepted")
+	}
+}
+
+// TestMultiExecutorDynamicMembership: a query subscribed mid-stream on
+// the executor joins every partition worker at one consistent stream
+// position and, from its first fully covered window on, matches a solo
+// engine fed the same suffix; unsubscribing flushes and returns the
+// query's windows without disturbing the rest of the fleet.
+func TestMultiExecutorDynamicMembership(t *testing.T) {
+	queries := multiQueries()
+	events := multiStream(600, 7)
+	for i := range events {
+		events[i].ID = int64(i + 1) // pre-assign: events fan out to workers
+	}
+	k := len(events) / 3
+	joinTime := events[k-1].Time
+
+	cat := core.NewCatalog()
+	base, err := core.NewPlanIn(cat, queries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMultiExecutor([]*core.Plan{base}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range events[:k] {
+		if err := m.Process(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	latePlan, err := core.NewPlanIn(cat, queries[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	late, err := m.SubscribePlan(latePlan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range events[k:] {
+		if err := m.Process(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lateGot, err := late.Unsubscribe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := late.Unsubscribe(); err == nil {
+		t.Error("double Unsubscribe accepted")
+	}
+	results, err := m.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference for the late joiner: a solo engine over the suffix,
+	// keeping only fully covered windows (start strictly after the
+	// join watermark).
+	eng := core.NewEngine(core.MustPlan(queries[1]))
+	for _, e := range events[k:] {
+		if err := eng.Process(e.Clone()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var lateWant []core.Result
+	for _, r := range eng.Close() {
+		if r.Start > joinTime {
+			lateWant = append(lateWant, r)
+		}
+	}
+	if fmt.Sprintf("%v", lateGot) != fmt.Sprintf("%v", lateWant) {
+		t.Errorf("late joiner diverges from suffix solo run\ngot:  %v\nwant: %v", lateGot, lateWant)
+	}
+	if len(lateWant) == 0 {
+		t.Error("late joiner produced no results; test is vacuous")
+	}
+
+	// The founding query must be untouched by the membership changes.
+	ref := core.NewEngine(core.MustPlan(queries[0]))
+	for _, e := range events {
+		if err := ref.Process(e.Clone()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, want := fmt.Sprintf("%v", results[0]), fmt.Sprintf("%v", ref.Close()); got != want {
+		t.Errorf("founding query diverges after churn\ngot:  %v\nwant: %v", got, want)
+	}
+}
+
+// TestMultiExecutorLocalityFallback: a mid-stream query whose
+// partition keys do not cover the frozen routing attributes is hosted
+// on the dedicated full-stream worker and still produces exactly the
+// solo-engine suffix results.
+func TestMultiExecutorLocalityFallback(t *testing.T) {
+	events := multiStream(600, 7)
+	for i := range events {
+		events[i].ID = int64(i + 1)
+	}
+	k := len(events) / 2
+	joinTime := events[k-1].Time
+
+	cat := core.NewCatalog()
+	base, err := core.NewPlanIn(cat, parallelQuery()) // routes on [patient]
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMultiExecutor([]*core.Plan{base}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range events[:k] {
+		if err := m.Process(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Keyed on ward only: [patient] is not covered, locality breaks.
+	wardQ := query.NewBuilder(pattern.Plus(pattern.TypeAs("M", "M"))).
+		Return(agg.Spec{Func: agg.CountStar}).
+		Semantics(query.Any).
+		WhereEquiv(predicate.Equivalence{Attr: "ward"}).
+		GroupBy(query.GroupKey{Attr: "ward"}).
+		Within(40, 40).
+		MustBuild()
+	wardPlan, err := core.NewPlanIn(cat, wardQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ward, err := m.SubscribePlan(wardPlan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := m.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Workers != 5 { // 4 partition workers + full-stream fallback
+		t.Errorf("workers = %d, want 5 (fallback running)", st.Workers)
+	}
+	for _, e := range events[k:] {
+		if err := m.Process(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stBefore, err := m.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wardGot, err := ward.Unsubscribe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The fallback worker retires with its last subscriber: the stream
+	// stops paying the duplicate delivery — but the fleet peak stays a
+	// monotone high-water mark.
+	st, err = m.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Workers != 4 {
+		t.Errorf("workers after fallback retirement = %d, want 4", st.Workers)
+	}
+	if st.PeakBytes < stBefore.PeakBytes {
+		t.Errorf("peak regressed across retirement: %d -> %d", stBefore.PeakBytes, st.PeakBytes)
+	}
+	if _, err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	eng := core.NewEngine(core.MustPlan(wardQ))
+	for _, e := range events[k:] {
+		if err := eng.Process(e.Clone()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var want []core.Result
+	for _, r := range eng.Close() {
+		if r.Start > joinTime {
+			want = append(want, r)
+		}
+	}
+	if got := fmt.Sprintf("%v", wardGot); got != fmt.Sprintf("%v", want) {
+		t.Errorf("fallback-hosted query diverges\ngot:  %v\nwant: %v", got, want)
+	}
+	if len(want) == 0 {
+		t.Error("fallback query produced no results; test is vacuous")
 	}
 }

@@ -68,6 +68,21 @@ func (s Spec) ClosedBefore(t int64) int64 {
 	return floorDiv(t-s.Within, s.Slide)
 }
 
+// FirstFullWindow returns the smallest wid whose window is fully
+// covered by an observer that joins the stream at watermark t: the
+// stream may already have emitted events up to and including time t,
+// so a window is fully covered only if its start lies strictly after
+// t. This defines the partial-first-window semantics of mid-stream
+// subscription — a late joiner reports results starting from this
+// window; earlier (partially observed) windows are suppressed.
+func (s Spec) FirstFullWindow(t int64) int64 {
+	wid := floorDiv(t, s.Slide) + 1
+	if wid < 0 {
+		wid = 0
+	}
+	return wid
+}
+
 // floorDiv is integer division rounding toward negative infinity.
 func floorDiv(a, b int64) int64 {
 	q := a / b
@@ -125,6 +140,24 @@ func (m *Manager[T]) AppendStatesFor(dst []T, t int64) []T {
 		dst = append(dst, st)
 	}
 	return dst
+}
+
+// SkipBefore suppresses every window with wid < floor: they are
+// neither created nor emitted, as if already closed. A late-joining
+// query aligns its manager to the stream with
+// SkipBefore(Spec().FirstFullWindow(t)), so windows it could only have
+// observed partially never report. The floor only moves forward;
+// windows already emitted stay emitted.
+func (m *Manager[T]) SkipBefore(floor int64) {
+	if floor <= m.emitted {
+		return
+	}
+	m.emitted = floor
+	for wid := range m.active {
+		if wid < floor {
+			delete(m.active, wid)
+		}
+	}
 }
 
 // Closed emits (wid, state) pairs for every window that closed at

@@ -277,3 +277,73 @@ func TestManagerAppendStatesForReusesDst(t *testing.T) {
 		t.Error("AppendStatesFor did not reuse the scratch slice")
 	}
 }
+
+// TestFirstFullWindow pins the partial-first-window semantics of
+// mid-stream subscription: a window is fully covered by an observer
+// joining at watermark t only if its start lies strictly after t.
+func TestFirstFullWindow(t *testing.T) {
+	s := Spec{Within: 10, Slide: 5}
+	for _, c := range []struct {
+		t    int64
+		want int64
+	}{
+		{0, 1},  // window 0 covers time 0: partial
+		{4, 1},  // window 1 starts at 5 > 4
+		{5, 2},  // window 1 covers time 5: partial
+		{14, 3}, // window 3 starts at 15
+		{15, 4},
+	} {
+		if got := s.FirstFullWindow(c.t); got != c.want {
+			t.Errorf("FirstFullWindow(%d) = %d, want %d", c.t, got, c.want)
+		}
+	}
+	// Slide > Within leaves gaps but the rule is the same.
+	g := Spec{Within: 5, Slide: 20}
+	if got := g.FirstFullWindow(19); got != 1 {
+		t.Errorf("gapped FirstFullWindow(19) = %d, want 1", got)
+	}
+}
+
+// countState is a per-window event counter for the SkipBefore tests.
+type countState struct {
+	wid int64
+	n   int
+}
+
+// TestManagerSkipBefore: suppressed windows are neither created nor
+// emitted, later windows behave normally, and the floor never moves
+// backward.
+func TestManagerSkipBefore(t *testing.T) {
+	m := NewManager(Spec{Within: 10, Slide: 10}, func(wid int64) *countState {
+		return &countState{wid: wid}
+	})
+	m.SkipBefore(2) // observer joined at watermark in window 1
+	m.SkipBefore(1) // floor must not regress
+	for _, tm := range []int64{5, 15, 25, 35} {
+		for _, st := range m.StatesFor(tm) {
+			st.n++
+		}
+	}
+	var got []int64
+	for _, c := range m.AdvanceTo(40) {
+		got = append(got, c.Wid)
+		if c.State.n != 1 {
+			t.Errorf("window %d counted %d events, want 1", c.Wid, c.State.n)
+		}
+	}
+	if len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Errorf("emitted wids = %v, want [2 3]", got)
+	}
+	if m.ActiveCount() != 0 {
+		t.Errorf("active = %d", m.ActiveCount())
+	}
+	// A floor above already-active windows drops them.
+	m2 := NewManager(Spec{Within: 10, Slide: 10}, func(wid int64) *countState {
+		return &countState{wid: wid}
+	})
+	m2.StatesFor(5)
+	m2.SkipBefore(3)
+	if out := m2.Flush(); len(out) != 0 {
+		t.Errorf("flushed suppressed windows: %v", out)
+	}
+}

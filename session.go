@@ -1,0 +1,389 @@
+package cogra
+
+// Session is the serving-shaped public API: one long-lived object over
+// one live event stream, hosting a dynamic population of queries.
+// Queries subscribe and unsubscribe at any stream position — before,
+// between, or after events — so the engine behaves like a service a
+// fleet of users attaches queries to, not a batch artifact frozen at
+// compile time.
+//
+//	sess := cogra.NewSession()                   // or cogra.WithWorkers(4)
+//	sub, _ := sess.Subscribe(q1)                 // before the stream
+//	for i, e := range events {
+//	    if err := sess.Process(e); err != nil { ... }
+//	    if i == 1000 {
+//	        late, _ = sess.Subscribe(q2)         // mid-stream
+//	    }
+//	}
+//	for _, r := range late.Unsubscribe() { ... } // detach, flush windows
+//	sess.Close()
+//	for _, r := range sub.Drain() { ... }
+//
+// Partial-first-window semantics: a query subscribed mid-stream at
+// watermark t (the time stamp of the last event the session saw) may
+// have missed events of every window that covers t, so those windows
+// are suppressed and the query's results start from the first FULLY
+// covered window — the first window whose start lies strictly after
+// t. From that window on, its results are byte-identical to a query
+// that had been subscribed all along.
+//
+// Under the hood, subscription compiles the query against the
+// session's shared catalog, which interns symbols copy-on-write
+// (epochs), so running engines and resolvers are never invalidated by
+// mid-stream compilation. With WithWorkers(n > 1) the session routes
+// events to partition workers and membership changes travel to every
+// worker on the event channels themselves, taking effect at one
+// consistent stream position; a late query whose partition keys do
+// not cover the frozen routing attributes is hosted on a dedicated
+// full-stream fallback worker instead (see MultiExecutor).
+//
+// A Session is single-threaded like the engines it hosts: all methods
+// (including Subscribe/Unsubscribe) must be called from the event
+// feeding goroutine. Parallelism happens inside, behind WithWorkers.
+// OnResult callbacks may fire inside Process; membership changes from
+// within a callback are rejected with an error — note what should
+// change and apply it after Process returns.
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/runtime"
+	"repro/internal/stream"
+)
+
+// SessionOption configures a Session.
+type SessionOption func(*sessionCfg)
+
+type sessionCfg struct {
+	workers int
+}
+
+// WithWorkers runs the session partition-parallel on n workers (n > 1;
+// n <= 1 keeps the session inline on the caller's goroutine). Events
+// are routed by the partition attributes the subscribed queries share;
+// see MultiExecutor for the routing and fallback rules.
+func WithWorkers(n int) SessionOption {
+	return func(c *sessionCfg) { c.workers = n }
+}
+
+// Session hosts a dynamic fleet of queries over one event stream.
+type Session struct {
+	cat    *core.Catalog
+	rt     *runtime.Runtime      // inline mode (workers <= 1)
+	mx     *stream.MultiExecutor // parallel mode (workers > 1)
+	acct   metrics.Accountant    // inline mode: spans every hosted engine
+	subs   []*Subscription
+	closed bool
+}
+
+// NewSession returns an empty session over a fresh catalog.
+func NewSession(opts ...SessionOption) *Session {
+	var cfg sessionCfg
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	s := &Session{cat: core.NewCatalog()}
+	if cfg.workers > 1 {
+		s.mx = stream.NewMultiExecutorOn(s.cat, cfg.workers)
+	} else {
+		s.rt = runtime.NewOn(s.cat)
+	}
+	return s
+}
+
+// Catalog returns the session's shared catalog, for compiling plans
+// with CompileIn ahead of SubscribePlan.
+func (s *Session) Catalog() *Catalog { return s.cat }
+
+// SubscribeOption configures one subscription.
+type SubscribeOption func(*subCfg)
+
+type subCfg struct {
+	cb func(Result)
+}
+
+// OnResult streams the subscription's results to fn instead of
+// collecting them for Drain/Unsubscribe. Inline sessions invoke fn as
+// each window closes; parallel sessions invoke it when results are
+// gathered from the workers (Drain, Unsubscribe, Close).
+func OnResult(fn func(Result)) SubscribeOption {
+	return func(c *subCfg) { c.cb = fn }
+}
+
+// Subscribe compiles a query against the session's catalog and
+// attaches it to the stream at the current position. Callable at any
+// point; a mid-stream subscriber reports results from its first fully
+// covered window (see the type comment).
+func (s *Session) Subscribe(q *Query, opts ...SubscribeOption) (*Subscription, error) {
+	if s.closed {
+		return nil, fmt.Errorf("cogra: Subscribe after Close")
+	}
+	plan, err := core.NewPlanIn(s.cat, q)
+	if err != nil {
+		return nil, err
+	}
+	return s.SubscribePlan(plan, opts...)
+}
+
+// SubscribePlan attaches an already-compiled plan; it must have been
+// compiled against the session's catalog (CompileIn).
+func (s *Session) SubscribePlan(plan *Plan, opts ...SubscribeOption) (*Subscription, error) {
+	if s.closed {
+		return nil, fmt.Errorf("cogra: Subscribe after Close")
+	}
+	var cfg subCfg
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	sub := &Subscription{sess: s, id: len(s.subs), plan: plan, active: true}
+	if s.rt != nil {
+		engOpts := []EngineOption{core.WithAccountant(&s.acct)}
+		if cfg.cb != nil {
+			engOpts = append(engOpts, core.WithResultCallback(cfg.cb))
+		}
+		rsub, err := s.rt.SubscribePlan(plan, engOpts...)
+		if err != nil {
+			return nil, err
+		}
+		sub.rsub = rsub
+	} else {
+		msub, err := s.mx.SubscribePlan(plan)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.cb != nil {
+			if err := s.mx.OnResult(msub.ID(), cfg.cb); err != nil {
+				return nil, err
+			}
+		}
+		sub.msub = msub
+	}
+	s.subs = append(s.subs, sub)
+	return sub, nil
+}
+
+// Process consumes the next stream event for every subscribed query.
+// Events must arrive in non-decreasing time-stamp order.
+func (s *Session) Process(e *Event) error {
+	if s.closed {
+		return fmt.Errorf("cogra: Process after Close")
+	}
+	if s.rt != nil {
+		return s.rt.Process(e)
+	}
+	return s.mx.Process(e)
+}
+
+// ProcessAll feeds a pre-sorted batch of events.
+func (s *Session) ProcessAll(events []*Event) error {
+	for _, e := range events {
+		if err := s.Process(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run consumes an entire ordered source.
+func (s *Session) Run(src Iterator) error {
+	for {
+		e, ok := src.Next()
+		if !ok {
+			return nil
+		}
+		if err := s.Process(e); err != nil {
+			return err
+		}
+	}
+}
+
+// Close ends the stream: every still-subscribed query flushes its open
+// windows. Results go to the subscription's callback when one is
+// installed, and are otherwise retrievable with Drain after Close.
+func (s *Session) Close() error {
+	if s.closed {
+		return fmt.Errorf("cogra: double Close")
+	}
+	s.closed = true
+	if s.rt != nil {
+		results := s.rt.Close()
+		for _, sub := range s.subs {
+			if sub.active {
+				sub.active = false
+				sub.pending = append(sub.pending, results[sub.rsub.ID()]...)
+			}
+		}
+		return nil
+	}
+	results, err := s.mx.Close()
+	for _, sub := range s.subs {
+		if sub.active {
+			sub.active = false
+			if err == nil {
+				sub.pending = append(sub.pending, results[sub.msub.ID()]...)
+			} else {
+				sub.err = err
+			}
+		}
+	}
+	return err
+}
+
+// SessionStats summarises a session's hosted state.
+type SessionStats struct {
+	// Queries is the number of active subscriptions; Workers the
+	// worker count (1 for inline sessions; parallel sessions count the
+	// full-stream fallback worker when it is running).
+	Queries int
+	Workers int
+	// Events is the number of events the session accepted; Skipped
+	// counts events a parallel session could not route (missing a
+	// routing attribute).
+	Events  int64
+	Skipped int64
+	// InternedTypes and InternedAttrs are the id-space sizes of the
+	// session's shared symbol catalog (they grow as queries subscribe
+	// and never shrink — ids must stay stable).
+	InternedTypes int
+	InternedAttrs int
+	// RoutingAttrs are the partition attributes a parallel session
+	// routes events by; empty with Workers > 1 means the subscribed
+	// queries share no partition attribute, so every event goes to one
+	// worker (nil for inline sessions).
+	RoutingAttrs []string
+	// BindingInternBytes is the live footprint of the hosted engines'
+	// binding intern tables; unsubscribing a query releases its share.
+	BindingInternBytes int64
+	// PeakBytes is the peak logical memory across the session's
+	// engines (summed across workers in parallel mode).
+	PeakBytes int64
+}
+
+// Stats reports the session's hosted-query, interning and memory
+// state at the current stream position.
+func (s *Session) Stats() (SessionStats, error) {
+	if s.rt != nil {
+		rs := s.rt.Stats()
+		return SessionStats{
+			Queries:            rs.Queries,
+			Workers:            1,
+			Events:             rs.Events,
+			InternedTypes:      rs.InternedTypes,
+			InternedAttrs:      rs.InternedAttrs,
+			BindingInternBytes: rs.BindingInternBytes,
+			PeakBytes:          s.acct.Peak(),
+		}, nil
+	}
+	ms, err := s.mx.Stats()
+	if err != nil {
+		return SessionStats{}, err
+	}
+	return SessionStats{
+		Queries:            ms.Queries,
+		Workers:            ms.Workers,
+		Events:             ms.Events,
+		Skipped:            ms.Skipped,
+		InternedTypes:      ms.InternedTypes,
+		InternedAttrs:      ms.InternedAttrs,
+		RoutingAttrs:       ms.RoutingAttrs,
+		BindingInternBytes: ms.BindingInternBytes,
+		PeakBytes:          ms.PeakBytes,
+	}, nil
+}
+
+// Subscription is one query hosted by a Session: the handle for its
+// results and lifecycle.
+type Subscription struct {
+	sess    *Session
+	id      int
+	plan    *Plan
+	rsub    *runtime.Subscription
+	msub    *stream.Sub
+	active  bool
+	pending []Result
+	err     error
+}
+
+// ID returns the subscription's id: 0-based, in Subscribe order,
+// stable across membership changes.
+func (sub *Subscription) ID() int { return sub.id }
+
+// Plan returns the compiled plan of the hosted query.
+func (sub *Subscription) Plan() *Plan { return sub.plan }
+
+// Active reports whether the subscription still receives events.
+func (sub *Subscription) Active() bool { return sub.active }
+
+// Err returns the subscription's error state: the first error a
+// lifecycle call (Unsubscribe, Drain, Close) recorded for it.
+func (sub *Subscription) Err() error { return sub.err }
+
+// Unsubscribe detaches the query from the stream at the current
+// position. Its open windows are flushed and returned (or delivered
+// to the callback), its engines are released, and its binding intern
+// memory is returned. The rest of the fleet is untouched. Failures
+// are recorded on Err; a rejected unsubscribe (e.g. called from
+// inside a result callback) leaves the subscription active, so it can
+// be retried once Process returns.
+func (sub *Subscription) Unsubscribe() []Result {
+	if sub.sess.closed {
+		sub.err = fmt.Errorf("cogra: Unsubscribe after Close")
+		return nil
+	}
+	if !sub.active {
+		sub.err = fmt.Errorf("cogra: query %d already unsubscribed", sub.id)
+		return nil
+	}
+	var out []Result
+	var err error
+	if sub.rsub != nil {
+		out, err = sub.rsub.Unsubscribe()
+	} else {
+		out, err = sub.msub.Unsubscribe()
+	}
+	if err != nil {
+		sub.err = err
+		// A rejected membership change (inline mode) leaves the query
+		// hosted: stay active for a retry. The parallel executor only
+		// errors after detaching, so its partial results still count.
+		if sub.rsub != nil {
+			return nil
+		}
+	}
+	sub.active = false
+	return append(sub.takePending(), out...)
+}
+
+// Drain returns the results whose windows have closed since the last
+// Drain (all remaining results once the session is closed) and clears
+// them; nil when a callback streams results instead. On a partial
+// worker failure it returns what the healthy workers reported and
+// records the error (Err). In parallel sessions each Drain is
+// internally ordered by window then group, but windows from a lagging
+// worker may appear in a later Drain.
+func (sub *Subscription) Drain() []Result {
+	if !sub.active {
+		return sub.takePending()
+	}
+	var out []Result
+	var err error
+	if sub.rsub != nil {
+		out = sub.rsub.Drain()
+	} else {
+		out, err = sub.msub.Drain()
+	}
+	if err != nil {
+		// Drained results were destructively taken from the workers;
+		// hand over what the healthy ones reported and record the error.
+		sub.err = err
+	}
+	return append(sub.takePending(), out...)
+}
+
+func (sub *Subscription) takePending() []Result {
+	out := sub.pending
+	sub.pending = nil
+	return out
+}

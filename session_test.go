@@ -1,0 +1,494 @@
+package cogra_test
+
+// Differential tests pinning the Session API's dynamic-membership
+// semantics:
+//
+//   - subscribe-at-event-k equals a pre-stream subscriber (a solo run)
+//     fed the suffix, from the first fully covered window on;
+//   - unsubscribe-at-event-k equals a solo run fed the prefix;
+//   - a churning fleet (random subscribe/unsubscribe schedule) holds
+//     both properties for every membership interval, across all three
+//     granularities and 1/4 workers (run under -race in CI).
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	cogra "repro"
+)
+
+// sessionTestStream emits a multi-type stream: A/B sequences, M
+// measurement random walks and X noise, all carrying patient (the
+// shared partition attribute), ward (a secondary key) and a numeric
+// payload. Time stamps repeat (dense runs) and jump (idle gaps); IDs
+// are pre-assigned so the same slice can feed concurrent workers and
+// reference runs without mutation.
+func sessionTestStream(n int) []*cogra.Event {
+	rng := rand.New(rand.NewSource(17))
+	rates := [3]float64{60, 70, 80}
+	out := make([]*cogra.Event, 0, n)
+	tm := int64(0)
+	for i := 0; i < n; i++ {
+		p := rng.Intn(3)
+		patient := fmt.Sprintf("p%d", p)
+		ward := fmt.Sprintf("w%d", rng.Intn(2))
+		var ev *cogra.Event
+		switch x := rng.Intn(10); {
+		case x < 3:
+			ev = cogra.NewEvent("A", tm).WithSym("patient", patient).
+				WithSym("ward", ward).WithNum("v", float64(rng.Intn(100)))
+		case x < 5:
+			ev = cogra.NewEvent("B", tm).WithSym("patient", patient).
+				WithSym("ward", ward).WithNum("v", float64(rng.Intn(100)))
+		case x < 8:
+			rates[p] += float64(rng.Intn(7)) - 3
+			ev = cogra.NewEvent("M", tm).WithSym("patient", patient).
+				WithSym("ward", ward).WithNum("rate", rates[p])
+		default:
+			ev = cogra.NewEvent("X", tm).WithSym("patient", patient).
+				WithSym("ward", ward).WithNum("noise", 1)
+		}
+		ev.ID = int64(i + 1)
+		out = append(out, ev)
+		switch rng.Intn(8) {
+		case 0, 1, 2: // dense run: same time stamp
+		case 7:
+			tm += 30 + int64(rng.Intn(150)) // idle gap spanning windows
+		default:
+			tm++
+		}
+	}
+	return out
+}
+
+// sessionTestQueries covers the three granularities plus the
+// contiguous wants-all path; every query partitions by patient so a
+// 4-worker session routes on a shared attribute.
+func sessionTestQueries() map[string]string {
+	return map[string]string{
+		"type": `
+			RETURN COUNT(*), SUM(A.v)
+			PATTERN (SEQ(A+, B))+
+			SEMANTICS skip-till-any-match
+			WHERE [patient] GROUP-BY patient
+			WITHIN 64 SLIDE 32`,
+		"mixed": `
+			RETURN COUNT(*), MAX(M.rate)
+			PATTERN M+
+			SEMANTICS skip-till-any-match
+			WHERE [patient] AND M.rate < NEXT(M).rate
+			GROUP-BY patient
+			WITHIN 64 SLIDE 64`,
+		"pattern": `
+			RETURN COUNT(*)
+			PATTERN M+
+			SEMANTICS skip-till-next-match
+			WHERE [patient] AND M.rate <= NEXT(M).rate
+			GROUP-BY patient
+			WITHIN 96 SLIDE 48`,
+		"contiguous": `
+			RETURN COUNT(*)
+			PATTERN M+
+			SEMANTICS contiguous
+			WHERE [patient] GROUP-BY patient
+			WITHIN 64 SLIDE 64`,
+	}
+}
+
+// soloRun executes one query alone over a slice of the stream — the
+// pre-stream-subscriber reference — and returns its results.
+func soloRun(t *testing.T, src string, events []*cogra.Event) []cogra.Result {
+	t.Helper()
+	sess := cogra.NewSession()
+	sub, err := sess.Subscribe(cogra.MustParse(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.ProcessAll(events); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return sub.Drain()
+}
+
+// fullWindowsAfter keeps the results of windows fully covered by an
+// observer joining at watermark t: those starting strictly after t.
+func fullWindowsAfter(results []cogra.Result, t int64) []cogra.Result {
+	var out []cogra.Result
+	for _, r := range results {
+		if r.Start > t {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func sessionModes() map[string][]cogra.SessionOption {
+	return map[string][]cogra.SessionOption{
+		"inline":   nil,
+		"workers4": {cogra.WithWorkers(4)},
+	}
+}
+
+// TestSessionSubscribeMidStreamMatchesSuffix: for every granularity
+// and for both the inline and the 4-worker session, a query subscribed
+// at event k produces, from its first fully covered window on, results
+// byte-identical to a pre-stream subscriber fed the same suffix.
+func TestSessionSubscribeMidStreamMatchesSuffix(t *testing.T) {
+	events := sessionTestStream(3000)
+	k := len(events) / 3
+	joinTime := events[k-1].Time
+	for mode, opts := range sessionModes() {
+		for name, src := range sessionTestQueries() {
+			t.Run(mode+"/"+name, func(t *testing.T) {
+				sess := cogra.NewSession(opts...)
+				// A standing query keeps the stream busy before the join.
+				standing, err := sess.Subscribe(cogra.MustParse(sessionTestQueries()["type"]))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := sess.ProcessAll(events[:k]); err != nil {
+					t.Fatal(err)
+				}
+				late, err := sess.Subscribe(cogra.MustParse(src))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := sess.ProcessAll(events[k:]); err != nil {
+					t.Fatal(err)
+				}
+				if err := sess.Close(); err != nil {
+					t.Fatal(err)
+				}
+				got := late.Drain()
+				want := fullWindowsAfter(soloRun(t, src, events[k:]), joinTime)
+				if fmt.Sprintf("%v", got) != fmt.Sprintf("%v", want) {
+					t.Errorf("mid-stream subscriber diverges from suffix solo run\ngot:  %v\nwant: %v", got, want)
+				}
+				if len(want) == 0 {
+					t.Error("no results; differential test is vacuous")
+				}
+				// The standing query must equal its own full-stream solo run.
+				sGot := standing.Drain()
+				sWant := soloRun(t, sessionTestQueries()["type"], events)
+				if fmt.Sprintf("%v", sGot) != fmt.Sprintf("%v", sWant) {
+					t.Errorf("standing query disturbed by mid-stream subscribe\ngot:  %v\nwant: %v", sGot, sWant)
+				}
+			})
+		}
+	}
+}
+
+// TestSessionUnsubscribeMatchesPrefix: unsubscribing at event k flushes
+// exactly the results a solo run over the prefix reports, and the rest
+// of the fleet is untouched.
+func TestSessionUnsubscribeMatchesPrefix(t *testing.T) {
+	events := sessionTestStream(3000)
+	k := len(events) / 2
+	for mode, opts := range sessionModes() {
+		for name, src := range sessionTestQueries() {
+			t.Run(mode+"/"+name, func(t *testing.T) {
+				sess := cogra.NewSession(opts...)
+				leaving, err := sess.Subscribe(cogra.MustParse(src))
+				if err != nil {
+					t.Fatal(err)
+				}
+				standing, err := sess.Subscribe(cogra.MustParse(sessionTestQueries()["mixed"]))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := sess.ProcessAll(events[:k]); err != nil {
+					t.Fatal(err)
+				}
+				got := leaving.Unsubscribe()
+				if err := leaving.Err(); err != nil {
+					t.Fatal(err)
+				}
+				if err := sess.ProcessAll(events[k:]); err != nil {
+					t.Fatal(err)
+				}
+				if err := sess.Close(); err != nil {
+					t.Fatal(err)
+				}
+				want := soloRun(t, src, events[:k])
+				if fmt.Sprintf("%v", got) != fmt.Sprintf("%v", want) {
+					t.Errorf("unsubscribe flush diverges from prefix solo run\ngot:  %v\nwant: %v", got, want)
+				}
+				if len(want) == 0 {
+					t.Error("no results; differential test is vacuous")
+				}
+				sGot := standing.Drain()
+				sWant := soloRun(t, sessionTestQueries()["mixed"], events)
+				if fmt.Sprintf("%v", sGot) != fmt.Sprintf("%v", sWant) {
+					t.Errorf("standing query disturbed by unsubscribe\ngot:  %v\nwant: %v", sGot, sWant)
+				}
+			})
+		}
+	}
+}
+
+// TestSessionChurn runs a random subscribe/unsubscribe schedule over
+// the fleet — including a ward-keyed and an unpartitioned query that
+// break worker-locality mid-stream — and verifies every membership
+// interval [join, leave) against a filtered solo run of its slice of
+// the stream. CI runs this under -race for the 4-worker session.
+func TestSessionChurn(t *testing.T) {
+	events := sessionTestStream(4000)
+	specs := []string{
+		sessionTestQueries()["type"],
+		sessionTestQueries()["mixed"],
+		sessionTestQueries()["pattern"],
+		sessionTestQueries()["contiguous"],
+		// Ward-keyed: does not cover the [patient] routing attribute,
+		// so a mid-stream subscribe falls back to the full-stream
+		// worker in parallel sessions.
+		`RETURN COUNT(*)
+		 PATTERN A+
+		 SEMANTICS skip-till-any-match
+		 WHERE [ward] GROUP-BY ward
+		 WITHIN 50 SLIDE 50`,
+		// Unpartitioned: no stream keys at all.
+		`RETURN COUNT(*)
+		 PATTERN (SEQ(A+, B))+
+		 SEMANTICS skip-till-any-match
+		 WITHIN 80 SLIDE 40`,
+	}
+
+	type interval struct {
+		spec    int
+		join    int // first event index the subscription observes
+		sub     *cogra.Subscription
+		results []cogra.Result
+		leave   int
+	}
+
+	for mode, opts := range sessionModes() {
+		t.Run(mode, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(23))
+			sess := cogra.NewSession(opts...)
+			var live []*interval
+			var done []*interval
+
+			subscribe := func(spec, at int) {
+				sub, err := sess.Subscribe(cogra.MustParse(specs[spec]))
+				if err != nil {
+					t.Fatal(err)
+				}
+				live = append(live, &interval{spec: spec, join: at, sub: sub})
+			}
+			unsubscribe := func(li, at int) {
+				iv := live[li]
+				live = append(live[:li], live[li+1:]...)
+				iv.results = iv.sub.Unsubscribe()
+				if err := iv.sub.Err(); err != nil {
+					t.Fatal(err)
+				}
+				iv.leave = at
+				done = append(done, iv)
+			}
+
+			// The founding query pins the routing attributes to
+			// [patient] before the first event.
+			subscribe(0, 0)
+			for i, e := range events {
+				if err := sess.Process(e); err != nil {
+					t.Fatal(err)
+				}
+				if rng.Intn(100) != 0 {
+					continue
+				}
+				// Membership change after event i.
+				if len(live) > 2 && rng.Intn(2) == 0 {
+					unsubscribe(rng.Intn(len(live)), i+1)
+				} else {
+					subscribe(rng.Intn(len(specs)), i+1)
+				}
+			}
+			if err := sess.Close(); err != nil {
+				t.Fatal(err)
+			}
+			for _, iv := range live {
+				iv.results = iv.sub.Drain()
+				iv.leave = len(events)
+				done = append(done, iv)
+			}
+
+			checked := 0
+			for _, iv := range done {
+				want := soloRun(t, specs[iv.spec], events[iv.join:iv.leave])
+				if iv.join > 0 {
+					want = fullWindowsAfter(want, events[iv.join-1].Time)
+				}
+				if fmt.Sprintf("%v", iv.results) != fmt.Sprintf("%v", want) {
+					t.Errorf("spec %d over [%d,%d) diverges from filtered solo run\ngot:  %v\nwant: %v",
+						iv.spec, iv.join, iv.leave, iv.results, want)
+				}
+				if len(want) > 0 {
+					checked++
+				}
+			}
+			if len(done) < 8 || checked < len(done)/2 {
+				t.Errorf("churn too tame: %d intervals, %d with results", len(done), checked)
+			}
+		})
+	}
+}
+
+// TestSessionStatsAndInternRelease: Session.Stats exposes the intern
+// id-space and the engines' binding intern footprint, and
+// unsubscribing the last query referencing a high-cardinality
+// equivalence attribute releases that footprint — in both session
+// modes.
+func TestSessionStatsAndInternRelease(t *testing.T) {
+	hot := `
+		RETURN COUNT(*)
+		PATTERN A+
+		SEMANTICS skip-till-any-match
+		WHERE [A.tag] AND [patient]
+		GROUP-BY patient
+		WITHIN 100000 SLIDE 100000`
+	cold := `
+		RETURN COUNT(*)
+		PATTERN A+
+		SEMANTICS skip-till-any-match
+		WHERE [patient] GROUP-BY patient
+		WITHIN 100000 SLIDE 100000`
+	for mode, opts := range sessionModes() {
+		t.Run(mode, func(t *testing.T) {
+			sess := cogra.NewSession(opts...)
+			hotSub, err := sess.Subscribe(cogra.MustParse(hot))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := sess.Subscribe(cogra.MustParse(cold)); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 1024; i++ {
+				ev := cogra.NewEvent("A", int64(i)).
+					WithSym("patient", fmt.Sprintf("p%d", i%3)).
+					WithSym("tag", fmt.Sprintf("tag-%d", i)) // high cardinality
+				ev.ID = int64(i + 1)
+				if err := sess.Process(ev); err != nil {
+					t.Fatal(err)
+				}
+			}
+			st, err := sess.Stats()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Queries != 2 || st.Events != 1024 {
+				t.Errorf("stats = %+v", st)
+			}
+			if st.InternedTypes == 0 || st.InternedAttrs == 0 {
+				t.Errorf("intern id spaces empty: %+v", st)
+			}
+			if st.BindingInternBytes <= 0 {
+				t.Fatalf("high-cardinality equivalence interned nothing: %+v", st)
+			}
+			if st.PeakBytes <= 0 {
+				t.Errorf("peak bytes not tracked: %+v", st)
+			}
+
+			if res := hotSub.Unsubscribe(); len(res) == 0 || hotSub.Err() != nil {
+				t.Fatalf("unsubscribe: results=%d err=%v", len(res), hotSub.Err())
+			}
+			st, err = sess.Stats()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.BindingInternBytes != 0 {
+				t.Errorf("binding intern bytes after releasing the only slotted query = %d, want 0",
+					st.BindingInternBytes)
+			}
+			if st.Queries != 1 {
+				t.Errorf("queries = %d, want 1", st.Queries)
+			}
+			if err := sess.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestSessionLifecycleErrors pins the error surface: process/subscribe
+// after close, double unsubscribe, unsubscribe after close.
+func TestSessionLifecycleErrors(t *testing.T) {
+	sess := cogra.NewSession()
+	sub, err := sess.Subscribe(cogra.MustParse(`RETURN COUNT(*) PATTERN A+ WITHIN 10 SLIDE 10`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Process(cogra.NewEvent("A", 5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Process(cogra.NewEvent("A", 1)); err == nil {
+		t.Error("out-of-order event accepted")
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Close(); err == nil {
+		t.Error("double Close accepted")
+	}
+	if err := sess.Process(cogra.NewEvent("A", 9)); err == nil {
+		t.Error("Process after Close accepted")
+	}
+	if _, err := sess.Subscribe(cogra.MustParse(`RETURN COUNT(*) PATTERN A+ WITHIN 10 SLIDE 10`)); err == nil {
+		t.Error("Subscribe after Close accepted")
+	}
+	if res := sub.Drain(); len(res) != 1 {
+		t.Errorf("results after close = %v", res)
+	}
+	if sub.Unsubscribe(); sub.Err() == nil {
+		t.Error("Unsubscribe after Close recorded no error")
+	}
+}
+
+// TestSessionUnsubscribeFromCallbackIsRetriable: an Unsubscribe issued
+// inside an OnResult callback is rejected (Process is mid-dispatch)
+// but must leave the subscription active, so deferring it until
+// Process returns — as the error advises — works and recovers the
+// query's results.
+func TestSessionUnsubscribeFromCallbackIsRetriable(t *testing.T) {
+	sess := cogra.NewSession()
+	var watched *cogra.Subscription
+	fired := false
+	watched, err := sess.Subscribe(
+		cogra.MustParse(`RETURN COUNT(*) PATTERN A+ WITHIN 10 SLIDE 10`),
+		cogra.OnResult(func(cogra.Result) {
+			fired = true
+			watched.Unsubscribe() // mid-dispatch: must be rejected
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Process(cogra.NewEvent("A", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Process(cogra.NewEvent("A", 15)); err != nil { // closes [0,10)
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("callback never fired; test is vacuous")
+	}
+	if watched.Err() == nil {
+		t.Error("mid-dispatch Unsubscribe recorded no error")
+	}
+	if !watched.Active() {
+		t.Fatal("rejected Unsubscribe deactivated the subscription")
+	}
+	watched.Unsubscribe() // deferred retry, outside Process
+	if watched.Active() {
+		t.Error("deferred Unsubscribe did not detach the query")
+	}
+	st, err := sess.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Queries != 0 {
+		t.Errorf("queries after deferred unsubscribe = %d, want 0", st.Queries)
+	}
+}

@@ -8,6 +8,20 @@
 // B/op and allocs/op fields plus any custom metrics reported with
 // b.ReportMetric (e.g. events/s). Non-benchmark lines are ignored;
 // context lines (goos/goarch/pkg/cpu) are captured into the header.
+// Repeated measurements of one benchmark (`go test -count N`) fold
+// into the best observation, making reports robust to one-sided
+// scheduling noise on shared machines.
+//
+// With -baseline the report is additionally gated against a previous
+// run: every benchmark whose name matches -gate is compared on
+// events/s when both sides report it (higher is better), otherwise on
+// ns/op (lower is better), and the command exits non-zero when any
+// gated benchmark regresses by more than -max-regress percent — or
+// has vanished from the current run. CI commits the previous PR's
+// report and runs
+//
+//	... | benchjson -o BENCH_pr4.json -baseline BENCH_pr3.json \
+//	      -gate 'BenchmarkSessionSteady|BenchmarkEngineProcess'
 package main
 
 import (
@@ -16,6 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"strconv"
 	"strings"
 )
@@ -44,6 +59,9 @@ type Output struct {
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	baseline := flag.String("baseline", "", "previous report to gate against (JSON written by an earlier run)")
+	gate := flag.String("gate", ".", "regexp selecting the benchmarks the gate applies to")
+	maxRegress := flag.Float64("max-regress", 15, "maximum tolerated regression, percent")
 	flag.Parse()
 	report, err := parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
@@ -58,12 +76,84 @@ func main() {
 	data = append(data, '\n')
 	if *out == "" {
 		os.Stdout.Write(data)
-		return
-	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
+	} else if err := os.WriteFile(*out, data, 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+	if *baseline == "" {
+		return
+	}
+	baseData, err := os.ReadFile(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	var base Output
+	if err := json.Unmarshal(baseData, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: baseline %s: %v\n", *baseline, err)
+		os.Exit(1)
+	}
+	gateRe, err := regexp.Compile(*gate)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: -gate:", err)
+		os.Exit(1)
+	}
+	lines, failures := compare(report, &base, gateRe, *maxRegress)
+	for _, l := range lines {
+		fmt.Fprintln(os.Stderr, l)
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d gated benchmark(s) regressed more than %g%%\n", failures, *maxRegress)
+		os.Exit(1)
+	}
+}
+
+// compare gates the current report against a baseline: for each
+// baseline benchmark matching the gate it computes the regression on
+// events/s (higher is better) when both runs report it, else on ns/op
+// (lower is better). It returns one human-readable line per compared
+// benchmark and the number of failures — regressions beyond
+// maxRegress percent, plus gated benchmarks missing from the current
+// run (deleting a gated bench must not silently pass the gate).
+func compare(cur, base *Output, gate *regexp.Regexp, maxRegress float64) (lines []string, failures int) {
+	curByName := make(map[string]Result, len(cur.Results))
+	for _, r := range cur.Results {
+		curByName[r.Name] = r
+	}
+	for _, b := range base.Results {
+		if !gate.MatchString(b.Name) {
+			continue
+		}
+		c, ok := curByName[b.Name]
+		if !ok {
+			lines = append(lines, fmt.Sprintf("FAIL %s: in baseline but missing from the current run", b.Name))
+			failures++
+			continue
+		}
+		// regress > 0 always means "got slower"; delta is the metric's
+		// own signed change, so the printed number reads naturally for
+		// both higher-is-better and lower-is-better metrics.
+		metric, regress, delta := "events/s", 0.0, 0.0
+		bv, cv := b.Metrics["events/s"], c.Metrics["events/s"]
+		if bv > 0 && cv > 0 {
+			delta = (cv - bv) / bv * 100
+			regress = -delta
+		} else if b.NsPerOp > 0 && c.NsPerOp > 0 {
+			metric = "ns/op"
+			delta = (c.NsPerOp - b.NsPerOp) / b.NsPerOp * 100
+			regress = delta
+		} else {
+			lines = append(lines, fmt.Sprintf("skip %s: no comparable metric", b.Name))
+			continue
+		}
+		verdict := "ok  "
+		if regress > maxRegress {
+			verdict = "FAIL"
+			failures++
+		}
+		lines = append(lines, fmt.Sprintf("%s %s: %s %+.1f%% vs baseline", verdict, b.Name, metric, delta))
+	}
+	return lines, failures
 }
 
 func parse(sc *bufio.Scanner) (*Output, error) {
@@ -94,14 +184,50 @@ func parse(sc *bufio.Scanner) (*Output, error) {
 	if len(report.Results) == 0 {
 		return nil, fmt.Errorf("no benchmark lines on stdin")
 	}
+	report.Results = mergeBest(report.Results)
 	return report, nil
+}
+
+// mergeBest folds duplicate benchmark records — `go test -count N`
+// emits one line per run — into the best observation per (pkg, name):
+// highest events/s, or lowest ns/op when events/s is absent. Noise on
+// a shared machine is one-sided (interference only slows a run down),
+// so the fastest run is the closest to the hardware's true capability
+// and best-of-N makes the regression gate robust to it. First-seen
+// order is kept.
+func mergeBest(results []Result) []Result {
+	idx := make(map[string]int, len(results))
+	out := results[:0]
+	for _, r := range results {
+		key := r.Pkg + "\x00" + r.Name
+		i, seen := idx[key]
+		if !seen {
+			idx[key] = len(out)
+			out = append(out, r)
+			continue
+		}
+		prev := out[i]
+		better := false
+		if pe, ce := prev.Metrics["events/s"], r.Metrics["events/s"]; pe > 0 || ce > 0 {
+			better = ce > pe
+		} else {
+			better = r.NsPerOp < prev.NsPerOp
+		}
+		if better {
+			out[i] = r
+		}
+	}
+	return out
 }
 
 // parseBench parses one result line of the form
 //
 //	BenchmarkName-16  20  17402628 ns/op  470733 events/s  865 B/op  112 allocs/op
 //
-// i.e. name, iteration count, then (value, unit) pairs.
+// i.e. name, iteration count, then (value, unit) pairs. The
+// "-GOMAXPROCS" suffix go test appends on multi-core machines is
+// stripped from the name, so reports from machines with different
+// core counts (a laptop baseline vs a CI runner) compare by name.
 func parseBench(line string) (Result, bool) {
 	fields := strings.Fields(line)
 	if len(fields) < 4 || len(fields)%2 != 0 {
@@ -111,7 +237,13 @@ func parseBench(line string) (Result, bool) {
 	if err != nil {
 		return Result{}, false
 	}
-	r := Result{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+	name := fields[0]
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	r := Result{Name: name, Iterations: iters, Metrics: map[string]float64{}}
 	for i := 2; i+1 < len(fields); i += 2 {
 		v, err := strconv.ParseFloat(fields[i], 64)
 		if err != nil {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bufio"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -61,6 +62,45 @@ func TestParseRejectsEmpty(t *testing.T) {
 	}
 }
 
+// TestMergeBestKeepsFastestRun: -count N duplicates collapse into the
+// best observation (highest events/s, else lowest ns/op).
+func TestMergeBestKeepsFastestRun(t *testing.T) {
+	merged := mergeBest([]Result{
+		res("BenchmarkA", 1000, 100),
+		res("BenchmarkB", 500, 0),
+		res("BenchmarkA", 900, 120), // faster duplicate
+		res("BenchmarkB", 700, 0),   // slower duplicate
+	})
+	if len(merged) != 2 {
+		t.Fatalf("merged to %d results, want 2", len(merged))
+	}
+	if merged[0].Name != "BenchmarkA" || merged[0].Metrics["events/s"] != 120 {
+		t.Errorf("BenchmarkA merged to %+v, want the 120 events/s run", merged[0])
+	}
+	if merged[1].Name != "BenchmarkB" || merged[1].NsPerOp != 500 {
+		t.Errorf("BenchmarkB merged to %+v, want the 500 ns/op run", merged[1])
+	}
+}
+
+// TestParseBenchStripsProcsSuffix: the -GOMAXPROCS suffix varies by
+// machine and must not defeat the baseline comparison.
+func TestParseBenchStripsProcsSuffix(t *testing.T) {
+	r, ok := parseBench("BenchmarkSessionSteady8-16 20 17402628 ns/op 470733 events/s")
+	if !ok || r.Name != "BenchmarkSessionSteady8" {
+		t.Errorf("parsed name = %q, ok=%v", r.Name, ok)
+	}
+	// Sub-benchmark names keep everything but the trailing procs count.
+	r, ok = parseBench("BenchmarkFig5Contiguous/COGRA-4 10 100 ns/op")
+	if !ok || r.Name != "BenchmarkFig5Contiguous/COGRA" {
+		t.Errorf("parsed name = %q, ok=%v", r.Name, ok)
+	}
+	// A serial run has no suffix; the name passes through.
+	r, ok = parseBench("BenchmarkResolveView 100 319.6 ns/op")
+	if !ok || r.Name != "BenchmarkResolveView" {
+		t.Errorf("parsed name = %q, ok=%v", r.Name, ok)
+	}
+}
+
 func TestParseBenchMalformed(t *testing.T) {
 	for _, line := range []string{
 		"BenchmarkX",
@@ -72,4 +112,76 @@ func TestParseBenchMalformed(t *testing.T) {
 			t.Errorf("parseBench(%q) accepted", line)
 		}
 	}
+}
+
+// mkOutput builds a report for the gate tests.
+func mkOutput(results ...Result) *Output { return &Output{Results: results} }
+
+func res(name string, ns float64, evs float64) Result {
+	m := map[string]float64{"ns/op": ns}
+	if evs > 0 {
+		m["events/s"] = evs
+	}
+	return Result{Name: name, Iterations: 1, NsPerOp: ns, Metrics: m}
+}
+
+func TestCompareGate(t *testing.T) {
+	gate := regexp.MustCompile(`BenchmarkSessionSteady|BenchmarkEngineProcess`)
+	base := mkOutput(
+		res("BenchmarkSessionSteady8", 1e7, 100000),
+		res("BenchmarkEngineProcessTypeGrained", 1000, 0),
+		res("BenchmarkUnrelated", 1000, 0),
+	)
+
+	t.Run("within-tolerance", func(t *testing.T) {
+		cur := mkOutput(
+			res("BenchmarkSessionSteady8", 1.1e7, 90000),      // -10% events/s
+			res("BenchmarkEngineProcessTypeGrained", 1100, 0), // +10% ns/op
+			res("BenchmarkUnrelated", 99999, 0),               // ungated: ignored
+		)
+		lines, failures := compare(cur, base, gate, 15)
+		if failures != 0 {
+			t.Fatalf("failures = %d, lines = %v", failures, lines)
+		}
+		if len(lines) != 2 {
+			t.Fatalf("compared %d benches, want 2 (gated only): %v", len(lines), lines)
+		}
+	})
+
+	t.Run("events-per-sec-regression", func(t *testing.T) {
+		cur := mkOutput(
+			res("BenchmarkSessionSteady8", 1e7, 80000), // -20% events/s
+			res("BenchmarkEngineProcessTypeGrained", 1000, 0),
+		)
+		if _, failures := compare(cur, base, gate, 15); failures != 1 {
+			t.Fatalf("failures = %d, want 1", failures)
+		}
+	})
+
+	t.Run("nsop-regression", func(t *testing.T) {
+		cur := mkOutput(
+			res("BenchmarkSessionSteady8", 1e7, 100000),
+			res("BenchmarkEngineProcessTypeGrained", 1300, 0), // +30% ns/op
+		)
+		if _, failures := compare(cur, base, gate, 15); failures != 1 {
+			t.Fatalf("failures = %d, want 1", failures)
+		}
+	})
+
+	t.Run("improvement-passes", func(t *testing.T) {
+		cur := mkOutput(
+			res("BenchmarkSessionSteady8", 5e6, 200000),
+			res("BenchmarkEngineProcessTypeGrained", 500, 0),
+		)
+		if lines, failures := compare(cur, base, gate, 15); failures != 0 {
+			t.Fatalf("improvement flagged: %v", lines)
+		}
+	})
+
+	t.Run("missing-gated-bench-fails", func(t *testing.T) {
+		cur := mkOutput(res("BenchmarkSessionSteady8", 1e7, 100000))
+		if _, failures := compare(cur, base, gate, 15); failures != 1 {
+			t.Fatalf("failures = %d, want 1 (missing gated bench)", failures)
+		}
+	})
 }

@@ -8,18 +8,37 @@
 //
 // Queries are given inline with -query or in files with -file; both
 // flags repeat, and all queries execute together in one pass over the
-// stream (the shared multi-query runtime): each event is resolved
-// once and dispatched only to the queries matching its type. The
-// stream is read from -input or stdin. Results print one line per
-// window and group, prefixed with the query's index when more than
-// one query runs. -workers > 1 enables partition-parallel execution
-// (all queries, one worker pool).
+// stream (one Session): each event is resolved once and dispatched
+// only to the queries matching its type. The stream is read from
+// -input or stdin. Results print one line per window and group,
+// prefixed with the query's index when more than one query runs.
+// -workers > 1 enables partition-parallel execution (all queries, one
+// worker pool). -slack k accepts bounded disorder: events are
+// re-sorted within k time units and stragglers beyond that are
+// dropped and counted (or fail the run with -late-reject).
+//
+// -follow tails a live feed line by line and accepts control lines
+// interleaved with the CSV rows, so the query fleet can change while
+// the stream runs:
+//
+//	+query <text>   subscribe a new query mid-stream (its results
+//	                start from its first fully covered window)
+//	-query <id>     unsubscribe query <id> (as printed at subscribe
+//	                time), flushing its open windows
+//
+// -stats prints an end-of-run summary: events accepted, events
+// skipped by the partition router, late events dropped by the slack
+// buffer and the buffer's peak depth.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strconv"
+	"strings"
 
 	cogra "repro"
 )
@@ -45,25 +64,42 @@ func (f sourceFlag) Set(v string) error {
 	return nil
 }
 
+// runCfg collects the command line; run is testable over it.
+type runCfg struct {
+	sources    []querySource
+	input      string
+	workers    int
+	slack      int64
+	rejectLate bool
+	follow     bool
+	explain    bool
+	memory     bool
+	stats      bool
+}
+
 func main() {
-	var sources []querySource
-	flag.Var(sourceFlag{&sources, false}, "query", "query text (SASE-style syntax); repeatable")
-	flag.Var(sourceFlag{&sources, true}, "file", "file holding one query text; repeatable")
-	input := flag.String("input", "", "CSV event stream (default stdin)")
-	workers := flag.Int("workers", 1, "partition-parallel workers")
-	explain := flag.Bool("explain", false, "print the compiled plans and exit")
-	memory := flag.Bool("memory", false, "report logical peak memory after the run")
+	var cfg runCfg
+	flag.Var(sourceFlag{&cfg.sources, false}, "query", "query text (SASE-style syntax); repeatable")
+	flag.Var(sourceFlag{&cfg.sources, true}, "file", "file holding one query text; repeatable")
+	flag.StringVar(&cfg.input, "input", "", "CSV event stream (default stdin)")
+	flag.IntVar(&cfg.workers, "workers", 1, "partition-parallel workers")
+	flag.Int64Var(&cfg.slack, "slack", -1, "accept events up to this many time units out of order (-1: require in-order input)")
+	flag.BoolVar(&cfg.rejectLate, "late-reject", false, "fail on events beyond -slack instead of dropping them")
+	flag.BoolVar(&cfg.follow, "follow", false, "tail the feed line by line; '+query <text>' / '-query <id>' control lines change the fleet mid-stream")
+	flag.BoolVar(&cfg.explain, "explain", false, "print the compiled plans and exit")
+	flag.BoolVar(&cfg.memory, "memory", false, "report logical peak memory after the run")
+	flag.BoolVar(&cfg.stats, "stats", false, "report an end-of-run stream summary")
 	flag.Parse()
 
-	if err := run(sources, *input, *workers, *explain, *memory); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "cograql:", err)
 		os.Exit(1)
 	}
 }
 
-func run(sources []querySource, input string, workers int, explain, memory bool) error {
-	texts := make([]string, 0, len(sources))
-	for _, src := range sources {
+func run(cfg runCfg) error {
+	texts := make([]string, 0, len(cfg.sources))
+	for _, src := range cfg.sources {
 		if !src.fromFile {
 			texts = append(texts, src.value)
 			continue
@@ -74,7 +110,7 @@ func run(sources []querySource, input string, workers int, explain, memory bool)
 		}
 		texts = append(texts, string(data))
 	}
-	if len(texts) == 0 {
+	if len(texts) == 0 && !cfg.follow {
 		return fmt.Errorf("provide -query or -file (repeatable)")
 	}
 
@@ -86,7 +122,7 @@ func run(sources []querySource, input string, workers int, explain, memory bool)
 		}
 		queries[i] = q
 	}
-	if explain {
+	if cfg.explain {
 		// Compile against one shared catalog, the way a session would.
 		cat := cogra.NewCatalog()
 		for i, q := range queries {
@@ -104,65 +140,165 @@ func run(sources []querySource, input string, workers int, explain, memory bool)
 	}
 
 	in := os.Stdin
-	if input != "" {
-		f, err := os.Open(input)
+	if cfg.input != "" {
+		f, err := os.Open(cfg.input)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
 		in = f
 	}
-	events, err := cogra.ReadCSV(in)
-	if err != nil {
-		return err
-	}
 
-	// Result lines carry a [qN] prefix only in multi-query runs, so
-	// single-query output stays byte-compatible with earlier versions.
+	var opts []cogra.SessionOption
+	if cfg.workers > 1 {
+		opts = append(opts, cogra.WithWorkers(cfg.workers))
+	}
+	if cfg.slack >= 0 {
+		opts = append(opts, cogra.WithSlack(cfg.slack))
+		if cfg.rejectLate {
+			opts = append(opts, cogra.WithLatePolicy(cogra.RejectLate))
+		}
+	}
+	sess := cogra.NewSession(opts...)
+
+	// Result lines carry a [qN] prefix whenever the fleet can exceed
+	// one query, so single-query batch output stays byte-compatible
+	// with earlier versions; -follow always prefixes (hot-adds can
+	// grow the fleet at any line).
+	nextID := 0
 	printResult := func(qi int, r cogra.Result) {
-		if len(queries) > 1 {
+		if len(queries) > 1 || cfg.follow {
 			fmt.Printf("[q%d] %v\n", qi+1, r)
 		} else {
 			fmt.Println(r)
 		}
 	}
-
-	// One Session hosts the whole fleet: inline when workers <= 1
-	// (results stream as their windows close — multi-query output
-	// interleaves in watermark order, the [qN] prefix disambiguates),
-	// partition-parallel otherwise (results print when gathered from
-	// the workers at Close).
-	var opts []cogra.SessionOption
-	if workers > 1 {
-		opts = append(opts, cogra.WithWorkers(workers))
-	}
-	sess := cogra.NewSession(opts...)
-	for i, q := range queries {
-		qi := i
-		_, err := sess.Subscribe(q,
-			cogra.OnResult(func(r cogra.Result) { printResult(qi, r) }))
+	subscribe := func(q *cogra.Query) (*cogra.Subscription, error) {
+		qi := nextID
+		sub, err := sess.Subscribe(q,
+			cogra.WithSink(cogra.SinkFunc(func(r cogra.Result) { printResult(qi, r) })))
 		if err != nil {
-			return fmt.Errorf("query %d: %w", qi+1, err)
+			return nil, err
 		}
+		nextID++
+		return sub, nil
 	}
-	if workers > 1 {
+
+	subs := make(map[int]*cogra.Subscription)
+	for i, q := range queries {
+		sub, err := subscribe(q)
+		if err != nil {
+			return fmt.Errorf("query %d: %w", i+1, err)
+		}
+		subs[i] = sub
+	}
+	if cfg.workers > 1 && len(queries) > 0 {
 		if st, err := sess.Stats(); err == nil && len(st.RoutingAttrs) == 0 {
-			fmt.Fprintf(os.Stderr, "cograql: no shared partition attribute to route on; all events run on 1 of %d workers\n", workers)
+			fmt.Fprintf(os.Stderr, "cograql: no shared partition attribute to route on; all events run on 1 of %d workers\n", cfg.workers)
 		}
 	}
-	if err := sess.Run(cogra.FromSlice(events)); err != nil {
-		return err
+
+	if cfg.follow {
+		if err := follow(in, sess, subscribe, subs); err != nil {
+			return err
+		}
+	} else {
+		events, err := cogra.ReadCSV(in)
+		if err != nil {
+			return err
+		}
+		if err := sess.PushBatch(events); err != nil {
+			return err
+		}
 	}
 	if err := sess.Close(); err != nil {
 		return err
 	}
-	if memory {
+	if cfg.memory || cfg.stats {
 		st, err := sess.Stats()
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "peak memory: %d bytes across %d worker(s); binding intern tables: %d bytes\n",
-			st.PeakBytes, st.Workers, st.BindingInternBytes)
+		if cfg.memory {
+			fmt.Fprintf(os.Stderr, "peak memory: %d bytes across %d worker(s); binding intern tables: %d bytes\n",
+				st.PeakBytes, st.Workers, st.BindingInternBytes)
+		}
+		if cfg.stats {
+			// st.Queries counts ACTIVE subscriptions — zero after Close —
+			// so the summary reports how many ever subscribed.
+			fmt.Fprintf(os.Stderr, "stream: %d events accepted, %d unroutable, %d dropped late (reorder peak depth %d); %d quer(ies) subscribed on %d worker(s)\n",
+				st.Events, st.Skipped, st.LateDropped, st.ReorderPeakDepth, nextID, st.Workers)
+		}
 	}
 	return nil
+}
+
+// follow tails the feed line by line. The first non-control line must
+// be the CSV header; control lines ('+query <text>', '-query <id>')
+// change the query fleet at exactly their position in the stream.
+// Control errors (a bad query text, an unknown id) are reported to
+// stderr and the stream continues — a typo must not kill a live tail.
+func follow(in io.Reader, sess *cogra.Session,
+	subscribe func(*cogra.Query) (*cogra.Subscription, error), subs map[int]*cogra.Subscription) error {
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	var dec *cogra.CSVDecoder
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "+query "):
+			q, err := cogra.Parse(strings.TrimPrefix(line, "+query "))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cograql: +query:", err)
+				continue
+			}
+			sub, err := subscribe(q)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cograql: +query:", err)
+				continue
+			}
+			subs[sub.ID()] = sub
+			fmt.Fprintf(os.Stderr, "cograql: subscribed [q%d]\n", sub.ID()+1)
+		case strings.HasPrefix(line, "-query "):
+			id, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(line, "-query ")))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cograql: -query:", err)
+				continue
+			}
+			sub, ok := subs[id-1]
+			if !ok || !sub.Active() {
+				fmt.Fprintf(os.Stderr, "cograql: -query: no active query %d\n", id)
+				continue
+			}
+			sub.Unsubscribe() // results reach the query's sink
+			if sub.Active() {
+				// Still attached: the unsubscribe itself was rejected
+				// (Err records why); keep the entry for a retry.
+				fmt.Fprintln(os.Stderr, "cograql: -query:", sub.Err())
+				continue
+			}
+			delete(subs, id-1)
+			fmt.Fprintf(os.Stderr, "cograql: unsubscribed [q%d]\n", id)
+		case dec == nil:
+			if strings.TrimSpace(line) == "" {
+				continue
+			}
+			var err error
+			if dec, err = cogra.NewCSVDecoder(line); err != nil {
+				return err
+			}
+		default:
+			e, err := dec.Decode(line)
+			if err != nil {
+				return err
+			}
+			if e == nil {
+				continue
+			}
+			if err := sess.Push(e); err != nil {
+				return err
+			}
+		}
+	}
+	return sc.Err()
 }

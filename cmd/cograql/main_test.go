@@ -42,15 +42,17 @@ const testCSV = `time,type,k,x:num
 func TestRunWithQueryFileAndInput(t *testing.T) {
 	qf := writeFile(t, "q.etaq", `RETURN COUNT(*) PATTERN SEQ(A+, B) WHERE [k] GROUP-BY k WITHIN 10 SLIDE 10`)
 	in := writeFile(t, "in.csv", testCSV)
-	if err := run(fromFile(qf), in, 1, false, true); err != nil {
+	if err := run(runCfg{sources: fromFile(qf), input: in, workers: 1, memory: true}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunParallelWorkers(t *testing.T) {
 	in := writeFile(t, "in.csv", testCSV)
-	err := run(inline(`RETURN COUNT(*) PATTERN SEQ(A+, B) WHERE [k] GROUP-BY k WITHIN 10 SLIDE 10`),
-		in, 4, false, true)
+	err := run(runCfg{
+		sources: inline(`RETURN COUNT(*) PATTERN SEQ(A+, B) WHERE [k] GROUP-BY k WITHIN 10 SLIDE 10`),
+		input:   in, workers: 4, memory: true,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,14 +64,68 @@ func TestRunMultipleQueries(t *testing.T) {
 		`RETURN COUNT(*) PATTERN SEQ(A+, B) WHERE [k] GROUP-BY k WITHIN 10 SLIDE 10`,
 		`RETURN COUNT(*) PATTERN A+ WHERE [k] GROUP-BY k WITHIN 10 SLIDE 10`,
 	)
-	if err := run(queries, in, 1, false, true); err != nil {
+	if err := run(runCfg{sources: queries, input: in, workers: 1, memory: true}); err != nil {
 		t.Fatalf("shared runtime: %v", err)
 	}
-	if err := run(queries, in, 3, false, true); err != nil {
+	if err := run(runCfg{sources: queries, input: in, workers: 3, memory: true}); err != nil {
 		t.Fatalf("multi executor: %v", err)
 	}
-	if err := run(queries, "", 1, true, false); err != nil {
+	if err := run(runCfg{sources: queries, workers: 1, explain: true}); err != nil {
 		t.Fatalf("multi explain: %v", err)
+	}
+}
+
+// TestRunWithSlack: a disordered feed is accepted with -slack, both
+// when stragglers are dropped (default) and when within bounds.
+func TestRunWithSlack(t *testing.T) {
+	disordered := `time,type,k,x:num
+2,A,g,2
+1,A,g,1
+3,B,g,3
+`
+	in := writeFile(t, "in.csv", disordered)
+	q := inline(`RETURN COUNT(*) PATTERN SEQ(A+, B) WHERE [k] GROUP-BY k WITHIN 10 SLIDE 10`)
+	if err := run(runCfg{sources: q, input: in, workers: 1, slack: 5, stats: true}); err != nil {
+		t.Fatalf("slack 5: %v", err)
+	}
+	// Slack 0 drops the straggler but the run succeeds (DropLate).
+	if err := run(runCfg{sources: q, input: in, workers: 1, slack: 0, stats: true}); err != nil {
+		t.Fatalf("slack 0 drop: %v", err)
+	}
+	// Reject policy fails the run on the straggler.
+	if err := run(runCfg{sources: q, input: in, workers: 1, slack: 0, rejectLate: true}); err == nil {
+		t.Fatal("slack 0 -late-reject accepted a straggler")
+	}
+	// Without slack the disorder fails the stream contract.
+	if err := run(runCfg{sources: q, input: in, workers: 1, slack: -1}); err == nil {
+		t.Fatal("disordered input accepted without -slack")
+	}
+}
+
+// TestRunFollow: control lines interleaved with CSV rows hot-add and
+// hot-remove queries while the stream runs, for both session modes.
+func TestRunFollow(t *testing.T) {
+	feed := `time,type,k,x:num
+1,A,g,1
++query RETURN COUNT(*) PATTERN A+ WHERE [k] GROUP-BY k WITHIN 10 SLIDE 10
+2,A,g,2
+3,B,g,3
+-query 1
++query garbage that does not parse
+-query 99
+12,A,g,4
+13,B,g,5
+`
+	in := writeFile(t, "feed.txt", feed)
+	base := inline(`RETURN COUNT(*) PATTERN SEQ(A+, B) WHERE [k] GROUP-BY k WITHIN 10 SLIDE 10`)
+	for _, workers := range []int{1, 3} {
+		if err := run(runCfg{sources: base, input: in, workers: workers, follow: true, stats: true}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+	}
+	// A follow session may start with an empty fleet.
+	if err := run(runCfg{input: in, workers: 1, follow: true}); err != nil {
+		t.Fatalf("empty fleet: %v", err)
 	}
 }
 
@@ -98,26 +154,29 @@ func TestSourceFlagPreservesOrder(t *testing.T) {
 }
 
 func TestRunExplain(t *testing.T) {
-	if err := run(inline(`RETURN COUNT(*) PATTERN A+ WITHIN 10 SLIDE 10`), "", 1, true, false); err != nil {
+	if err := run(runCfg{sources: inline(`RETURN COUNT(*) PATTERN A+ WITHIN 10 SLIDE 10`), workers: 1, explain: true}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run(nil, "", 1, false, false); err == nil {
+	if err := run(runCfg{workers: 1}); err == nil {
 		t.Error("missing query accepted")
 	}
-	if err := run(inline("garbage query"), "", 1, false, false); err == nil {
+	if err := run(runCfg{sources: inline("garbage query"), workers: 1}); err == nil {
 		t.Error("bad query accepted")
 	}
-	if err := run(inline(`RETURN COUNT(*) PATTERN A+ WITHIN 10 SLIDE 10`), "/does/not/exist.csv", 1, false, false); err == nil {
+	if err := run(runCfg{sources: inline(`RETURN COUNT(*) PATTERN A+ WITHIN 10 SLIDE 10`), input: "/does/not/exist.csv", workers: 1}); err == nil {
 		t.Error("missing input accepted")
 	}
-	if err := run(fromFile("/does/not/exist.q"), "", 1, false, false); err == nil {
+	if err := run(runCfg{sources: fromFile("/does/not/exist.q"), workers: 1}); err == nil {
 		t.Error("missing query file accepted")
 	}
 	bad := writeFile(t, "bad.csv", "not,a,valid,header\n")
-	if err := run(inline(`RETURN COUNT(*) PATTERN A+ WITHIN 10 SLIDE 10`), bad, 1, false, false); err == nil {
+	if err := run(runCfg{sources: inline(`RETURN COUNT(*) PATTERN A+ WITHIN 10 SLIDE 10`), input: bad, workers: 1}); err == nil {
 		t.Error("bad CSV accepted")
+	}
+	if err := run(runCfg{sources: inline(`RETURN COUNT(*) PATTERN A+ WITHIN 10 SLIDE 10`), input: bad, workers: 1, follow: true}); err == nil {
+		t.Error("bad header accepted in follow mode")
 	}
 }

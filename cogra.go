@@ -20,14 +20,16 @@
 //	    WITHIN 10 minutes SLIDE 10 minutes`)
 //	sess := cogra.NewSession()            // cogra.WithWorkers(4) to parallelise
 //	sub, err := sess.Subscribe(q)         // subscribe any time, even mid-stream
-//	for _, e := range events {
-//	    if err := sess.Process(e); err != nil { ... }
-//	}
+//	if err := sess.PushBatch(events); err != nil { ... }
 //	sess.Close()
-//	for _, r := range sub.Drain() {
+//	for r := range sub.Results() {
 //	    fmt.Println(r)
 //	}
 //
+// Ingest is batch-first (Push/PushBatch; WithSlack accepts bounded
+// disorder), egress is pull (Subscription.Results) or push (WithSink),
+// and lifecycle errors wrap typed sentinels (ErrClosed, ErrLateEvent,
+// ErrNotHosted, ErrFrozenRouting) matchable with errors.Is.
 // Subscription.Unsubscribe detaches one query mid-stream and flushes
 // its windows; a query subscribed mid-stream reports results from the
 // first window it could observe completely (see Session).

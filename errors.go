@@ -1,0 +1,35 @@
+package cogra
+
+import "repro/internal/core"
+
+// Sentinel errors of the session data plane. Every error the public
+// API returns for one of these conditions wraps the sentinel, so
+// callers branch with errors.Is instead of parsing messages:
+//
+//	if err := sess.Push(e); errors.Is(err, cogra.ErrLateEvent) {
+//	    metrics.late++ // source exceeded the configured slack
+//	}
+var (
+	// ErrClosed: the session (or the queried subsystem) was closed;
+	// Push, Subscribe, Unsubscribe, Drain and a second Close all wrap
+	// it once the stream has ended.
+	ErrClosed = core.ErrClosed
+
+	// ErrLateEvent: an event arrived older than the stream watermark
+	// minus the configured slack (zero without WithSlack). Sessions
+	// with WithLatePolicy(RejectLate) return it from Push/PushBatch;
+	// DropLate sessions count the event in Stats instead.
+	ErrLateEvent = core.ErrLateEvent
+
+	// ErrNotHosted: the operation names a query this session does not
+	// host — already unsubscribed, an unknown id, or a plan compiled
+	// against a foreign catalog.
+	ErrNotHosted = core.ErrNotHosted
+
+	// ErrFrozenRouting: a StrictRouting subscription was rejected
+	// because events already flowed (the partition routing is frozen)
+	// and the query's partition keys do not cover the routing
+	// attributes; without StrictRouting such a query is hosted on the
+	// full-stream fallback worker instead.
+	ErrFrozenRouting = core.ErrFrozenRouting
+)

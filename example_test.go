@@ -1,0 +1,135 @@
+package cogra_test
+
+// Runnable godoc examples for the batch-first ingest and the pull/push
+// egress surface of Session. `go test` executes these against their
+// Output blocks, so the documented surface cannot drift.
+
+import (
+	"errors"
+	"fmt"
+
+	cogra "repro"
+)
+
+// ExampleSession_Push feeds an in-order stream one event at a time and
+// pulls the results after Close.
+func ExampleSession_Push() {
+	q := cogra.MustParse(`
+		RETURN COUNT(*)
+		PATTERN (SEQ(A+, B))+
+		SEMANTICS skip-till-any-match
+		WITHIN 100 SLIDE 100`)
+	sess := cogra.NewSession()
+	sub, _ := sess.Subscribe(q)
+	for _, e := range []*cogra.Event{
+		cogra.NewEvent("A", 1), cogra.NewEvent("B", 2),
+		cogra.NewEvent("A", 3), cogra.NewEvent("A", 4),
+		cogra.NewEvent("B", 6), cogra.NewEvent("A", 7),
+		cogra.NewEvent("B", 8),
+	} {
+		if err := sess.Push(e); err != nil {
+			fmt.Println(err)
+			return
+		}
+	}
+	sess.Close()
+	for r := range sub.Results() {
+		fmt.Println(r)
+	}
+	// Output:
+	// window [0,100): COUNT(*)=43
+}
+
+// ExampleSession_PushBatch ingests a disordered batch: WithSlack
+// re-sorts events within the bound, so the results equal the sorted
+// stream's.
+func ExampleSession_PushBatch() {
+	q := cogra.MustParse(`
+		RETURN COUNT(*)
+		PATTERN A+
+		SEMANTICS skip-till-any-match
+		WITHIN 10 SLIDE 10`)
+	sess := cogra.NewSession(cogra.WithSlack(3))
+	sub, _ := sess.Subscribe(q)
+	// Events jittered within 3 ticks of in-order arrival.
+	batch := []*cogra.Event{
+		cogra.NewEvent("A", 2), cogra.NewEvent("A", 1),
+		cogra.NewEvent("A", 4), cogra.NewEvent("A", 3),
+		cogra.NewEvent("A", 12),
+	}
+	if err := sess.PushBatch(batch); err != nil {
+		fmt.Println(err)
+		return
+	}
+	sess.Close()
+	for r := range sub.Results() {
+		fmt.Println(r)
+	}
+	// Output:
+	// window [0,10): COUNT(*)=15
+	// window [10,20): COUNT(*)=1
+}
+
+// ExampleSubscription_Results pulls incrementally while the stream
+// runs: each Results call yields what the watermark has closed since
+// the last pull.
+func ExampleSubscription_Results() {
+	q := cogra.MustParse(`
+		RETURN COUNT(*)
+		PATTERN A+
+		SEMANTICS skip-till-any-match
+		WITHIN 10 SLIDE 10`)
+	sess := cogra.NewSession()
+	sub, _ := sess.Subscribe(q)
+
+	sess.PushBatch([]*cogra.Event{cogra.NewEvent("A", 1), cogra.NewEvent("A", 2)})
+	sess.Push(cogra.NewEvent("A", 11)) // closes window [0,10)
+	for r := range sub.Results() {
+		fmt.Println("mid-stream:", r)
+	}
+	sess.Close() // flushes window [10,20)
+	for r := range sub.Results() {
+		fmt.Println("after close:", r)
+	}
+	// Output:
+	// mid-stream: window [0,10): COUNT(*)=3
+	// after close: window [10,20): COUNT(*)=1
+}
+
+// ExampleWithSink streams results as windows close instead of
+// buffering them — the push half of the egress surface.
+func ExampleWithSink() {
+	q := cogra.MustParse(`
+		RETURN COUNT(*)
+		PATTERN A+
+		SEMANTICS skip-till-any-match
+		WITHIN 10 SLIDE 10`)
+	sess := cogra.NewSession()
+	sess.Subscribe(q, cogra.WithSink(cogra.SinkFunc(func(r cogra.Result) {
+		fmt.Println("sink:", r)
+	})))
+	sess.PushBatch([]*cogra.Event{
+		cogra.NewEvent("A", 1), cogra.NewEvent("A", 2), cogra.NewEvent("A", 15),
+	})
+	sess.Close()
+	// Output:
+	// sink: window [0,10): COUNT(*)=3
+	// sink: window [10,20): COUNT(*)=1
+}
+
+// ExampleWithLatePolicy shows the typed late-event error: beyond-slack
+// events fail Push under RejectLate and are matchable with errors.Is.
+func ExampleWithLatePolicy() {
+	q := cogra.MustParse(`
+		RETURN COUNT(*)
+		PATTERN A+
+		SEMANTICS skip-till-any-match
+		WITHIN 100 SLIDE 100`)
+	sess := cogra.NewSession(cogra.WithSlack(2), cogra.WithLatePolicy(cogra.RejectLate))
+	sess.Subscribe(q)
+	sess.Push(cogra.NewEvent("A", 50))
+	err := sess.Push(cogra.NewEvent("A", 10)) // 40 ticks late, slack is 2
+	fmt.Println("late event rejected:", errors.Is(err, cogra.ErrLateEvent))
+	// Output:
+	// late event rejected: true
+}

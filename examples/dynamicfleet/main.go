@@ -39,7 +39,7 @@ func main() {
 		ev := cogra.NewEvent("M", t).
 			WithSym("patient", fmt.Sprintf("p%d", p)).
 			WithNum("rate", rates[p])
-		if err := sess.Process(ev); err != nil {
+		if err := sess.Push(ev); err != nil {
 			log.Fatal(err)
 		}
 
@@ -69,14 +69,15 @@ func main() {
 	if err := sess.Close(); err != nil {
 		log.Fatal(err)
 	}
-	results := dashboard.Drain()
-	fmt.Printf("dashboard observed %d window results end to end; first 4:\n", len(results))
-	for i, r := range results {
-		if i == 4 {
-			break
+	shown, total := 0, 0
+	for r := range dashboard.Results() {
+		if shown < 4 {
+			fmt.Printf("  dashboard %v\n", r)
+			shown++
 		}
-		fmt.Printf("  dashboard %v\n", r)
+		total++
 	}
+	fmt.Printf("dashboard observed %d window results end to end (first %d above)\n", total, shown)
 
 	st, err := sess.Stats()
 	if err != nil {

@@ -4,7 +4,8 @@
 // and maximal rate in a 10-minute window sliding every 30 seconds.
 // The contiguous semantics selects the pattern granularity: COGRA
 // keeps two aggregates and the last matched event per patient,
-// regardless of the stream rate.
+// regardless of the stream rate. Results stream through a Sink as
+// each window closes.
 package main
 
 import (
@@ -26,33 +27,37 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	plan, err := cogra.Compile(q)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Println(plan)
 
 	// One hour of measurements for four intensive-care patients.
 	events := gen.Activity(gen.ActivityConfig{
 		Seed: 42, Events: 3600, Persons: 4, RunLength: 8,
 	})
 
-	var acct cogra.Accountant
+	sess := cogra.NewSession()
 	shown := 0
-	eng := cogra.NewEngine(plan,
-		cogra.WithAccountant(&acct),
-		cogra.WithResultCallback(func(r cogra.Result) {
+	sub, err := sess.Subscribe(q,
+		cogra.WithSink(cogra.SinkFunc(func(r cogra.Result) {
 			if shown < 12 { // print the first windows only
 				fmt.Println(r)
 				shown++
 			}
-		}))
+		})))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(sub.Plan())
 	for _, e := range events {
-		if err := eng.Process(e); err != nil {
+		if err := sess.Push(e); err != nil {
 			log.Fatal(err)
 		}
 	}
-	eng.Close()
+	if err := sess.Close(); err != nil {
+		log.Fatal(err)
+	}
+	st, err := sess.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("...\nprocessed %d measurements; peak state %d bytes (pattern granularity is O(1) per sub-stream)\n",
-		len(events), acct.Peak())
+		st.Events, st.PeakBytes)
 }

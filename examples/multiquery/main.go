@@ -74,7 +74,7 @@ func main() {
 		p := rng.Intn(3)
 		patient := fmt.Sprintf("p%d", p)
 		if rng.Intn(10) == 0 {
-			if err := sess.Process(cogra.NewEvent("C", t).WithSym("patient", patient)); err != nil {
+			if err := sess.Push(cogra.NewEvent("C", t).WithSym("patient", patient)); err != nil {
 				log.Fatal(err)
 			}
 			continue
@@ -83,7 +83,7 @@ func main() {
 		ev := cogra.NewEvent("M", t).
 			WithSym("patient", patient).
 			WithNum("rate", rates[p])
-		if err := sess.Process(ev); err != nil {
+		if err := sess.Push(ev); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -92,7 +92,7 @@ func main() {
 		log.Fatal(err)
 	}
 	for i, sub := range subs {
-		for _, r := range sub.Drain() {
+		for r := range sub.Results() {
 			fmt.Printf("%-14s %s\n", queries[i].name, r)
 		}
 	}

@@ -3,7 +3,9 @@
 // a1 b2 a3 a4 c5 b6 a7 b8 under all three event matching semantics;
 // COGRA counts 43 trends under skip-till-any-match, 8 under
 // skip-till-next-match and 2 under contiguous — without constructing
-// a single trend.
+// a single trend. One Session hosts all three queries and the stream
+// is pushed once (batch-first ingest), then each subscription's
+// results are pulled.
 package main
 
 import (
@@ -25,29 +27,33 @@ func main() {
 		cogra.NewEvent("B", 8),
 	}
 
-	for _, semantics := range []string{
+	semantics := []string{
 		"skip-till-any-match", "skip-till-next-match", "contiguous",
-	} {
+	}
+	sess := cogra.NewSession()
+	subs := make([]*cogra.Subscription, len(semantics))
+	for i, sem := range semantics {
 		q, err := cogra.Parse(fmt.Sprintf(`
 			RETURN COUNT(*)
 			PATTERN (SEQ(A+, B))+
 			SEMANTICS %s
-			WITHIN 100 SLIDE 100`, semantics))
+			WITHIN 100 SLIDE 100`, sem))
 		if err != nil {
 			log.Fatal(err)
 		}
-		plan, err := cogra.Compile(q)
-		if err != nil {
+		if subs[i], err = sess.Subscribe(q); err != nil {
 			log.Fatal(err)
 		}
-		eng := cogra.NewEngine(plan)
-		for _, e := range stream {
-			if err := eng.Process(e.Clone()); err != nil {
-				log.Fatal(err)
-			}
-		}
-		for _, r := range eng.Close() {
-			fmt.Printf("%-22s granularity=%-8s %s\n", semantics, plan.Granularity, r)
+	}
+	if err := sess.PushBatch(stream); err != nil {
+		log.Fatal(err)
+	}
+	if err := sess.Close(); err != nil {
+		log.Fatal(err)
+	}
+	for i, sub := range subs {
+		for r := range sub.Results() {
+			fmt.Printf("%-22s granularity=%-8s %s\n", semantics[i], sub.Plan().Granularity, r)
 		}
 	}
 }

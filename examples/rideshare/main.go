@@ -2,10 +2,10 @@
 // one Accept, one or more (Call, Cancel) pairs and one Finish, all
 // with the same driver; skip-till-next-match skips the in-transit and
 // drop-off noise in between. The query counts completable trips per
-// driver. This example also demonstrates the partition-parallel
-// executor of §8: the [driver] equivalence predicate partitions the
-// stream, so sub-streams run on worker goroutines and return exactly
-// the results of the sequential engine.
+// driver. This example also demonstrates partition parallelism (§8):
+// the [driver] equivalence predicate partitions the stream, so a
+// 4-worker session routes sub-streams onto worker goroutines and
+// returns exactly the results of the inline session.
 package main
 
 import (
@@ -17,50 +17,38 @@ import (
 )
 
 func main() {
-	q, err := cogra.Parse(`
+	src := `
 		RETURN driver, COUNT(*)
 		PATTERN SEQ(Accept, (SEQ(Call, Cancel))+, Finish)
 		SEMANTICS skip-till-next-match
 		WHERE [driver] GROUP-BY driver
-		WITHIN 10 minutes SLIDE 30 seconds`)
-	if err != nil {
-		log.Fatal(err)
-	}
-	plan, err := cogra.Compile(q)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Println(plan)
+		WITHIN 10 minutes SLIDE 30 seconds`
 
 	events := gen.Rideshare(gen.RideshareConfig{
 		Seed: 3, Trips: 400, Drivers: 8, NoiseFraction: 0.4,
 	})
 
-	// Sequential reference.
-	eng := cogra.NewEngine(plan)
-	for _, e := range events {
-		if err := eng.Process(e.Clone()); err != nil {
+	run := func(opts ...cogra.SessionOption) []cogra.Result {
+		sess := cogra.NewSession(opts...)
+		sub, err := sess.Subscribe(cogra.MustParse(src))
+		if err != nil {
 			log.Fatal(err)
 		}
+		cloned := make([]*cogra.Event, len(events))
+		for i, e := range events {
+			cloned[i] = e.Clone()
+		}
+		if err := sess.PushBatch(cloned); err != nil {
+			log.Fatal(err)
+		}
+		if err := sess.Close(); err != nil {
+			log.Fatal(err)
+		}
+		return sub.Drain()
 	}
-	sequential := eng.Close()
 
-	// Partition-parallel execution on four workers.
-	exec, err := cogra.NewParallelExecutor(plan, 4)
-	if err != nil {
-		log.Fatal(err)
-	}
-	cloned := make([]*cogra.Event, len(events))
-	for i, e := range events {
-		cloned[i] = e.Clone()
-	}
-	if err := exec.Run(cogra.FromSlice(cloned)); err != nil {
-		log.Fatal(err)
-	}
-	parallel, err := exec.Close()
-	if err != nil {
-		log.Fatal(err)
-	}
+	sequential := run()                   // inline on this goroutine
+	parallel := run(cogra.WithWorkers(4)) // routed by [driver]
 
 	if len(sequential) != len(parallel) {
 		log.Fatalf("parallel execution diverged: %d vs %d results", len(sequential), len(parallel))

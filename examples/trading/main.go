@@ -26,11 +26,6 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	plan, err := cogra.Compile(q)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Println(plan)
 
 	// A small market keeps the group list readable and the trend
 	// counts within uint64 — under skip-till-any-match the number of
@@ -38,18 +33,25 @@ func main() {
 	// which is precisely why constructing them is hopeless.
 	events := gen.Stock(gen.StockConfig{Seed: 7, Events: 600, Companies: 6, Sectors: 2})
 
-	eng := cogra.NewEngine(plan)
-	for _, e := range events {
-		if err := eng.Process(e); err != nil {
-			log.Fatal(err)
-		}
+	sess := cogra.NewSession()
+	sub, err := sess.Subscribe(q)
+	if err != nil {
+		log.Fatal(err)
 	}
-	results := eng.Close()
-	fmt.Printf("%d (sector, A, B) groups with detected trend pairs; first 10:\n", len(results))
-	for i, r := range results {
-		if i == 10 {
-			break
-		}
-		fmt.Println(r)
+	fmt.Println(sub.Plan())
+	if err := sess.PushBatch(events); err != nil {
+		log.Fatal(err)
 	}
+	if err := sess.Close(); err != nil {
+		log.Fatal(err)
+	}
+	shown, total := 0, 0
+	for r := range sub.Results() {
+		if shown < 10 {
+			fmt.Println(r)
+			shown++
+		}
+		total++
+	}
+	fmt.Printf("(%d (sector, A, B) groups with detected trend pairs; first %d shown)\n", total, shown)
 }

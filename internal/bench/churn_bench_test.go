@@ -68,6 +68,39 @@ func BenchmarkSessionSteady8(b *testing.B) {
 	benchSession(b, false)
 }
 
+// BenchmarkSessionSteadyBatch8 is the same steady-state fleet fed
+// through PushBatch in routing-sized chunks — the batch-first ingest
+// path; it may only improve on the per-event number.
+func BenchmarkSessionSteadyBatch8(b *testing.B) {
+	events := sharedBenchStream(8192)
+	queries := sharedBenchQueries()
+	const batch = 256
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sess := cogra.NewSession()
+		for _, q := range queries {
+			if _, err := sess.Subscribe(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for j := 0; j < len(events); j += batch {
+			end := j + batch
+			if end > len(events) {
+				end = len(events)
+			}
+			if err := sess.PushBatch(events[j:end]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := sess.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(events))*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
 // BenchmarkSessionChurn8 performs a subscribe+unsubscribe pair every
 // 1024 events while the stream runs: 8 membership changes per pass,
 // each paying compile + index rebuild + window flush.

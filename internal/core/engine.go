@@ -127,10 +127,12 @@ func (e *Engine) Process(ev *event.Event) error {
 // admitEvent is the shared admission prologue of Process and
 // ProcessResolved: reject time regressions, advance the watermark on
 // time change (hoisted out of equal-time runs — a repeated time stamp
-// cannot close anything new), and record the new stream time.
+// cannot close anything new), and record the new stream time. Error
+// construction lives out of line (lateEventErr) so this stays within
+// the inlining budget — it runs once per event on the hot path.
 func (e *Engine) admitEvent(t int64) error {
 	if e.sawEvent && t < e.lastTime {
-		return fmt.Errorf("core: out-of-order event at time %d after %d", t, e.lastTime)
+		return e.lateEventErr(t)
 	}
 	if !e.sawEvent || t != e.lastTime {
 		// The arrival of an event at time t is the watermark "every
@@ -142,6 +144,12 @@ func (e *Engine) admitEvent(t int64) error {
 	return nil
 }
 
+// lateEventErr builds the out-of-order rejection — the cold path of
+// admitEvent.
+func (e *Engine) lateEventErr(t int64) error {
+	return fmt.Errorf("core: out-of-order event at time %d after %d: %w", t, e.lastTime, ErrLateEvent)
+}
+
 // AdvanceWatermark closes and emits every window that is complete at
 // watermark t (every event with time < t has been seen). Process does
 // this implicitly per time-stamp change; a multi-query runtime calls
@@ -151,11 +159,17 @@ func (e *Engine) admitEvent(t int64) error {
 // time < t contradicts it and is rejected like any out-of-order event.
 func (e *Engine) AdvanceWatermark(t int64) error {
 	if e.sawEvent && t < e.lastTime {
-		return fmt.Errorf("core: watermark %d behind time %d", t, e.lastTime)
+		return e.staleWatermarkErr(t)
 	}
 	e.advanceTo(t)
 	e.lastTime, e.sawEvent = t, true
 	return nil
+}
+
+// staleWatermarkErr builds the watermark-regression rejection — the
+// cold path of AdvanceWatermark.
+func (e *Engine) staleWatermarkErr(t int64) error {
+	return fmt.Errorf("core: watermark %d behind time %d: %w", t, e.lastTime, ErrLateEvent)
 }
 
 // ProcessResolved consumes an event resolved by a shared Resolver over

@@ -1,0 +1,30 @@
+package core
+
+import "errors"
+
+// Sentinel errors of the data plane. Every layer — engine, runtime,
+// stream router, public Session — wraps these with fmt.Errorf("...: %w")
+// so callers match conditions with errors.Is instead of parsing
+// messages; the public package re-exports them (cogra.ErrClosed, ...).
+var (
+	// ErrClosed marks any operation against a closed engine, runtime,
+	// executor or session: the stream has ended and the state has been
+	// flushed.
+	ErrClosed = errors.New("closed")
+
+	// ErrLateEvent marks an event (or watermark) older than what the
+	// stream has already emitted: out of order beyond what the
+	// configured slack — zero, by default — can repair.
+	ErrLateEvent = errors.New("late event")
+
+	// ErrNotHosted marks an operation on a query the receiver does not
+	// host: already unsubscribed, an unknown id, or a plan compiled
+	// against a different catalog.
+	ErrNotHosted = errors.New("query not hosted")
+
+	// ErrFrozenRouting marks a strict-routing subscription rejected
+	// because the partition routing is frozen (events have flowed) and
+	// the plan's partition keys do not cover the routing attributes, so
+	// hosting it would require the full-stream fallback worker.
+	ErrFrozenRouting = errors.New("routing frozen")
+)

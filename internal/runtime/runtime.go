@@ -179,13 +179,13 @@ func (rt *Runtime) SubscribePlanFrom(plan *core.Plan, t int64, opts ...core.Opti
 
 func (rt *Runtime) subscribePlan(plan *core.Plan, opts ...core.Option) (*Subscription, error) {
 	if rt.closed {
-		return nil, fmt.Errorf("runtime: Subscribe after Close")
+		return nil, fmt.Errorf("runtime: Subscribe after Close: %w", core.ErrClosed)
 	}
 	if rt.dispatching {
 		return nil, fmt.Errorf("runtime: Subscribe from within event dispatch (e.g. a result callback); defer it until Process returns")
 	}
 	if plan.Catalog() != rt.cat {
-		return nil, fmt.Errorf("runtime: plan compiled against a different catalog")
+		return nil, fmt.Errorf("runtime: plan compiled against a different catalog: %w", core.ErrNotHosted)
 	}
 	s := &Subscription{
 		id:     rt.nextID,
@@ -230,7 +230,7 @@ func (rt *Runtime) rebuildIndex() {
 // unsubscribe detaches s; see Subscription.Unsubscribe.
 func (rt *Runtime) unsubscribe(s *Subscription) ([]core.Result, error) {
 	if rt.closed {
-		return nil, fmt.Errorf("runtime: Unsubscribe after Close")
+		return nil, fmt.Errorf("runtime: Unsubscribe after Close: %w", core.ErrClosed)
 	}
 	if rt.dispatching {
 		// Process is ranging over the subscription list right now (the
@@ -240,7 +240,7 @@ func (rt *Runtime) unsubscribe(s *Subscription) ([]core.Result, error) {
 		return nil, fmt.Errorf("runtime: Unsubscribe from within event dispatch (e.g. a result callback); defer it until Process returns")
 	}
 	if !s.active {
-		return nil, fmt.Errorf("runtime: subscription %d already unsubscribed", s.id)
+		return nil, fmt.Errorf("runtime: subscription %d already unsubscribed: %w", s.id, core.ErrNotHosted)
 	}
 	s.active = false
 	for i, cur := range rt.subs {
@@ -306,12 +306,36 @@ func (rt *Runtime) InternBytes() int64 {
 // until Process returns.
 func (rt *Runtime) Process(ev *event.Event) error {
 	if rt.closed {
-		return fmt.Errorf("runtime: Process after Close")
+		return fmt.Errorf("runtime: Process after Close: %w", core.ErrClosed)
 	}
 	rt.dispatching = true
 	defer func() { rt.dispatching = false }()
+	return rt.dispatch(ev)
+}
+
+// ProcessBatch consumes a pre-sorted batch natively: the closed check
+// and the dispatch guard are paid once for the whole batch, not per
+// event — the primary ingest path under Session.PushBatch.
+func (rt *Runtime) ProcessBatch(events []*event.Event) error {
+	if rt.closed {
+		return fmt.Errorf("runtime: Process after Close: %w", core.ErrClosed)
+	}
+	rt.dispatching = true
+	defer func() { rt.dispatching = false }()
+	for _, ev := range events {
+		if err := rt.dispatch(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// dispatch is the per-event body shared by Process and ProcessBatch;
+// the caller holds the dispatching guard. Error construction lives
+// out of line (lateEventErr) to keep the hot path lean.
+func (rt *Runtime) dispatch(ev *event.Event) error {
 	if rt.sawEvent && ev.Time < rt.lastTime {
-		return fmt.Errorf("runtime: out-of-order event at time %d after %d", ev.Time, rt.lastTime)
+		return rt.lateEventErr(ev.Time)
 	}
 	rt.seq++
 	if ev.ID == 0 {
@@ -352,14 +376,18 @@ func (rt *Runtime) Process(ev *event.Event) error {
 	return nil
 }
 
+// lateEventErr builds the out-of-order rejection — the cold path of
+// dispatch.
+func (rt *Runtime) lateEventErr(t int64) error {
+	return fmt.Errorf("runtime: out-of-order event at time %d after %d: %w", t, rt.lastTime, core.ErrLateEvent)
+}
+
 // ProcessAll feeds a pre-sorted batch of events.
+//
+// Deprecated: use ProcessBatch, which pays the dispatch prologue once
+// per batch instead of once per event.
 func (rt *Runtime) ProcessAll(events []*event.Event) error {
-	for _, ev := range events {
-		if err := rt.Process(ev); err != nil {
-			return err
-		}
-	}
-	return nil
+	return rt.ProcessBatch(events)
 }
 
 // Close flushes every open window of every still-subscribed query and

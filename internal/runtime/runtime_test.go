@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"errors"
 	"fmt"
 	"testing"
 
@@ -388,5 +389,90 @@ func TestRuntimeRejectsMembershipChangeFromCallback(t *testing.T) {
 	// The runtime stays usable and the deferred change works now.
 	if _, err := sub.Unsubscribe(); err != nil {
 		t.Errorf("deferred Unsubscribe failed: %v", err)
+	}
+}
+
+// TestRuntimeProcessBatchMatchesProcess: the native batch path is a
+// pure prologue hoist — results, stats and the mid-batch callback
+// guard are identical to per-event Process.
+func TestRuntimeProcessBatchMatchesProcess(t *testing.T) {
+	events := mixedStream(3000)
+	queries := testQueries()
+
+	perEvent := New()
+	batched := New()
+	var perSubs, batchSubs []*Subscription
+	for _, q := range queries {
+		s1, err := perEvent.Subscribe(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, err := batched.Subscribe(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perSubs, batchSubs = append(perSubs, s1), append(batchSubs, s2)
+	}
+	for _, ev := range events {
+		if err := perEvent.Process(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Uneven batch sizes, including empty ones.
+	for i := 0; i < len(events); {
+		n := (i * 13) % 61
+		if i+n > len(events) {
+			n = len(events) - i
+		}
+		if err := batched.ProcessBatch(events[i : i+n]); err != nil {
+			t.Fatal(err)
+		}
+		i += n
+		if n == 0 {
+			i++
+			if err := batched.Process(events[i-1]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	a, b := perEvent.Close(), batched.Close()
+	for i := range queries {
+		got := fmt.Sprintf("%v", b[batchSubs[i].ID()])
+		want := fmt.Sprintf("%v", a[perSubs[i].ID()])
+		if got != want {
+			t.Errorf("query %d: batch path diverges\ngot:  %s\nwant: %s", i, got, want)
+		}
+	}
+}
+
+// TestRuntimeTypedErrors: runtime failures wrap the core sentinels.
+func TestRuntimeTypedErrors(t *testing.T) {
+	q := testQueries()[0]
+	rt := New()
+	sub, err := rt.Subscribe(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Process(event.New("A", 5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Process(event.New("A", 1)); !errors.Is(err, core.ErrLateEvent) {
+		t.Errorf("out-of-order Process err = %v, want ErrLateEvent", err)
+	}
+	if err := rt.ProcessBatch([]*event.Event{event.New("A", 1)}); !errors.Is(err, core.ErrLateEvent) {
+		t.Errorf("out-of-order ProcessBatch err = %v, want ErrLateEvent", err)
+	}
+	if _, err := sub.Unsubscribe(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sub.Unsubscribe(); !errors.Is(err, core.ErrNotHosted) {
+		t.Errorf("double Unsubscribe err = %v, want ErrNotHosted", err)
+	}
+	rt.Close()
+	if err := rt.Process(event.New("A", 9)); !errors.Is(err, core.ErrClosed) {
+		t.Errorf("Process after Close err = %v, want ErrClosed", err)
+	}
+	if _, err := rt.Subscribe(q); !errors.Is(err, core.ErrClosed) {
+		t.Errorf("Subscribe after Close err = %v, want ErrClosed", err)
 	}
 }

@@ -168,7 +168,7 @@ func NewMultiExecutor(plans []*core.Plan, n int) (*MultiExecutor, error) {
 	cat := plans[0].Catalog()
 	for i, plan := range plans[1:] {
 		if plan.Catalog() != cat {
-			return nil, fmt.Errorf("stream: plan %d compiled against a different catalog (use core.NewPlanIn with one shared catalog)", i+1)
+			return nil, fmt.Errorf("stream: plan %d compiled against a different catalog (use core.NewPlanIn with one shared catalog): %w", i+1, core.ErrNotHosted)
 		}
 	}
 	m := &MultiExecutor{
@@ -265,22 +265,43 @@ func (m *MultiExecutor) activePlans() []*core.Plan {
 	return out
 }
 
+// SubscribeOpt configures one executor-level subscription.
+type SubscribeOpt func(*subOpts)
+
+type subOpts struct {
+	strict bool
+}
+
+// StrictRouting rejects the subscription with ErrFrozenRouting instead
+// of falling back to the dedicated full-stream worker when the routing
+// is frozen and the plan's partition keys do not cover the routing
+// attributes. The fallback preserves correctness but streams every
+// event twice; strict callers prefer the explicit error.
+func StrictRouting() SubscribeOpt {
+	return func(o *subOpts) { o.strict = true }
+}
+
 // SubscribePlan hosts an additional compiled plan, at any stream
 // position. The plan must share the executor's catalog (compile with
 // core.NewPlanIn against Catalog()). Before the first event the
 // routing attributes are recomputed over the new fleet; mid-stream the
 // routing is frozen, and the plan either joins every partition worker
 // (its partition keys cover the routing attributes — sub-streams stay
-// worker-local) or falls back to the dedicated full-stream worker.
-// The subscription takes effect at one consistent stream position on
+// worker-local) or falls back to the dedicated full-stream worker
+// (rejected with ErrFrozenRouting under StrictRouting). The
+// subscription takes effect at one consistent stream position on
 // every worker: after every event routed so far, before any event
 // routed later.
-func (m *MultiExecutor) SubscribePlan(plan *core.Plan) (*Sub, error) {
+func (m *MultiExecutor) SubscribePlan(plan *core.Plan, opts ...SubscribeOpt) (*Sub, error) {
 	if m.closed {
-		return nil, fmt.Errorf("stream: Subscribe after Close")
+		return nil, fmt.Errorf("stream: Subscribe after Close: %w", core.ErrClosed)
 	}
 	if plan.Catalog() != m.cat {
-		return nil, fmt.Errorf("stream: plan compiled against a different catalog (use core.NewPlanIn with the executor's catalog)")
+		return nil, fmt.Errorf("stream: plan compiled against a different catalog (use core.NewPlanIn with the executor's catalog): %w", core.ErrNotHosted)
+	}
+	var o subOpts
+	for _, opt := range opts {
+		opt(&o)
 	}
 	var hosts []*mworker
 	switch {
@@ -290,6 +311,10 @@ func (m *MultiExecutor) SubscribePlan(plan *core.Plan) (*Sub, error) {
 	case attrsCovered(m.routeAttrs, plan.StreamKeys):
 		hosts = m.workers
 	default:
+		if o.strict {
+			return nil, fmt.Errorf("stream: partition keys %v do not cover the frozen routing attributes %v: %w",
+				plan.StreamKeys, m.routeAttrs, core.ErrFrozenRouting)
+		}
 		if m.full == nil {
 			m.full = m.newWorker()
 		}
@@ -341,10 +366,10 @@ func attrsCovered(route, keys []string) bool {
 // unsubscribe implements Sub.Unsubscribe.
 func (m *MultiExecutor) unsubscribe(sub *Sub) ([]core.Result, error) {
 	if m.closed {
-		return nil, fmt.Errorf("stream: Unsubscribe after Close")
+		return nil, fmt.Errorf("stream: Unsubscribe after Close: %w", core.ErrClosed)
 	}
 	if !sub.active {
-		return nil, fmt.Errorf("stream: query %d already unsubscribed", sub.id)
+		return nil, fmt.Errorf("stream: query %d already unsubscribed: %w", sub.id, core.ErrNotHosted)
 	}
 	sub.active = false
 	m.flushPending()
@@ -412,10 +437,10 @@ func (m *MultiExecutor) retireFullWorker() error {
 // drain implements Sub.Drain.
 func (m *MultiExecutor) drain(sub *Sub) ([]core.Result, error) {
 	if m.closed {
-		return nil, fmt.Errorf("stream: Drain after Close")
+		return nil, fmt.Errorf("stream: Drain after Close: %w", core.ErrClosed)
 	}
 	if !sub.active {
-		return nil, fmt.Errorf("stream: query %d already unsubscribed", sub.id)
+		return nil, fmt.Errorf("stream: query %d already unsubscribed: %w", sub.id, core.ErrNotHosted)
 	}
 	m.flushPending()
 	var merged []core.Result
@@ -600,10 +625,10 @@ func fnv1a(b []byte) uint32 {
 // returned.
 func (p *MultiExecutor) OnResult(qi int, fn func(core.Result)) error {
 	if p.closed {
-		return fmt.Errorf("stream: OnResult after Close")
+		return fmt.Errorf("stream: OnResult after Close: %w", core.ErrClosed)
 	}
 	if qi < 0 || qi >= len(p.subs) {
-		return fmt.Errorf("stream: OnResult for unknown query %d", qi)
+		return fmt.Errorf("stream: OnResult for unknown query %d: %w", qi, core.ErrNotHosted)
 	}
 	p.subs[qi].cb = fn
 	return nil
@@ -618,8 +643,28 @@ func (p *MultiExecutor) OnResult(qi int, fn func(core.Result)) error {
 // Events are delivered in batches; Close flushes any partial batch.
 func (p *MultiExecutor) Process(e *event.Event) error {
 	if p.closed {
-		return fmt.Errorf("stream: Process after Close")
+		return fmt.Errorf("stream: Process after Close: %w", core.ErrClosed)
 	}
+	p.route(e)
+	return nil
+}
+
+// ProcessBatch routes a pre-sorted batch natively: the closed check is
+// paid once, and the events flow straight into the per-worker batches
+// under construction (no per-event re-batching) — the primary ingest
+// path under Session.PushBatch.
+func (p *MultiExecutor) ProcessBatch(events []*event.Event) error {
+	if p.closed {
+		return fmt.Errorf("stream: Process after Close: %w", core.ErrClosed)
+	}
+	for _, e := range events {
+		p.route(e)
+	}
+	return nil
+}
+
+// route is the per-event body shared by Process and ProcessBatch.
+func (p *MultiExecutor) route(e *event.Event) {
 	p.seq++
 	if e.ID == 0 {
 		// Assign the stream sequence here, before fan-out: two workers
@@ -648,7 +693,6 @@ func (p *MultiExecutor) Process(e *event.Event) error {
 	if p.full != nil {
 		p.append(p.full, &p.fullPend, e)
 	}
-	return nil
 }
 
 // append adds an event to a worker's batch under construction, handing
@@ -695,6 +739,26 @@ func (p *MultiExecutor) Run(src Iterator) error {
 	}
 }
 
+// Sync flushes every partial batch to its worker and waits until all
+// workers have consumed everything routed so far — a control-plane
+// barrier. RunContext uses it when its context is cancelled, so the
+// workers' state reflects exactly the pushed prefix before the caller
+// regains control (Drain and Stats then observe a consistent cut).
+func (p *MultiExecutor) Sync() error {
+	if p.closed {
+		return fmt.Errorf("stream: Sync after Close: %w", core.ErrClosed)
+	}
+	p.flushPending()
+	for _, w := range p.allWorkers() {
+		ctl := &ctlMsg{op: ctlStats, reply: make(chan ctlReply, 1)}
+		w.in <- wmsg{ctl: ctl}
+		if rep := <-ctl.reply; rep.err != nil {
+			return rep.err
+		}
+	}
+	return nil
+}
+
 // Close flushes pending batches, drains the workers and returns each
 // query's results ordered by window then group, exactly like a single
 // engine would emit them — indexed by subscription id. Slots of
@@ -703,7 +767,7 @@ func (p *MultiExecutor) Run(src Iterator) error {
 // are nil.
 func (p *MultiExecutor) Close() ([][]core.Result, error) {
 	if p.closed {
-		return nil, fmt.Errorf("stream: double Close")
+		return nil, fmt.Errorf("stream: double Close: %w", core.ErrClosed)
 	}
 	p.flushPending()
 	p.closed = true

@@ -8,8 +8,21 @@ import (
 
 // Reorderer is a K-slack buffer that repairs bounded disorder: events
 // may arrive up to Slack time units later than the maximum time stamp
-// seen so far and are re-emitted in (time, ID) order. Events arriving
-// later than the slack allows are dropped and counted.
+// seen so far and are re-emitted strictly in (time, ID) order. Events
+// arriving later than the slack allows are dropped and counted.
+//
+// An event is released only once the maximum seen time stamp STRICTLY
+// exceeds its own time stamp plus the slack: an arrival at exactly
+// maxSeen-slack is still admissible (not late), so events at that
+// time stamp must stay buffered or a late tie would be emitted after
+// its (time, ID) successors. The remainder is released by Flush at
+// end of stream.
+//
+// Events must carry distinct IDs before they are offered: ties in
+// (time, ID) — in particular unassigned IDs (0) on equal time stamps
+// — pop from the heap in arbitrary order. Callers that buffer ahead
+// of ID assignment (the Session's slack path) stamp arrival order
+// onto ID-0 events first.
 //
 // The paper assumes in-order streams (§2.1) and cites AFA [10] for
 // native disorder handling; a slack buffer in front of the engine is
@@ -51,10 +64,12 @@ func (r *Reorderer) Offer(e *event.Event) []*event.Event {
 	return r.drain(r.maxSeen - r.slack)
 }
 
-// drain pops every buffered event with time <= watermark.
+// drain pops every buffered event with time strictly below the
+// watermark — events AT the watermark can still acquire admissible
+// ties (Offer admits time >= maxSeen-slack), so they are held.
 func (r *Reorderer) drain(watermark int64) []*event.Event {
 	var out []*event.Event
-	for r.h.Len() > 0 && r.h[0].Time <= watermark {
+	for r.h.Len() > 0 && r.h[0].Time < watermark {
 		out = append(out, heap.Pop(&r.h).(*event.Event))
 	}
 	return out
@@ -71,6 +86,10 @@ func (r *Reorderer) Flush() []*event.Event {
 
 // Dropped reports how many events exceeded the slack.
 func (r *Reorderer) Dropped() int64 { return r.dropped }
+
+// MaxSeen reports the largest time stamp offered so far; ok is false
+// before the first event.
+func (r *Reorderer) MaxSeen() (int64, bool) { return r.maxSeen, r.sawAny }
 
 // Buffered reports the current buffer size.
 func (r *Reorderer) Buffered() int { return r.h.Len() }

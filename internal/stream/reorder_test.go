@@ -52,14 +52,132 @@ func TestReordererDropsBeyondSlack(t *testing.T) {
 	}
 }
 
-func TestReordererZeroSlackPassesThrough(t *testing.T) {
-	r := NewReorderer(0)
-	out := r.Offer(&event.Event{Time: 1, ID: 1})
-	if len(out) != 1 {
-		t.Fatalf("zero-slack buffer held the event: %v", out)
+// TestReordererTimestampTies: events sharing a time stamp re-emit in
+// ID order (the stream tie-breaker), wherever they arrived in the
+// disorder window.
+func TestReordererTimestampTies(t *testing.T) {
+	r := NewReorderer(4)
+	input := []*event.Event{
+		{Time: 3, ID: 5}, {Time: 3, ID: 2}, {Time: 1, ID: 1},
+		{Time: 3, ID: 4}, {Time: 5, ID: 6}, {Time: 3, ID: 3},
+		{Time: 9, ID: 7},
 	}
-	if r.Buffered() != 0 {
-		t.Error("event stuck in buffer")
+	var got []*event.Event
+	for _, e := range input {
+		got = append(got, r.Offer(e)...)
+	}
+	got = append(got, r.Flush()...)
+	if len(got) != len(input) {
+		t.Fatalf("emitted %d of %d", len(got), len(input))
+	}
+	for i := 1; i < len(got); i++ {
+		if !got[i-1].Before(got[i]) {
+			t.Fatalf("emission %d not in (time, ID) order: %v then %v", i, got[i-1], got[i])
+		}
+	}
+}
+
+// TestReordererDuplicateIDs: duplicate (time, ID) pairs — a source
+// that retries, or two sources reusing a sequence — are both kept and
+// both re-emitted; the buffer deduplicates nothing.
+func TestReordererDuplicateIDs(t *testing.T) {
+	r := NewReorderer(2)
+	var got []*event.Event
+	for _, e := range []*event.Event{
+		{Time: 1, ID: 1}, {Time: 2, ID: 1}, {Time: 2, ID: 1}, {Time: 4, ID: 2},
+	} {
+		got = append(got, r.Offer(e)...)
+	}
+	got = append(got, r.Flush()...)
+	if len(got) != 4 {
+		t.Fatalf("emitted %d events, want 4 (duplicates kept)", len(got))
+	}
+	dups := 0
+	for _, e := range got {
+		if e.Time == 2 && e.ID == 1 {
+			dups++
+		}
+	}
+	if dups != 2 {
+		t.Errorf("duplicate pair emitted %d times, want 2", dups)
+	}
+	if r.Dropped() != 0 {
+		t.Errorf("dropped = %d", r.Dropped())
+	}
+}
+
+// TestReordererSlackBoundaryDrops pins the drop boundary: an event at
+// exactly maxSeen-slack is admitted, one time unit older is dropped,
+// and the watermark never regresses when a drop happens.
+func TestReordererSlackBoundaryDrops(t *testing.T) {
+	r := NewReorderer(3)
+	r.Offer(&event.Event{Time: 10, ID: 1})
+	// The boundary event sits exactly at the watermark (maxSeen-slack):
+	// admitted, but held — ties of it are still admissible.
+	if got := r.Offer(&event.Event{Time: 7, ID: 2}); len(got) != 0 {
+		t.Fatalf("boundary event (maxSeen-slack) released early: %v", got)
+	}
+	if r.Dropped() != 0 {
+		t.Fatalf("boundary event counted as dropped")
+	}
+	if r.Offer(&event.Event{Time: 6, ID: 3}); r.Dropped() != 1 {
+		t.Fatalf("dropped = %d after sub-boundary event, want 1", r.Dropped())
+	}
+	if max, ok := r.MaxSeen(); !ok || max != 10 {
+		t.Errorf("MaxSeen = %d,%v, want 10,true", max, ok)
+	}
+	// A drop leaves the buffer intact: both admitted events are still
+	// pending and re-emit in order on flush.
+	if buf := r.Buffered(); buf != 2 {
+		t.Errorf("buffered = %d, want 2", buf)
+	}
+	out := r.Flush()
+	if len(out) != 2 || out[0].Time != 7 || out[1].Time != 10 {
+		t.Errorf("flush = %v", out)
+	}
+}
+
+func TestReordererZeroSlackHoldsTiesOnly(t *testing.T) {
+	// Slack 0 still admits ties at the current maximum, so events are
+	// held until time strictly advances (their ties may be in flight)
+	// and released in ID order.
+	r := NewReorderer(0)
+	if out := r.Offer(&event.Event{Time: 1, ID: 2}); len(out) != 0 {
+		t.Fatalf("event released while its ties are admissible: %v", out)
+	}
+	if out := r.Offer(&event.Event{Time: 1, ID: 1}); len(out) != 0 {
+		t.Fatalf("tie released early: %v", out)
+	}
+	out := r.Offer(&event.Event{Time: 2, ID: 3})
+	if len(out) != 2 || out[0].ID != 1 || out[1].ID != 2 {
+		t.Fatalf("time advance released %v, want both t=1 events in ID order", out)
+	}
+	if got := r.Flush(); len(got) != 1 || got[0].ID != 3 {
+		t.Fatalf("flush = %v", got)
+	}
+}
+
+// TestReordererBoundaryTieStaysOrdered is the regression test for the
+// boundary-tie bug: with slack 2, after 3 then 5 arrive, a late tie
+// at time 3 is still admissible (3 >= 5-2) — it must be emitted in ID
+// order with the earlier time-3 event, not after it.
+func TestReordererBoundaryTieStaysOrdered(t *testing.T) {
+	r := NewReorderer(2)
+	var got []*event.Event
+	got = append(got, r.Offer(&event.Event{Time: 3, ID: 5})...)
+	got = append(got, r.Offer(&event.Event{Time: 5, ID: 9})...)
+	got = append(got, r.Offer(&event.Event{Time: 3, ID: 1})...) // boundary tie
+	got = append(got, r.Flush()...)
+	if r.Dropped() != 0 {
+		t.Fatalf("boundary tie dropped")
+	}
+	if len(got) != 3 {
+		t.Fatalf("emitted %d of 3", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if !got[i-1].Before(got[i]) {
+			t.Fatalf("emission not in (time, ID) order: %v", got)
+		}
 	}
 }
 

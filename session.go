@@ -9,15 +9,33 @@ package cogra
 //
 //	sess := cogra.NewSession()                   // or cogra.WithWorkers(4)
 //	sub, _ := sess.Subscribe(q1)                 // before the stream
-//	for i, e := range events {
-//	    if err := sess.Process(e); err != nil { ... }
-//	    if i == 1000 {
+//	for i, batch := range batches {
+//	    if err := sess.PushBatch(batch); err != nil { ... }
+//	    for r := range sub.Results() { ... }     // pull what has closed
+//	    if i == 7 {
 //	        late, _ = sess.Subscribe(q2)         // mid-stream
 //	    }
 //	}
 //	for _, r := range late.Unsubscribe() { ... } // detach, flush windows
 //	sess.Close()
-//	for _, r := range sub.Drain() { ... }
+//	for r := range sub.Results() { ... }         // remaining windows
+//
+// Ingest is batch-first: Push and PushBatch are the primary entry
+// points, and batches flow natively down the stack (the multi-query
+// runtime pays its dispatch prologue once per batch; the parallel
+// router appends straight into the per-worker batches in flight).
+// Sources with bounded disorder are accepted with WithSlack(k): a
+// K-slack buffer (stream.Reorderer) re-sorts events in front of the
+// watermark, and events later than the slack allows follow the
+// session's late policy — counted and dropped (DropLate, default) or
+// rejected with ErrLateEvent (RejectLate). With no WithSlack the
+// stream must be in non-decreasing time-stamp order, as the paper
+// assumes (§2.1).
+//
+// Egress is push or pull, per subscription: WithSink (or the OnResult
+// shim) streams results as windows close; otherwise results buffer
+// and Subscription.Results() returns a pull-based iterator over what
+// has become available (stopping early keeps the rest buffered).
 //
 // Partial-first-window semantics: a query subscribed mid-stream at
 // watermark t (the time stamp of the last event the session saw) may
@@ -35,17 +53,20 @@ package cogra
 // worker on the event channels themselves, taking effect at one
 // consistent stream position; a late query whose partition keys do
 // not cover the frozen routing attributes is hosted on a dedicated
-// full-stream fallback worker instead (see MultiExecutor).
+// full-stream fallback worker instead (see MultiExecutor), or
+// rejected with ErrFrozenRouting when subscribed with StrictRouting.
 //
 // A Session is single-threaded like the engines it hosts: all methods
 // (including Subscribe/Unsubscribe) must be called from the event
 // feeding goroutine. Parallelism happens inside, behind WithWorkers.
-// OnResult callbacks may fire inside Process; membership changes from
+// Sink callbacks may fire inside Push; membership changes from
 // within a callback are rejected with an error — note what should
-// change and apply it after Process returns.
+// change and apply it after Push returns.
 
 import (
+	"context"
 	"fmt"
+	"iter"
 
 	"repro/internal/core"
 	"repro/internal/metrics"
@@ -58,6 +79,9 @@ type SessionOption func(*sessionCfg)
 
 type sessionCfg struct {
 	workers int
+	slack   int64
+	reorder bool
+	late    LatePolicy
 }
 
 // WithWorkers runs the session partition-parallel on n workers (n > 1;
@@ -68,12 +92,55 @@ func WithWorkers(n int) SessionOption {
 	return func(c *sessionCfg) { c.workers = n }
 }
 
+// WithSlack accepts bounded-disorder sources: a K-slack buffer in
+// front of the watermark re-emits events in (time, ID) order as long
+// as no event arrives more than slack time units later than the
+// maximum time stamp already seen. Events beyond the slack follow the
+// session's late policy (WithLatePolicy). Slack 0 still admits only
+// in-order streams but applies the late policy to stragglers instead
+// of failing the whole stream. Buffered events are released when the
+// watermark passes them, and flushed at Close.
+func WithSlack(slack int64) SessionOption {
+	if slack < 0 {
+		slack = 0
+	}
+	return func(c *sessionCfg) { c.slack, c.reorder = slack, true }
+}
+
+// LatePolicy selects what a session with WithSlack does with an event
+// that arrives later than the slack allows.
+type LatePolicy int
+
+const (
+	// DropLate drops the event and counts it (Stats.LateDropped) — the
+	// serving default: one straggling source does not fail the stream.
+	DropLate LatePolicy = iota
+	// RejectLate makes Push/PushBatch return an error wrapping
+	// ErrLateEvent; the event is not ingested and the session remains
+	// usable.
+	RejectLate
+)
+
+// WithLatePolicy sets the late-event policy of a WithSlack session
+// (default DropLate). Without WithSlack the policy is moot: any
+// out-of-order event fails Push with ErrLateEvent, as in-order input
+// is the stream contract.
+func WithLatePolicy(p LatePolicy) SessionOption {
+	return func(c *sessionCfg) { c.late = p }
+}
+
 // Session hosts a dynamic fleet of queries over one event stream.
 type Session struct {
 	cat    *core.Catalog
 	rt     *runtime.Runtime      // inline mode (workers <= 1)
 	mx     *stream.MultiExecutor // parallel mode (workers > 1)
 	acct   metrics.Accountant    // inline mode: spans every hosted engine
+	ro     *stream.Reorderer     // nil without WithSlack
+	late   LatePolicy
+	roPeak int
+	roSeq  int64 // arrival order stamped onto ID-0 events before buffering
+	mxLast int64 // parallel mode: stream-order guard (the router is async)
+	mxSaw  bool
 	subs   []*Subscription
 	closed bool
 }
@@ -84,7 +151,10 @@ func NewSession(opts ...SessionOption) *Session {
 	for _, opt := range opts {
 		opt(&cfg)
 	}
-	s := &Session{cat: core.NewCatalog()}
+	s := &Session{cat: core.NewCatalog(), late: cfg.late}
+	if cfg.reorder {
+		s.ro = stream.NewReorderer(cfg.slack)
+	}
 	if cfg.workers > 1 {
 		s.mx = stream.NewMultiExecutorOn(s.cat, cfg.workers)
 	} else {
@@ -97,19 +167,53 @@ func NewSession(opts ...SessionOption) *Session {
 // with CompileIn ahead of SubscribePlan.
 func (s *Session) Catalog() *Catalog { return s.cat }
 
+// Sink receives a subscription's results as they become available —
+// the push half of the egress surface (Subscription.Results is the
+// pull half). Inline sessions emit as each window closes; parallel
+// sessions emit when results are gathered from the workers (Results,
+// Drain, Unsubscribe, Close).
+type Sink interface {
+	Emit(Result)
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(Result)
+
+// Emit implements Sink.
+func (f SinkFunc) Emit(r Result) { f(r) }
+
 // SubscribeOption configures one subscription.
 type SubscribeOption func(*subCfg)
 
 type subCfg struct {
-	cb func(Result)
+	cb     func(Result)
+	strict bool
 }
 
-// OnResult streams the subscription's results to fn instead of
-// collecting them for Drain/Unsubscribe. Inline sessions invoke fn as
-// each window closes; parallel sessions invoke it when results are
-// gathered from the workers (Drain, Unsubscribe, Close).
+// WithSink streams the subscription's results to sink instead of
+// buffering them for Results/Drain/Unsubscribe.
+func WithSink(sink Sink) SubscribeOption {
+	return func(c *subCfg) { c.cb = sink.Emit }
+}
+
+// OnResult streams the subscription's results to fn.
+//
+// Deprecated: use WithSink(SinkFunc(fn)), or pull with
+// Subscription.Results instead.
 func OnResult(fn func(Result)) SubscribeOption {
 	return func(c *subCfg) { c.cb = fn }
+}
+
+// StrictRouting rejects a mid-stream subscription with
+// ErrFrozenRouting when hosting it would break worker-locality: the
+// parallel session's routing is frozen (events have flowed) and the
+// query's partition keys do not cover the routing attributes. Without
+// this option such a query is hosted on a dedicated full-stream
+// fallback worker, which preserves correctness but streams every
+// event twice. Inline sessions route nothing, so the option has no
+// effect there.
+func StrictRouting() SubscribeOption {
+	return func(c *subCfg) { c.strict = true }
 }
 
 // Subscribe compiles a query against the session's catalog and
@@ -118,7 +222,7 @@ func OnResult(fn func(Result)) SubscribeOption {
 // covered window (see the type comment).
 func (s *Session) Subscribe(q *Query, opts ...SubscribeOption) (*Subscription, error) {
 	if s.closed {
-		return nil, fmt.Errorf("cogra: Subscribe after Close")
+		return nil, fmt.Errorf("cogra: Subscribe after Close: %w", ErrClosed)
 	}
 	plan, err := core.NewPlanIn(s.cat, q)
 	if err != nil {
@@ -131,7 +235,7 @@ func (s *Session) Subscribe(q *Query, opts ...SubscribeOption) (*Subscription, e
 // compiled against the session's catalog (CompileIn).
 func (s *Session) SubscribePlan(plan *Plan, opts ...SubscribeOption) (*Subscription, error) {
 	if s.closed {
-		return nil, fmt.Errorf("cogra: Subscribe after Close")
+		return nil, fmt.Errorf("cogra: Subscribe after Close: %w", ErrClosed)
 	}
 	var cfg subCfg
 	for _, opt := range opts {
@@ -149,7 +253,11 @@ func (s *Session) SubscribePlan(plan *Plan, opts ...SubscribeOption) (*Subscript
 		}
 		sub.rsub = rsub
 	} else {
-		msub, err := s.mx.SubscribePlan(plan)
+		var mopts []stream.SubscribeOpt
+		if cfg.strict {
+			mopts = append(mopts, stream.StrictRouting())
+		}
+		msub, err := s.mx.SubscribePlan(plan, mopts...)
 		if err != nil {
 			return nil, err
 		}
@@ -164,47 +272,173 @@ func (s *Session) SubscribePlan(plan *Plan, opts ...SubscribeOption) (*Subscript
 	return sub, nil
 }
 
-// Process consumes the next stream event for every subscribed query.
-// Events must arrive in non-decreasing time-stamp order.
-func (s *Session) Process(e *Event) error {
+// Push ingests the next stream event for every subscribed query — the
+// primary single-event entry point. Without WithSlack, events must
+// arrive in non-decreasing time-stamp order and an out-of-order event
+// fails with ErrLateEvent; with WithSlack, events are re-ordered
+// within the slack and stragglers beyond it follow the late policy.
+func (s *Session) Push(e *Event) error {
 	if s.closed {
-		return fmt.Errorf("cogra: Process after Close")
+		return fmt.Errorf("cogra: Push after Close: %w", ErrClosed)
 	}
-	if s.rt != nil {
-		return s.rt.Process(e)
+	if s.ro == nil {
+		return s.dispatch(e)
 	}
-	return s.mx.Process(e)
+	return s.offer(e)
 }
 
-// ProcessAll feeds a pre-sorted batch of events.
-func (s *Session) ProcessAll(events []*Event) error {
+// PushBatch ingests a batch of events in arrival order — the primary
+// bulk entry point; the batch flows natively down the stack (one
+// dispatch prologue in inline sessions, direct appends into the
+// in-flight worker batches in parallel ones). The same ordering and
+// slack rules as Push apply; a returned error reports the first
+// offending event, everything before it has been ingested.
+func (s *Session) PushBatch(events []*Event) error {
+	if s.closed {
+		return fmt.Errorf("cogra: Push after Close: %w", ErrClosed)
+	}
+	if s.ro == nil {
+		return s.dispatchBatch(events)
+	}
 	for _, e := range events {
-		if err := s.Process(e); err != nil {
+		if err := s.offer(e); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
+// offer feeds one event through the slack buffer, applying the late
+// policy, and dispatches whatever the advancing watermark released.
+func (s *Session) offer(e *Event) error {
+	// The buffer re-emits in (time, ID) order and heap order among
+	// equal keys is arbitrary, so source-less IDs must be stamped with
+	// the arrival order HERE, before buffering — downstream (which
+	// normally assigns them) only sees the re-sorted stream. Ties then
+	// re-emit exactly in arrival order, matching a slack-less session.
+	s.roSeq++
+	if e.ID == 0 {
+		e.ID = s.roSeq
+	}
+	dropped := s.ro.Dropped()
+	out := s.ro.Offer(e)
+	if s.ro.Dropped() != dropped && s.late == RejectLate {
+		max, _ := s.ro.MaxSeen()
+		return fmt.Errorf("cogra: event at time %d older than the stream watermark %d allows: %w",
+			e.Time, max, ErrLateEvent)
+	}
+	if depth := s.ro.Buffered(); depth > s.roPeak {
+		s.roPeak = depth
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return s.dispatchBatch(out)
+}
+
+// dispatch hands one in-order event to the execution layer. The
+// inline runtime checks stream order itself; the parallel router is
+// asynchronous (a worker would only surface the violation at Close),
+// so the session rejects out-of-order events HERE to keep Push's
+// synchronous ErrLateEvent contract — the bad event never reaches a
+// worker and the session stays usable.
+func (s *Session) dispatch(e *Event) error {
+	if s.rt != nil {
+		return s.rt.Process(e)
+	}
+	if s.mxSaw && e.Time < s.mxLast {
+		return s.mxLateErr(e)
+	}
+	s.mxLast, s.mxSaw = e.Time, true
+	return s.mx.Process(e)
+}
+
+// dispatchBatch hands an in-order batch to the execution layer. In
+// parallel mode the batch is order-validated in one scan first (see
+// dispatch), then routed natively; on a violation the good prefix is
+// ingested and the error names the first offender.
+func (s *Session) dispatchBatch(events []*Event) error {
+	if s.rt != nil {
+		return s.rt.ProcessBatch(events)
+	}
+	for i, e := range events {
+		if s.mxSaw && e.Time < s.mxLast {
+			if err := s.mx.ProcessBatch(events[:i]); err != nil {
+				return err
+			}
+			return s.mxLateErr(e)
+		}
+		s.mxLast, s.mxSaw = e.Time, true
+	}
+	return s.mx.ProcessBatch(events)
+}
+
+// mxLateErr builds the parallel-mode out-of-order rejection — the
+// cold path of dispatch.
+func (s *Session) mxLateErr(e *Event) error {
+	return fmt.Errorf("cogra: out-of-order event at time %d after %d: %w", e.Time, s.mxLast, ErrLateEvent)
+}
+
+// Process consumes the next stream event.
+//
+// Deprecated: use Push — same semantics, batch-first data plane.
+func (s *Session) Process(e *Event) error { return s.Push(e) }
+
+// ProcessAll feeds a pre-sorted batch of events.
+//
+// Deprecated: use PushBatch.
+func (s *Session) ProcessAll(events []*Event) error { return s.PushBatch(events) }
+
 // Run consumes an entire ordered source.
 func (s *Session) Run(src Iterator) error {
+	return s.RunContext(context.Background(), src)
+}
+
+// RunContext consumes a source until it is exhausted or ctx is
+// cancelled. Cancellation is observed between events — a source
+// blocked inside Next delays it until Next returns, so a live source
+// should make Next return promptly (poll with a timeout, or close the
+// feed). On cancellation the session stops pulling from src, waits
+// until the workers have consumed everything already pushed (so Stats
+// and Drain observe a consistent cut), and returns the context error;
+// the session stays usable — push more, subscribe, or Close.
+func (s *Session) RunContext(ctx context.Context, src Iterator) error {
+	done := ctx.Done()
 	for {
+		select {
+		case <-done:
+			if s.mx != nil {
+				if err := s.mx.Sync(); err != nil {
+					return err
+				}
+			}
+			return ctx.Err()
+		default:
+		}
 		e, ok := src.Next()
 		if !ok {
 			return nil
 		}
-		if err := s.Process(e); err != nil {
+		if err := s.Push(e); err != nil {
 			return err
 		}
 	}
 }
 
-// Close ends the stream: every still-subscribed query flushes its open
-// windows. Results go to the subscription's callback when one is
-// installed, and are otherwise retrievable with Drain after Close.
+// Close ends the stream: the slack buffer (if any) is flushed, and
+// every still-subscribed query flushes its open windows. Results go
+// to the subscription's sink when one is installed, and are otherwise
+// retrievable with Results or Drain after Close.
 func (s *Session) Close() error {
 	if s.closed {
-		return fmt.Errorf("cogra: double Close")
+		return fmt.Errorf("cogra: double Close: %w", ErrClosed)
+	}
+	if s.ro != nil {
+		if tail := s.ro.Flush(); len(tail) > 0 {
+			if err := s.dispatchBatch(tail); err != nil {
+				return err
+			}
+		}
 	}
 	s.closed = true
 	if s.rt != nil {
@@ -243,6 +477,15 @@ type SessionStats struct {
 	// routing attribute).
 	Events  int64
 	Skipped int64
+	// LateDropped counts events that arrived later than the slack
+	// allowed and were not ingested (WithSlack sessions; under
+	// RejectLate they additionally failed the Push that carried them).
+	// ReorderDepth is the current number of events held back by the
+	// slack buffer awaiting the watermark; ReorderPeakDepth its
+	// high-water mark over the session's lifetime.
+	LateDropped      int64
+	ReorderDepth     int
+	ReorderPeakDepth int
 	// InternedTypes and InternedAttrs are the id-space sizes of the
 	// session's shared symbol catalog (they grow as queries subscribe
 	// and never shrink — ids must stay stable).
@@ -261,12 +504,13 @@ type SessionStats struct {
 	PeakBytes int64
 }
 
-// Stats reports the session's hosted-query, interning and memory
-// state at the current stream position.
+// Stats reports the session's hosted-query, interning, disorder and
+// memory state at the current stream position.
 func (s *Session) Stats() (SessionStats, error) {
+	var st SessionStats
 	if s.rt != nil {
 		rs := s.rt.Stats()
-		return SessionStats{
+		st = SessionStats{
 			Queries:            rs.Queries,
 			Workers:            1,
 			Events:             rs.Events,
@@ -274,23 +518,30 @@ func (s *Session) Stats() (SessionStats, error) {
 			InternedAttrs:      rs.InternedAttrs,
 			BindingInternBytes: rs.BindingInternBytes,
 			PeakBytes:          s.acct.Peak(),
-		}, nil
+		}
+	} else {
+		ms, err := s.mx.Stats()
+		if err != nil {
+			return SessionStats{}, err
+		}
+		st = SessionStats{
+			Queries:            ms.Queries,
+			Workers:            ms.Workers,
+			Events:             ms.Events,
+			Skipped:            ms.Skipped,
+			InternedTypes:      ms.InternedTypes,
+			InternedAttrs:      ms.InternedAttrs,
+			RoutingAttrs:       ms.RoutingAttrs,
+			BindingInternBytes: ms.BindingInternBytes,
+			PeakBytes:          ms.PeakBytes,
+		}
 	}
-	ms, err := s.mx.Stats()
-	if err != nil {
-		return SessionStats{}, err
+	if s.ro != nil {
+		st.LateDropped = s.ro.Dropped()
+		st.ReorderDepth = s.ro.Buffered()
+		st.ReorderPeakDepth = s.roPeak
 	}
-	return SessionStats{
-		Queries:            ms.Queries,
-		Workers:            ms.Workers,
-		Events:             ms.Events,
-		Skipped:            ms.Skipped,
-		InternedTypes:      ms.InternedTypes,
-		InternedAttrs:      ms.InternedAttrs,
-		RoutingAttrs:       ms.RoutingAttrs,
-		BindingInternBytes: ms.BindingInternBytes,
-		PeakBytes:          ms.PeakBytes,
-	}, nil
+	return st, nil
 }
 
 // Subscription is one query hosted by a Session: the handle for its
@@ -320,20 +571,50 @@ func (sub *Subscription) Active() bool { return sub.active }
 // lifecycle call (Unsubscribe, Drain, Close) recorded for it.
 func (sub *Subscription) Err() error { return sub.err }
 
+// Results returns a pull-based iterator over the results that have
+// become available (windows closed by the advancing watermark, plus
+// everything remaining once the session is closed). Consumed results
+// are gone; breaking out of the loop early keeps the unconsumed rest
+// buffered for the next Results or Drain call. Each call returns a
+// fresh single-use iterator:
+//
+//	for r := range sub.Results() {
+//	    if overloaded { break } // the rest stays buffered
+//	    handle(r)
+//	}
+//
+// Empty when a sink streams the results instead. In parallel sessions
+// each iterator's results are ordered by window then group, but a
+// lagging worker's windows may surface in a later call (exactly like
+// Drain).
+func (sub *Subscription) Results() iter.Seq[Result] {
+	return func(yield func(Result) bool) {
+		buf := sub.Drain()
+		for i, r := range buf {
+			if !yield(r) {
+				rest := make([]Result, 0, len(buf)-i-1+len(sub.pending))
+				rest = append(rest, buf[i+1:]...)
+				sub.pending = append(rest, sub.pending...)
+				return
+			}
+		}
+	}
+}
+
 // Unsubscribe detaches the query from the stream at the current
 // position. Its open windows are flushed and returned (or delivered
-// to the callback), its engines are released, and its binding intern
+// to the sink), its engines are released, and its binding intern
 // memory is returned. The rest of the fleet is untouched. Failures
 // are recorded on Err; a rejected unsubscribe (e.g. called from
-// inside a result callback) leaves the subscription active, so it can
-// be retried once Process returns.
+// inside a result sink) leaves the subscription active, so it can
+// be retried once Push returns.
 func (sub *Subscription) Unsubscribe() []Result {
 	if sub.sess.closed {
-		sub.err = fmt.Errorf("cogra: Unsubscribe after Close")
+		sub.err = fmt.Errorf("cogra: Unsubscribe after Close: %w", ErrClosed)
 		return nil
 	}
 	if !sub.active {
-		sub.err = fmt.Errorf("cogra: query %d already unsubscribed", sub.id)
+		sub.err = fmt.Errorf("cogra: query %d already unsubscribed: %w", sub.id, ErrNotHosted)
 		return nil
 	}
 	var out []Result
@@ -358,7 +639,7 @@ func (sub *Subscription) Unsubscribe() []Result {
 
 // Drain returns the results whose windows have closed since the last
 // Drain (all remaining results once the session is closed) and clears
-// them; nil when a callback streams results instead. On a partial
+// them; nil when a sink streams results instead. On a partial
 // worker failure it returns what the healthy workers reported and
 // records the error (Err). In parallel sessions each Drain is
 // internally ordered by window then group, but windows from a lagging

@@ -1,0 +1,598 @@
+package cogra_test
+
+// Tests for the batch-first, disorder-tolerant data plane (Session
+// v2): Push/PushBatch ingest, WithSlack reordering with the late-event
+// policies, pull-based Results iterators, typed sentinel errors and
+// context cancellation.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	cogra "repro"
+)
+
+// shuffleBounded returns a copy of events shuffled within blocks of
+// the given size (bounded disorder) plus the slack required to repair
+// it: the largest amount by which any event trails the running
+// maximum time stamp.
+func shuffleBounded(events []*cogra.Event, block int, seed int64) ([]*cogra.Event, int64) {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*cogra.Event, len(events))
+	copy(out, events)
+	for i := 0; i+block-1 < len(out); i += block {
+		rng.Shuffle(block, func(a, b int) {
+			out[i+a], out[i+b] = out[i+b], out[i+a]
+		})
+	}
+	var slack, maxSeen int64
+	for i, e := range out {
+		if i == 0 || e.Time > maxSeen {
+			maxSeen = e.Time
+		}
+		if d := maxSeen - e.Time; d > slack {
+			slack = d
+		}
+	}
+	return out, slack
+}
+
+// TestSessionSlackDifferential: a stream shuffled within slack K,
+// pushed through PushBatch on a WithSlack(K) session, produces
+// byte-identical results to the sorted stream pushed through the
+// deprecated Process path — for every granularity (plus the
+// contiguous wants-all path) and for inline and 4-worker sessions.
+func TestSessionSlackDifferential(t *testing.T) {
+	events := sessionTestStream(3000)
+	shuffled, slack := shuffleBounded(events, 6, 99)
+	if slack == 0 {
+		t.Fatal("shuffle produced no disorder; test is vacuous")
+	}
+	for mode, opts := range sessionModes() {
+		for name, src := range sessionTestQueries() {
+			t.Run(mode+"/"+name, func(t *testing.T) {
+				ref := cogra.NewSession(opts...)
+				refSub, err := ref.Subscribe(cogra.MustParse(src))
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, e := range events {
+					if err := ref.Process(e); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if err := ref.Close(); err != nil {
+					t.Fatal(err)
+				}
+				want := refSub.Drain()
+
+				sess := cogra.NewSession(append(opts[:len(opts):len(opts)], cogra.WithSlack(slack))...)
+				sub, err := sess.Subscribe(cogra.MustParse(src))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := sess.PushBatch(shuffled); err != nil {
+					t.Fatal(err)
+				}
+				if err := sess.Close(); err != nil {
+					t.Fatal(err)
+				}
+				got := sub.Drain()
+
+				if fmt.Sprintf("%v", got) != fmt.Sprintf("%v", want) {
+					t.Errorf("shuffled-with-slack diverges from sorted stream\ngot:  %v\nwant: %v", got, want)
+				}
+				if len(want) == 0 {
+					t.Error("no results; differential test is vacuous")
+				}
+				st, err := sess.Stats()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if st.LateDropped != 0 {
+					t.Errorf("dropped %d events within slack", st.LateDropped)
+				}
+				if st.ReorderPeakDepth == 0 {
+					t.Error("reorder peak depth not tracked")
+				}
+			})
+		}
+	}
+}
+
+// TestSessionSlackZeroMatchesProcess: with slack 0 the new Push
+// surface is result-identical to the PR 3 Process path on an in-order
+// stream, in both session modes.
+func TestSessionSlackZeroMatchesProcess(t *testing.T) {
+	events := sessionTestStream(2000)
+	src := sessionTestQueries()["type"]
+	for mode, opts := range sessionModes() {
+		t.Run(mode, func(t *testing.T) {
+			want := soloRun(t, src, events)
+
+			sess := cogra.NewSession(append(opts[:len(opts):len(opts)], cogra.WithSlack(0))...)
+			sub, err := sess.Subscribe(cogra.MustParse(src))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, e := range events {
+				if err := sess.Push(e); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := sess.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if got := sub.Drain(); fmt.Sprintf("%v", got) != fmt.Sprintf("%v", want) {
+				t.Errorf("slack-0 Push diverges from Process\ngot:  %v\nwant: %v", got, want)
+			}
+		})
+	}
+}
+
+// TestSessionPushBatchMatchesProcess: the native batch path produces
+// exactly the per-event path's results (no slack configured).
+func TestSessionPushBatchMatchesProcess(t *testing.T) {
+	events := sessionTestStream(2000)
+	src := sessionTestQueries()["mixed"]
+	for mode, opts := range sessionModes() {
+		t.Run(mode, func(t *testing.T) {
+			want := soloRun(t, src, events) // per-event Process reference
+
+			sess := cogra.NewSession(opts...)
+			sub, err := sess.Subscribe(cogra.MustParse(src))
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Uneven batch sizes cross every internal boundary.
+			for i := 0; i < len(events); {
+				n := 1 + (i*7)%97
+				if i+n > len(events) {
+					n = len(events) - i
+				}
+				if err := sess.PushBatch(events[i : i+n]); err != nil {
+					t.Fatal(err)
+				}
+				i += n
+			}
+			if err := sess.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if got := sub.Drain(); fmt.Sprintf("%v", got) != fmt.Sprintf("%v", want) {
+				t.Errorf("PushBatch diverges from Process\ngot:  %v\nwant: %v", got, want)
+			}
+		})
+	}
+}
+
+// TestSessionLatePolicies: beyond-slack events are dropped and counted
+// under DropLate (the default) and fail Push with ErrLateEvent under
+// RejectLate; in both cases the results equal a run without the
+// straggler.
+func TestSessionLatePolicies(t *testing.T) {
+	src := `RETURN COUNT(*) PATTERN A+ WHERE [k] GROUP-BY k WITHIN 10 SLIDE 10`
+	mk := func() []*cogra.Event {
+		var out []*cogra.Event
+		for i, tm := range []int64{1, 2, 8, 9, 22, 23} {
+			e := cogra.NewEvent("A", tm).WithSym("k", "g")
+			e.ID = int64(i + 1)
+			out = append(out, e)
+		}
+		return out
+	}
+	straggler := cogra.NewEvent("A", 2).WithSym("k", "g") // 20 units late at t=22
+
+	want := soloRun(t, src, mk())
+
+	t.Run("drop", func(t *testing.T) {
+		sess := cogra.NewSession(cogra.WithSlack(3))
+		sub, err := sess.Subscribe(cogra.MustParse(src))
+		if err != nil {
+			t.Fatal(err)
+		}
+		events := mk()
+		if err := sess.PushBatch(events[:5]); err != nil {
+			t.Fatal(err)
+		}
+		if err := sess.Push(straggler.Clone()); err != nil {
+			t.Fatalf("DropLate surfaced an error: %v", err)
+		}
+		if err := sess.Push(events[5]); err != nil {
+			t.Fatal(err)
+		}
+		st, err := sess.Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.LateDropped != 1 {
+			t.Errorf("LateDropped = %d, want 1", st.LateDropped)
+		}
+		if err := sess.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if got := sub.Drain(); fmt.Sprintf("%v", got) != fmt.Sprintf("%v", want) {
+			t.Errorf("dropped straggler changed results\ngot:  %v\nwant: %v", got, want)
+		}
+	})
+
+	t.Run("reject", func(t *testing.T) {
+		sess := cogra.NewSession(cogra.WithSlack(3), cogra.WithLatePolicy(cogra.RejectLate))
+		sub, err := sess.Subscribe(cogra.MustParse(src))
+		if err != nil {
+			t.Fatal(err)
+		}
+		events := mk()
+		if err := sess.PushBatch(events[:5]); err != nil {
+			t.Fatal(err)
+		}
+		if err := sess.Push(straggler.Clone()); !errors.Is(err, cogra.ErrLateEvent) {
+			t.Fatalf("RejectLate error = %v, want ErrLateEvent", err)
+		}
+		// The session stays usable after the rejection.
+		if err := sess.Push(events[5]); err != nil {
+			t.Fatal(err)
+		}
+		if err := sess.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if got := sub.Drain(); fmt.Sprintf("%v", got) != fmt.Sprintf("%v", want) {
+			t.Errorf("rejected straggler changed results\ngot:  %v\nwant: %v", got, want)
+		}
+	})
+}
+
+// TestSessionTypedErrors: every lifecycle failure is matchable with
+// errors.Is against the public sentinels, in both session modes.
+func TestSessionTypedErrors(t *testing.T) {
+	src := `RETURN COUNT(*) PATTERN A+ WITHIN 10 SLIDE 10`
+	for mode, opts := range sessionModes() {
+		t.Run(mode, func(t *testing.T) {
+			sess := cogra.NewSession(opts...)
+			sub, err := sess.Subscribe(cogra.MustParse(src))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sess.Push(cogra.NewEvent("A", 5)); err != nil {
+				t.Fatal(err)
+			}
+			sub.Unsubscribe()
+			if sub.Err() != nil {
+				t.Fatal(sub.Err())
+			}
+			sub.Unsubscribe()
+			if !errors.Is(sub.Err(), cogra.ErrNotHosted) {
+				t.Errorf("double Unsubscribe err = %v, want ErrNotHosted", sub.Err())
+			}
+			if err := sess.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if err := sess.Close(); !errors.Is(err, cogra.ErrClosed) {
+				t.Errorf("double Close err = %v, want ErrClosed", err)
+			}
+			if err := sess.Push(cogra.NewEvent("A", 9)); !errors.Is(err, cogra.ErrClosed) {
+				t.Errorf("Push after Close err = %v, want ErrClosed", err)
+			}
+			if err := sess.PushBatch([]*cogra.Event{cogra.NewEvent("A", 9)}); !errors.Is(err, cogra.ErrClosed) {
+				t.Errorf("PushBatch after Close err = %v, want ErrClosed", err)
+			}
+			if _, err := sess.Subscribe(cogra.MustParse(src)); !errors.Is(err, cogra.ErrClosed) {
+				t.Errorf("Subscribe after Close err = %v, want ErrClosed", err)
+			}
+			sub.Unsubscribe()
+			if !errors.Is(sub.Err(), cogra.ErrClosed) {
+				t.Errorf("Unsubscribe after Close err = %v, want ErrClosed", sub.Err())
+			}
+		})
+	}
+
+	// An out-of-order Push fails SYNCHRONOUSLY with ErrLateEvent in
+	// both modes (the parallel router is asynchronous, so the session
+	// checks ordering itself), the bad event is not ingested, and the
+	// session remains usable.
+	for mode, opts := range sessionModes() {
+		t.Run("late/"+mode, func(t *testing.T) {
+			sess := cogra.NewSession(opts...)
+			sub, err := sess.Subscribe(cogra.MustParse(src))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sess.Push(cogra.NewEvent("A", 5)); err != nil {
+				t.Fatal(err)
+			}
+			if err := sess.Push(cogra.NewEvent("A", 1)); !errors.Is(err, cogra.ErrLateEvent) {
+				t.Errorf("out-of-order Push err = %v, want ErrLateEvent", err)
+			}
+			if err := sess.PushBatch([]*cogra.Event{cogra.NewEvent("A", 6), cogra.NewEvent("A", 2)}); !errors.Is(err, cogra.ErrLateEvent) {
+				t.Errorf("out-of-order PushBatch err = %v, want ErrLateEvent", err)
+			}
+			if err := sess.Push(cogra.NewEvent("A", 15)); err != nil {
+				t.Fatalf("session unusable after rejected event: %v", err)
+			}
+			if err := sess.Close(); err != nil {
+				t.Fatalf("Close after rejected events: %v", err)
+			}
+			// Ingested: t=5, t=6 (batch prefix), t=15 — windows [0,10) and [10,20).
+			if got := len(sub.Drain()); got != 2 {
+				t.Errorf("results = %d windows, want 2", got)
+			}
+		})
+	}
+}
+
+// TestSessionSlackStampsTieOrder: events without source-assigned IDs
+// (the common case — NewEvent and CSV rows carry ID 0) keep their
+// arrival order through the slack buffer even on equal time stamps,
+// so a WithSlack session over an already-ordered stream is
+// result-identical to a slack-less one. Regression test: unstamped
+// heap ties pop in arbitrary order.
+func TestSessionSlackStampsTieOrder(t *testing.T) {
+	src := `
+		RETURN COUNT(*)
+		PATTERN M+
+		SEMANTICS skip-till-any-match
+		WHERE [k] AND M.rate < NEXT(M).rate
+		GROUP-BY k
+		WITHIN 16 SLIDE 16`
+	mk := func() []*cogra.Event {
+		rng := rand.New(rand.NewSource(5))
+		var out []*cogra.Event
+		for i := 0; i < 200; i++ {
+			// Runs of 4 equal time stamps; rates vary within each run,
+			// so the NEXT() adjacency is sensitive to tie order.
+			out = append(out, cogra.NewEvent("M", int64(i/4)).
+				WithSym("k", "g").
+				WithNum("rate", float64(rng.Intn(40))))
+		}
+		return out
+	}
+	run := func(opts ...cogra.SessionOption) []cogra.Result {
+		sess := cogra.NewSession(opts...)
+		sub, err := sess.Subscribe(cogra.MustParse(src))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sess.PushBatch(mk()); err != nil {
+			t.Fatal(err)
+		}
+		if err := sess.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return sub.Drain()
+	}
+	want := run()
+	got := run(cogra.WithSlack(4))
+	if fmt.Sprintf("%v", got) != fmt.Sprintf("%v", want) {
+		t.Errorf("slack buffer permuted ID-0 ties\ngot:  %v\nwant: %v", got, want)
+	}
+	if len(want) == 0 {
+		t.Error("no results; test is vacuous")
+	}
+}
+
+// TestSessionResultsPull: Results() is a single-use pull iterator —
+// consumed results are gone, an early break keeps the rest buffered,
+// and after Close the remaining windows surface.
+func TestSessionResultsPull(t *testing.T) {
+	src := `RETURN COUNT(*) PATTERN A+ WHERE [k] GROUP-BY k WITHIN 10 SLIDE 10`
+	sess := cogra.NewSession()
+	sub, err := sess.Subscribe(cogra.MustParse(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three groups per window over four windows.
+	for tm := int64(0); tm < 40; tm++ {
+		for g := 0; g < 3; g++ {
+			e := cogra.NewEvent("A", tm).WithSym("k", fmt.Sprintf("g%d", g))
+			if err := sess.Push(e); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Three windows have closed ([0,10), [10,20), [20,30)): 9 results.
+	var first []cogra.Result
+	for r := range sub.Results() {
+		first = append(first, r)
+		if len(first) == 4 {
+			break // the rest must stay buffered
+		}
+	}
+	if len(first) != 4 {
+		t.Fatalf("pulled %d results, want 4", len(first))
+	}
+	var second []cogra.Result
+	for r := range sub.Results() {
+		second = append(second, r)
+	}
+	if len(first)+len(second) != 9 {
+		t.Fatalf("pulled %d + %d results before Close, want 9", len(first), len(second))
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var tail []cogra.Result
+	for r := range sub.Results() {
+		tail = append(tail, r)
+	}
+	if len(tail) != 3 { // the flushed [30,40) window
+		t.Fatalf("pulled %d results after Close, want 3", len(tail))
+	}
+	if n := len(sub.Drain()); n != 0 {
+		t.Errorf("%d results left after full pull", n)
+	}
+
+	// The combined pulls equal one undisturbed solo run.
+	var events []*cogra.Event
+	for tm := int64(0); tm < 40; tm++ {
+		for g := 0; g < 3; g++ {
+			events = append(events, cogra.NewEvent("A", tm).WithSym("k", fmt.Sprintf("g%d", g)))
+		}
+	}
+	want := soloRun(t, src, events)
+	got := append(append(first, second...), tail...)
+	if fmt.Sprintf("%v", got) != fmt.Sprintf("%v", want) {
+		t.Errorf("pulled results diverge from solo run\ngot:  %v\nwant: %v", got, want)
+	}
+}
+
+// TestSessionSinkStreams: WithSink streams results as they emit and
+// leaves nothing for the pull surface.
+func TestSessionSinkStreams(t *testing.T) {
+	src := `RETURN COUNT(*) PATTERN A+ WITHIN 10 SLIDE 10`
+	var sunk []cogra.Result
+	sess := cogra.NewSession()
+	sub, err := sess.Subscribe(cogra.MustParse(src),
+		cogra.WithSink(cogra.SinkFunc(func(r cogra.Result) { sunk = append(sunk, r) })))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.PushBatch([]*cogra.Event{
+		cogra.NewEvent("A", 1), cogra.NewEvent("A", 2), cogra.NewEvent("A", 15),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(sunk) != 1 {
+		t.Fatalf("sink saw %d results before Close, want 1", len(sunk))
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(sunk) != 2 {
+		t.Fatalf("sink saw %d results, want 2", len(sunk))
+	}
+	for range sub.Results() {
+		t.Fatal("Results yielded despite an installed sink")
+	}
+}
+
+// TestSessionStrictRouting: once events have flowed in a parallel
+// session, a StrictRouting subscription whose partition keys do not
+// cover the routing attributes is rejected with ErrFrozenRouting;
+// without the option it is hosted on the fallback worker, and inline
+// sessions (no routing) accept it either way.
+func TestSessionStrictRouting(t *testing.T) {
+	patientQ := `RETURN COUNT(*) PATTERN A+ WHERE [patient] GROUP-BY patient WITHIN 10 SLIDE 10`
+	wardQ := `RETURN COUNT(*) PATTERN A+ WHERE [ward] GROUP-BY ward WITHIN 10 SLIDE 10`
+	ev := func(tm int64) *cogra.Event {
+		return cogra.NewEvent("A", tm).WithSym("patient", "p0").WithSym("ward", "w0")
+	}
+
+	t.Run("parallel", func(t *testing.T) {
+		sess := cogra.NewSession(cogra.WithWorkers(4))
+		if _, err := sess.Subscribe(cogra.MustParse(patientQ)); err != nil {
+			t.Fatal(err)
+		}
+		// Before any event the routing is fluid: strict subscribes are
+		// fine (the routing recomputes over the new fleet).
+		early, err := sess.Subscribe(cogra.MustParse(patientQ), cogra.StrictRouting())
+		if err != nil {
+			t.Fatalf("strict subscribe before first event: %v", err)
+		}
+		early.Unsubscribe()
+		if err := early.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if err := sess.Push(ev(1)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sess.Subscribe(cogra.MustParse(wardQ), cogra.StrictRouting()); !errors.Is(err, cogra.ErrFrozenRouting) {
+			t.Errorf("strict locality-breaking subscribe err = %v, want ErrFrozenRouting", err)
+		}
+		// Covering queries still subscribe strictly mid-stream.
+		if _, err := sess.Subscribe(cogra.MustParse(patientQ), cogra.StrictRouting()); err != nil {
+			t.Errorf("strict covering subscribe rejected: %v", err)
+		}
+		// Without StrictRouting the same query is hosted (fallback).
+		if _, err := sess.Subscribe(cogra.MustParse(wardQ)); err != nil {
+			t.Errorf("fallback subscribe rejected: %v", err)
+		}
+		if err := sess.Close(); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	t.Run("inline", func(t *testing.T) {
+		sess := cogra.NewSession()
+		if _, err := sess.Subscribe(cogra.MustParse(patientQ)); err != nil {
+			t.Fatal(err)
+		}
+		if err := sess.Push(ev(1)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sess.Subscribe(cogra.MustParse(wardQ), cogra.StrictRouting()); err != nil {
+			t.Errorf("inline strict subscribe rejected: %v", err)
+		}
+		if err := sess.Close(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// cancellingSource yields events and cancels a context after a fixed
+// number of Next calls — a source that goes quiet mid-stream.
+type cancellingSource struct {
+	events   []*cogra.Event
+	pos      int
+	cancelAt int
+	cancel   context.CancelFunc
+}
+
+func (s *cancellingSource) Next() (*cogra.Event, bool) {
+	if s.pos == s.cancelAt {
+		s.cancel()
+	}
+	if s.pos >= len(s.events) {
+		return nil, false
+	}
+	e := s.events[s.pos]
+	s.pos++
+	return e, true
+}
+
+// TestSessionRunContext: cancellation stops the run with the context's
+// error at a consistent position; the session remains usable and a
+// subsequent run completes the stream with the results of an
+// uninterrupted run.
+func TestSessionRunContext(t *testing.T) {
+	events := sessionTestStream(2000)
+	src := sessionTestQueries()["type"]
+	want := soloRun(t, src, events)
+	for mode, opts := range sessionModes() {
+		t.Run(mode, func(t *testing.T) {
+			sess := cogra.NewSession(opts...)
+			sub, err := sess.Subscribe(cogra.MustParse(src))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			srcIter := &cancellingSource{events: events, cancelAt: len(events) / 2, cancel: cancel}
+			if err := sess.RunContext(ctx, srcIter); !errors.Is(err, context.Canceled) {
+				t.Fatalf("RunContext err = %v, want context.Canceled", err)
+			}
+			if srcIter.pos >= len(events) {
+				t.Fatal("source fully consumed despite cancellation")
+			}
+			// Stats after cancellation observe the synced prefix.
+			st, err := sess.Stats()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Events == 0 || st.Events >= int64(len(events)) {
+				t.Errorf("events after cancel = %d", st.Events)
+			}
+			// Resume with a fresh context and finish the stream.
+			if err := sess.RunContext(context.Background(), cogra.FromSlice(events[srcIter.pos:])); err != nil {
+				t.Fatal(err)
+			}
+			if err := sess.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if got := sub.Drain(); fmt.Sprintf("%v", got) != fmt.Sprintf("%v", want) {
+				t.Errorf("cancel+resume diverges from uninterrupted run\ngot:  %v\nwant: %v", got, want)
+			}
+		})
+	}
+}

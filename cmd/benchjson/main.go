@@ -17,10 +17,14 @@
 // events/s when both sides report it (higher is better), otherwise on
 // ns/op (lower is better), and the command exits non-zero when any
 // gated benchmark regresses by more than -max-regress percent — or
-// has vanished from the current run. CI commits the previous PR's
-// report and runs
+// has vanished from the current run. Gated benchmarks reporting
+// allocation metrics (`-benchmem`) are additionally compared on
+// B/op and allocs/op (lower is better) against -max-alloc-regress
+// percent, so an allocation regression fails the gate even when the
+// wall-clock number absorbs it. CI commits the previous PR's report
+// and runs
 //
-//	... | benchjson -o BENCH_pr4.json -baseline BENCH_pr3.json \
+//	... | benchjson -o BENCH_pr5.json -baseline BENCH_pr4.json \
 //	      -gate 'BenchmarkSessionSteady|BenchmarkEngineProcess'
 package main
 
@@ -62,6 +66,7 @@ func main() {
 	baseline := flag.String("baseline", "", "previous report to gate against (JSON written by an earlier run)")
 	gate := flag.String("gate", ".", "regexp selecting the benchmarks the gate applies to")
 	maxRegress := flag.Float64("max-regress", 15, "maximum tolerated regression, percent")
+	maxAlloc := flag.Float64("max-alloc-regress", 15, "maximum tolerated B/op or allocs/op regression in gated benches, percent")
 	flag.Parse()
 	report, err := parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
@@ -98,7 +103,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: -gate:", err)
 		os.Exit(1)
 	}
-	lines, failures := compare(report, &base, gateRe, *maxRegress)
+	lines, failures := compare(report, &base, gateRe, *maxRegress, *maxAlloc)
 	for _, l := range lines {
 		fmt.Fprintln(os.Stderr, l)
 	}
@@ -111,11 +116,13 @@ func main() {
 // compare gates the current report against a baseline: for each
 // baseline benchmark matching the gate it computes the regression on
 // events/s (higher is better) when both runs report it, else on ns/op
-// (lower is better). It returns one human-readable line per compared
-// benchmark and the number of failures — regressions beyond
-// maxRegress percent, plus gated benchmarks missing from the current
-// run (deleting a gated bench must not silently pass the gate).
-func compare(cur, base *Output, gate *regexp.Regexp, maxRegress float64) (lines []string, failures int) {
+// (lower is better), and — when both runs report them — additionally
+// on the allocation dimension (B/op and allocs/op, lower is better,
+// tolerance maxAlloc). It returns one human-readable line per compared
+// metric and the number of failures — regressions beyond the
+// tolerances, plus gated benchmarks missing from the current run
+// (deleting a gated bench must not silently pass the gate).
+func compare(cur, base *Output, gate *regexp.Regexp, maxRegress, maxAlloc float64) (lines []string, failures int) {
 	curByName := make(map[string]Result, len(cur.Results))
 	for _, r := range cur.Results {
 		curByName[r.Name] = r
@@ -152,6 +159,41 @@ func compare(cur, base *Output, gate *regexp.Regexp, maxRegress float64) (lines 
 			failures++
 		}
 		lines = append(lines, fmt.Sprintf("%s %s: %s %+.1f%% vs baseline", verdict, b.Name, metric, delta))
+
+		// Allocation dimension: a gated bench must not get sloppier even
+		// when the wall-clock gate absorbs it. Zero-alloc baselines stay
+		// zero-alloc: any new allocation is an unbounded relative
+		// regression and fails outright.
+		for _, am := range []string{"B/op", "allocs/op"} {
+			ab, haveB := b.Metrics[am]
+			ac, haveC := c.Metrics[am]
+			if !haveB {
+				continue // speed-only baseline: nothing to gate on
+			}
+			if !haveC {
+				// Dropping -benchmem (or ReportAllocs) must not silently
+				// disengage the allocation gate, exactly like a vanished
+				// gated bench.
+				lines = append(lines, fmt.Sprintf("FAIL %s: %s in baseline but missing from the current run", b.Name, am))
+				failures++
+				continue
+			}
+			switch {
+			case ab == 0 && ac == 0:
+				continue
+			case ab == 0:
+				lines = append(lines, fmt.Sprintf("FAIL %s: %s 0 -> %g vs baseline", b.Name, am, ac))
+				failures++
+			default:
+				ad := (ac - ab) / ab * 100
+				averdict := "ok  "
+				if ad > maxAlloc {
+					averdict = "FAIL"
+					failures++
+				}
+				lines = append(lines, fmt.Sprintf("%s %s: %s %+.1f%% vs baseline", averdict, b.Name, am, ad))
+			}
+		}
 	}
 	return lines, failures
 }

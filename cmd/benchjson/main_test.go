@@ -125,6 +125,14 @@ func res(name string, ns float64, evs float64) Result {
 	return Result{Name: name, Iterations: 1, NsPerOp: ns, Metrics: m}
 }
 
+// resAlloc is res with an allocation dimension (-benchmem output).
+func resAlloc(name string, ns, evs, bytes, allocs float64) Result {
+	r := res(name, ns, evs)
+	r.Metrics["B/op"] = bytes
+	r.Metrics["allocs/op"] = allocs
+	return r
+}
+
 func TestCompareGate(t *testing.T) {
 	gate := regexp.MustCompile(`BenchmarkSessionSteady|BenchmarkEngineProcess`)
 	base := mkOutput(
@@ -139,7 +147,7 @@ func TestCompareGate(t *testing.T) {
 			res("BenchmarkEngineProcessTypeGrained", 1100, 0), // +10% ns/op
 			res("BenchmarkUnrelated", 99999, 0),               // ungated: ignored
 		)
-		lines, failures := compare(cur, base, gate, 15)
+		lines, failures := compare(cur, base, gate, 15, 15)
 		if failures != 0 {
 			t.Fatalf("failures = %d, lines = %v", failures, lines)
 		}
@@ -153,7 +161,7 @@ func TestCompareGate(t *testing.T) {
 			res("BenchmarkSessionSteady8", 1e7, 80000), // -20% events/s
 			res("BenchmarkEngineProcessTypeGrained", 1000, 0),
 		)
-		if _, failures := compare(cur, base, gate, 15); failures != 1 {
+		if _, failures := compare(cur, base, gate, 15, 15); failures != 1 {
 			t.Fatalf("failures = %d, want 1", failures)
 		}
 	})
@@ -163,7 +171,7 @@ func TestCompareGate(t *testing.T) {
 			res("BenchmarkSessionSteady8", 1e7, 100000),
 			res("BenchmarkEngineProcessTypeGrained", 1300, 0), // +30% ns/op
 		)
-		if _, failures := compare(cur, base, gate, 15); failures != 1 {
+		if _, failures := compare(cur, base, gate, 15, 15); failures != 1 {
 			t.Fatalf("failures = %d, want 1", failures)
 		}
 	})
@@ -173,15 +181,85 @@ func TestCompareGate(t *testing.T) {
 			res("BenchmarkSessionSteady8", 5e6, 200000),
 			res("BenchmarkEngineProcessTypeGrained", 500, 0),
 		)
-		if lines, failures := compare(cur, base, gate, 15); failures != 0 {
+		if lines, failures := compare(cur, base, gate, 15, 15); failures != 0 {
 			t.Fatalf("improvement flagged: %v", lines)
 		}
 	})
 
 	t.Run("missing-gated-bench-fails", func(t *testing.T) {
 		cur := mkOutput(res("BenchmarkSessionSteady8", 1e7, 100000))
-		if _, failures := compare(cur, base, gate, 15); failures != 1 {
+		if _, failures := compare(cur, base, gate, 15, 15); failures != 1 {
 			t.Fatalf("failures = %d, want 1 (missing gated bench)", failures)
+		}
+	})
+}
+
+// TestCompareAllocGate: gated benches with -benchmem output are also
+// compared on the allocation dimension — a B/op or allocs/op blow-up
+// fails the gate even when events/s holds, a zero-alloc baseline stays
+// zero-alloc, and baselines without the dimension gate only on speed.
+func TestCompareAllocGate(t *testing.T) {
+	gate := regexp.MustCompile(`BenchmarkSessionSteady|BenchmarkEngineProcess`)
+	base := mkOutput(
+		resAlloc("BenchmarkSessionSteady8", 1e7, 100000, 8000, 1000),
+		resAlloc("BenchmarkEngineProcessTypeGrained", 1000, 0, 64, 0),
+	)
+
+	t.Run("within-tolerance", func(t *testing.T) {
+		cur := mkOutput(
+			resAlloc("BenchmarkSessionSteady8", 1e7, 100000, 8800, 1100), // +10% both
+			resAlloc("BenchmarkEngineProcessTypeGrained", 1000, 0, 60, 0),
+		)
+		if lines, failures := compare(cur, base, gate, 15, 15); failures != 0 {
+			t.Fatalf("failures = %d, lines = %v", failures, lines)
+		}
+	})
+
+	t.Run("allocs-regression-fails-despite-speed", func(t *testing.T) {
+		cur := mkOutput(
+			resAlloc("BenchmarkSessionSteady8", 1e7, 110000, 8000, 1300), // +30% allocs, faster
+			resAlloc("BenchmarkEngineProcessTypeGrained", 1000, 0, 64, 0),
+		)
+		if _, failures := compare(cur, base, gate, 15, 15); failures != 1 {
+			t.Fatalf("failures = %d, want 1 (allocs/op regression)", failures)
+		}
+	})
+
+	t.Run("bytes-regression-fails", func(t *testing.T) {
+		cur := mkOutput(
+			resAlloc("BenchmarkSessionSteady8", 1e7, 100000, 12000, 1000), // +50% B/op
+			resAlloc("BenchmarkEngineProcessTypeGrained", 1000, 0, 64, 0),
+		)
+		if _, failures := compare(cur, base, gate, 15, 15); failures != 1 {
+			t.Fatalf("failures = %d, want 1 (B/op regression)", failures)
+		}
+	})
+
+	t.Run("zero-alloc-baseline-must-stay-zero", func(t *testing.T) {
+		cur := mkOutput(
+			resAlloc("BenchmarkSessionSteady8", 1e7, 100000, 8000, 1000),
+			resAlloc("BenchmarkEngineProcessTypeGrained", 1000, 0, 64, 3), // 0 -> 3 allocs
+		)
+		if _, failures := compare(cur, base, gate, 15, 15); failures != 1 {
+			t.Fatalf("failures = %d, want 1 (zero-alloc baseline broken)", failures)
+		}
+	})
+
+	t.Run("dropping-benchmem-fails", func(t *testing.T) {
+		cur := mkOutput(
+			res("BenchmarkSessionSteady8", 1e7, 100000), // alloc metrics vanished
+			resAlloc("BenchmarkEngineProcessTypeGrained", 1000, 0, 64, 0),
+		)
+		if _, failures := compare(cur, base, gate, 15, 15); failures != 2 {
+			t.Fatalf("failures = %d, want 2 (B/op and allocs/op missing from the current run)", failures)
+		}
+	})
+
+	t.Run("baseline-without-allocs-gates-speed-only", func(t *testing.T) {
+		speedBase := mkOutput(res("BenchmarkSessionSteady8", 1e7, 100000))
+		cur := mkOutput(resAlloc("BenchmarkSessionSteady8", 1e7, 100000, 1<<20, 1e6))
+		if lines, failures := compare(cur, speedBase, gate, 15, 15); failures != 0 {
+			t.Fatalf("alloc-less baseline produced failures: %v", lines)
 		}
 	})
 }

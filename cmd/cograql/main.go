@@ -26,9 +26,15 @@
 //	-query <id>     unsubscribe query <id> (as printed at subscribe
 //	                time), flushing its open windows
 //
+// Long-lived sessions can bound their state: -max-reorder-depth caps
+// the slack buffer (shedding its oldest events at the cap, or failing
+// with backpressure under -reorder-reject), and -evict reclaims
+// binding-intern memory once the windows referencing it have closed.
+//
 // -stats prints an end-of-run summary: events accepted, events
 // skipped by the partition router, late events dropped by the slack
-// buffer and the buffer's peak depth.
+// buffer, events shed at the depth cap, the buffer's peak depth and
+// the catalog compaction count.
 package main
 
 import (
@@ -66,15 +72,18 @@ func (f sourceFlag) Set(v string) error {
 
 // runCfg collects the command line; run is testable over it.
 type runCfg struct {
-	sources    []querySource
-	input      string
-	workers    int
-	slack      int64
-	rejectLate bool
-	follow     bool
-	explain    bool
-	memory     bool
-	stats      bool
+	sources       []querySource
+	input         string
+	workers       int
+	slack         int64
+	rejectLate    bool
+	maxDepth      int
+	rejectOverrun bool
+	evict         bool
+	follow        bool
+	explain       bool
+	memory        bool
+	stats         bool
 }
 
 func main() {
@@ -85,6 +94,9 @@ func main() {
 	flag.IntVar(&cfg.workers, "workers", 1, "partition-parallel workers")
 	flag.Int64Var(&cfg.slack, "slack", -1, "accept events up to this many time units out of order (-1: require in-order input)")
 	flag.BoolVar(&cfg.rejectLate, "late-reject", false, "fail on events beyond -slack instead of dropping them")
+	flag.IntVar(&cfg.maxDepth, "max-reorder-depth", 0, "cap the -slack reorder buffer at this many events (0: unbounded)")
+	flag.BoolVar(&cfg.rejectOverrun, "reorder-reject", false, "fail with backpressure when the capped reorder buffer is full, instead of shedding its oldest events")
+	flag.BoolVar(&cfg.evict, "evict", false, "bound binding-intern memory: reclaim slot values once no open window references them")
 	flag.BoolVar(&cfg.follow, "follow", false, "tail the feed line by line; '+query <text>' / '-query <id>' control lines change the fleet mid-stream")
 	flag.BoolVar(&cfg.explain, "explain", false, "print the compiled plans and exit")
 	flag.BoolVar(&cfg.memory, "memory", false, "report logical peak memory after the run")
@@ -153,11 +165,32 @@ func run(cfg runCfg) error {
 	if cfg.workers > 1 {
 		opts = append(opts, cogra.WithWorkers(cfg.workers))
 	}
-	if cfg.slack >= 0 {
+	if cfg.maxDepth < 0 {
+		return fmt.Errorf("-max-reorder-depth must be non-negative (0: unbounded), got %d", cfg.maxDepth)
+	}
+	if cfg.slack < 0 {
+		// Refuse silently-ignored flags: without -slack there is no
+		// reorder buffer (and no late policy) for these to govern.
+		if cfg.maxDepth > 0 || cfg.rejectOverrun || cfg.rejectLate {
+			return fmt.Errorf("-late-reject/-max-reorder-depth/-reorder-reject require -slack (there is no reorder buffer without it)")
+		}
+	} else {
 		opts = append(opts, cogra.WithSlack(cfg.slack))
 		if cfg.rejectLate {
 			opts = append(opts, cogra.WithLatePolicy(cogra.RejectLate))
 		}
+		if cfg.rejectOverrun && cfg.maxDepth <= 0 {
+			return fmt.Errorf("-reorder-reject requires -max-reorder-depth (an unbounded buffer never exerts backpressure)")
+		}
+		if cfg.maxDepth > 0 {
+			opts = append(opts, cogra.WithMaxReorderDepth(cfg.maxDepth))
+			if cfg.rejectOverrun {
+				opts = append(opts, cogra.WithDepthPolicy(cogra.Reject))
+			}
+		}
+	}
+	if cfg.evict {
+		opts = append(opts, cogra.WithInternEviction())
 	}
 	sess := cogra.NewSession(opts...)
 
@@ -226,8 +259,8 @@ func run(cfg runCfg) error {
 		if cfg.stats {
 			// st.Queries counts ACTIVE subscriptions — zero after Close —
 			// so the summary reports how many ever subscribed.
-			fmt.Fprintf(os.Stderr, "stream: %d events accepted, %d unroutable, %d dropped late (reorder peak depth %d); %d quer(ies) subscribed on %d worker(s)\n",
-				st.Events, st.Skipped, st.LateDropped, st.ReorderPeakDepth, nextID, st.Workers)
+			fmt.Fprintf(os.Stderr, "stream: %d events accepted, %d unroutable, %d dropped late, %d shed at the depth cap (reorder peak depth %d); %d quer(ies) subscribed on %d worker(s); %d catalog compaction(s)\n",
+				st.Events, st.Skipped, st.LateDropped, st.ReorderShed, st.ReorderPeakDepth, nextID, st.Workers, st.CatalogCompactions)
 		}
 	}
 	return nil

@@ -32,4 +32,11 @@ var (
 	// attributes; without StrictRouting such a query is hosted on the
 	// full-stream fallback worker instead.
 	ErrFrozenRouting = core.ErrFrozenRouting
+
+	// ErrBackpressure: the slack reorder buffer hit its configured
+	// maximum depth (WithMaxReorderDepth) under the Reject policy and
+	// the offered event would not have released any buffered one.
+	// Push/PushBatch return it without ingesting the event; the session
+	// stays usable — retry once the stream's watermark has advanced.
+	ErrBackpressure = core.ErrBackpressure
 )

@@ -117,6 +117,38 @@ func ExampleWithSink() {
 	// sink: window [10,20): COUNT(*)=1
 }
 
+// ExampleWithMaxReorderDepth caps the slack buffer so a source with a
+// stalled watermark cannot balloon it: under the Reject policy a full
+// buffer refuses further events with ErrBackpressure until the stream
+// advances (the default ShedOldest policy would force-drain the oldest
+// buffered events instead, counted in Stats().ReorderShed).
+func ExampleWithMaxReorderDepth() {
+	q := cogra.MustParse(`
+		RETURN COUNT(*)
+		PATTERN A+
+		SEMANTICS skip-till-any-match
+		WITHIN 100 SLIDE 100`)
+	sess := cogra.NewSession(
+		cogra.WithSlack(1000), // generous slack: only the cap bounds the buffer
+		cogra.WithMaxReorderDepth(3),
+		cogra.WithDepthPolicy(cogra.Reject))
+	sess.Subscribe(q)
+	for t := int64(1); t <= 3; t++ {
+		sess.Push(cogra.NewEvent("A", t)) // buffered: all within slack
+	}
+	err := sess.Push(cogra.NewEvent("A", 4)) // buffer full, nothing drains
+	fmt.Println("backpressure:", errors.Is(err, cogra.ErrBackpressure))
+	if err := sess.Push(cogra.NewEvent("A", 2000)); err != nil {
+		// A watermark-advancing event drains the buffer and is admitted.
+		fmt.Println(err)
+	}
+	st, _ := sess.Stats()
+	fmt.Println("buffered after drain:", st.ReorderDepth)
+	// Output:
+	// backpressure: true
+	// buffered after drain: 1
+}
+
 // ExampleWithLatePolicy shows the typed late-event error: beyond-slack
 // events fail Push under RejectLate and are matchable with errors.Is.
 func ExampleWithLatePolicy() {

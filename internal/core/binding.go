@@ -22,6 +22,26 @@ import (
 // tables), so keys are comparable across all sub-aggregators and
 // windows of that engine. Engines are single-threaded, so the intern
 // tables need no locking.
+//
+// # Epoch rotation (eviction)
+//
+// By default the tables grow monotonically with distinct slot values
+// over the engine's lifetime. With eviction enabled (WithInternEviction)
+// liveness is tied to window expiry: every intern is stamped with the
+// epoch of the stream time it was last touched at (epoch = the
+// watermark divided into Within-length frames, window.Spec.EpochOf),
+// and when the watermark enters epoch E, entries last touched in epoch
+// E-2 or earlier are reclaimed. The stamp discipline makes that safe:
+// a value (or vector) id is only ever referenced by binding keys held
+// in the per-window sub-aggregator tables of windows CONTAINING one of
+// its touch times — extensions stay within a window's own
+// sub-aggregator, and each assignment re-interns (touches) its values
+// — and every window containing a time in epoch e has closed, emitted
+// and decoded before the watermark reaches epoch e+2 (a window spans
+// at most Within = one epoch length). Live ids therefore never move:
+// reclaimed ids are pushed on a free list and recycled for future
+// values, so the id space — and the accounted footprint — plateaus at
+// the cardinality of roughly two epochs instead of ramping forever.
 type bindings struct {
 	nslots int
 	acct   accountant
@@ -40,6 +60,18 @@ type bindings struct {
 	scratchVec []uint32
 	scratchKey []byte
 	assignBuf  []slotAssign
+
+	// Eviction state: epoch stamps parallel to vals/vecs, free lists of
+	// reclaimed ids, and the current watermark epoch. evict gates the
+	// whole machinery; without it the stamps stay nil and internVal is
+	// the PR 1 fast path.
+	evict     bool
+	epoch     int64
+	epochInit bool
+	valEpoch  []int64
+	vecEpoch  []int64
+	freeVals  []uint32
+	freeVecs  []bkey
 }
 
 // bkey identifies one equivalence binding. 0 is the all-unbound
@@ -53,13 +85,15 @@ type slotAssign struct {
 	val uint32
 }
 
-// newBindings builds the intern tables for the plan's slots. The
-// tables live as long as the engine (they are never released per
-// window), so their growth is charged to the accountant as it happens:
-// one entry per distinct slot value (and, beyond two slots, per
-// distinct value combination) seen over the engine's lifetime.
-func newBindings(slots []predicate.Equivalence, acct accountant) *bindings {
-	b := &bindings{nslots: len(slots), acct: acct}
+// newBindings builds the intern tables for the plan's slots. Without
+// eviction the tables live as long as the engine (they are never
+// released per window), so their growth is charged to the accountant
+// as it happens: one entry per distinct slot value (and, beyond two
+// slots, per distinct value combination) seen over the engine's
+// lifetime. With evict set, expire reclaims entries once no open
+// window can reference them (see the type comment).
+func newBindings(slots []predicate.Equivalence, acct accountant, evict bool) *bindings {
+	b := &bindings{nslots: len(slots), acct: acct, evict: evict}
 	if b.nslots == 0 {
 		return b
 	}
@@ -70,11 +104,17 @@ func newBindings(slots []predicate.Equivalence, acct accountant) *bindings {
 	// baselines' shared Binding logic agrees.
 	b.valIDs = map[string]uint32{"": 0}
 	b.vals = []string{""}
+	if evict {
+		b.valEpoch = []int64{0}
+	}
 	if b.nslots > 2 {
 		b.vecIDs = map[string]bkey{}
 		b.vecs = [][]uint32{make([]uint32, b.nslots)}
 		b.scratchVec = make([]uint32, b.nslots)
 		b.scratchKey = make([]byte, 0, 4*b.nslots)
+		if evict {
+			b.vecEpoch = []int64{0}
+		}
 	}
 	return b
 }
@@ -87,13 +127,30 @@ func (b *bindings) none() bool { return b.nslots == 0 }
 func (b *bindings) emptyKey() bkey { return 0 }
 
 // internVal interns a slot value. The map lookup does not allocate;
-// the value string is retained only the first time it is seen.
+// the value string is retained only the first time it is seen (or
+// re-seen after eviction reclaimed it).
 func (b *bindings) internVal(v string) uint32 {
 	if id, ok := b.valIDs[v]; ok {
+		if b.evict {
+			b.valEpoch[id] = b.epoch
+		}
 		return id
 	}
-	id := uint32(len(b.vals))
-	b.vals = append(b.vals, v)
+	var id uint32
+	if n := len(b.freeVals); n > 0 {
+		id = b.freeVals[n-1]
+		b.freeVals = b.freeVals[:n-1]
+		b.vals[id] = v
+	} else {
+		id = uint32(len(b.vals))
+		b.vals = append(b.vals, v)
+		if b.evict {
+			b.valEpoch = append(b.valEpoch, 0)
+		}
+	}
+	if b.evict {
+		b.valEpoch[id] = b.epoch
+	}
 	b.valIDs[v] = id
 	b.charge(int64(len(v)) + 16) // value string + two table entries
 	return id
@@ -110,9 +167,10 @@ func (b *bindings) charge(delta int64) {
 func (b *bindings) footprint() int64 { return b.bytes }
 
 // release returns the intern tables' logical memory to the accountant
-// and drops them. The engine-lifetime tables grow monotonically with
-// distinct slot values; release is how an unsubscribing query hands
-// that memory back. The bindings must not be used afterwards.
+// and drops them entirely — release is how an unsubscribing query
+// hands the whole footprint back at once (epoch rotation, when
+// enabled, only trims expired entries along the way). The bindings
+// must not be used afterwards.
 func (b *bindings) release() {
 	if b.bytes != 0 {
 		b.acct.Add(-b.bytes)
@@ -121,7 +179,68 @@ func (b *bindings) release() {
 	b.valIDs, b.vals = nil, nil
 	b.vecIDs, b.vecs = nil, nil
 	b.scratchVec, b.scratchKey = nil, nil
+	b.valEpoch, b.vecEpoch = nil, nil
+	b.freeVals, b.freeVecs = nil, nil
 }
+
+// expire advances the watermark epoch and reclaims every intern entry
+// last touched two or more epochs ago: windows referencing such an
+// entry have all closed and decoded (a window spans at most one epoch
+// length), so its id can be recycled without disturbing live keys.
+// Called by the engine after emitting the windows a watermark closed;
+// the sweep is O(table size) but runs at most once per epoch of
+// stream time.
+func (b *bindings) expire(epoch int64) {
+	if !b.evict || b.nslots == 0 {
+		return
+	}
+	if !b.epochInit {
+		// First watermark: adopt its epoch as the base so streams that
+		// do not start near time 0 (or start negative) stamp correctly.
+		b.epoch, b.epochInit = epoch, true
+		return
+	}
+	if epoch <= b.epoch {
+		return
+	}
+	b.epoch = epoch
+	// Keep entries touched in this epoch or the previous one: a window
+	// spans at most Within = one epoch length, so a window containing a
+	// touch in epoch e has fully closed once the watermark reaches
+	// epoch e+2 — stamps <= epoch-2 are unreferenced.
+	horizon := epoch - 1
+	for id := 1; id < len(b.vals); id++ {
+		if !b.isLiveVal(uint32(id)) || b.valEpoch[id] >= horizon {
+			continue // free-listed already, or still referenced
+		}
+		v := b.vals[id]
+		delete(b.valIDs, v)
+		b.vals[id] = ""
+		b.freeVals = append(b.freeVals, uint32(id))
+		b.charge(-(int64(len(v)) + 16))
+	}
+	for id := 1; id < len(b.vecs); id++ {
+		if b.vecEpoch[id] >= horizon || b.vecs[id] == nil {
+			continue
+		}
+		vec := b.vecs[id]
+		k := b.scratchKey[:0]
+		for _, v := range vec {
+			k = append(k, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+		}
+		b.scratchKey = k
+		delete(b.vecIDs, string(k))
+		b.vecs[id] = nil
+		b.freeVecs = append(b.freeVecs, bkey(id))
+		b.charge(-(int64(8*len(vec)) + 16))
+	}
+}
+
+// isLiveVal reports whether a value id currently maps a value (false
+// once it sits on the free list). The empty string marks a free slot:
+// "" itself always interns to the reserved id 0, so no live id > 0
+// holds it.
+func (b *bindings) isLiveVal(id uint32) bool { return b.vals[id] != "" }
 
 // assignments returns the slot assignments an event matched under the
 // alias of ap must bind, reading slot values from the resolved view.
@@ -183,11 +302,27 @@ func (b *bindings) internVec(vec []uint32) bkey {
 	}
 	b.scratchKey = k
 	if id, ok := b.vecIDs[string(k)]; ok {
+		if b.evict {
+			b.vecEpoch[id] = b.epoch
+		}
 		return id
 	}
-	id := bkey(len(b.vecs))
+	var id bkey
+	if n := len(b.freeVecs); n > 0 {
+		id = b.freeVecs[n-1]
+		b.freeVecs = b.freeVecs[:n-1]
+		b.vecs[id] = append([]uint32(nil), vec...)
+	} else {
+		id = bkey(len(b.vecs))
+		b.vecs = append(b.vecs, append([]uint32(nil), vec...))
+		if b.evict {
+			b.vecEpoch = append(b.vecEpoch, 0)
+		}
+	}
+	if b.evict {
+		b.vecEpoch[id] = b.epoch
+	}
 	b.vecIDs[string(k)] = id
-	b.vecs = append(b.vecs, append([]uint32(nil), vec...))
 	b.charge(int64(8*len(vec)) + 16) // vector + packed-bytes key
 	return id
 }

@@ -13,20 +13,35 @@ package core
 // plan is complete, publishes an immutable snapshot ("view") with an
 // atomic pointer swap. Readers — resolvers and engines on any
 // goroutine — load the current view once per event and never observe
-// a half-compiled plan. Because ids are append-only, a resolved view
-// produced against an older epoch stays valid forever: old ids index
-// the same names in every later epoch, and per-epoch growth only adds
-// slots at the tail. The one in-place update the staging area would
-// need (flipping symNeeded on an already-interned attribute) is
-// copy-on-written too, so published views are genuinely immutable.
+// a half-compiled plan. Ids referenced by a live (retained) plan are
+// never renumbered, so a resolved view produced against an older
+// epoch stays valid: live ids index the same names in every later
+// epoch.
 //
-// The locking rule is therefore: any number of goroutines may resolve
-// events concurrently with one compiling goroutine; compiles serialise
-// among themselves on the catalog's own lock. NewPlan compiles a plan
-// against a private catalog, which reproduces the single-query layout
-// exactly: one plan's union view is just its own attribute set.
+// # Id-space compaction
+//
+// Hosting a plan retains its symbol ids (Retain); unsubscribing
+// releases them (Release). When the last reference to an id is
+// released — the quiescent point for that id: no live plan's dispatch
+// tables or compiled predicates mention it — the id is retired:
+// tombstoned in a freshly published compacted view (resolvers skip it,
+// so the per-event probe loop stops paying for it) and pushed on a
+// free list for the next compile to recycle. Subscribe/unsubscribe
+// churn therefore no longer grows the id spaces without bound. A plan
+// compiled but not yet hosted holds no references; if a compaction
+// retires one of its ids in the gap (and the id is recycled or still
+// dead at Retain time), Retain rejects the plan with ErrNotHosted —
+// recompile against the current catalog.
+//
+// The locking rule is: any number of goroutines may resolve events
+// concurrently with one compiling/retaining/releasing goroutine;
+// compiles, retains and releases serialise among themselves on the
+// catalog's own lock. NewPlan compiles a plan against a private
+// catalog, which reproduces the single-query layout exactly: one
+// plan's union view is just its own attribute set.
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -34,15 +49,21 @@ import (
 )
 
 // catalogView is one immutable interning epoch: the id spaces as of
-// some published compile. Readers obtain it with an atomic load and
-// never write through it.
+// some published compile or compaction. Readers obtain it with an
+// atomic load and never write through it.
 type catalogView struct {
 	epoch     uint64
 	attrIDs   map[string]int32
 	attrNames []string
 	symNeeded []bool
+	attrDead  []bool
+	// No typeDead here: readers reach types only through the typeIDs
+	// map, which already omits retired names, so views never need to
+	// skip dead type slots the way resolveInto skips dead attr slots.
 	typeIDs   map[string]int32
 	typeNames []string
+	liveAttrs int
+	liveTypes int
 }
 
 // Catalog interns the type and attribute names of all plans compiled
@@ -50,27 +71,37 @@ type catalogView struct {
 // resolution) is safe for concurrent use with one compiling goroutine;
 // compilation itself is serialised internally.
 type Catalog struct {
-	// mu serialises compilation. The staging fields below are the
-	// mutable master copy, guarded by mu; publish snapshots them into
-	// view at the end of each plan compile.
+	// mu serialises compilation, retain and release. The staging fields
+	// below are the mutable master copy, guarded by mu; publish
+	// snapshots them into view at the end of each plan compile or
+	// compaction.
 	mu sync.Mutex
 
 	// Attribute interning: attrNames[id] is the name; symNeeded[id]
 	// marks attributes read through SymAttr semantics (binding slots,
 	// partition keys), whose numeric fallback value is materialised at
-	// resolve time. symNeeded is copy-on-written when an existing entry
-	// flips, so published views never change underfoot.
+	// resolve time. attrDead marks retired ids (tombstones awaiting
+	// recycling via freeAttrs); attrRefs counts the hosted plans
+	// referencing each id.
 	attrIDs   map[string]int32
 	attrNames []string
 	symNeeded []bool
+	attrDead  []bool
+	attrRefs  []int32
+	freeAttrs []int32
 
 	// Event-type interning: ids index the per-plan dispatch tables and
-	// the runtime's per-type subscription lists.
+	// the runtime's per-type subscription lists. Same lifecycle as the
+	// attribute side.
 	typeIDs   map[string]int32
 	typeNames []string
+	typeDead  []bool
+	typeRefs  []int32
+	freeTypes []int32
 
-	epoch uint64
-	view  atomic.Pointer[catalogView]
+	epoch       uint64
+	compactions atomic.Uint64
+	view        atomic.Pointer[catalogView]
 }
 
 // NewCatalog returns an empty catalog.
@@ -88,23 +119,27 @@ func NewCatalog() *Catalog {
 
 // internAttr interns an attribute name; symNeeded marks attributes
 // read through SymAttr semantics, whose numeric fallback value is
-// materialised once per event at resolve time. Caller holds mu
-// (compilation path).
+// materialised once per event at resolve time. Retired ids are
+// recycled from the free list. Caller holds mu (compilation path).
 func (c *Catalog) internAttr(name string, symNeeded bool) int32 {
 	id, ok := c.attrIDs[name]
 	if !ok {
-		id = int32(len(c.attrNames))
+		if n := len(c.freeAttrs); n > 0 {
+			id = c.freeAttrs[n-1]
+			c.freeAttrs = c.freeAttrs[:n-1]
+			c.attrNames[id] = name
+			c.attrDead[id] = false
+		} else {
+			id = int32(len(c.attrNames))
+			c.attrNames = append(c.attrNames, name)
+			c.symNeeded = append(c.symNeeded, false)
+			c.attrDead = append(c.attrDead, false)
+			c.attrRefs = append(c.attrRefs, 0)
+		}
 		c.attrIDs[name] = id
-		c.attrNames = append(c.attrNames, name)
-		c.symNeeded = append(c.symNeeded, false)
 	}
 	if symNeeded && !c.symNeeded[id] {
-		// Copy-on-write: this slot may already be published in an older
-		// view, so flip the bit on a fresh copy rather than in place.
-		fresh := make([]bool, len(c.symNeeded))
-		copy(fresh, c.symNeeded)
-		fresh[id] = true
-		c.symNeeded = fresh
+		c.symNeeded[id] = true
 	}
 	return id
 }
@@ -113,26 +148,39 @@ func (c *Catalog) internAttr(name string, symNeeded bool) int32 {
 func (c *Catalog) internType(name string) int32 {
 	id, ok := c.typeIDs[name]
 	if !ok {
-		id = int32(len(c.typeNames))
+		if n := len(c.freeTypes); n > 0 {
+			id = c.freeTypes[n-1]
+			c.freeTypes = c.freeTypes[:n-1]
+			c.typeNames[id] = name
+			c.typeDead[id] = false
+		} else {
+			id = int32(len(c.typeNames))
+			c.typeNames = append(c.typeNames, name)
+			c.typeDead = append(c.typeDead, false)
+			c.typeRefs = append(c.typeRefs, 0)
+		}
 		c.typeIDs[name] = id
-		c.typeNames = append(c.typeNames, name)
 	}
 	return id
 }
 
 // publish snapshots the staging area into a new immutable view. Caller
-// holds mu. Maps are copied (readers probe them lock-free); the name
-// slices share backing arrays with staging, which is safe because
-// staging only ever appends past the published length.
+// holds mu. Every slice and map is copied: compaction retires (and
+// recycling rewrites) entries within the published length, so views
+// cannot share backing arrays with staging. Compiles and compactions
+// are cold paths; the copies buy lock-free readers.
 func (c *Catalog) publish() {
 	c.epoch++
 	v := &catalogView{
 		epoch:     c.epoch,
 		attrIDs:   make(map[string]int32, len(c.attrIDs)),
-		attrNames: c.attrNames[:len(c.attrNames):len(c.attrNames)],
-		symNeeded: c.symNeeded[:len(c.symNeeded):len(c.symNeeded)],
+		attrNames: append([]string(nil), c.attrNames...),
+		symNeeded: append([]bool(nil), c.symNeeded...),
+		attrDead:  append([]bool(nil), c.attrDead...),
 		typeIDs:   make(map[string]int32, len(c.typeIDs)),
-		typeNames: c.typeNames[:len(c.typeNames):len(c.typeNames)],
+		typeNames: append([]string(nil), c.typeNames...),
+		liveAttrs: len(c.attrNames) - len(c.freeAttrs),
+		liveTypes: len(c.typeNames) - len(c.freeTypes),
 	}
 	for k, id := range c.attrIDs {
 		v.attrIDs[k] = id
@@ -144,8 +192,130 @@ func (c *Catalog) publish() {
 }
 
 // Epoch returns the current interning epoch: it advances by one per
-// published plan compile. Diagnostic only.
+// published plan compile or compaction. Diagnostic only.
 func (c *Catalog) Epoch() uint64 { return c.view.Load().epoch }
+
+// Compactions returns how many compacted views the catalog has
+// published (id retirements at quiescent points). Diagnostic only.
+func (c *Catalog) Compactions() uint64 { return c.compactions.Load() }
+
+// Retain registers one hosting of a plan: every symbol id the plan
+// references gains a reference, pinning it against compaction. It
+// fails with an error wrapping ErrNotHosted when a compaction already
+// retired one of the plan's ids (the plan was compiled, left unhosted,
+// and outlived its symbols) — recompile the query against the catalog.
+// Callers pair it with Release.
+func (c *Catalog) Retain(p *Plan) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, s := range p.attrSyms {
+		if int(s.id) >= len(c.attrNames) || c.attrDead[s.id] || c.attrNames[s.id] != s.name ||
+			(s.sym && !c.symNeeded[s.id]) {
+			return c.staleErr("attribute", s.name)
+		}
+	}
+	for _, s := range p.typeSyms {
+		if int(s.id) >= len(c.typeNames) || c.typeDead[s.id] || c.typeNames[s.id] != s.name {
+			return c.staleErr("event type", s.name)
+		}
+	}
+	for _, s := range p.attrSyms {
+		c.attrRefs[s.id]++
+	}
+	for _, s := range p.typeSyms {
+		c.typeRefs[s.id]++
+	}
+	return nil
+}
+
+func (c *Catalog) staleErr(kind, name string) error {
+	return fmt.Errorf("core: stale plan: %s %q was retired by a catalog compaction since the plan was compiled; recompile the query: %w",
+		kind, name, ErrNotHosted)
+}
+
+// retireAttr tombstones one attribute id and queues it for recycling.
+// Caller holds mu and has established that nothing references it.
+func (c *Catalog) retireAttr(id int32) {
+	delete(c.attrIDs, c.attrNames[id])
+	c.attrNames[id] = ""
+	c.symNeeded[id] = false
+	c.attrDead[id] = true
+	c.freeAttrs = append(c.freeAttrs, id)
+}
+
+// retireType tombstones one event-type id and queues it for recycling.
+// Caller holds mu and has established that nothing references it.
+func (c *Catalog) retireType(id int32) {
+	delete(c.typeIDs, c.typeNames[id])
+	c.typeNames[id] = ""
+	c.typeDead[id] = true
+	c.freeTypes = append(c.freeTypes, id)
+}
+
+// Release drops one hosting's references. Ids whose last reference
+// goes — the quiescent point: no live epoch's dispatch reaches them —
+// are retired into a freshly published compacted view and queued for
+// recycling by the next compile.
+func (c *Catalog) Release(p *Plan) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	retired := false
+	for _, s := range p.attrSyms {
+		if c.attrRefs[s.id] > 0 {
+			c.attrRefs[s.id]--
+			if c.attrRefs[s.id] == 0 {
+				c.retireAttr(s.id)
+				retired = true
+			}
+		}
+	}
+	for _, s := range p.typeSyms {
+		if c.typeRefs[s.id] > 0 {
+			c.typeRefs[s.id]--
+			if c.typeRefs[s.id] == 0 {
+				c.retireType(s.id)
+				retired = true
+			}
+		}
+	}
+	if retired {
+		c.compactions.Add(1)
+		c.publish()
+	}
+}
+
+// DiscardPlan retires the symbols of a compiled-but-never-hosted plan
+// that will not be used — the failure path of a Subscribe that
+// compiled the plan itself: without it, every failed subscribe with
+// novel names would leak live ids that the resolver probes per event
+// forever. Only ids that still map the plan's names and that no
+// hosting references (refcount 0) are retired; ids shared with hosted
+// plans, or already recycled, are left untouched. Other compiled-but-
+// unhosted plans sharing a retired id become stale, exactly as under
+// a regular compaction (Retain rejects them; recompile).
+func (c *Catalog) DiscardPlan(p *Plan) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	retired := false
+	for _, s := range p.attrSyms {
+		if int(s.id) < len(c.attrNames) && !c.attrDead[s.id] &&
+			c.attrNames[s.id] == s.name && c.attrRefs[s.id] == 0 {
+			c.retireAttr(s.id)
+			retired = true
+		}
+	}
+	for _, s := range p.typeSyms {
+		if int(s.id) < len(c.typeNames) && !c.typeDead[s.id] &&
+			c.typeNames[s.id] == s.name && c.typeRefs[s.id] == 0 {
+			c.retireType(s.id)
+			retired = true
+		}
+	}
+	if retired {
+		c.compactions.Add(1)
+		c.publish()
+	}
+}
 
 // TypeID returns the interned id of an event-type name. Unknown types
 // (never referenced by any plan in the catalog) return -1, false.
@@ -158,17 +328,20 @@ func (c *Catalog) TypeID(name string) (int32, bool) {
 	return id, true
 }
 
-// NumTypes returns how many event types the catalog has interned.
-func (c *Catalog) NumTypes() int { return len(c.view.Load().typeNames) }
+// NumTypes returns how many event types the catalog currently interns
+// (live ids; retired ids awaiting recycling are not counted).
+func (c *Catalog) NumTypes() int { return c.view.Load().liveTypes }
 
-// NumAttrs returns how many attributes the catalog has interned.
-func (c *Catalog) NumAttrs() int { return len(c.view.Load().attrNames) }
+// NumAttrs returns how many attributes the catalog currently interns
+// (live ids; retired ids awaiting recycling are not counted).
+func (c *Catalog) NumAttrs() int { return c.view.Load().liveAttrs }
 
 // resolveInto computes the union resolved view of ev under the given
-// epoch: one probe pass over every interned attribute, after which all
-// predicate, binding and partition-key reads of every plan in the
-// catalog are array indexing. It fills only the value arrays; the
-// caller installs the plan-specific dispatch entry (rv.tp) and spec
+// epoch: one probe pass over every live interned attribute, after
+// which all predicate, binding and partition-key reads of every plan
+// in the catalog are array indexing. Retired (tombstoned) slots are
+// cleared and skipped. It fills only the value arrays; the caller
+// installs the plan-specific dispatch entry (rv.tp) and spec
 // projection.
 func (v *catalogView) resolveInto(rv *resolvedVals, ev *event.Event) {
 	n := len(v.attrNames)
@@ -181,6 +354,10 @@ func (v *catalogView) resolveInto(rv *resolvedVals, ev *event.Event) {
 	}
 	rv.ev = ev
 	for i, name := range v.attrNames {
+		if v.attrDead != nil && v.attrDead[i] {
+			rv.num[i], rv.sym[i], rv.has[i] = 0, "", 0
+			continue
+		}
 		var h uint8
 		var nv float64
 		var sv string

@@ -73,6 +73,7 @@ type Engine struct {
 	seq      int64
 	eventsIn int64
 	skipped  int64
+	evict    bool
 
 	results  []Result
 	onResult func(Result)
@@ -91,13 +92,25 @@ func WithResultCallback(fn func(Result)) Option {
 	return func(e *Engine) { e.onResult = fn }
 }
 
+// WithInternEviction ties the engine's binding-intern tables to window
+// expiry: intern entries are stamped with the epoch (Within-length
+// frame) of the watermark they were last touched at, and entries whose
+// referencing windows have all closed are reclaimed as the watermark
+// advances (their ids are recycled). Results are identical to an
+// unbounded engine; the difference is purely that InternBytes plateaus
+// at roughly two epochs' worth of distinct slot values instead of
+// growing with the stream's lifetime cardinality.
+func WithInternEviction() Option {
+	return func(e *Engine) { e.evict = true }
+}
+
 // NewEngine builds an engine for a plan.
 func NewEngine(p *Plan, opts ...Option) *Engine {
 	e := &Engine{plan: p, acct: nopAccountant{}}
 	for _, opt := range opts {
 		opt(e)
 	}
-	e.bnd = newBindings(p.Slots, e.acct) // after opts: intern tables charge e.acct
+	e.bnd = newBindings(p.Slots, e.acct, e.evict) // after opts: intern tables charge e.acct
 	e.mgr = window.NewManager(p.Query.Window, func(wid int64) *winState {
 		return &winState{wid: wid, parts: map[string]subAggregator{}}
 	})
@@ -218,12 +231,17 @@ func (e *Engine) processResolved(ev *event.Event) error {
 }
 
 // advanceTo closes and emits the windows complete at watermark t and
-// invalidates the cached window-state slice.
+// invalidates the cached window-state slice. With eviction enabled the
+// binding-intern tables rotate afterwards: emission (which decodes
+// binding keys of the closed windows) MUST precede the sweep.
 func (e *Engine) advanceTo(t int64) {
 	for _, closed := range e.mgr.AdvanceTo(t) {
 		e.emit(closed.Wid, closed.State)
 	}
 	e.statesValid = false
+	if e.evict {
+		e.bnd.expire(e.mgr.Spec().EpochOf(t))
+	}
 }
 
 // ProcessAll feeds a pre-sorted batch of events.
@@ -270,8 +288,11 @@ func (e *Engine) ReleaseIntern() {
 }
 
 // InternBytes returns the live logical bytes of the engine's binding
-// intern tables (they grow monotonically with distinct slot values
-// over the engine's lifetime).
+// intern tables. Without eviction they grow monotonically with
+// distinct slot values over the engine's lifetime; with
+// WithInternEviction they plateau — epoch rotation reclaims entries
+// whose referencing windows have all closed, so the value also
+// shrinks.
 func (e *Engine) InternBytes() int64 { return e.bnd.footprint() }
 
 // Results returns the results collected so far.

@@ -27,4 +27,10 @@ var (
 	// the plan's partition keys do not cover the routing attributes, so
 	// hosting it would require the full-stream fallback worker.
 	ErrFrozenRouting = errors.New("routing frozen")
+
+	// ErrBackpressure marks an event refused because the slack reorder
+	// buffer is at its configured maximum depth (WithMaxReorderDepth
+	// under the Reject policy) and admitting the event would not release
+	// any buffered one: the source must stop or advance its watermark.
+	ErrBackpressure = errors.New("reorder buffer full")
 )

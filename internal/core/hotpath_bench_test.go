@@ -211,7 +211,7 @@ func BenchmarkEngineProcessPatternGrained(b *testing.B) {
 func TestHotPathZeroAllocs(t *testing.T) {
 	packed := newBindings([]predicate.Equivalence{
 		{Alias: "A", Attr: "x"}, {Alias: "B", Attr: "y"},
-	}, nopAccountant{})
+	}, nopAccountant{}, false)
 	pAssigns := []slotAssign{{idx: 0, val: packed.internVal("v1")}}
 	pKey := packed.startKey([]slotAssign{{idx: 1, val: packed.internVal("v2")}})
 	if n := testing.AllocsPerRun(1000, func() { packed.combine(pKey, pAssigns) }); n != 0 {
@@ -223,7 +223,7 @@ func TestHotPathZeroAllocs(t *testing.T) {
 
 	wide := newBindings([]predicate.Equivalence{
 		{Alias: "A", Attr: "x"}, {Alias: "B", Attr: "y"}, {Alias: "C", Attr: "z"},
-	}, nopAccountant{})
+	}, nopAccountant{}, false)
 	wAssigns := []slotAssign{{idx: 0, val: wide.internVal("v1")}}
 	wKey := wide.startKey([]slotAssign{{idx: 2, val: wide.internVal("v3")}})
 	wide.combine(wKey, wAssigns) // pre-intern the result vector
@@ -273,7 +273,7 @@ func TestHotPathZeroAllocs(t *testing.T) {
 func BenchmarkBindingCombine(b *testing.B) {
 	bnd := newBindings([]predicate.Equivalence{
 		{Alias: "A", Attr: "x"}, {Alias: "B", Attr: "y"},
-	}, nopAccountant{})
+	}, nopAccountant{}, false)
 	assigns := []slotAssign{{idx: 0, val: bnd.internVal("v1")}}
 	partial := bnd.startKey([]slotAssign{{idx: 1, val: bnd.internVal("v2")}})
 	b.ReportAllocs()
@@ -290,7 +290,7 @@ func BenchmarkBindingCombine(b *testing.B) {
 func BenchmarkBindingCombineWide(b *testing.B) {
 	bnd := newBindings([]predicate.Equivalence{
 		{Alias: "A", Attr: "x"}, {Alias: "B", Attr: "y"}, {Alias: "C", Attr: "z"},
-	}, nopAccountant{})
+	}, nopAccountant{}, false)
 	assigns := []slotAssign{{idx: 0, val: bnd.internVal("v1")}}
 	partial := bnd.startKey([]slotAssign{{idx: 2, val: bnd.internVal("v3")}})
 	if _, ok := bnd.combine(partial, assigns); !ok { // pre-intern the result vector
@@ -307,7 +307,7 @@ func BenchmarkBindingCombineWide(b *testing.B) {
 // BenchmarkBindingIntern measures value interning on the repeat path
 // (the per-event case: the value has been seen before).
 func BenchmarkBindingIntern(b *testing.B) {
-	bnd := newBindings([]predicate.Equivalence{{Alias: "A", Attr: "x"}}, nopAccountant{})
+	bnd := newBindings([]predicate.Equivalence{{Alias: "A", Attr: "x"}}, nopAccountant{}, false)
 	bnd.internVal("account-42")
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {

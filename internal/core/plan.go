@@ -110,6 +110,8 @@ type Plan struct {
 	aliasIDs         map[string]int32
 	typePlans        []*typePlan
 	typeIDs          []int32 // catalog ids of the types this plan matches
+	attrSyms         []symRef
+	typeSyms         []symRef
 	specIDs          []int32
 	streamKeyIDs     []int32
 	adjLeft          []int32

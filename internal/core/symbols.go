@@ -304,6 +304,7 @@ func (p *Plan) compile() {
 			tp = &typePlan{}
 			p.typePlans[tid] = tp
 			p.typeIDs = append(p.typeIDs, tid)
+			p.typeSyms = append(p.typeSyms, symRef{id: tid, name: typ})
 		}
 		return tp
 	}
@@ -394,9 +395,32 @@ func (p *Plan) compileLocals(alias string) []localCheck {
 	return out
 }
 
-// internAttr interns an attribute name into the plan's catalog.
+// symRef records one catalog symbol a plan references: the id the
+// plan's compiled tables are baked against, the name it stood for at
+// compile time, and (for attributes) whether the plan relies on the
+// SymAttr fallback being materialised. The catalog's hosting lifecycle
+// (Catalog.Retain/Release) refcounts and re-validates ids through
+// these records, so compaction can retire ids no hosted plan
+// references and recycle them safely.
+type symRef struct {
+	id   int32
+	name string
+	sym  bool
+}
+
+// internAttr interns an attribute name into the plan's catalog and
+// records the reference for the hosting lifecycle. Plans reference few
+// attributes, so dedup is a linear scan.
 func (p *Plan) internAttr(name string, symNeeded bool) int32 {
-	return p.cat.internAttr(name, symNeeded)
+	id := p.cat.internAttr(name, symNeeded)
+	for i := range p.attrSyms {
+		if p.attrSyms[i].id == id {
+			p.attrSyms[i].sym = p.attrSyms[i].sym || symNeeded
+			return id
+		}
+	}
+	p.attrSyms = append(p.attrSyms, symRef{id: id, name: name, sym: symNeeded})
+	return id
 }
 
 // resolveInto computes the resolved view of ev: one probe pass over

@@ -14,7 +14,7 @@ import (
 func twoSlotBindings() *bindings {
 	return newBindings([]predicate.Equivalence{
 		{Alias: "A", Attr: "x"}, {Alias: "B", Attr: "y"},
-	}, nopAccountant{})
+	}, nopAccountant{}, false)
 }
 
 func TestBindingsPackedCombine(t *testing.T) {
@@ -52,7 +52,7 @@ func TestBindingsPackedCombine(t *testing.T) {
 func TestBindingsVectorCombine(t *testing.T) {
 	b := newBindings([]predicate.Equivalence{
 		{Alias: "A", Attr: "x"}, {Alias: "B", Attr: "y"}, {Alias: "C", Attr: "z"},
-	}, nopAccountant{})
+	}, nopAccountant{}, false)
 	v1, v2, v3 := b.internVal("u"), b.internVal("v"), b.internVal("w")
 
 	k1 := b.startKey([]slotAssign{{idx: 2, val: v3}})

@@ -142,7 +142,14 @@ func (rt *Runtime) Subscribe(q *query.Query, opts ...core.Option) (*Subscription
 	if err != nil {
 		return nil, err
 	}
-	return rt.SubscribePlan(plan, opts...)
+	s, err := rt.SubscribePlan(plan, opts...)
+	if err != nil {
+		// Compiled here, never hosted: retire its unreferenced symbols
+		// so failed subscribes do not leak catalog id space.
+		rt.cat.DiscardPlan(plan)
+		return nil, err
+	}
+	return s, nil
 }
 
 // SubscribePlan hosts an already-compiled plan. The plan must have
@@ -186,6 +193,12 @@ func (rt *Runtime) subscribePlan(plan *core.Plan, opts ...core.Option) (*Subscri
 	}
 	if plan.Catalog() != rt.cat {
 		return nil, fmt.Errorf("runtime: plan compiled against a different catalog: %w", core.ErrNotHosted)
+	}
+	// Pin the plan's symbol ids against catalog compaction for the
+	// lifetime of the hosting (released at unsubscribe). Fails when a
+	// compaction retired one of them since the plan was compiled.
+	if err := rt.cat.Retain(plan); err != nil {
+		return nil, err
 	}
 	s := &Subscription{
 		id:     rt.nextID,
@@ -252,6 +265,11 @@ func (rt *Runtime) unsubscribe(s *Subscription) ([]core.Result, error) {
 	rt.rebuildIndex()
 	out := s.eng.Close()
 	s.eng.ReleaseIntern()
+	// Drop this hosting's symbol references; ids only this plan used
+	// are retired and the catalog publishes a compacted view. The
+	// engine and the per-type index no longer mention the plan, so a
+	// recycled id can never reach its dispatch tables.
+	rt.cat.Release(s.plan)
 	return out, nil
 }
 

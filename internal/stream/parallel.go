@@ -56,6 +56,7 @@ const routeBatchSize = 256
 // travel in pooled batches instead of one channel send per event.
 type MultiExecutor struct {
 	cat         *core.Catalog
+	engOpts     []core.Option // applied to every hosted engine (e.g. intern eviction)
 	routeAttrs  []string
 	workers     []*mworker
 	full        *mworker          // lazily created full-stream fallback worker
@@ -109,10 +110,11 @@ func (s *Sub) Unsubscribe() ([]core.Result, error) { return s.m.unsubscribe(s) }
 func (s *Sub) Drain() ([]core.Result, error) { return s.m.drain(s) }
 
 type mworker struct {
-	in   chan wmsg
-	done chan struct{}
-	pool *sync.Pool
-	rt   *runtime.Runtime
+	in      chan wmsg
+	done    chan struct{}
+	pool    *sync.Pool
+	rt      *runtime.Runtime
+	engOpts []core.Option
 	// acct is shared by every query the worker hosts (they run on one
 	// goroutine), so the worker peak is a true simultaneous footprint.
 	acct    metrics.Accountant
@@ -205,11 +207,15 @@ func NewMultiExecutor(plans []*core.Plan, n int) (*MultiExecutor, error) {
 // over all n. (Once an event has flowed the routing function is
 // frozen — see the type comment — so a collapsed stream stays on
 // worker 0 for its lifetime.)
-func NewMultiExecutorOn(cat *core.Catalog, n int) *MultiExecutor {
+//
+// engOpts are applied to every engine the executor's workers create
+// (each worker adds its own accountant after them), so session-wide
+// engine policies like core.WithInternEviction reach parallel mode.
+func NewMultiExecutorOn(cat *core.Catalog, n int, engOpts ...core.Option) *MultiExecutor {
 	if n < 1 {
 		n = 1
 	}
-	m := &MultiExecutor{cat: cat}
+	m := &MultiExecutor{cat: cat, engOpts: engOpts}
 	m.pool.New = func() any {
 		b := make([]*event.Event, 0, routeBatchSize)
 		return &b
@@ -224,10 +230,11 @@ func NewMultiExecutorOn(cat *core.Catalog, n int) *MultiExecutor {
 // newWorker builds and starts one worker goroutine.
 func (m *MultiExecutor) newWorker() *mworker {
 	w := &mworker{
-		in:   make(chan wmsg, 16),
-		done: make(chan struct{}),
-		pool: &m.pool,
-		rt:   runtime.NewOn(m.cat),
+		in:      make(chan wmsg, 16),
+		done:    make(chan struct{}),
+		pool:    &m.pool,
+		rt:      runtime.NewOn(m.cat),
+		engOpts: m.engOpts,
 	}
 	go w.run()
 	return w
@@ -592,10 +599,11 @@ func (w *mworker) handleCtl(c *ctlMsg) {
 	} else {
 		switch c.op {
 		case ctlSubscribe:
+			opts := append(append([]core.Option(nil), w.engOpts...), core.WithAccountant(&w.acct))
 			if c.hasAlign {
-				rep.wsub, rep.err = w.rt.SubscribePlanFrom(c.plan, c.align, core.WithAccountant(&w.acct))
+				rep.wsub, rep.err = w.rt.SubscribePlanFrom(c.plan, c.align, opts...)
 			} else {
-				rep.wsub, rep.err = w.rt.SubscribePlan(c.plan, core.WithAccountant(&w.acct))
+				rep.wsub, rep.err = w.rt.SubscribePlan(c.plan, opts...)
 			}
 		case ctlUnsubscribe:
 			rep.results, rep.err = c.wsub.Unsubscribe()

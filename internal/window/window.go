@@ -83,6 +83,15 @@ func (s Spec) FirstFullWindow(t int64) int64 {
 	return wid
 }
 
+// EpochOf returns the index of the Within-length time frame containing
+// t. Epochs are the granularity of state-reclamation schemes tied to
+// window expiry (the engine's binding-intern rotation): a window spans
+// at most Within, so every window containing a time in epoch e has
+// closed once the watermark reaches epoch e+2.
+func (s Spec) EpochOf(t int64) int64 {
+	return floorDiv(t, s.Within)
+}
+
 // floorDiv is integer division rounding toward negative infinity.
 func floorDiv(a, b int64) int64 {
 	q := a / b

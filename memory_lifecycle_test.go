@@ -1,0 +1,572 @@
+package cogra_test
+
+// Tests for the bounded-state session: binding-intern epoch rotation
+// (WithInternEviction), catalog id-space compaction at unsubscribe,
+// the depth-capped reorder buffer (WithMaxReorderDepth with the
+// ShedOldest/Reject policies and the ErrBackpressure sentinel), and
+// the concurrency contract of Session.Stats.
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	cogra "repro"
+)
+
+// lifecycleStream emits a rotating-cardinality multi-type stream:
+// every 64-tick frame introduces fresh u/w slot values (suffix-stamped
+// with the frame index) that are never seen again, so binding-intern
+// tables ramp without eviction and plateau with it. All events carry
+// patient, the shared partition attribute of the lifecycle queries.
+func lifecycleStream(n int) []*cogra.Event {
+	rng := rand.New(rand.NewSource(23))
+	rates := [3]float64{60, 70, 80}
+	out := make([]*cogra.Event, 0, n)
+	tm := int64(0)
+	for i := 0; i < n; i++ {
+		p := rng.Intn(3)
+		patient := fmt.Sprintf("p%d", p)
+		u := fmt.Sprintf("u%d-%d", tm/64, rng.Intn(3))
+		w := fmt.Sprintf("w%d-%d", tm/64, rng.Intn(2))
+		var ev *cogra.Event
+		switch x := rng.Intn(10); {
+		case x < 3:
+			ev = cogra.NewEvent("A", tm).WithSym("patient", patient).
+				WithSym("u", u).WithSym("w", w).WithNum("v", float64(rng.Intn(100)))
+		case x < 5:
+			ev = cogra.NewEvent("B", tm).WithSym("patient", patient).
+				WithSym("u", u).WithSym("w", w).WithNum("v", float64(rng.Intn(100)))
+		case x < 8:
+			rates[p] += float64(rng.Intn(7)) - 3
+			ev = cogra.NewEvent("M", tm).WithSym("patient", patient).
+				WithSym("u", u).WithNum("rate", rates[p])
+		default:
+			ev = cogra.NewEvent("X", tm).WithSym("patient", patient).WithNum("noise", 1)
+		}
+		ev.ID = int64(i + 1)
+		out = append(out, ev)
+		if rng.Intn(4) != 0 {
+			tm++
+		}
+	}
+	return out
+}
+
+// lifecycleQueries exercises the reclamation paths per granularity:
+// alias-scoped slots drive value interning (type), value interning
+// alongside stored events (mixed), vector interning (three slots), and
+// the slot-less pattern granularity (eviction must be a no-op).
+func lifecycleQueries() map[string]string {
+	return map[string]string{
+		"type-slots": `
+			RETURN COUNT(*), SUM(A.v)
+			PATTERN (SEQ(A+, B))+
+			SEMANTICS skip-till-any-match
+			WHERE [patient] AND [A.u]
+			GROUP-BY patient
+			WITHIN 64 SLIDE 32`,
+		"mixed-slots": `
+			RETURN COUNT(*), MAX(M.rate)
+			PATTERN M+
+			SEMANTICS skip-till-any-match
+			WHERE [patient] AND [M.u] AND M.rate < NEXT(M).rate
+			GROUP-BY patient
+			WITHIN 64 SLIDE 64`,
+		"wide-slots": `
+			RETURN COUNT(*)
+			PATTERN (SEQ(A+, B))+
+			SEMANTICS skip-till-any-match
+			WHERE [patient] AND [A.u] AND [A.w] AND [B.u]
+			GROUP-BY patient
+			WITHIN 64 SLIDE 32`,
+		"pattern": `
+			RETURN COUNT(*)
+			PATTERN M+
+			SEMANTICS skip-till-next-match
+			WHERE [patient] AND M.rate <= NEXT(M).rate
+			GROUP-BY patient
+			WITHIN 96 SLIDE 48`,
+	}
+}
+
+// TestSessionMemoryLifecycleDifferential is the acceptance check of
+// the bounded-state session: a WithSlack + WithInternEviction +
+// depth-capped session fed a shuffled rotating-cardinality stream is
+// byte-identical to an unbounded in-order session, across all
+// granularities and both session modes, while BindingInternBytes and
+// ReorderDepth stay bounded.
+func TestSessionMemoryLifecycleDifferential(t *testing.T) {
+	events := lifecycleStream(4000)
+	shuffled, slack := shuffleBounded(events, 6, 7)
+	if slack == 0 {
+		t.Fatal("shuffle produced no disorder; test is vacuous")
+	}
+	const maxDepth = 256 // far above the natural peak: no shedding, results stay identical
+	for mode, opts := range sessionModes() {
+		for name, src := range lifecycleQueries() {
+			t.Run(mode+"/"+name, func(t *testing.T) {
+				want := soloRun(t, src, events)
+
+				sess := cogra.NewSession(append(opts[:len(opts):len(opts)],
+					cogra.WithSlack(slack),
+					cogra.WithMaxReorderDepth(maxDepth),
+					cogra.WithInternEviction())...)
+				sub, err := sess.Subscribe(cogra.MustParse(src))
+				if err != nil {
+					t.Fatal(err)
+				}
+				var peakIntern int64
+				for i := 0; i < len(shuffled); i += 128 {
+					end := min(i+128, len(shuffled))
+					if err := sess.PushBatch(shuffled[i:end]); err != nil {
+						t.Fatal(err)
+					}
+					st, err := sess.Stats()
+					if err != nil {
+						t.Fatal(err)
+					}
+					if st.BindingInternBytes > peakIntern {
+						peakIntern = st.BindingInternBytes
+					}
+					if st.ReorderDepth > maxDepth {
+						t.Fatalf("reorder depth %d exceeds the cap %d", st.ReorderDepth, maxDepth)
+					}
+				}
+				st, err := sess.Stats()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if st.LateDropped != 0 || st.ReorderShed != 0 {
+					t.Fatalf("events lost within slack and cap: dropped=%d shed=%d", st.LateDropped, st.ReorderShed)
+				}
+				if err := sess.Close(); err != nil {
+					t.Fatal(err)
+				}
+				got := sub.Drain()
+				if len(want) == 0 {
+					t.Fatal("no results; differential test is vacuous")
+				}
+				if fmt.Sprintf("%v", got) != fmt.Sprintf("%v", want) {
+					t.Errorf("bounded-state session diverges from unbounded run\ngot:  %v\nwant: %v", got, want)
+				}
+
+				// The unbounded reference must ramp well past the bounded
+				// session's peak for slot-carrying queries, or the bound
+				// proves nothing. (Pattern granularity has no slots — both
+				// sides stay at zero.)
+				ref := cogra.NewSession(opts...)
+				refSub, err := ref.Subscribe(cogra.MustParse(src))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := ref.PushBatch(events); err != nil {
+					t.Fatal(err)
+				}
+				rst, err := ref.Stats()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := ref.Close(); err != nil {
+					t.Fatal(err)
+				}
+				refSub.Drain()
+				if strings.Contains(name, "slots") {
+					if peakIntern == 0 {
+						t.Error("no intern footprint tracked for a slot query")
+					}
+					if rst.BindingInternBytes < 3*peakIntern {
+						t.Errorf("unbounded run (%dB) did not ramp past bounded peak (%dB); plateau vacuous",
+							rst.BindingInternBytes, peakIntern)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestSessionInternPlateau samples the evicted footprint over a long
+// rotating-cardinality run and asserts a plateau: after warmup the
+// footprint never exceeds a small multiple of its warmup level, even
+// though fresh slot values keep arriving for ~60 more epochs.
+func TestSessionInternPlateau(t *testing.T) {
+	events := lifecycleStream(8000)
+	src := lifecycleQueries()["type-slots"]
+	sess := cogra.NewSession(cogra.WithSlack(4), cogra.WithInternEviction())
+	if _, err := sess.Subscribe(cogra.MustParse(src)); err != nil {
+		t.Fatal(err)
+	}
+	var warmup, later int64
+	for i, e := range events {
+		if err := sess.Push(e); err != nil {
+			t.Fatal(err)
+		}
+		if i == len(events)/4 {
+			st, err := sess.Stats()
+			if err != nil {
+				t.Fatal(err)
+			}
+			warmup = st.BindingInternBytes
+		}
+		if i > len(events)/4 && i%512 == 0 {
+			st, err := sess.Stats()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.BindingInternBytes > later {
+				later = st.BindingInternBytes
+			}
+		}
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if warmup == 0 || later == 0 {
+		t.Fatal("plateau not measured")
+	}
+	if later > 2*warmup {
+		t.Errorf("BindingInternBytes ramps under eviction: warmup %dB, later peak %dB", warmup, later)
+	}
+}
+
+// TestSessionCatalogCompaction: unsubscribe retires the symbols only
+// the leaving query referenced — the catalog id-space sizes shrink and
+// a compaction is published — and churning distinct queries no longer
+// ratchets the id spaces up (retired ids are recycled).
+func TestSessionCatalogCompaction(t *testing.T) {
+	for mode, opts := range sessionModes() {
+		t.Run(mode, func(t *testing.T) {
+			events := lifecycleStream(600)
+			sess := cogra.NewSession(opts...)
+			if _, err := sess.Subscribe(cogra.MustParse(lifecycleQueries()["type-slots"])); err != nil {
+				t.Fatal(err)
+			}
+			if err := sess.PushBatch(events[:200]); err != nil {
+				t.Fatal(err)
+			}
+			base, err := sess.Stats()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Churn: each round subscribes a query over its own unique
+			// event type and attribute, then unsubscribes it mid-stream.
+			peakTypes, peakAttrs := 0, 0
+			for round := 0; round < 12; round++ {
+				src := fmt.Sprintf(`
+					RETURN COUNT(*)
+					PATTERN Churn%d+
+					SEMANTICS skip-till-any-match
+					WHERE [patient] AND [Churn%d.extra%d]
+					GROUP-BY patient
+					WITHIN 64 SLIDE 64`, round, round, round)
+				sub, err := sess.Subscribe(cogra.MustParse(src))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := sess.PushBatch(events[200+round*30 : 230+round*30]); err != nil {
+					t.Fatal(err)
+				}
+				st, err := sess.Stats()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if st.InternedTypes > peakTypes {
+					peakTypes = st.InternedTypes
+				}
+				if st.InternedAttrs > peakAttrs {
+					peakAttrs = st.InternedAttrs
+				}
+				sub.Unsubscribe()
+				if err := sub.Err(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			st, err := sess.Stats()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.CatalogCompactions == 0 {
+				t.Error("no compaction published across 12 unsubscribe cycles")
+			}
+			// After the churn the id spaces are back at the resident
+			// fleet's footprint: each round's type/attr were retired.
+			if st.InternedTypes != base.InternedTypes || st.InternedAttrs != base.InternedAttrs {
+				t.Errorf("id spaces did not shrink back: types %d->%d, attrs %d->%d",
+					base.InternedTypes, st.InternedTypes, base.InternedAttrs, st.InternedAttrs)
+			}
+			// And the peak while churning stays one round's worth above
+			// the base — recycling, not ratcheting.
+			if peakTypes > base.InternedTypes+1 || peakAttrs > base.InternedAttrs+1 {
+				t.Errorf("id spaces ratcheted during churn: peak types %d (base %d), peak attrs %d (base %d)",
+					peakTypes, base.InternedTypes, peakAttrs, base.InternedAttrs)
+			}
+			// The resident query is untouched throughout.
+			if err := sess.PushBatch(events[560:]); err != nil {
+				t.Fatal(err)
+			}
+			if err := sess.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestSessionCompactionKeepsResidentResults pins compaction as
+// invisible to the surviving fleet: a session that churns disjoint
+// queries mid-stream leaves the resident query byte-identical to an
+// undisturbed solo run.
+func TestSessionCompactionKeepsResidentResults(t *testing.T) {
+	events := lifecycleStream(2000)
+	src := lifecycleQueries()["type-slots"]
+	for mode, opts := range sessionModes() {
+		t.Run(mode, func(t *testing.T) {
+			want := soloRun(t, src, events)
+
+			sess := cogra.NewSession(opts...)
+			sub, err := sess.Subscribe(cogra.MustParse(src))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < len(events); i += 250 {
+				end := min(i+250, len(events))
+				if err := sess.PushBatch(events[i:end]); err != nil {
+					t.Fatal(err)
+				}
+				csrc := fmt.Sprintf(`
+					RETURN COUNT(*)
+					PATTERN Side%d+
+					SEMANTICS skip-till-any-match
+					WHERE [patient] AND [Side%d.x%d]
+					GROUP-BY patient WITHIN 32 SLIDE 32`, i, i, i)
+				csub, err := sess.Subscribe(cogra.MustParse(csrc))
+				if err != nil {
+					t.Fatal(err)
+				}
+				csub.Unsubscribe()
+				if err := csub.Err(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := sess.Close(); err != nil {
+				t.Fatal(err)
+			}
+			got := sub.Drain()
+			if len(want) == 0 {
+				t.Fatal("no results; test is vacuous")
+			}
+			if fmt.Sprintf("%v", got) != fmt.Sprintf("%v", want) {
+				t.Errorf("churn-compaction disturbed the resident query\ngot:  %v\nwant: %v", got, want)
+			}
+		})
+	}
+}
+
+// TestSessionFailedSubscribeDoesNotLeakSymbols: a Subscribe that
+// compiles its query but is then rejected (frozen routing under
+// StrictRouting) must not leave the compiled symbols behind — a
+// fleet retrying failed subscribes would otherwise ratchet the id
+// spaces (and the per-event resolver probe loop) without bound.
+func TestSessionFailedSubscribeDoesNotLeakSymbols(t *testing.T) {
+	events := lifecycleStream(300)
+	sess := cogra.NewSession(cogra.WithWorkers(4))
+	if _, err := sess.Subscribe(cogra.MustParse(lifecycleQueries()["type-slots"])); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.PushBatch(events); err != nil {
+		t.Fatal(err) // routing now frozen on [patient]
+	}
+	base, err := sess.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		src := fmt.Sprintf(`
+			RETURN COUNT(*)
+			PATTERN Novel%d+
+			SEMANTICS skip-till-any-match
+			WHERE [novel%d]
+			GROUP-BY novel%d
+			WITHIN 10 SLIDE 10`, i, i, i)
+		_, err := sess.Subscribe(cogra.MustParse(src), cogra.StrictRouting())
+		if !errors.Is(err, cogra.ErrFrozenRouting) {
+			t.Fatalf("subscribe %d: err = %v, want ErrFrozenRouting", i, err)
+		}
+	}
+	st, err := sess.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.InternedTypes != base.InternedTypes || st.InternedAttrs != base.InternedAttrs {
+		t.Errorf("failed subscribes leaked symbols: types %d->%d, attrs %d->%d",
+			base.InternedTypes, st.InternedTypes, base.InternedAttrs, st.InternedAttrs)
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSessionStalePlanRejected: a plan compiled against the session's
+// catalog but never hosted loses its symbols to a compaction; hosting
+// it afterwards fails with ErrNotHosted instead of dispatching through
+// recycled ids.
+func TestSessionStalePlanRejected(t *testing.T) {
+	sess := cogra.NewSession()
+	q := cogra.MustParse(`
+		RETURN COUNT(*)
+		PATTERN Zed+
+		SEMANTICS skip-till-any-match
+		WHERE [patient] AND [Zed.zattr]
+		GROUP-BY patient WITHIN 10 SLIDE 10`)
+	stale, err := cogra.CompileIn(sess.Catalog(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Host and drop another query over the same symbols: its
+	// unsubscribe retires Zed/zattr (the stale plan holds no refs).
+	sub, err := sess.Subscribe(cogra.MustParse(`
+		RETURN COUNT(*)
+		PATTERN Zed+
+		SEMANTICS skip-till-any-match
+		WHERE [patient] AND [Zed.zattr]
+		GROUP-BY patient WITHIN 10 SLIDE 10`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub.Unsubscribe()
+	if err := sub.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.SubscribePlan(stale); !errors.Is(err, cogra.ErrNotHosted) {
+		t.Fatalf("stale plan accepted after compaction: err = %v", err)
+	}
+	// Recompiling picks up fresh ids and hosts fine.
+	fresh, err := cogra.CompileIn(sess.Catalog(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.SubscribePlan(fresh); err != nil {
+		t.Fatalf("recompiled plan rejected: %v", err)
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSessionBackpressure: a full depth-capped buffer under the Reject
+// policy fails Push with ErrBackpressure without ingesting the event,
+// and the session recovers as soon as the watermark advances; under
+// ShedOldest the overflow is dispatched instead and counted.
+func TestSessionBackpressure(t *testing.T) {
+	t.Run("reject", func(t *testing.T) {
+		sess := cogra.NewSession(cogra.WithSlack(1000),
+			cogra.WithMaxReorderDepth(4), cogra.WithDepthPolicy(cogra.Reject))
+		if _, err := sess.Subscribe(cogra.MustParse(lifecycleQueries()["type-slots"])); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 4; i++ {
+			if err := sess.Push(cogra.NewEvent("A", int64(i)).WithSym("patient", "p0").WithSym("u", "u")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		rejected := cogra.NewEvent("A", 2).WithSym("patient", "p0").WithSym("u", "u")
+		err := sess.Push(rejected)
+		if !errors.Is(err, cogra.ErrBackpressure) {
+			t.Fatalf("err = %v, want ErrBackpressure", err)
+		}
+		if rejected.ID != 0 {
+			t.Fatalf("rejected event kept arrival-order stamp %d; a retry would emit out of arrival order", rejected.ID)
+		}
+		// A watermark-advancing event is still admitted and drains.
+		if err := sess.Push(cogra.NewEvent("A", 2000).WithSym("patient", "p0").WithSym("u", "u")); err != nil {
+			t.Fatalf("watermark-advancing push rejected: %v", err)
+		}
+		st, err := sess.Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.ReorderDepth > 4 {
+			t.Fatalf("depth %d exceeds cap", st.ReorderDepth)
+		}
+		if err := sess.Close(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Run("shed", func(t *testing.T) {
+		sess := cogra.NewSession(cogra.WithSlack(1000), cogra.WithMaxReorderDepth(4))
+		if _, err := sess.Subscribe(cogra.MustParse(lifecycleQueries()["type-slots"])); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 12; i++ {
+			if err := sess.Push(cogra.NewEvent("A", int64(i)).WithSym("patient", "p0").WithSym("u", "u")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		st, err := sess.Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.ReorderShed != 8 {
+			t.Errorf("ReorderShed = %d, want 8 (12 pushed, cap 4)", st.ReorderShed)
+		}
+		if st.ReorderDepth != 4 {
+			t.Errorf("ReorderDepth = %d, want 4", st.ReorderDepth)
+		}
+		if err := sess.Close(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestSessionStatsConcurrentWithPush is the data-race regression test:
+// Stats must be callable from a monitoring goroutine while the feeding
+// goroutine pushes batches through the slack buffer (run under -race
+// in CI).
+func TestSessionStatsConcurrentWithPush(t *testing.T) {
+	events := lifecycleStream(3000)
+	shuffled, slack := shuffleBounded(events, 4, 11)
+	for mode, opts := range sessionModes() {
+		t.Run(mode, func(t *testing.T) {
+			sess := cogra.NewSession(append(opts[:len(opts):len(opts)],
+				cogra.WithSlack(slack), cogra.WithInternEviction())...)
+			sub, err := sess.Subscribe(cogra.MustParse(lifecycleQueries()["type-slots"]))
+			if err != nil {
+				t.Fatal(err)
+			}
+			done := make(chan struct{})
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-done:
+						return
+					default:
+					}
+					if _, err := sess.Stats(); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}()
+			for i := 0; i < len(shuffled); i += 64 {
+				end := min(i+64, len(shuffled))
+				if err := sess.PushBatch(shuffled[i:end]); err != nil {
+					t.Fatal(err)
+				}
+				// Drain between pushes: result pulling on the feeding
+				// goroutine shares router/engine state with Stats too.
+				sub.Drain()
+			}
+			close(done)
+			wg.Wait()
+			if err := sess.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

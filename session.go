@@ -56,17 +56,29 @@ package cogra
 // full-stream fallback worker instead (see MultiExecutor), or
 // rejected with ErrFrozenRouting when subscribed with StrictRouting.
 //
+// Memory is bounded end to end on a long-lived session: WithSlack's
+// reorder buffer can be capped (WithMaxReorderDepth, shedding or
+// rejecting at the cap), the binding intern tables of hosted engines
+// can rotate in window-expiry epochs (WithInternEviction), and the
+// catalog retires type/attr ids no hosted query references anymore
+// (automatic at unsubscribe), so subscribe/unsubscribe churn and
+// high-cardinality keys no longer grow state without bound.
+//
 // A Session is single-threaded like the engines it hosts: all methods
 // (including Subscribe/Unsubscribe) must be called from the event
-// feeding goroutine. Parallelism happens inside, behind WithWorkers.
-// Sink callbacks may fire inside Push; membership changes from
-// within a callback are rejected with an error — note what should
-// change and apply it after Push returns.
+// feeding goroutine — except Stats, which may be called from any
+// goroutine concurrently with Push/PushBatch (it synchronises with
+// ingest internally). Parallelism happens inside, behind WithWorkers.
+// Sink callbacks may fire inside Push; session calls from within a
+// callback are not allowed — membership changes are rejected with an
+// error, and Stats would deadlock — note what should change and apply
+// it after Push returns.
 
 import (
 	"context"
 	"fmt"
 	"iter"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/metrics"
@@ -78,10 +90,13 @@ import (
 type SessionOption func(*sessionCfg)
 
 type sessionCfg struct {
-	workers int
-	slack   int64
-	reorder bool
-	late    LatePolicy
+	workers  int
+	slack    int64
+	reorder  bool
+	late     LatePolicy
+	maxDepth int
+	depth    DepthPolicy
+	evict    bool
 }
 
 // WithWorkers runs the session partition-parallel on n workers (n > 1;
@@ -129,14 +144,71 @@ func WithLatePolicy(p LatePolicy) SessionOption {
 	return func(c *sessionCfg) { c.late = p }
 }
 
+// DepthPolicy selects what a depth-capped slack buffer
+// (WithMaxReorderDepth) does when it is full.
+type DepthPolicy int
+
+const (
+	// ShedOldest force-drains the oldest buffered events to make room —
+	// the serving default: they are dispatched immediately (early, but
+	// in order) and counted in Stats.ReorderShed; later arrivals older
+	// than a shed event are dropped as late.
+	ShedOldest DepthPolicy = iota
+	// Reject makes Push/PushBatch return an error wrapping
+	// ErrBackpressure when the buffer is full and the offered event
+	// would not release any buffered one; the event is not ingested and
+	// the session remains usable.
+	Reject
+)
+
+// WithMaxReorderDepth caps the WithSlack reorder buffer at n events
+// (n <= 0: unbounded, the default), so one misbehaving source — a
+// stalled watermark under a firehose of in-window events — cannot
+// balloon it. Overflow follows the session's depth policy
+// (WithDepthPolicy, default ShedOldest). Without WithSlack there is
+// no buffer and the option has no effect.
+func WithMaxReorderDepth(n int) SessionOption {
+	return func(c *sessionCfg) { c.maxDepth = n }
+}
+
+// WithDepthPolicy sets the overflow policy of a depth-capped slack
+// buffer (default ShedOldest).
+func WithDepthPolicy(p DepthPolicy) SessionOption {
+	return func(c *sessionCfg) { c.depth = p }
+}
+
+// WithInternEviction bounds the binding-intern tables of every hosted
+// engine: intern liveness is tied to window expiry (entries rotate in
+// Within-length epochs and are reclaimed once no open window can
+// reference them), so Stats().BindingInternBytes plateaus under
+// rotating key cardinality instead of growing with the stream's
+// lifetime cardinality. Results are byte-identical to an unbounded
+// session.
+func WithInternEviction() SessionOption {
+	return func(c *sessionCfg) { c.evict = true }
+}
+
 // Session hosts a dynamic fleet of queries over one event stream.
 type Session struct {
+	// mu guards the ingest and stats state so Stats may be called from
+	// any goroutine concurrently with Push/PushBatch. Every other
+	// method still belongs to the feeding goroutine; they take the lock
+	// too, so a misuse fails loudly under -race instead of corrupting
+	// state silently.
+	mu sync.Mutex
+	// dispatching marks that an event is being dispatched (sinks may be
+	// running). Only the feeding goroutine reads or writes it: it is
+	// the reentrancy guard that rejects membership changes from inside
+	// a sink BEFORE they would deadlock on mu.
+	dispatching bool
+
 	cat    *core.Catalog
 	rt     *runtime.Runtime      // inline mode (workers <= 1)
 	mx     *stream.MultiExecutor // parallel mode (workers > 1)
 	acct   metrics.Accountant    // inline mode: spans every hosted engine
 	ro     *stream.Reorderer     // nil without WithSlack
 	late   LatePolicy
+	evict  bool
 	roPeak int
 	roSeq  int64 // arrival order stamped onto ID-0 events before buffering
 	mxLast int64 // parallel mode: stream-order guard (the router is async)
@@ -151,12 +223,26 @@ func NewSession(opts ...SessionOption) *Session {
 	for _, opt := range opts {
 		opt(&cfg)
 	}
-	s := &Session{cat: core.NewCatalog(), late: cfg.late}
+	s := &Session{cat: core.NewCatalog(), late: cfg.late, evict: cfg.evict}
 	if cfg.reorder {
 		s.ro = stream.NewReorderer(cfg.slack)
+		if cfg.maxDepth > 0 {
+			// Map the public policy to the stream-level one explicitly:
+			// the two enums are declared independently, and a numeric
+			// cast would silently diverge if either was ever reordered.
+			policy := stream.ShedOldest
+			if cfg.depth == Reject {
+				policy = stream.Reject
+			}
+			s.ro.SetMaxDepth(cfg.maxDepth, policy)
+		}
+	}
+	var engOpts []core.Option
+	if cfg.evict {
+		engOpts = append(engOpts, core.WithInternEviction())
 	}
 	if cfg.workers > 1 {
-		s.mx = stream.NewMultiExecutorOn(s.cat, cfg.workers)
+		s.mx = stream.NewMultiExecutorOn(s.cat, cfg.workers, engOpts...)
 	} else {
 		s.rt = runtime.NewOn(s.cat)
 	}
@@ -221,6 +307,9 @@ func StrictRouting() SubscribeOption {
 // point; a mid-stream subscriber reports results from its first fully
 // covered window (see the type comment).
 func (s *Session) Subscribe(q *Query, opts ...SubscribeOption) (*Subscription, error) {
+	if s.dispatching {
+		return nil, fmt.Errorf("cogra: Subscribe from within a result sink; defer it until Push returns")
+	}
 	if s.closed {
 		return nil, fmt.Errorf("cogra: Subscribe after Close: %w", ErrClosed)
 	}
@@ -228,12 +317,28 @@ func (s *Session) Subscribe(q *Query, opts ...SubscribeOption) (*Subscription, e
 	if err != nil {
 		return nil, err
 	}
-	return s.SubscribePlan(plan, opts...)
+	sub, err := s.SubscribePlan(plan, opts...)
+	if err != nil {
+		// The plan was compiled here and will never be hosted: retire
+		// the symbols it interned (where nothing else references them)
+		// so failed subscribes do not leak catalog id space.
+		s.cat.DiscardPlan(plan)
+		return nil, err
+	}
+	return sub, nil
 }
 
 // SubscribePlan attaches an already-compiled plan; it must have been
-// compiled against the session's catalog (CompileIn).
+// compiled against the session's catalog (CompileIn). A plan compiled
+// long ago can be rejected with ErrNotHosted when an intervening
+// unsubscribe compacted its symbols out of the catalog — recompile the
+// query in that case.
 func (s *Session) SubscribePlan(plan *Plan, opts ...SubscribeOption) (*Subscription, error) {
+	if s.dispatching {
+		return nil, fmt.Errorf("cogra: Subscribe from within a result sink; defer it until Push returns")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.closed {
 		return nil, fmt.Errorf("cogra: Subscribe after Close: %w", ErrClosed)
 	}
@@ -244,6 +349,9 @@ func (s *Session) SubscribePlan(plan *Plan, opts ...SubscribeOption) (*Subscript
 	sub := &Subscription{sess: s, id: len(s.subs), plan: plan, active: true}
 	if s.rt != nil {
 		engOpts := []EngineOption{core.WithAccountant(&s.acct)}
+		if s.evict {
+			engOpts = append(engOpts, core.WithInternEviction())
+		}
 		if cfg.cb != nil {
 			engOpts = append(engOpts, core.WithResultCallback(cfg.cb))
 		}
@@ -278,9 +386,16 @@ func (s *Session) SubscribePlan(plan *Plan, opts ...SubscribeOption) (*Subscript
 // fails with ErrLateEvent; with WithSlack, events are re-ordered
 // within the slack and stragglers beyond it follow the late policy.
 func (s *Session) Push(e *Event) error {
+	if s.dispatching {
+		return fmt.Errorf("cogra: Push from within a result sink; defer it until the outer Push returns")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.closed {
 		return fmt.Errorf("cogra: Push after Close: %w", ErrClosed)
 	}
+	s.dispatching = true
+	defer func() { s.dispatching = false }()
 	if s.ro == nil {
 		return s.dispatch(e)
 	}
@@ -294,9 +409,16 @@ func (s *Session) Push(e *Event) error {
 // slack rules as Push apply; a returned error reports the first
 // offending event, everything before it has been ingested.
 func (s *Session) PushBatch(events []*Event) error {
+	if s.dispatching {
+		return fmt.Errorf("cogra: Push from within a result sink; defer it until the outer Push returns")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.closed {
 		return fmt.Errorf("cogra: Push after Close: %w", ErrClosed)
 	}
+	s.dispatching = true
+	defer func() { s.dispatching = false }()
 	if s.ro == nil {
 		return s.dispatchBatch(events)
 	}
@@ -309,7 +431,8 @@ func (s *Session) PushBatch(events []*Event) error {
 }
 
 // offer feeds one event through the slack buffer, applying the late
-// policy, and dispatches whatever the advancing watermark released.
+// and depth policies, and dispatches whatever the advancing watermark
+// (or a shedding overflow) released.
 func (s *Session) offer(e *Event) error {
 	// The buffer re-emits in (time, ID) order and heap order among
 	// equal keys is arbitrary, so source-less IDs must be stamped with
@@ -317,15 +440,31 @@ func (s *Session) offer(e *Event) error {
 	// normally assigns them) only sees the re-sorted stream. Ties then
 	// re-emit exactly in arrival order, matching a slack-less session.
 	s.roSeq++
+	assigned := false
 	if e.ID == 0 {
 		e.ID = s.roSeq
+		assigned = true
 	}
 	dropped := s.ro.Dropped()
-	out := s.ro.Offer(e)
+	out, err := s.ro.Offer(e)
+	if err != nil {
+		// Backpressure (WithMaxReorderDepth + Reject): the event was not
+		// ingested, so undo the arrival-order stamp — a later retry must
+		// take its ID from its NEW arrival position or ties would emit
+		// out of arrival order. The error names the offending event so a
+		// PushBatch caller can resume after the ingested prefix.
+		if assigned {
+			e.ID = 0
+		}
+		s.roSeq--
+		return fmt.Errorf("cogra: event at time %d refused: %w", e.Time, err)
+	}
 	if s.ro.Dropped() != dropped && s.late == RejectLate {
-		max, _ := s.ro.MaxSeen()
-		return fmt.Errorf("cogra: event at time %d older than the stream watermark %d allows: %w",
-			e.Time, max, ErrLateEvent)
+		// Cite the actual drop boundary: after shedding it can sit well
+		// above maxSeen-slack, and a message naming only the watermark
+		// would describe an event as legal that was correctly dropped.
+		return fmt.Errorf("cogra: event at time %d older than the stream's drop boundary %d (watermark minus slack, raised by shedding): %w",
+			e.Time, s.ro.DropBoundary(), ErrLateEvent)
 	}
 	if depth := s.ro.Buffered(); depth > s.roPeak {
 		s.roPeak = depth
@@ -408,7 +547,10 @@ func (s *Session) RunContext(ctx context.Context, src Iterator) error {
 		select {
 		case <-done:
 			if s.mx != nil {
-				if err := s.mx.Sync(); err != nil {
+				s.mu.Lock()
+				err := s.mx.Sync()
+				s.mu.Unlock()
+				if err != nil {
 					return err
 				}
 			}
@@ -430,9 +572,16 @@ func (s *Session) RunContext(ctx context.Context, src Iterator) error {
 // to the subscription's sink when one is installed, and are otherwise
 // retrievable with Results or Drain after Close.
 func (s *Session) Close() error {
+	if s.dispatching {
+		return fmt.Errorf("cogra: Close from within a result sink; defer it until Push returns")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.closed {
 		return fmt.Errorf("cogra: double Close: %w", ErrClosed)
 	}
+	s.dispatching = true
+	defer func() { s.dispatching = false }()
 	if s.ro != nil {
 		if tail := s.ro.Flush(); len(tail) > 0 {
 			if err := s.dispatchBatch(tail); err != nil {
@@ -482,15 +631,22 @@ type SessionStats struct {
 	// RejectLate they additionally failed the Push that carried them).
 	// ReorderDepth is the current number of events held back by the
 	// slack buffer awaiting the watermark; ReorderPeakDepth its
-	// high-water mark over the session's lifetime.
+	// high-water mark over the session's lifetime. ReorderShed counts
+	// buffered events force-drained early by a full depth-capped buffer
+	// (WithMaxReorderDepth under ShedOldest).
 	LateDropped      int64
 	ReorderDepth     int
 	ReorderPeakDepth int
-	// InternedTypes and InternedAttrs are the id-space sizes of the
-	// session's shared symbol catalog (they grow as queries subscribe
-	// and never shrink — ids must stay stable).
-	InternedTypes int
-	InternedAttrs int
+	ReorderShed      int64
+	// InternedTypes and InternedAttrs are the live id-space sizes of
+	// the session's shared symbol catalog. They grow as queries
+	// subscribe; unsubscribing releases symbols no remaining query
+	// references, so churn no longer ratchets them up (ids of hosted
+	// queries stay stable throughout). CatalogCompactions counts the
+	// compacted snapshots published so far.
+	InternedTypes      int
+	InternedAttrs      int
+	CatalogCompactions uint64
 	// RoutingAttrs are the partition attributes a parallel session
 	// routes events by; empty with Workers > 1 means the subscribed
 	// queries share no partition attribute, so every event goes to one
@@ -505,8 +661,14 @@ type SessionStats struct {
 }
 
 // Stats reports the session's hosted-query, interning, disorder and
-// memory state at the current stream position.
+// memory state at the current stream position. Unlike the rest of the
+// Session surface, Stats is safe to call from any goroutine while the
+// feeding goroutine keeps pushing: it synchronises with ingest on the
+// session's lock (do not call it from inside a result sink — the lock
+// is already held there).
 func (s *Session) Stats() (SessionStats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	var st SessionStats
 	if s.rt != nil {
 		rs := s.rt.Stats()
@@ -540,7 +702,9 @@ func (s *Session) Stats() (SessionStats, error) {
 		st.LateDropped = s.ro.Dropped()
 		st.ReorderDepth = s.ro.Buffered()
 		st.ReorderPeakDepth = s.roPeak
+		st.ReorderShed = s.ro.Shed()
 	}
+	st.CatalogCompactions = s.cat.Compactions()
 	return st, nil
 }
 
@@ -609,7 +773,14 @@ func (sub *Subscription) Results() iter.Seq[Result] {
 // inside a result sink) leaves the subscription active, so it can
 // be retried once Push returns.
 func (sub *Subscription) Unsubscribe() []Result {
-	if sub.sess.closed {
+	s := sub.sess
+	if s.dispatching {
+		sub.err = fmt.Errorf("cogra: Unsubscribe from within a result sink; defer it until Push returns")
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
 		sub.err = fmt.Errorf("cogra: Unsubscribe after Close: %w", ErrClosed)
 		return nil
 	}
@@ -617,6 +788,8 @@ func (sub *Subscription) Unsubscribe() []Result {
 		sub.err = fmt.Errorf("cogra: query %d already unsubscribed: %w", sub.id, ErrNotHosted)
 		return nil
 	}
+	s.dispatching = true
+	defer func() { s.dispatching = false }()
 	var out []Result
 	var err error
 	if sub.rsub != nil {
@@ -645,9 +818,26 @@ func (sub *Subscription) Unsubscribe() []Result {
 // internally ordered by window then group, but windows from a lagging
 // worker may appear in a later Drain.
 func (sub *Subscription) Drain() []Result {
+	s := sub.sess
+	if s.dispatching {
+		// Called from inside a result sink: the session lock is held by
+		// the Push that fired the sink, so only the already-buffered
+		// pending results are reachable without deadlocking.
+		return sub.takePending()
+	}
+	// The drain reaches shared ingest state (the parallel router's
+	// pending batches, the inline engines' result buffers), which a
+	// concurrent Stats call also walks — serialise on the session lock.
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if !sub.active {
 		return sub.takePending()
 	}
+	// Parallel-mode drains deliver to sinks synchronously: mark the
+	// dispatch so a sink calling back into the session hits the
+	// reentrancy rejections above instead of deadlocking on mu.
+	s.dispatching = true
+	defer func() { s.dispatching = false }()
 	var out []Result
 	var err error
 	if sub.rsub != nil {

@@ -31,6 +31,18 @@
 // with backpressure under -reorder-reject), and -evict reclaims
 // binding-intern memory once the windows referencing it have closed.
 //
+// Crash recovery: -checkpoint <path> -checkpoint-every <n> (with
+// -follow) snapshots the whole session — query fleet, window state,
+// stream position — to <path> after every n accepted events. The file
+// is written atomically (temp file + fsync + rename), so a crash
+// mid-checkpoint never leaves a truncated snapshot; each completed
+// checkpoint is logged to stderr with its stream position. -restore
+// <path> resumes from a checkpoint instead of starting empty: feed it
+// the stream suffix after the checkpoint position and the results
+// continue byte-identically to an undisturbed run. Restored queries
+// have no sinks (a snapshot cannot carry code), so their results are
+// drained and printed at each checkpoint and at end of run.
+//
 // -stats prints an end-of-run summary: events accepted, events
 // skipped by the partition router, late events dropped by the slack
 // buffer, events shed at the depth cap, the buffer's peak depth and
@@ -72,18 +84,22 @@ func (f sourceFlag) Set(v string) error {
 
 // runCfg collects the command line; run is testable over it.
 type runCfg struct {
-	sources       []querySource
-	input         string
-	workers       int
-	slack         int64
-	rejectLate    bool
-	maxDepth      int
-	rejectOverrun bool
-	evict         bool
-	follow        bool
-	explain       bool
-	memory        bool
-	stats         bool
+	sources         []querySource
+	input           string
+	workers         int
+	workersSet      bool // -workers given explicitly (restore: override the checkpoint's fleet size)
+	slack           int64
+	rejectLate      bool
+	maxDepth        int
+	rejectOverrun   bool
+	evict           bool
+	follow          bool
+	explain         bool
+	memory          bool
+	stats           bool
+	checkpoint      string
+	checkpointEvery int
+	restore         string
 }
 
 func main() {
@@ -101,7 +117,15 @@ func main() {
 	flag.BoolVar(&cfg.explain, "explain", false, "print the compiled plans and exit")
 	flag.BoolVar(&cfg.memory, "memory", false, "report logical peak memory after the run")
 	flag.BoolVar(&cfg.stats, "stats", false, "report an end-of-run stream summary")
+	flag.StringVar(&cfg.checkpoint, "checkpoint", "", "write session checkpoints to this file, atomically (requires -checkpoint-every and -follow)")
+	flag.IntVar(&cfg.checkpointEvery, "checkpoint-every", 0, "checkpoint after every N accepted events (requires -checkpoint)")
+	flag.StringVar(&cfg.restore, "restore", "", "resume from this checkpoint file instead of starting empty")
 	flag.Parse()
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "workers" {
+			cfg.workersSet = true
+		}
+	})
 
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "cograql:", err)
@@ -122,8 +146,17 @@ func run(cfg runCfg) error {
 		}
 		texts = append(texts, string(data))
 	}
-	if len(texts) == 0 && !cfg.follow {
+	if len(texts) == 0 && !cfg.follow && cfg.restore == "" {
 		return fmt.Errorf("provide -query or -file (repeatable)")
+	}
+	if (cfg.checkpoint != "") != (cfg.checkpointEvery > 0) {
+		return fmt.Errorf("-checkpoint and -checkpoint-every go together (a path and a cadence)")
+	}
+	if cfg.checkpointEvery < 0 {
+		return fmt.Errorf("-checkpoint-every must be positive, got %d", cfg.checkpointEvery)
+	}
+	if cfg.checkpoint != "" && !cfg.follow {
+		return fmt.Errorf("-checkpoint requires -follow (a batch run has no mid-stream positions to cut at)")
 	}
 
 	queries := make([]*cogra.Query, len(texts))
@@ -162,7 +195,10 @@ func run(cfg runCfg) error {
 	}
 
 	var opts []cogra.SessionOption
-	if cfg.workers > 1 {
+	if cfg.workers > 1 || (cfg.restore != "" && cfg.workersSet) {
+		// When restoring, an explicit -workers overrides the checkpoint's
+		// fleet size (allowed only before the stream's first event has
+		// frozen partition routing); otherwise the checkpoint decides.
 		opts = append(opts, cogra.WithWorkers(cfg.workers))
 	}
 	if cfg.maxDepth < 0 {
@@ -192,18 +228,60 @@ func run(cfg runCfg) error {
 	if cfg.evict {
 		opts = append(opts, cogra.WithInternEviction())
 	}
-	sess := cogra.NewSession(opts...)
+
+	var sess *cogra.Session
+	var restored []*cogra.Subscription
+	nextID := 0
+	if cfg.restore != "" {
+		// A crash mid-checkpoint leaves a stale temp file next to the
+		// durable one; it is truncated by construction and must never be
+		// restored from.
+		if strings.HasSuffix(cfg.restore, checkpointTempSuffix) {
+			return fmt.Errorf("refusing to restore from temp checkpoint %s: a crash mid-checkpoint leaves it truncated; restore from the durable path", cfg.restore)
+		}
+		f, err := os.Open(cfg.restore)
+		if err != nil {
+			return err
+		}
+		sess, err = cogra.Restore(f, opts...)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("restore %s: %w", cfg.restore, err)
+		}
+		for _, sub := range sess.Subscriptions() {
+			if sub.Active() {
+				restored = append(restored, sub)
+			}
+		}
+		// Hot-added queries number after the checkpoint's fleet, active
+		// or not, matching the session's own id assignment.
+		nextID = len(sess.Subscriptions())
+		fmt.Fprintf(os.Stderr, "cograql: restored %d quer(ies) from %s\n", len(restored), cfg.restore)
+	} else {
+		sess = cogra.NewSession(opts...)
+	}
 
 	// Result lines carry a [qN] prefix whenever the fleet can exceed
 	// one query, so single-query batch output stays byte-compatible
-	// with earlier versions; -follow always prefixes (hot-adds can
-	// grow the fleet at any line).
-	nextID := 0
+	// with earlier versions; -follow and -restore always prefix
+	// (hot-adds and checkpointed fleets can hold any number).
 	printResult := func(qi int, r cogra.Result) {
-		if len(queries) > 1 || cfg.follow {
+		if len(queries) > 1 || cfg.follow || cfg.restore != "" {
 			fmt.Printf("[q%d] %v\n", qi+1, r)
 		} else {
 			fmt.Println(r)
+		}
+	}
+	// Restored subscriptions carry no sinks (a snapshot cannot carry
+	// code), so their results buffer and are drained here: right before
+	// each checkpoint — printed results stay out of the snapshot's
+	// pending buffer, so a restore never replays them — and at end of
+	// run.
+	drainRestored := func() {
+		for _, sub := range restored {
+			for _, r := range sub.Drain() {
+				printResult(sub.ID(), r)
+			}
 		}
 	}
 	subscribe := func(q *cogra.Query) (*cogra.Subscription, error) {
@@ -218,12 +296,15 @@ func run(cfg runCfg) error {
 	}
 
 	subs := make(map[int]*cogra.Subscription)
+	for _, sub := range restored {
+		subs[sub.ID()] = sub
+	}
 	for i, q := range queries {
 		sub, err := subscribe(q)
 		if err != nil {
 			return fmt.Errorf("query %d: %w", i+1, err)
 		}
-		subs[i] = sub
+		subs[sub.ID()] = sub
 	}
 	if cfg.workers > 1 && len(queries) > 0 {
 		if st, err := sess.Stats(); err == nil && len(st.RoutingAttrs) == 0 {
@@ -231,8 +312,22 @@ func run(cfg runCfg) error {
 		}
 	}
 
+	var pushed int64
+	onPush := func() error {
+		pushed++
+		if cfg.checkpointEvery <= 0 || pushed%int64(cfg.checkpointEvery) != 0 {
+			return nil
+		}
+		drainRestored()
+		if err := writeCheckpoint(sess, cfg.checkpoint); err != nil {
+			return fmt.Errorf("checkpoint: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "cograql: checkpoint %s @ %d events\n", cfg.checkpoint, pushed)
+		return nil
+	}
+
 	if cfg.follow {
-		if err := follow(in, sess, subscribe, subs); err != nil {
+		if err := follow(in, sess, subscribe, subs, onPush); err != nil {
 			return err
 		}
 	} else {
@@ -247,6 +342,7 @@ func run(cfg runCfg) error {
 	if err := sess.Close(); err != nil {
 		return err
 	}
+	drainRestored() // Close flushed the open windows into the buffers
 	if cfg.memory || cfg.stats {
 		st, err := sess.Stats()
 		if err != nil {
@@ -272,7 +368,8 @@ func run(cfg runCfg) error {
 // Control errors (a bad query text, an unknown id) are reported to
 // stderr and the stream continues — a typo must not kill a live tail.
 func follow(in io.Reader, sess *cogra.Session,
-	subscribe func(*cogra.Query) (*cogra.Subscription, error), subs map[int]*cogra.Subscription) error {
+	subscribe func(*cogra.Query) (*cogra.Subscription, error), subs map[int]*cogra.Subscription,
+	onPush func() error) error {
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
 	var dec *cogra.CSVDecoder
@@ -331,7 +428,38 @@ func follow(in io.Reader, sess *cogra.Session,
 			if err := sess.Push(e); err != nil {
 				return err
 			}
+			if err := onPush(); err != nil {
+				return err
+			}
 		}
 	}
 	return sc.Err()
+}
+
+// checkpointTempSuffix marks an in-progress checkpoint write; restore
+// refuses such files.
+const checkpointTempSuffix = ".tmp"
+
+// writeCheckpoint snapshots the session to path atomically: the bytes
+// go to path+".tmp", are fsynced, then renamed over path — a crash
+// mid-checkpoint leaves the previous durable checkpoint intact (plus,
+// at worst, a stale temp file) and never a truncated snapshot at path.
+func writeCheckpoint(sess *cogra.Session, path string) error {
+	tmp := path + checkpointTempSuffix
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	err = sess.Snapshot(f)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
 }

@@ -39,4 +39,17 @@ var (
 	// Push/PushBatch return it without ingesting the event; the session
 	// stays usable — retry once the stream's watermark has advanced.
 	ErrBackpressure = core.ErrBackpressure
+
+	// ErrBadSnapshot: Restore could not decode the checkpoint stream —
+	// truncated, corrupted (checksum mismatch), written by a different
+	// snapshot format version, or structurally impossible. Decoding
+	// never panics and never over-allocates on corrupt input.
+	ErrBadSnapshot = core.ErrBadSnapshot
+
+	// ErrSinkPanic: a user-supplied Sink callback panicked while a
+	// result was being delivered. The panic is recovered, the stream
+	// and the other subscriptions keep running, and the affected
+	// subscription fails with an error wrapping this sentinel (its
+	// further results are buffered, readable via Results/Drain).
+	ErrSinkPanic = core.ErrSinkPanic
 )

@@ -5,6 +5,7 @@ package cogra_test
 // Output blocks, so the documented surface cannot drift.
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 
@@ -147,6 +148,46 @@ func ExampleWithMaxReorderDepth() {
 	// Output:
 	// backpressure: true
 	// buffered after drain: 1
+}
+
+// ExampleSession_Snapshot checkpoints a live session mid-stream,
+// "crashes" it, restores, and feeds the rest of the stream: the
+// results are those of a run that never stopped. Restored
+// subscriptions have no sinks (code does not survive serialization) —
+// re-acquire them with Subscriptions and pull.
+func ExampleSession_Snapshot() {
+	q := cogra.MustParse(`
+		RETURN COUNT(*)
+		PATTERN A+
+		SEMANTICS skip-till-any-match
+		WITHIN 10 SLIDE 10`)
+	sess := cogra.NewSession()
+	sub, _ := sess.Subscribe(q)
+	sess.Push(cogra.NewEvent("A", 1))
+	sess.Push(cogra.NewEvent("A", 3)) // two open partial trends in [0,10)
+
+	var checkpoint bytes.Buffer
+	if err := sess.Snapshot(&checkpoint); err != nil {
+		fmt.Println(err)
+		return
+	}
+	sess.Close() // the "crash": in-flight state beyond the checkpoint is lost
+
+	restored, err := cogra.Restore(bytes.NewReader(checkpoint.Bytes()))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	restored.Push(cogra.NewEvent("A", 5)) // the suffix, from the cut onward
+	restored.Push(cogra.NewEvent("A", 12))
+	restored.Close()
+	sub = restored.Subscriptions()[sub.ID()]
+	for r := range sub.Results() {
+		fmt.Println(r)
+	}
+	// Output:
+	// window [0,10): COUNT(*)=7
+	// window [10,20): COUNT(*)=1
 }
 
 // ExampleWithLatePolicy shows the typed late-event error: beyond-slack

@@ -1,0 +1,80 @@
+package cogra_test
+
+// FuzzSnapshotDecode: Restore over arbitrary bytes must either succeed
+// or fail with a typed error (ErrBadSnapshot, or ErrFrozenRouting for
+// a worker-count conflict) — never panic, hang, or over-allocate. The
+// committed seed corpus in testdata/fuzz/FuzzSnapshotDecode covers a
+// valid snapshot plus truncated, bit-flipped, version-skewed and
+// oversized-length mutants (regenerate with scripts/gen_fuzz_corpus.go).
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	cogra "repro"
+)
+
+// fuzzSeedSnapshot builds a small but representative valid snapshot:
+// two granularities subscribed, one unsubscribed (tombstoned catalog
+// ids), slack buffer holding events, and a mid-stream cut.
+func fuzzSeedSnapshot(tb testing.TB) []byte {
+	events := sessionTestStream(400)
+	shuffled, slack := shuffleBounded(events, 6, 7)
+	sess := cogra.NewSession(cogra.WithSlack(slack), cogra.WithInternEviction())
+	if _, err := sess.Subscribe(cogra.MustParse(sessionTestQueries()["type"])); err != nil {
+		tb.Fatal(err)
+	}
+	if _, err := sess.Subscribe(cogra.MustParse(sessionTestQueries()["pattern"])); err != nil {
+		tb.Fatal(err)
+	}
+	extra, err := sess.Subscribe(cogra.MustParse(sessionTestQueries()["mixed"]))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := sess.PushBatch(shuffled[:300]); err != nil {
+		tb.Fatal(err)
+	}
+	extra.Unsubscribe()
+	var buf bytes.Buffer
+	if err := sess.Snapshot(&buf); err != nil {
+		tb.Fatal(err)
+	}
+	sess.Close()
+	return buf.Bytes()
+}
+
+func FuzzSnapshotDecode(f *testing.F) {
+	valid := fuzzSeedSnapshot(f)
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2]) // truncated mid-payload
+	f.Add(valid[:11])           // truncated inside the header
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/3] ^= 0x40 // bit flip (fails the CRC, or a range check)
+	f.Add(flipped)
+	skewed := append([]byte(nil), valid...)
+	skewed[8] = 0xff // version word
+	f.Add(skewed)
+	oversized := append([]byte(nil), valid...)
+	for i := 12; i < 20; i++ {
+		oversized[i] = 0xff // declared payload length far beyond the data
+	}
+	f.Add(oversized)
+	f.Add([]byte{})
+	f.Add([]byte("COGRASNP"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sess, err := cogra.Restore(bytes.NewReader(data))
+		if err == nil {
+			// Decoded (the valid seed, or an equivalent mutation): the
+			// session must be live and closable.
+			if cerr := sess.Close(); cerr != nil {
+				t.Fatalf("restored session failed to close: %v", cerr)
+			}
+			return
+		}
+		if !errors.Is(err, cogra.ErrBadSnapshot) && !errors.Is(err, cogra.ErrFrozenRouting) {
+			t.Fatalf("Restore returned an untyped error: %v", err)
+		}
+	})
+}

@@ -1,0 +1,36 @@
+package agg
+
+import "repro/internal/snap"
+
+// Snapshot codec for aggregate nodes. A node is pure value state —
+// the trend-set count plus one Aux entry per spec — so the encoding is
+// positional: the owning structure knows the Specs and validates the
+// Aux arity on restore.
+
+// NodeMinBytes is the minimum encoded size of a Node, for collection
+// length validation.
+const NodeMinBytes = 12
+
+// SnapshotNode writes n to w.
+func SnapshotNode(w *snap.Writer, n *Node) {
+	w.U64(n.Count)
+	w.U32(uint32(len(n.Aux)))
+	for _, a := range n.Aux {
+		w.U64(a.N)
+		w.F64(a.F)
+		w.Bool(a.Valid)
+	}
+}
+
+// RestoreNode reads a Node written by SnapshotNode.
+func RestoreNode(r *snap.Reader) Node {
+	n := Node{Count: r.U64()}
+	k := r.Count(17)
+	if k > 0 {
+		n.Aux = make([]Aux, k)
+		for i := range n.Aux {
+			n.Aux[i] = Aux{N: r.U64(), F: r.F64(), Valid: r.Bool()}
+		}
+	}
+	return n
+}

@@ -1,0 +1,51 @@
+package bench
+
+// Snapshot latency on a warm fleet: the 8-query shared-runtime
+// workload is fed its full stream, then Snapshot is taken repeatedly —
+// the serialization cost of live window tables, sub-aggregator state
+// and intern tables, which is also the stall a live stream observes
+// while a checkpoint's consistent cut is held. Snapshot does not
+// mutate the session, so every iteration serializes the same state.
+
+import (
+	"io"
+	"testing"
+
+	cogra "repro"
+)
+
+func BenchmarkSessionSnapshot8(b *testing.B) {
+	events := sharedBenchStream(8192)
+	sess := cogra.NewSession()
+	for _, q := range sharedBenchQueries() {
+		if _, err := sess.Subscribe(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := sess.PushBatch(events); err != nil {
+		b.Fatal(err)
+	}
+	defer sess.Close()
+	var count countWriter
+	if err := sess.Snapshot(&count); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sess.Snapshot(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(count), "snapshot-bytes")
+}
+
+// countWriter counts bytes written; the benchmark reports the snapshot
+// size alongside its latency.
+type countWriter int64
+
+func (w *countWriter) Write(p []byte) (int, error) {
+	*w += countWriter(len(p))
+	return len(p), nil
+}

@@ -72,6 +72,17 @@ type bindings struct {
 	vecEpoch  []int64
 	freeVals  []uint32
 	freeVecs  []bkey
+
+	// Per-epoch candidate buckets: ids whose stamp was last SET in that
+	// epoch (an id touched across k epochs appears in k buckets; only
+	// the one matching its current stamp is authoritative). expire walks
+	// only the buckets behind the horizon instead of the whole table, so
+	// the sweep cost tracks recent intern activity, not table size — a
+	// long-lived engine whose value population turned over long ago no
+	// longer pays O(len(vals)) on every epoch boundary. Buckets are
+	// bookkeeping, rebuilt from the stamps on checkpoint restore.
+	valBuckets map[int64][]uint32
+	vecBuckets map[int64][]bkey
 }
 
 // bkey identifies one equivalence binding. 0 is the all-unbound
@@ -106,6 +117,7 @@ func newBindings(slots []predicate.Equivalence, acct accountant, evict bool) *bi
 	b.vals = []string{""}
 	if evict {
 		b.valEpoch = []int64{0}
+		b.valBuckets = map[int64][]uint32{}
 	}
 	if b.nslots > 2 {
 		b.vecIDs = map[string]bkey{}
@@ -114,6 +126,7 @@ func newBindings(slots []predicate.Equivalence, acct accountant, evict bool) *bi
 		b.scratchKey = make([]byte, 0, 4*b.nslots)
 		if evict {
 			b.vecEpoch = []int64{0}
+			b.vecBuckets = map[int64][]bkey{}
 		}
 	}
 	return b
@@ -131,8 +144,9 @@ func (b *bindings) emptyKey() bkey { return 0 }
 // re-seen after eviction reclaimed it).
 func (b *bindings) internVal(v string) uint32 {
 	if id, ok := b.valIDs[v]; ok {
-		if b.evict {
+		if b.evict && b.valEpoch[id] != b.epoch {
 			b.valEpoch[id] = b.epoch
+			b.valBuckets[b.epoch] = append(b.valBuckets[b.epoch], id)
 		}
 		return id
 	}
@@ -150,6 +164,7 @@ func (b *bindings) internVal(v string) uint32 {
 	}
 	if b.evict {
 		b.valEpoch[id] = b.epoch
+		b.valBuckets[b.epoch] = append(b.valBuckets[b.epoch], id)
 	}
 	b.valIDs[v] = id
 	b.charge(int64(len(v)) + 16) // value string + two table entries
@@ -181,15 +196,18 @@ func (b *bindings) release() {
 	b.scratchVec, b.scratchKey = nil, nil
 	b.valEpoch, b.vecEpoch = nil, nil
 	b.freeVals, b.freeVecs = nil, nil
+	b.valBuckets, b.vecBuckets = nil, nil
 }
 
 // expire advances the watermark epoch and reclaims every intern entry
 // last touched two or more epochs ago: windows referencing such an
 // entry have all closed and decoded (a window spans at most one epoch
 // length), so its id can be recycled without disturbing live keys.
-// Called by the engine after emitting the windows a watermark closed;
-// the sweep is O(table size) but runs at most once per epoch of
-// stream time.
+// Called by the engine after emitting the windows a watermark closed.
+// The sweep walks only the per-epoch candidate buckets behind the
+// horizon — ids whose stamp was last set back then — so its cost is
+// proportional to the intern activity of those epochs, not to the
+// table size.
 func (b *bindings) expire(epoch int64) {
 	if !b.evict || b.nslots == 0 {
 		return
@@ -207,32 +225,73 @@ func (b *bindings) expire(epoch int64) {
 	// Keep entries touched in this epoch or the previous one: a window
 	// spans at most Within = one epoch length, so a window containing a
 	// touch in epoch e has fully closed once the watermark reaches
-	// epoch e+2 — stamps <= epoch-2 are unreferenced.
+	// epoch e+2 — stamps <= epoch-2 are unreferenced. Bucket keys are
+	// swept in ascending order so the free-list order (and therefore id
+	// recycling) is deterministic.
 	horizon := epoch - 1
-	for id := 1; id < len(b.vals); id++ {
-		if !b.isLiveVal(uint32(id)) || b.valEpoch[id] >= horizon {
-			continue // free-listed already, or still referenced
+	for _, be := range b.expiredBucketKeys(horizon) {
+		for _, id := range b.valBuckets[be] {
+			if !b.isLiveVal(id) || b.valEpoch[id] != be {
+				continue // recycled, or touched again since this bucket
+			}
+			v := b.vals[id]
+			delete(b.valIDs, v)
+			b.vals[id] = ""
+			b.freeVals = append(b.freeVals, id)
+			b.charge(-(int64(len(v)) + 16))
 		}
-		v := b.vals[id]
-		delete(b.valIDs, v)
-		b.vals[id] = ""
-		b.freeVals = append(b.freeVals, uint32(id))
-		b.charge(-(int64(len(v)) + 16))
+		delete(b.valBuckets, be)
 	}
-	for id := 1; id < len(b.vecs); id++ {
-		if b.vecEpoch[id] >= horizon || b.vecs[id] == nil {
-			continue
+	if b.vecBuckets == nil {
+		return
+	}
+	keys := make([]int64, 0, len(b.vecBuckets))
+	for be := range b.vecBuckets {
+		if be < horizon {
+			keys = append(keys, be)
 		}
-		vec := b.vecs[id]
-		k := b.scratchKey[:0]
-		for _, v := range vec {
-			k = append(k, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	sortEpochs(keys)
+	for _, be := range keys {
+		for _, id := range b.vecBuckets[be] {
+			if b.vecs[id] == nil || b.vecEpoch[id] != be {
+				continue
+			}
+			vec := b.vecs[id]
+			k := b.scratchKey[:0]
+			for _, v := range vec {
+				k = append(k, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+			}
+			b.scratchKey = k
+			delete(b.vecIDs, string(k))
+			b.vecs[id] = nil
+			b.freeVecs = append(b.freeVecs, id)
+			b.charge(-(int64(8*len(vec)) + 16))
 		}
-		b.scratchKey = k
-		delete(b.vecIDs, string(k))
-		b.vecs[id] = nil
-		b.freeVecs = append(b.freeVecs, bkey(id))
-		b.charge(-(int64(8*len(vec)) + 16))
+		delete(b.vecBuckets, be)
+	}
+}
+
+// expiredBucketKeys returns the value-bucket epochs behind the
+// horizon, ascending.
+func (b *bindings) expiredBucketKeys(horizon int64) []int64 {
+	keys := make([]int64, 0, len(b.valBuckets))
+	for be := range b.valBuckets {
+		if be < horizon {
+			keys = append(keys, be)
+		}
+	}
+	sortEpochs(keys)
+	return keys
+}
+
+// sortEpochs sorts a small epoch-key slice ascending (insertion sort:
+// the live bucket population is a handful of epochs).
+func sortEpochs(keys []int64) {
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
 	}
 }
 
@@ -302,8 +361,9 @@ func (b *bindings) internVec(vec []uint32) bkey {
 	}
 	b.scratchKey = k
 	if id, ok := b.vecIDs[string(k)]; ok {
-		if b.evict {
+		if b.evict && b.vecEpoch[id] != b.epoch {
 			b.vecEpoch[id] = b.epoch
+			b.vecBuckets[b.epoch] = append(b.vecBuckets[b.epoch], id)
 		}
 		return id
 	}
@@ -321,6 +381,7 @@ func (b *bindings) internVec(vec []uint32) bkey {
 	}
 	if b.evict {
 		b.vecEpoch[id] = b.epoch
+		b.vecBuckets[b.epoch] = append(b.vecBuckets[b.epoch], id)
 	}
 	b.vecIDs[string(k)] = id
 	b.charge(int64(8*len(vec)) + 16) // vector + packed-bytes key

@@ -1,6 +1,10 @@
 package core
 
-import "errors"
+import (
+	"errors"
+
+	"repro/internal/snap"
+)
 
 // Sentinel errors of the data plane. Every layer — engine, runtime,
 // stream router, public Session — wraps these with fmt.Errorf("...: %w")
@@ -33,4 +37,18 @@ var (
 	// under the Reject policy) and admitting the event would not release
 	// any buffered one: the source must stop or advance its watermark.
 	ErrBackpressure = errors.New("reorder buffer full")
+
+	// ErrBadSnapshot marks a checkpoint stream Restore could not decode:
+	// truncated, corrupted (checksum mismatch), written by a different
+	// format version, or structurally impossible. The snapshot codec
+	// guarantees decoding never panics and never allocates more than the
+	// input can justify.
+	ErrBadSnapshot = snap.ErrBadSnapshot
+
+	// ErrSinkPanic marks a subscription failed because its user-supplied
+	// Sink / OnResult callback panicked. The panic is recovered — the
+	// stream and the other subscriptions keep running — and the failed
+	// subscription reports it via Err; further results for that
+	// subscription are buffered instead of delivered.
+	ErrSinkPanic = errors.New("sink panicked")
 )

@@ -1,0 +1,9 @@
+package metrics
+
+// Restore sets both counters verbatim, used by checkpoint restore to
+// make logical-memory accounting continuous across a crash: state
+// reloading re-executes Add calls whose running values are then
+// overwritten with the exact counters the snapshot recorded.
+func (a *Accountant) Restore(cur, peak int64) {
+	a.cur, a.peak = cur, peak
+}

@@ -1,0 +1,259 @@
+package query
+
+import (
+	"fmt"
+
+	"repro/internal/agg"
+	"repro/internal/pattern"
+	"repro/internal/predicate"
+	"repro/internal/snap"
+	"repro/internal/window"
+)
+
+// Structural snapshot codec for queries: a checkpoint records each
+// subscription's query by structure (not by source text, which a
+// Builder-constructed query never had) and restore recompiles it
+// against the restored catalog. Only declarative state is encoded;
+// queries carrying opaque predicate functions (Adjacent.NumFn/Fn) or
+// non-float64/string Local values cannot be checkpointed and fail at
+// Snapshot time with a descriptive error.
+
+// maxPatternDepth bounds pattern-AST recursion while decoding, so a
+// corrupt snapshot cannot drive unbounded stack growth.
+const maxPatternDepth = 1000
+
+// Pattern node tags.
+const (
+	tagType uint8 = iota
+	tagSeq
+	tagPlus
+	tagStar
+	tagOpt
+	tagOr
+	tagNot
+)
+
+// Snapshot writes q's structure to w.
+func (q *Query) Snapshot(w *snap.Writer) error {
+	w.U32(uint32(len(q.Returns)))
+	for _, s := range q.Returns {
+		if err := s.Validate(); err != nil {
+			return fmt.Errorf("snapshot query: %w", err)
+		}
+		w.U8(uint8(s.Func))
+		w.Str(s.Alias)
+		w.Str(s.Attr)
+	}
+	writeGroupKeys(w, q.ReturnKeys)
+	if err := writePattern(w, q.Pattern); err != nil {
+		return err
+	}
+	w.U8(uint8(q.Semantics))
+	where := q.Where
+	if where == nil {
+		where = &predicate.Set{}
+	}
+	w.U32(uint32(len(where.Locals)))
+	for _, p := range where.Locals {
+		w.Str(p.Alias)
+		w.Str(p.Attr)
+		w.U8(uint8(p.Op))
+		switch v := p.Value.(type) {
+		case float64:
+			w.U8(0)
+			w.F64(v)
+		case string:
+			w.U8(1)
+			w.Str(v)
+		default:
+			return fmt.Errorf("snapshot query: local predicate value %T is not serializable (float64 or string)", p.Value)
+		}
+	}
+	w.U32(uint32(len(where.Equivalences)))
+	for _, p := range where.Equivalences {
+		w.Str(p.Alias)
+		w.Str(p.Attr)
+	}
+	w.U32(uint32(len(where.Adjacents)))
+	for _, p := range where.Adjacents {
+		if p.NumFn != nil || p.Fn != nil {
+			return fmt.Errorf("snapshot query: adjacent predicate %s.%s carries an opaque comparison function and cannot be checkpointed", p.Left, p.LeftAttr)
+		}
+		w.Str(p.Left)
+		w.Str(p.LeftAttr)
+		w.U8(uint8(p.Op))
+		w.Str(p.Right)
+		w.Str(p.RightAttr)
+	}
+	writeGroupKeys(w, q.GroupBy)
+	w.I64(q.Window.Within)
+	w.I64(q.Window.Slide)
+	return nil
+}
+
+// RestoreQuery decodes one query written by Snapshot.
+func RestoreQuery(r *snap.Reader) (*Query, error) {
+	q := &Query{}
+	n := r.Count(3)
+	for i := 0; i < n; i++ {
+		fn := agg.Func(r.U8())
+		if fn > agg.Avg {
+			return nil, fmt.Errorf("%w: aggregate func %d", snap.ErrBadSnapshot, fn)
+		}
+		q.Returns = append(q.Returns, agg.Spec{Func: fn, Alias: r.Str(), Attr: r.Str()})
+	}
+	q.ReturnKeys = readGroupKeys(r)
+	p, err := readPattern(r, 0)
+	if err != nil {
+		return nil, err
+	}
+	q.Pattern = p
+	sem := Semantics(r.U8())
+	if sem > Cont {
+		return nil, fmt.Errorf("%w: semantics %d", snap.ErrBadSnapshot, sem)
+	}
+	q.Semantics = sem
+	where := &predicate.Set{}
+	n = r.Count(10)
+	for i := 0; i < n; i++ {
+		p := predicate.Local{Alias: r.Str(), Attr: r.Str(), Op: predicate.Op(r.U8())}
+		if p.Op > predicate.Ne {
+			return nil, fmt.Errorf("%w: predicate op %d", snap.ErrBadSnapshot, p.Op)
+		}
+		switch kind := r.U8(); kind {
+		case 0:
+			p.Value = r.F64()
+		case 1:
+			p.Value = r.Str()
+		default:
+			if r.Err() == nil {
+				return nil, fmt.Errorf("%w: local predicate value kind %d", snap.ErrBadSnapshot, kind)
+			}
+		}
+		where.Locals = append(where.Locals, p)
+	}
+	n = r.Count(8)
+	for i := 0; i < n; i++ {
+		where.Equivalences = append(where.Equivalences, predicate.Equivalence{Alias: r.Str(), Attr: r.Str()})
+	}
+	n = r.Count(17)
+	for i := 0; i < n; i++ {
+		p := predicate.Adjacent{Left: r.Str(), LeftAttr: r.Str(), Op: predicate.Op(r.U8()),
+			Right: r.Str(), RightAttr: r.Str()}
+		if p.Op > predicate.Ne {
+			return nil, fmt.Errorf("%w: predicate op %d", snap.ErrBadSnapshot, p.Op)
+		}
+		where.Adjacents = append(where.Adjacents, p)
+	}
+	q.Where = where
+	q.GroupBy = readGroupKeys(r)
+	q.Window = window.Spec{Within: r.I64(), Slide: r.I64()}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if err := q.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: restored query invalid: %v", snap.ErrBadSnapshot, err)
+	}
+	return q, nil
+}
+
+func writeGroupKeys(w *snap.Writer, keys []GroupKey) {
+	w.U32(uint32(len(keys)))
+	for _, k := range keys {
+		w.Str(k.Alias)
+		w.Str(k.Attr)
+	}
+}
+
+func readGroupKeys(r *snap.Reader) []GroupKey {
+	n := r.Count(8)
+	var out []GroupKey
+	for i := 0; i < n; i++ {
+		out = append(out, GroupKey{Alias: r.Str(), Attr: r.Str()})
+	}
+	return out
+}
+
+func writePattern(w *snap.Writer, p pattern.Node) error {
+	switch v := p.(type) {
+	case *pattern.TypeNode:
+		w.U8(tagType)
+		w.Str(v.EventType)
+		w.Str(v.Alias)
+	case *pattern.SeqNode:
+		w.U8(tagSeq)
+		w.U32(uint32(len(v.Parts)))
+		for _, c := range v.Parts {
+			if err := writePattern(w, c); err != nil {
+				return err
+			}
+		}
+	case *pattern.PlusNode:
+		w.U8(tagPlus)
+		return writePattern(w, v.Sub)
+	case *pattern.StarNode:
+		w.U8(tagStar)
+		return writePattern(w, v.Sub)
+	case *pattern.OptNode:
+		w.U8(tagOpt)
+		return writePattern(w, v.Sub)
+	case *pattern.OrNode:
+		w.U8(tagOr)
+		w.U32(uint32(len(v.Parts)))
+		for _, c := range v.Parts {
+			if err := writePattern(w, c); err != nil {
+				return err
+			}
+		}
+	case *pattern.NotNode:
+		w.U8(tagNot)
+		return writePattern(w, v.Sub)
+	default:
+		return fmt.Errorf("snapshot query: unknown pattern node %T", p)
+	}
+	return nil
+}
+
+func readPattern(r *snap.Reader, depth int) (pattern.Node, error) {
+	if depth > maxPatternDepth {
+		return nil, fmt.Errorf("%w: pattern nesting exceeds %d", snap.ErrBadSnapshot, maxPatternDepth)
+	}
+	switch tag := r.U8(); tag {
+	case tagType:
+		return &pattern.TypeNode{EventType: r.Str(), Alias: r.Str()}, nil
+	case tagSeq, tagOr:
+		n := r.Count(1)
+		parts := make([]pattern.Node, 0, min(n, 64))
+		for i := 0; i < n; i++ {
+			c, err := readPattern(r, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			parts = append(parts, c)
+		}
+		if tag == tagSeq {
+			return &pattern.SeqNode{Parts: parts}, nil
+		}
+		return &pattern.OrNode{Parts: parts}, nil
+	case tagPlus, tagStar, tagOpt, tagNot:
+		sub, err := readPattern(r, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		switch tag {
+		case tagPlus:
+			return &pattern.PlusNode{Sub: sub}, nil
+		case tagStar:
+			return &pattern.StarNode{Sub: sub}, nil
+		case tagOpt:
+			return &pattern.OptNode{Sub: sub}, nil
+		default:
+			return &pattern.NotNode{Sub: sub}, nil
+		}
+	default:
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("%w: pattern node tag %d", snap.ErrBadSnapshot, tag)
+	}
+}

@@ -1,0 +1,92 @@
+package runtime
+
+// Checkpoint codec for the single-threaded runtime: stream position
+// plus every subscription's engine state. Plans are NOT serialized
+// here — the session layer snapshots queries and recompiles them
+// against the restored catalog; this codec records only which plan
+// index each subscription uses.
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/snap"
+)
+
+// Snapshot writes the runtime's execution state. planIdxByID maps a
+// subscription id to the index of its plan in the session-level plan
+// table; it is keyed by id rather than plan pointer because one plan
+// can legitimately host several subscriptions.
+func (rt *Runtime) Snapshot(w *snap.Writer, planIdxByID map[int]int32) error {
+	w.I64(rt.lastTime)
+	w.Bool(rt.sawEvent)
+	w.I64(rt.seq)
+	w.Int(rt.nextID)
+	w.U32(uint32(len(rt.subs)))
+	for _, s := range rt.subs {
+		pi, ok := planIdxByID[s.id]
+		if !ok {
+			return fmt.Errorf("runtime snapshot: subscription %d has no plan index", s.id)
+		}
+		w.Int(s.id)
+		w.U32(uint32(pi))
+		s.eng.Snapshot(w)
+	}
+	return nil
+}
+
+// RestoreRuntime rebuilds a runtime from Snapshot on a restored
+// catalog. plans holds the recompiled plans indexed as during
+// Snapshot; engOpts yields the engine options for a subscription using
+// plan index pi (the caller wires accountants and eviction there). The
+// catalog reference counts are rebuilt by re-retaining each hosted
+// plan, mirroring live subscribe.
+func RestoreRuntime(cat *core.Catalog, r *snap.Reader, plans []*core.Plan, engOpts func(pi int) []core.Option) (*Runtime, error) {
+	rt := NewOn(cat)
+	rt.lastTime = r.I64()
+	rt.sawEvent = r.Bool()
+	rt.seq = r.I64()
+	nextID := r.Int()
+	n := r.Count(20)
+	seen := map[int]bool{}
+	for i := 0; i < n; i++ {
+		id := r.Int()
+		pi := int(r.U32())
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		if id < 0 || id >= nextID || seen[id] {
+			return nil, fmt.Errorf("%w: runtime subscription id %d out of range or repeated", snap.ErrBadSnapshot, id)
+		}
+		if pi < 0 || pi >= len(plans) || plans[pi] == nil {
+			return nil, fmt.Errorf("%w: runtime subscription %d references plan %d of %d", snap.ErrBadSnapshot, id, pi, len(plans))
+		}
+		seen[id] = true
+		plan := plans[pi]
+		if err := cat.Retain(plan); err != nil {
+			// The plan was recompiled against this very catalog moments
+			// ago; a failed retain means the snapshot is inconsistent.
+			return nil, fmt.Errorf("%w: retaining plan for subscription %d: %v", snap.ErrBadSnapshot, id, err)
+		}
+		eng := core.NewEngine(plan, engOpts(pi)...)
+		if err := eng.RestoreState(r); err != nil {
+			cat.Release(plan)
+			return nil, err
+		}
+		s := &Subscription{id: id, plan: plan, eng: eng, rt: rt, active: true}
+		rt.subs = append(rt.subs, s)
+		rt.index(s)
+	}
+	rt.nextID = nextID
+	return rt, nil
+}
+
+// Lookup returns the live subscription with the given id, or nil.
+func (rt *Runtime) Lookup(id int) *Subscription {
+	for _, s := range rt.subs {
+		if s.id == id {
+			return s
+		}
+	}
+	return nil
+}

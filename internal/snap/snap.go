@@ -1,0 +1,241 @@
+// Package snap is the binary snapshot codec underlying checkpoint /
+// restore: a versioned, length-prefixed, CRC-protected format with a
+// sticky-error reader that validates every length against the bytes
+// actually remaining, so corrupt or adversarial inputs fail with a
+// typed error instead of panicking or over-allocating.
+//
+// The format is deliberately simple — little-endian fixed-width
+// integers, length-prefixed byte strings — because restore must
+// reproduce executor state bit-for-bit and a self-describing format
+// would only add places for drift to hide.
+package snap
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// ErrBadSnapshot is wrapped by every decode failure: truncation,
+// version skew, checksum mismatch, or structurally impossible lengths.
+var ErrBadSnapshot = errors.New("bad snapshot")
+
+// Magic identifies a COGRA snapshot stream.
+const Magic = "COGRASNP"
+
+// Version is the current snapshot format version. Restore accepts
+// exactly this version: the format captures private executor state, so
+// cross-version compatibility is out of scope (checkpoints are
+// re-taken after an upgrade).
+const Version uint32 = 1
+
+// Writer accumulates a snapshot payload in memory.
+type Writer struct {
+	b []byte
+}
+
+// Len returns the bytes written so far.
+func (w *Writer) Len() int { return len(w.b) }
+
+// Raw returns the accumulated payload bytes without framing, for
+// nesting one writer's output inside another via Bytes.
+func (w *Writer) Raw() []byte { return w.b }
+
+func (w *Writer) U8(v uint8)   { w.b = append(w.b, v) }
+func (w *Writer) U32(v uint32) { w.b = binary.LittleEndian.AppendUint32(w.b, v) }
+func (w *Writer) U64(v uint64) { w.b = binary.LittleEndian.AppendUint64(w.b, v) }
+func (w *Writer) I64(v int64)  { w.U64(uint64(v)) }
+func (w *Writer) Int(v int)    { w.I64(int64(v)) }
+func (w *Writer) F64(v float64) {
+	w.U64(math.Float64bits(v))
+}
+
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
+}
+
+// Str writes a length-prefixed string.
+func (w *Writer) Str(s string) {
+	w.U32(uint32(len(s)))
+	w.b = append(w.b, s...)
+}
+
+// Bytes writes a length-prefixed byte slice.
+func (w *Writer) Bytes(p []byte) {
+	w.U32(uint32(len(p)))
+	w.b = append(w.b, p...)
+}
+
+// Frame wraps the accumulated payload in the snapshot envelope —
+// magic, version, payload length, payload, CRC-32 (IEEE) of the
+// payload — and writes it to out.
+func (w *Writer) Frame(out io.Writer) error {
+	var hdr []byte
+	hdr = append(hdr, Magic...)
+	hdr = binary.LittleEndian.AppendUint32(hdr, Version)
+	hdr = binary.LittleEndian.AppendUint64(hdr, uint64(len(w.b)))
+	if _, err := out.Write(hdr); err != nil {
+		return err
+	}
+	if _, err := out.Write(w.b); err != nil {
+		return err
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(w.b))
+	_, err := out.Write(crc[:])
+	return err
+}
+
+// Reader decodes a snapshot payload with a sticky error: after the
+// first failure every subsequent read returns zero values, so decode
+// code reads fields unconditionally and checks Err once per region.
+type Reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+// maxFrame bounds the declared payload length Open will buffer, so a
+// corrupt header cannot drive an over-allocation. Snapshots of real
+// sessions are far below this.
+const maxFrame = 1 << 32 // 4 GiB
+
+// Open validates the envelope (magic, version, length, CRC) from r and
+// returns a payload reader. All failures wrap ErrBadSnapshot.
+func Open(r io.Reader) (*Reader, error) {
+	hdr := make([]byte, len(Magic)+4+8)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, fmt.Errorf("%w: short header: %v", ErrBadSnapshot, err)
+	}
+	if string(hdr[:len(Magic)]) != Magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadSnapshot)
+	}
+	ver := binary.LittleEndian.Uint32(hdr[len(Magic):])
+	if ver != Version {
+		return nil, fmt.Errorf("%w: version %d (this build reads version %d)", ErrBadSnapshot, ver, Version)
+	}
+	n := binary.LittleEndian.Uint64(hdr[len(Magic)+4:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("%w: payload length %d exceeds limit", ErrBadSnapshot, n)
+	}
+	// Read payload + CRC without trusting n for a single allocation:
+	// io.ReadAll of a LimitReader grows the buffer only as bytes arrive,
+	// so a huge declared length over a short stream fails cheaply.
+	body, err := io.ReadAll(io.LimitReader(r, int64(n)+4))
+	if err != nil {
+		return nil, fmt.Errorf("%w: reading payload: %v", ErrBadSnapshot, err)
+	}
+	if uint64(len(body)) != n+4 {
+		return nil, fmt.Errorf("%w: truncated payload (%d of %d bytes)", ErrBadSnapshot, len(body), n+4)
+	}
+	payload, crc := body[:n], binary.LittleEndian.Uint32(body[n:])
+	if crc32.ChecksumIEEE(payload) != crc {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrBadSnapshot)
+	}
+	return &Reader{b: payload}, nil
+}
+
+// NewReader wraps a raw payload (no envelope) for tests.
+func NewReader(payload []byte) *Reader { return &Reader{b: payload} }
+
+// Err returns the sticky decode error, already wrapping ErrBadSnapshot.
+func (r *Reader) Err() error { return r.err }
+
+// Rem returns the unread bytes remaining.
+func (r *Reader) Rem() int { return len(r.b) - r.off }
+
+func (r *Reader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: %s (offset %d)", ErrBadSnapshot, fmt.Sprintf(format, args...), r.off)
+	}
+}
+
+func (r *Reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.Rem() < n {
+		r.fail("need %d bytes, have %d", n, r.Rem())
+		return nil
+	}
+	p := r.b[r.off : r.off+n]
+	r.off += n
+	return p
+}
+
+func (r *Reader) U8() uint8 {
+	p := r.take(1)
+	if p == nil {
+		return 0
+	}
+	return p[0]
+}
+
+func (r *Reader) U32() uint32 {
+	p := r.take(4)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(p)
+}
+
+func (r *Reader) U64() uint64 {
+	p := r.take(8)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(p)
+}
+
+func (r *Reader) I64() int64   { return int64(r.U64()) }
+func (r *Reader) Int() int     { return int(r.I64()) }
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+func (r *Reader) Bool() bool   { return r.U8() != 0 }
+func (r *Reader) Str() string  { return string(r.take(int(r.U32()))) }
+func (r *Reader) RawBytes() []byte {
+	p := r.take(int(r.U32()))
+	if p == nil {
+		return nil
+	}
+	out := make([]byte, len(p))
+	copy(out, p)
+	return out
+}
+
+// Count reads a collection length and validates it against the bytes
+// remaining, given a minimum encoded size per element, so a corrupt
+// length can never drive an over-allocation: a slice of n elements is
+// only ever allocated when at least n*elemMin bytes are actually
+// present.
+func (r *Reader) Count(elemMin int) int {
+	n := int(r.U32())
+	if r.err != nil {
+		return 0
+	}
+	if elemMin < 1 {
+		elemMin = 1
+	}
+	if n < 0 || n*elemMin > r.Rem() {
+		r.fail("collection of %d elements (min %d bytes each) exceeds %d remaining bytes", n, elemMin, r.Rem())
+		return 0
+	}
+	return n
+}
+
+// Close verifies the payload was fully consumed.
+func (r *Reader) Close() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.Rem() != 0 {
+		r.fail("%d trailing bytes", r.Rem())
+	}
+	return r.err
+}

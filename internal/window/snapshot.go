@@ -1,0 +1,43 @@
+package window
+
+import "sort"
+
+// Checkpoint accessors. The manager's bookkeeping (active wids,
+// emission cursor, max wid) is private on purpose — these two hooks
+// expose exactly what a snapshot needs, keeping the state-machine
+// invariants (emitted only moves forward, active never holds emitted
+// wids) inside the package.
+
+// Cursor returns the watermark bookkeeping: the emission cursor (all
+// wids < emitted are closed), the largest wid ever seen, and whether
+// any window was ever created.
+func (m *Manager[T]) Cursor() (emitted, maxWid int64, everSawWid bool) {
+	return m.emitted, m.maxWid, m.everSawWid
+}
+
+// ActiveWids returns the live window ids in ascending order.
+func (m *Manager[T]) ActiveWids() []int64 {
+	wids := make([]int64, 0, len(m.active))
+	for wid := range m.active {
+		wids = append(wids, wid)
+	}
+	sort.Slice(wids, func(i, j int) bool { return wids[i] < wids[j] })
+	return wids
+}
+
+// State returns the live state of one window id.
+func (m *Manager[T]) State(wid int64) (T, bool) {
+	st, ok := m.active[wid]
+	return st, ok
+}
+
+// RestoreCursor sets the watermark bookkeeping verbatim; used by
+// checkpoint restore before re-adding window states.
+func (m *Manager[T]) RestoreCursor(emitted, maxWid int64, everSawWid bool) {
+	m.emitted, m.maxWid, m.everSawWid = emitted, maxWid, everSawWid
+}
+
+// RestoreState re-installs one live window state verbatim.
+func (m *Manager[T]) RestoreState(wid int64, st T) {
+	m.active[wid] = st
+}

@@ -1,0 +1,185 @@
+//go:build ignore
+
+// gen_fuzz_corpus regenerates the committed seed corpus for
+// FuzzSnapshotDecode (testdata/fuzz/FuzzSnapshotDecode). It builds the
+// same kind of valid snapshot as the fuzz target's programmatic seed —
+// three granularities subscribed, one unsubscribed (tombstoned catalog
+// ids), a slack buffer holding events, intern eviction on, a
+// mid-stream cut — then writes that snapshot plus the canonical
+// corruption mutants (truncations, a bit flip, a version skew, an
+// oversized declared length, an empty input, a bare magic) as Go fuzz
+// corpus files. Run from the repo root:
+//
+//	go run scripts/gen_fuzz_corpus.go
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	cogra "repro"
+)
+
+const corpusDir = "testdata/fuzz/FuzzSnapshotDecode"
+
+// seedStream mirrors the shape of the test suite's session stream:
+// A/B sequences, M measurement walks and X noise over three patients,
+// dense equal-timestamp runs and idle gaps. Deterministic (fixed rand
+// seed) so regeneration is reproducible.
+func seedStream(n int) []*cogra.Event {
+	rng := rand.New(rand.NewSource(17))
+	rates := [3]float64{60, 70, 80}
+	out := make([]*cogra.Event, 0, n)
+	tm := int64(0)
+	for i := 0; i < n; i++ {
+		p := rng.Intn(3)
+		patient := fmt.Sprintf("p%d", p)
+		ward := fmt.Sprintf("w%d", rng.Intn(2))
+		var ev *cogra.Event
+		switch x := rng.Intn(10); {
+		case x < 3:
+			ev = cogra.NewEvent("A", tm).WithSym("patient", patient).
+				WithSym("ward", ward).WithNum("v", float64(rng.Intn(100)))
+		case x < 5:
+			ev = cogra.NewEvent("B", tm).WithSym("patient", patient).
+				WithSym("ward", ward).WithNum("v", float64(rng.Intn(100)))
+		case x < 8:
+			rates[p] += float64(rng.Intn(7)) - 3
+			ev = cogra.NewEvent("M", tm).WithSym("patient", patient).
+				WithSym("ward", ward).WithNum("rate", rates[p])
+		default:
+			ev = cogra.NewEvent("X", tm).WithSym("patient", patient).
+				WithSym("ward", ward).WithNum("noise", 1)
+		}
+		ev.ID = int64(i + 1)
+		out = append(out, ev)
+		switch rng.Intn(8) {
+		case 0, 1, 2: // dense run: same time stamp
+		case 7:
+			tm += 30 + int64(rng.Intn(150)) // idle gap spanning windows
+		default:
+			tm++
+		}
+	}
+	return out
+}
+
+// shuffleBounded shuffles within fixed-size blocks and reports the
+// slack needed to repair the disorder.
+func shuffleBounded(events []*cogra.Event, block int, seed int64) ([]*cogra.Event, int64) {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*cogra.Event, len(events))
+	copy(out, events)
+	for i := 0; i+block-1 < len(out); i += block {
+		rng.Shuffle(block, func(a, b int) {
+			out[i+a], out[i+b] = out[i+b], out[i+a]
+		})
+	}
+	var slack, maxSeen int64
+	for i, e := range out {
+		if i == 0 || e.Time > maxSeen {
+			maxSeen = e.Time
+		}
+		if d := maxSeen - e.Time; d > slack {
+			slack = d
+		}
+	}
+	return out, slack
+}
+
+func seedSnapshot() ([]byte, error) {
+	queries := map[string]string{
+		"type": `
+			RETURN COUNT(*), SUM(A.v)
+			PATTERN (SEQ(A+, B))+
+			SEMANTICS skip-till-any-match
+			WHERE [patient] GROUP-BY patient
+			WITHIN 64 SLIDE 32`,
+		"pattern": `
+			RETURN COUNT(*)
+			PATTERN M+
+			SEMANTICS skip-till-next-match
+			WHERE [patient] AND M.rate <= NEXT(M).rate
+			GROUP-BY patient
+			WITHIN 96 SLIDE 48`,
+		"mixed": `
+			RETURN COUNT(*), MAX(M.rate)
+			PATTERN M+
+			SEMANTICS skip-till-any-match
+			WHERE [patient] AND M.rate < NEXT(M).rate
+			GROUP-BY patient
+			WITHIN 64 SLIDE 64`,
+	}
+	shuffled, slack := shuffleBounded(seedStream(400), 6, 7)
+	sess := cogra.NewSession(cogra.WithSlack(slack), cogra.WithInternEviction())
+	for _, name := range []string{"type", "pattern"} {
+		if _, err := sess.Subscribe(cogra.MustParse(queries[name])); err != nil {
+			return nil, fmt.Errorf("subscribe %s: %w", name, err)
+		}
+	}
+	extra, err := sess.Subscribe(cogra.MustParse(queries["mixed"]))
+	if err != nil {
+		return nil, fmt.Errorf("subscribe mixed: %w", err)
+	}
+	if err := sess.PushBatch(shuffled[:300]); err != nil {
+		return nil, err
+	}
+	extra.Unsubscribe()
+	var buf bytes.Buffer
+	if err := sess.Snapshot(&buf); err != nil {
+		return nil, err
+	}
+	if err := sess.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func writeCorpus(name string, data []byte) error {
+	body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+	return os.WriteFile(filepath.Join(corpusDir, name), []byte(body), 0o644)
+}
+
+func main() {
+	valid, err := seedSnapshot()
+	if err != nil {
+		log.Fatal("gen_fuzz_corpus: ", err)
+	}
+	if err := os.MkdirAll(corpusDir, 0o755); err != nil {
+		log.Fatal("gen_fuzz_corpus: ", err)
+	}
+
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/3] ^= 0x40
+	skewed := append([]byte(nil), valid...)
+	skewed[8] = 0xff // version word
+	oversized := append([]byte(nil), valid...)
+	for i := 12; i < 20; i++ {
+		oversized[i] = 0xff // declared payload length far beyond the data
+	}
+
+	seeds := []struct {
+		name string
+		data []byte
+	}{
+		{"seed_valid", valid},
+		{"seed_truncated_payload", valid[:len(valid)/2]},
+		{"seed_truncated_header", valid[:11]},
+		{"seed_bitflip", flipped},
+		{"seed_version_skew", skewed},
+		{"seed_oversized_length", oversized},
+		{"seed_empty", nil},
+		{"seed_magic_only", []byte("COGRASNP")},
+	}
+	for _, s := range seeds {
+		if err := writeCorpus(s.name, s.data); err != nil {
+			log.Fatal("gen_fuzz_corpus: ", err)
+		}
+	}
+	fmt.Printf("gen_fuzz_corpus: wrote %d seeds to %s (valid snapshot: %d bytes)\n",
+		len(seeds), corpusDir, len(valid))
+}

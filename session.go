@@ -76,6 +76,7 @@ package cogra
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"iter"
 	"sync"
@@ -202,6 +203,7 @@ type Session struct {
 	// a sink BEFORE they would deadlock on mu.
 	dispatching bool
 
+	cfg    sessionCfg // resolved construction options, for Snapshot
 	cat    *core.Catalog
 	rt     *runtime.Runtime      // inline mode (workers <= 1)
 	mx     *stream.MultiExecutor // parallel mode (workers > 1)
@@ -223,7 +225,7 @@ func NewSession(opts ...SessionOption) *Session {
 	for _, opt := range opts {
 		opt(&cfg)
 	}
-	s := &Session{cat: core.NewCatalog(), late: cfg.late, evict: cfg.evict}
+	s := &Session{cfg: cfg, cat: core.NewCatalog(), late: cfg.late, evict: cfg.evict}
 	if cfg.reorder {
 		s.ro = stream.NewReorderer(cfg.slack)
 		if cfg.maxDepth > 0 {
@@ -347,6 +349,9 @@ func (s *Session) SubscribePlan(plan *Plan, opts ...SubscribeOption) (*Subscript
 		opt(&cfg)
 	}
 	sub := &Subscription{sess: s, id: len(s.subs), plan: plan, active: true}
+	if cfg.cb != nil {
+		cfg.cb = guardSink(sub, cfg.cb)
+	}
 	if s.rt != nil {
 		engOpts := []EngineOption{core.WithAccountant(&s.acct)}
 		if s.evict {
@@ -378,6 +383,29 @@ func (s *Session) SubscribePlan(plan *Plan, opts ...SubscribeOption) (*Subscript
 	}
 	s.subs = append(s.subs, sub)
 	return sub, nil
+}
+
+// guardSink wraps a subscription's sink so a panic inside user code
+// fails the subscription instead of tearing down the goroutine that
+// happened to deliver the result (the feeding goroutine under Push, or
+// a lifecycle call in parallel mode). The first panic is recorded on
+// Subscription.Err wrapping ErrSinkPanic; the sink is never called
+// again, and later results for the failed subscription are discarded —
+// the stream and every other subscription keep running. Sinks only
+// fire with the session lock held, so reading and writing sub.err here
+// is race-free.
+func guardSink(sub *Subscription, fn func(Result)) func(Result) {
+	return func(r Result) {
+		if sub.err != nil && errors.Is(sub.err, ErrSinkPanic) {
+			return
+		}
+		defer func() {
+			if p := recover(); p != nil {
+				sub.err = fmt.Errorf("cogra: sink for query %d panicked: %v: %w", sub.id, p, ErrSinkPanic)
+			}
+		}()
+		fn(r)
+	}
 }
 
 // Push ingests the next stream event for every subscribed query — the

@@ -1,0 +1,358 @@
+package cogra
+
+// Checkpoint/restore: a Session can serialize its complete hosted
+// state at a consistent cut and be rebuilt from those bytes such that
+// the restored session is indistinguishable going forward — pushing
+// the same suffix of the stream into the restored session produces
+// byte-identical results and continuous Stats counters, under every
+// granularity, worker configuration, slack buffer and eviction policy.
+//
+// The cut is consistent by construction. Inline sessions are
+// single-threaded, so the caller's quiescence IS the cut. Parallel
+// sessions first run the executor's control-plane barrier (Sync): when
+// it returns, every worker has applied every event routed so far and
+// is parked on its input channel, and the barrier's reply handshake
+// gives the snapshotting goroutine a happens-before edge to read the
+// workers' runtimes directly. Restore installs each worker's rebuilt
+// runtime before any message is sent on its channel, which publishes
+// it to the worker goroutine the same way.
+//
+// The snapshot serializes live state VERBATIM rather than draining it:
+// the catalog's id spaces including tombstones and free lists (so
+// recompiled queries re-intern to their original ids), the binding
+// intern tables with their eviction stamps, every open window's
+// sub-aggregators including the staged, uncommitted contributions of
+// the current time stamp, the reorder buffer, and every counter a
+// Stats call reports. Draining any of it would make the restored run
+// observably different from the undisturbed one.
+//
+// What does NOT survive: sinks and callbacks (code is not data —
+// restored subscriptions buffer their results for Results/Drain until
+// the caller re-reads them), subscription error states, and the
+// session's position in any external input source (the caller owns
+// replaying the suffix).
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/query"
+	"repro/internal/runtime"
+	"repro/internal/snap"
+	"repro/internal/stream"
+)
+
+// maxRestoreWorkers bounds the worker count accepted from a snapshot,
+// so a corrupt header cannot spawn an absurd goroutine fleet.
+const maxRestoreWorkers = 4096
+
+// Snapshot writes a consistent checkpoint of the session to w in the
+// versioned, CRC-protected snapshot format. The session must be
+// quiescent from the caller's side (no concurrent Push); parallel
+// workers are synchronized internally. The session remains fully
+// usable afterwards — snapshotting is a read-only barrier, and its
+// cost is paid entirely inside this call, never on the ingest path.
+func (s *Session) Snapshot(w io.Writer) error {
+	if s.dispatching {
+		return fmt.Errorf("cogra: Snapshot from within a result sink; defer it until Push returns")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("cogra: Snapshot after Close: %w", ErrClosed)
+	}
+	if s.mx != nil {
+		if err := s.mx.Sync(); err != nil {
+			return err
+		}
+	}
+	var sw snap.Writer
+	sw.Int(s.cfg.workers)
+	sw.I64(s.cfg.slack)
+	sw.Bool(s.cfg.reorder)
+	sw.U8(uint8(s.cfg.late))
+	sw.Int(s.cfg.maxDepth)
+	sw.U8(uint8(s.cfg.depth))
+	sw.Bool(s.cfg.evict)
+	sw.Int(s.roPeak)
+	sw.I64(s.roSeq)
+	sw.I64(s.mxLast)
+	sw.Bool(s.mxSaw)
+	if s.cfg.reorder {
+		s.ro.Snapshot(&sw)
+	}
+	s.cat.Snapshot(&sw)
+	sw.U32(uint32(len(s.subs)))
+	planIdx := map[int]int32{}
+	for _, sub := range s.subs {
+		sw.Bool(sub.active)
+		if sub.active {
+			if err := sub.plan.Query.Snapshot(&sw); err != nil {
+				return err
+			}
+			planIdx[sub.id] = int32(sub.id)
+		}
+		sw.U32(uint32(len(sub.pending)))
+		for _, r := range sub.pending {
+			core.SnapshotResult(&sw, r)
+		}
+	}
+	// Whether any event reached the execution layer: a restore may only
+	// change the worker count while this is false (routing and
+	// worker-local state are frozen by the first dispatched event).
+	sawAny := s.mxSaw
+	if s.rt != nil {
+		sawAny = s.rt.Stats().Events > 0
+	}
+	sw.Bool(sawAny)
+	// The execution topology is nested as one length-prefixed blob, so
+	// a restore that rebuilds a fresh topology (worker-count change on
+	// an event-free snapshot) can skip it wholesale.
+	var tw snap.Writer
+	if s.rt != nil {
+		tw.U8(0)
+		byRsub := map[int]int32{}
+		for _, sub := range s.subs {
+			if sub.active {
+				byRsub[sub.rsub.ID()] = planIdx[sub.id]
+			}
+		}
+		if err := s.rt.Snapshot(&tw, byRsub); err != nil {
+			return err
+		}
+	} else {
+		tw.U8(1)
+		if err := s.mx.Snapshot(&tw, planIdx); err != nil {
+			return err
+		}
+	}
+	sw.Bytes(tw.Raw())
+	if s.rt != nil {
+		sw.I64(s.acct.Current())
+		sw.I64(s.acct.Peak())
+	}
+	return sw.Frame(w)
+}
+
+// Restore rebuilds a session from a Snapshot. The restored session
+// continues exactly where the snapshot was taken: pushing the
+// remaining stream suffix yields byte-identical results, and Stats
+// counters are continuous. Options are applied ON TOP of the
+// snapshot's own configuration; the worker count may only differ from
+// the snapshot's while no event had been ingested yet (the routing
+// function freezes with the first event) — otherwise Restore fails
+// with an error wrapping ErrFrozenRouting.
+//
+// Sinks are not serializable, so restored subscriptions always buffer:
+// re-read results with Subscription.Results or Drain (Session.
+// Subscriptions returns the restored handles, indexed by their
+// original ids).
+func Restore(r io.Reader, opts ...SessionOption) (*Session, error) {
+	rd, err := snap.Open(r)
+	if err != nil {
+		return nil, err
+	}
+	var orig sessionCfg
+	orig.workers = rd.Int()
+	orig.slack = rd.I64()
+	orig.reorder = rd.Bool()
+	late := rd.U8()
+	orig.maxDepth = rd.Int()
+	depth := rd.U8()
+	orig.evict = rd.Bool()
+	if err := rd.Err(); err != nil {
+		return nil, err
+	}
+	if late > uint8(RejectLate) || depth > uint8(Reject) {
+		return nil, fmt.Errorf("%w: session policy out of range (late %d, depth %d)", ErrBadSnapshot, late, depth)
+	}
+	if orig.workers > maxRestoreWorkers || orig.workers < 0 {
+		return nil, fmt.Errorf("%w: session worker count %d", ErrBadSnapshot, orig.workers)
+	}
+	orig.late, orig.depth = LatePolicy(late), DepthPolicy(depth)
+	cfg := orig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	s := &Session{cfg: cfg, late: cfg.late, evict: cfg.evict}
+	s.roPeak = rd.Int()
+	s.roSeq = rd.I64()
+	s.mxLast = rd.I64()
+	s.mxSaw = rd.Bool()
+	if cfg.reorder {
+		s.ro = stream.NewReorderer(cfg.slack)
+		if cfg.maxDepth > 0 {
+			policy := stream.ShedOldest
+			if cfg.depth == Reject {
+				policy = stream.Reject
+			}
+			s.ro.SetMaxDepth(cfg.maxDepth, policy)
+		}
+		if orig.reorder {
+			if err := s.ro.RestoreState(rd); err != nil {
+				return nil, err
+			}
+		}
+	}
+	cat, err := core.RestoreCatalog(rd)
+	if err != nil {
+		return nil, err
+	}
+	s.cat = cat
+	// Recompiling the surviving queries below re-interns their symbols
+	// (hitting the restored ids) but also republishes the catalog,
+	// advancing the epoch; remember the snapshot's marks and re-pin
+	// them once the topology is rebuilt, so diagnostics stay continuous.
+	epochMark, compMark := cat.Epoch(), cat.Compactions()
+	nsubs := rd.Count(5)
+	plans := make([]*Plan, nsubs)
+	actives := make([]bool, nsubs)
+	pendings := make([][]Result, nsubs)
+	for id := 0; id < nsubs; id++ {
+		actives[id] = rd.Bool()
+		if actives[id] {
+			q, err := query.RestoreQuery(rd)
+			if err != nil {
+				return nil, err
+			}
+			plan, err := core.NewPlanIn(cat, q)
+			if err != nil {
+				return nil, fmt.Errorf("%w: recompiling query %d: %v", ErrBadSnapshot, id, err)
+			}
+			plans[id] = plan
+		}
+		np := rd.Count(32)
+		for i := 0; i < np; i++ {
+			res, err := core.RestoreResult(rd)
+			if err != nil {
+				return nil, err
+			}
+			pendings[id] = append(pendings[id], res)
+		}
+	}
+	sawAny := rd.Bool()
+	blob := rd.RawBytes()
+	var acctCur, acctPeak int64
+	if orig.workers <= 1 {
+		acctCur, acctPeak = rd.I64(), rd.I64()
+	}
+	if err := rd.Close(); err != nil {
+		return nil, err
+	}
+
+	normalize := func(n int) int {
+		if n > 1 {
+			return n
+		}
+		return 1
+	}
+	var engOpts []EngineOption
+	if cfg.evict {
+		engOpts = append(engOpts, core.WithInternEviction())
+	}
+	rsubs := make([]*runtime.Subscription, nsubs)
+	msubs := make([]*stream.Sub, nsubs)
+	if normalize(cfg.workers) != normalize(orig.workers) {
+		if sawAny {
+			return nil, fmt.Errorf("cogra: restore with %d workers from a %d-worker snapshot after events flowed (routing is frozen): %w",
+				normalize(cfg.workers), normalize(orig.workers), ErrFrozenRouting)
+		}
+		// Event-free snapshot: the topology blob holds only fresh
+		// construction state, so skip it and re-subscribe the surviving
+		// plans against a fresh topology of the requested width.
+		if cfg.workers > 1 {
+			s.mx = stream.NewMultiExecutorOn(cat, cfg.workers, engOpts...)
+		} else {
+			s.rt = runtime.NewOn(cat)
+		}
+		for id, plan := range plans {
+			if plan == nil {
+				continue
+			}
+			if s.rt != nil {
+				iopts := append([]EngineOption{core.WithAccountant(&s.acct)}, engOpts...)
+				if rsubs[id], err = s.rt.SubscribePlan(plan, iopts...); err != nil {
+					return nil, err
+				}
+			} else if msubs[id], err = s.mx.SubscribePlan(plan); err != nil {
+				s.mx.Close()
+				return nil, err
+			}
+		}
+	} else {
+		brd := snap.NewReader(blob)
+		tag := brd.U8()
+		if cfg.workers > 1 {
+			if tag != 1 {
+				return nil, fmt.Errorf("%w: parallel session with an inline topology blob", ErrBadSnapshot)
+			}
+			mx, err := stream.RestoreMultiExecutor(cat, brd, plans, engOpts...)
+			if err != nil {
+				return nil, err
+			}
+			if err := brd.Close(); err != nil {
+				mx.Close()
+				return nil, err
+			}
+			s.mx = mx
+			for id := range plans {
+				if !actives[id] {
+					continue
+				}
+				msub := mx.Sub(id)
+				if msub == nil || !msub.Active() || msub.Plan() != plans[id] {
+					mx.Close()
+					return nil, fmt.Errorf("%w: subscription %d missing from the executor topology", ErrBadSnapshot, id)
+				}
+				msubs[id] = msub
+			}
+		} else {
+			if tag != 0 {
+				return nil, fmt.Errorf("%w: inline session with a parallel topology blob", ErrBadSnapshot)
+			}
+			iopts := append([]EngineOption{core.WithAccountant(&s.acct)}, engOpts...)
+			rt, err := runtime.RestoreRuntime(cat, brd, plans, func(int) []EngineOption { return iopts })
+			if err != nil {
+				return nil, err
+			}
+			if err := brd.Close(); err != nil {
+				return nil, err
+			}
+			s.rt = rt
+			for id := range plans {
+				if !actives[id] {
+					continue
+				}
+				rsub := rt.Lookup(id)
+				if rsub == nil || rsub.Plan() != plans[id] {
+					return nil, fmt.Errorf("%w: subscription %d missing from the runtime topology", ErrBadSnapshot, id)
+				}
+				rsubs[id] = rsub
+			}
+			s.acct.Restore(acctCur, acctPeak)
+		}
+	}
+	for id := 0; id < nsubs; id++ {
+		s.subs = append(s.subs, &Subscription{
+			sess:    s,
+			id:      id,
+			plan:    plans[id],
+			rsub:    rsubs[id],
+			msub:    msubs[id],
+			active:  actives[id],
+			pending: pendings[id],
+		})
+	}
+	cat.ResetEpoch(epochMark, compMark)
+	return s, nil
+}
+
+// Subscriptions returns the session's subscription handles, active and
+// detached, indexed by their ids — the way back to a restored
+// session's queries and their buffered results.
+func (s *Session) Subscriptions() []*Subscription {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Subscription(nil), s.subs...)
+}

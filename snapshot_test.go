@@ -1,0 +1,339 @@
+package cogra_test
+
+// Differential tests for checkpoint/restore: snapshotting a session at
+// event k, restoring it, and pushing the remaining suffix must be
+// byte-identical to the undisturbed run — results AND Stats counters —
+// across all three granularities, inline and 4-worker sessions, and
+// the slack, intern-eviction and catalog-compaction variants. This
+// extends the repo's differential spine (solo run == session run ==
+// parallel run) with: restore == undisturbed run.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	cogra "repro"
+)
+
+// snapRun feeds events to a session hosting a standing query and the
+// query under test, with optional churn (an extra query subscribed at
+// the start and unsubscribed at event churnAt, forcing catalog
+// compaction). At event snapAt (-1: never) it snapshots, restores, and
+// continues on the restored session. Returns the target's drained
+// results and the final stats rendering.
+func snapRun(t *testing.T, opts []cogra.SessionOption, src string, events []*cogra.Event, snapAt, churnAt int) ([]cogra.Result, string, string) {
+	t.Helper()
+	sess := cogra.NewSession(opts...)
+	if _, err := sess.Subscribe(cogra.MustParse(sessionTestQueries()["type"])); err != nil {
+		t.Fatal(err)
+	}
+	target, err := sess.Subscribe(cogra.MustParse(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var extra *cogra.Subscription
+	if churnAt >= 0 {
+		if extra, err = sess.Subscribe(cogra.MustParse(sessionTestQueries()["mixed"])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var cutStats string
+	targetID := target.ID()
+	for i, e := range events {
+		if extra != nil && i == churnAt {
+			extra.Unsubscribe()
+			if err := extra.Err(); err != nil {
+				t.Fatal(err)
+			}
+			extra = nil
+		}
+		if i == snapAt {
+			var buf bytes.Buffer
+			if err := sess.Snapshot(&buf); err != nil {
+				t.Fatal(err)
+			}
+			before, err := sess.Stats()
+			if err != nil {
+				t.Fatal(err)
+			}
+			sess.Close() // the original "crashes"; discard its tail
+			if sess, err = cogra.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+				t.Fatal(err)
+			}
+			after, err := sess.Stats()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fmt.Sprintf("%+v", after) != fmt.Sprintf("%+v", before) {
+				t.Fatalf("stats not continuous across restore\nbefore: %+v\nafter:  %+v", before, after)
+			}
+			cutStats = fmt.Sprintf("%+v", after)
+			subs := sess.Subscriptions()
+			if len(subs) <= targetID {
+				t.Fatalf("restored session has %d subscriptions, want at least %d", len(subs), targetID+1)
+			}
+			target = subs[targetID]
+			if !target.Active() {
+				t.Fatal("restored target subscription inactive")
+			}
+		}
+		if err := sess.Push(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := sess.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return target.Drain(), fmt.Sprintf("%+v", st), cutStats
+}
+
+func TestSessionSnapshotRestoreDifferential(t *testing.T) {
+	base := sessionTestStream(2400)
+	shuffled, slack := shuffleBounded(base, 6, 99)
+	if slack == 0 {
+		t.Fatal("shuffle produced no disorder; slack variant is vacuous")
+	}
+	variants := map[string]struct {
+		opts    []cogra.SessionOption
+		events  []*cogra.Event
+		churnAt int
+	}{
+		"plain":      {nil, base, -1},
+		"slack":      {[]cogra.SessionOption{cogra.WithSlack(slack)}, shuffled, -1},
+		"eviction":   {[]cogra.SessionOption{cogra.WithInternEviction()}, base, -1},
+		"compaction": {nil, base, len(base) / 4},
+	}
+	snapAt := len(base) / 2
+	for mode, mopts := range sessionModes() {
+		for vname, v := range variants {
+			for qname, src := range sessionTestQueries() {
+				t.Run(mode+"/"+vname+"/"+qname, func(t *testing.T) {
+					opts := append(mopts[:len(mopts):len(mopts)], v.opts...)
+					want, wantStats, _ := snapRun(t, opts, src, v.events, -1, v.churnAt)
+					got, gotStats, _ := snapRun(t, opts, src, v.events, snapAt, v.churnAt)
+					if fmt.Sprintf("%v", got) != fmt.Sprintf("%v", want) {
+						t.Errorf("restored run diverges from undisturbed run\ngot:  %v\nwant: %v", got, want)
+					}
+					if len(want) == 0 {
+						t.Error("no results; differential test is vacuous")
+					}
+					if gotStats != wantStats {
+						t.Errorf("final stats diverge\ngot:  %s\nwant: %s", gotStats, wantStats)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestSessionSnapshotMidTimestamp pins the stream-transaction rule: a
+// snapshot taken between two events of the SAME time stamp (staged,
+// uncommitted aggregator state) restores and finishes identically.
+func TestSessionSnapshotMidTimestamp(t *testing.T) {
+	events := sessionTestStream(2000)
+	// Find a cut strictly inside a dense (equal-time) run.
+	snapAt := -1
+	for i := 1; i < len(events); i++ {
+		if events[i].Time == events[i-1].Time && i > len(events)/2 {
+			snapAt = i
+			break
+		}
+	}
+	if snapAt < 0 {
+		t.Fatal("stream has no dense run after the midpoint")
+	}
+	for mode, mopts := range sessionModes() {
+		for qname, src := range sessionTestQueries() {
+			t.Run(mode+"/"+qname, func(t *testing.T) {
+				want, wantStats, _ := snapRun(t, mopts, src, events, -1, -1)
+				got, gotStats, _ := snapRun(t, mopts, src, events, snapAt, -1)
+				if fmt.Sprintf("%v", got) != fmt.Sprintf("%v", want) {
+					t.Errorf("mid-timestamp restore diverges\ngot:  %v\nwant: %v", got, want)
+				}
+				if gotStats != wantStats {
+					t.Errorf("final stats diverge\ngot:  %s\nwant: %s", gotStats, wantStats)
+				}
+			})
+		}
+	}
+}
+
+// TestRestoreWorkerCount: changing the worker count at restore is
+// allowed only while no event has been ingested; afterwards the
+// routing (and the workers' partitioned state) is frozen and Restore
+// fails with ErrFrozenRouting.
+func TestRestoreWorkerCount(t *testing.T) {
+	events := sessionTestStream(1200)
+
+	t.Run("frozen after events", func(t *testing.T) {
+		sess := cogra.NewSession(cogra.WithWorkers(4))
+		if _, err := sess.Subscribe(cogra.MustParse(sessionTestQueries()["type"])); err != nil {
+			t.Fatal(err)
+		}
+		if err := sess.PushBatch(events[:600]); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := sess.Snapshot(&buf); err != nil {
+			t.Fatal(err)
+		}
+		sess.Close()
+		if _, err := cogra.Restore(bytes.NewReader(buf.Bytes()), cogra.WithWorkers(2)); !errors.Is(err, cogra.ErrFrozenRouting) {
+			t.Fatalf("restore with changed workers after events: err = %v, want ErrFrozenRouting", err)
+		}
+		// The unchanged worker count still restores.
+		if _, err := cogra.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatalf("restore with original workers: %v", err)
+		}
+	})
+
+	t.Run("free before events", func(t *testing.T) {
+		sess := cogra.NewSession()
+		if _, err := sess.Subscribe(cogra.MustParse(sessionTestQueries()["type"])); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := sess.Snapshot(&buf); err != nil {
+			t.Fatal(err)
+		}
+		sess.Close()
+		restored, err := cogra.Restore(bytes.NewReader(buf.Bytes()), cogra.WithWorkers(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := restored.PushBatch(events); err != nil {
+			t.Fatal(err)
+		}
+		if err := restored.Close(); err != nil {
+			t.Fatal(err)
+		}
+		got := restored.Subscriptions()[0].Drain()
+		want := soloRun(t, sessionTestQueries()["type"], events)
+		if fmt.Sprintf("%v", got) != fmt.Sprintf("%v", want) {
+			t.Errorf("event-free snapshot rescaled to 4 workers diverges from solo run\ngot:  %v\nwant: %v", got, want)
+		}
+		if len(want) == 0 {
+			t.Error("no results; test is vacuous")
+		}
+	})
+}
+
+// TestRestoreThenSubscribe: a restored session keeps full dynamic
+// membership — a query subscribed AFTER restore behaves exactly like
+// one subscribed mid-stream in the undisturbed run.
+func TestRestoreThenSubscribe(t *testing.T) {
+	events := sessionTestStream(2400)
+	k := len(events) / 2
+	joinTime := events[k-1].Time
+	src := sessionTestQueries()["mixed"]
+	for mode, mopts := range sessionModes() {
+		t.Run(mode, func(t *testing.T) {
+			sess := cogra.NewSession(mopts...)
+			if _, err := sess.Subscribe(cogra.MustParse(sessionTestQueries()["type"])); err != nil {
+				t.Fatal(err)
+			}
+			if err := sess.PushBatch(events[:k]); err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := sess.Snapshot(&buf); err != nil {
+				t.Fatal(err)
+			}
+			sess.Close()
+			restored, err := cogra.Restore(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			late, err := restored.Subscribe(cogra.MustParse(src))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := restored.PushBatch(events[k:]); err != nil {
+				t.Fatal(err)
+			}
+			if err := restored.Close(); err != nil {
+				t.Fatal(err)
+			}
+			got := late.Drain()
+			want := fullWindowsAfter(soloRun(t, src, events[k:]), joinTime)
+			if fmt.Sprintf("%v", got) != fmt.Sprintf("%v", want) {
+				t.Errorf("post-restore subscriber diverges from suffix solo run\ngot:  %v\nwant: %v", got, want)
+			}
+			if len(want) == 0 {
+				t.Error("no results; test is vacuous")
+			}
+		})
+	}
+}
+
+// TestRestorePendingResults: results buffered but not yet drained at
+// the cut survive the snapshot and come back from the restored
+// subscription's Drain.
+func TestRestorePendingResults(t *testing.T) {
+	events := sessionTestStream(2400)
+	for mode, mopts := range sessionModes() {
+		t.Run(mode, func(t *testing.T) {
+			src := sessionTestQueries()["type"]
+			sess := cogra.NewSession(mopts...)
+			sub, err := sess.Subscribe(cogra.MustParse(src))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sess.PushBatch(events); err != nil {
+				t.Fatal(err)
+			}
+			if err := sess.Close(); err != nil {
+				t.Fatal(err)
+			}
+			want := sub.Drain() // the full run's results, none drained early
+
+			sess2 := cogra.NewSession(mopts...)
+			sub2, err := sess2.Subscribe(cogra.MustParse(src))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sess2.PushBatch(events[:len(events)/2]); err != nil {
+				t.Fatal(err)
+			}
+			// Consume ONE available result and break: the rest moves into
+			// the subscription's session-level pending buffer, which the
+			// snapshot must carry (engine buffers alone would miss it).
+			var early []cogra.Result
+			for r := range sub2.Results() {
+				early = append(early, r)
+				break
+			}
+			if len(early) == 0 {
+				t.Fatal("no results available at the cut; test is vacuous")
+			}
+			var buf bytes.Buffer
+			if err := sess2.Snapshot(&buf); err != nil {
+				t.Fatal(err)
+			}
+			sess2.Close()
+			restored, err := cogra.Restore(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := restored.PushBatch(events[len(events)/2:]); err != nil {
+				t.Fatal(err)
+			}
+			if err := restored.Close(); err != nil {
+				t.Fatal(err)
+			}
+			got := append(early, restored.Subscriptions()[0].Drain()...)
+			if fmt.Sprintf("%v", got) != fmt.Sprintf("%v", want) {
+				t.Errorf("pending results lost or reordered across restore\ngot:  %v\nwant: %v", got, want)
+			}
+			if len(want) == 0 {
+				t.Error("no results; test is vacuous")
+			}
+		})
+	}
+}

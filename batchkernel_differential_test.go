@@ -1,0 +1,426 @@
+package cogra_test
+
+// Differential tests for the columnar batch kernels and the routed
+// executor groups, extending the repo's differential spine:
+//
+//   - batch execution (PushBatch, type-partitioned runs through the
+//     run kernels) is byte-identical to event-at-a-time Push across
+//     all three granularities (plus the contiguous wants-all path) ×
+//     {inline, 4 workers} × {slack, intern eviction, catalog
+//     compaction}, on a run-shaped stream whose type runs carry
+//     equal-timestamp ties and straddle window boundaries;
+//   - a k-group session produces byte-identical results to the
+//     single-group default (groups are full-stream workers — routing
+//     subscribers across more of them cannot change results), and the
+//     group fleet grows by partition-key signature and retires with
+//     its last subscriber;
+//   - snapshot/restore across a mid-batch cut — between two batches
+//     that split an equal-time, same-type run — is byte-identical to
+//     the undisturbed run, with the executor-group topology restored.
+//
+// Runs under -race in CI like the rest of the spine.
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	cogra "repro"
+)
+
+// runShapedStream emits the session test stream reshaped into type
+// runs: bursts of 3–8 events of one type, with timestamps that tie
+// within a burst (dense equal-time runs), advance, or jump far enough
+// mid-burst to cross window boundaries. This is the adversarial shape
+// for the batch kernels — dispatch buckets consecutive same-type
+// events into runs, so the bursts produce long runs that the ties and
+// jumps then split across equal-time groups and window flushes.
+func runShapedStream(n int) []*cogra.Event {
+	rng := rand.New(rand.NewSource(41))
+	rates := [3]float64{60, 70, 80}
+	out := make([]*cogra.Event, 0, n)
+	tm := int64(0)
+	for len(out) < n {
+		p := rng.Intn(3)
+		patient := fmt.Sprintf("p%d", p)
+		kind := rng.Intn(10)
+		burst := 3 + rng.Intn(6)
+		for j := 0; j < burst && len(out) < n; j++ {
+			ward := fmt.Sprintf("w%d", rng.Intn(2))
+			var ev *cogra.Event
+			switch {
+			case kind < 3:
+				ev = cogra.NewEvent("A", tm).WithSym("patient", patient).
+					WithSym("ward", ward).WithNum("v", float64(rng.Intn(100)))
+			case kind < 5:
+				ev = cogra.NewEvent("B", tm).WithSym("patient", patient).
+					WithSym("ward", ward).WithNum("v", float64(rng.Intn(100)))
+			case kind < 8:
+				rates[p] += float64(rng.Intn(7)) - 3
+				ev = cogra.NewEvent("M", tm).WithSym("patient", patient).
+					WithSym("ward", ward).WithNum("rate", rates[p])
+			default:
+				ev = cogra.NewEvent("X", tm).WithSym("patient", patient).
+					WithSym("ward", ward).WithNum("noise", 1)
+			}
+			ev.ID = int64(len(out) + 1)
+			out = append(out, ev)
+			switch rng.Intn(8) {
+			case 0, 1, 2, 3: // tie: the run grows within one timestamp
+			case 7:
+				tm += 20 + int64(rng.Intn(60)) // jump across a window boundary mid-burst
+			default:
+				tm++
+			}
+		}
+	}
+	return out
+}
+
+// assertRunShaped fails unless the stream actually carries the shapes
+// the kernel differentials claim to cover: equal-time same-type runs
+// of meaningful length, and same-type runs whose timestamps cross a
+// window boundary (the queries' smallest slide is 32).
+func assertRunShaped(t *testing.T, events []*cogra.Event) {
+	t.Helper()
+	maxTieRun, straddles, run := 0, 0, 1
+	for i := 1; i < len(events); i++ {
+		if events[i].Type == events[i-1].Type {
+			if events[i].Time == events[i-1].Time {
+				run++
+			} else {
+				if events[i].Time/32 != events[i-1].Time/32 {
+					straddles++
+				}
+				run = 1
+			}
+		} else {
+			run = 1
+		}
+		if run > maxTieRun {
+			maxTieRun = run
+		}
+	}
+	if maxTieRun < 3 {
+		t.Fatalf("stream has no equal-time type run longer than %d; tie coverage is vacuous", maxTieRun)
+	}
+	if straddles == 0 {
+		t.Fatal("no type run straddles a window boundary; straddle coverage is vacuous")
+	}
+}
+
+// kernelRun feeds one query (plus optional compaction churn) through a
+// session: event-at-a-time when batch is false, dispatch-sized batches
+// when true. churnAt must be a multiple of the batch size so both
+// paths unsubscribe the churn query at the same stream position.
+func kernelRun(t *testing.T, opts []cogra.SessionOption, src string, events []*cogra.Event, batch bool, churnAt int) []cogra.Result {
+	t.Helper()
+	sess := cogra.NewSession(opts...)
+	sub, err := sess.Subscribe(cogra.MustParse(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var extra *cogra.Subscription
+	if churnAt >= 0 {
+		if extra, err = sess.Subscribe(cogra.MustParse(sessionTestQueries()["mixed"])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const chunk = 256
+	for i := 0; i < len(events); i += chunk {
+		if extra != nil && i >= churnAt {
+			extra.Unsubscribe()
+			if err := extra.Err(); err != nil {
+				t.Fatal(err)
+			}
+			extra = nil
+		}
+		end := min(i+chunk, len(events))
+		if batch {
+			if err := sess.PushBatch(events[i:end]); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			for _, e := range events[i:end] {
+				if err := sess.Push(e); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return sub.Drain()
+}
+
+// TestSessionBatchKernelDifferential pins the run kernels: batch
+// execution equals event-at-a-time for every granularity × session
+// mode × bounded-state variant, on the run-shaped stream.
+func TestSessionBatchKernelDifferential(t *testing.T) {
+	base := runShapedStream(3000)
+	assertRunShaped(t, base)
+	shuffled, slack := shuffleBounded(base, 6, 7)
+	if slack == 0 {
+		t.Fatal("shuffle produced no disorder; slack variant is vacuous")
+	}
+	variants := map[string]struct {
+		opts    []cogra.SessionOption
+		events  []*cogra.Event
+		churnAt int
+	}{
+		"plain":      {nil, base, -1},
+		"slack":      {[]cogra.SessionOption{cogra.WithSlack(slack)}, shuffled, -1},
+		"eviction":   {[]cogra.SessionOption{cogra.WithInternEviction()}, base, -1},
+		"compaction": {nil, base, 1024},
+	}
+	for mode, mopts := range sessionModes() {
+		for vname, v := range variants {
+			for qname, src := range sessionTestQueries() {
+				t.Run(mode+"/"+vname+"/"+qname, func(t *testing.T) {
+					opts := append(mopts[:len(mopts):len(mopts)], v.opts...)
+					want := kernelRun(t, opts, src, v.events, false, v.churnAt)
+					got := kernelRun(t, opts, src, v.events, true, v.churnAt)
+					if fmt.Sprintf("%v", got) != fmt.Sprintf("%v", want) {
+						t.Errorf("batch kernels diverge from event-at-a-time\ngot:  %v\nwant: %v", got, want)
+					}
+					if len(want) == 0 {
+						t.Error("no results; differential test is vacuous")
+					}
+				})
+			}
+		}
+	}
+}
+
+// groupQueries returns the mid-stream subscribers of the executor
+// group tests: two ward-partitioned queries (one partition-key
+// signature, so one group hosts both) and one unpartitioned global
+// query (its own signature). Subscribed after routing froze on
+// patient, none covers the routing attributes, so all fall back to
+// executor groups.
+func groupQueries() map[string]string {
+	return map[string]string{
+		"ward-seq": `
+			RETURN COUNT(*), SUM(A.v)
+			PATTERN (SEQ(A+, B))+
+			SEMANTICS skip-till-any-match
+			WHERE [ward] GROUP-BY ward
+			WITHIN 64 SLIDE 32`,
+		"ward-trend": `
+			RETURN COUNT(*), MAX(M.rate)
+			PATTERN M+
+			SEMANTICS skip-till-any-match
+			WHERE [ward] AND M.rate < NEXT(M).rate
+			GROUP-BY ward
+			WITHIN 64 SLIDE 64`,
+		"global": `
+			RETURN COUNT(*)
+			PATTERN M+
+			SEMANTICS contiguous
+			WITHIN 64 SLIDE 64`,
+	}
+}
+
+// groupRun drives one executor-group scenario: a patient-partitioned
+// resident freezes the routing over a prefix, the group queries join
+// mid-stream, half the stream flows, one ward query leaves, the rest
+// flows. Returns every subscriber's results plus the group counts
+// observed mid-stream and after all group subscribers left.
+func groupRun(t *testing.T, opts []cogra.SessionOption, events []*cogra.Event) (map[string][]cogra.Result, int, int) {
+	t.Helper()
+	sess := cogra.NewSession(opts...)
+	subs := map[string]*cogra.Subscription{}
+	var err error
+	if subs["resident"], err = sess.Subscribe(cogra.MustParse(sessionTestQueries()["type"])); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.PushBatch(events[:800]); err != nil {
+		t.Fatal(err)
+	}
+	for name, src := range groupQueries() {
+		if subs[name], err = sess.Subscribe(cogra.MustParse(src)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sess.PushBatch(events[800:1600]); err != nil {
+		t.Fatal(err)
+	}
+	st, err := sess.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	midGroups := st.ExecutorGroups
+	results := map[string][]cogra.Result{}
+	results["ward-trend"] = subs["ward-trend"].Unsubscribe()
+	if err := subs["ward-trend"].Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.PushBatch(events[1600:]); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"ward-seq", "global"} {
+		results[name] = subs[name].Unsubscribe()
+		if err := subs[name].Err(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err = sess.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	finalGroups := st.ExecutorGroups
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	results["resident"] = subs["resident"].Drain()
+	return results, midGroups, finalGroups
+}
+
+// TestExecutorGroupsDifferential pins group routing: the same churn
+// schedule on an inline session, a 4-worker single-group session and a
+// 4-worker 3-group session produces byte-identical results for every
+// subscriber; the 3-group fleet clusters the ward queries into one
+// group and the global query into another, and every group retires
+// with its last subscriber.
+func TestExecutorGroupsDifferential(t *testing.T) {
+	events := runShapedStream(2400)
+	inline, _, _ := groupRun(t, nil, events)
+	single, sMid, sFinal := groupRun(t, []cogra.SessionOption{cogra.WithWorkers(4)}, events)
+	routed, rMid, rFinal := groupRun(t, []cogra.SessionOption{cogra.WithWorkers(4), cogra.WithExecutorGroups(3)}, events)
+
+	for name := range inline {
+		if len(inline[name]) == 0 {
+			t.Errorf("%s: no results; differential test is vacuous", name)
+		}
+		if fmt.Sprintf("%v", single[name]) != fmt.Sprintf("%v", inline[name]) {
+			t.Errorf("%s: single-group diverges from inline\ngot:  %v\nwant: %v", name, single[name], inline[name])
+		}
+		if fmt.Sprintf("%v", routed[name]) != fmt.Sprintf("%v", single[name]) {
+			t.Errorf("%s: 3-group diverges from single-group\ngot:  %v\nwant: %v", name, routed[name], single[name])
+		}
+	}
+	if sMid != 1 {
+		t.Errorf("single-group session hosts %d groups mid-stream, want 1", sMid)
+	}
+	if rMid != 2 {
+		t.Errorf("3-group session hosts %d groups mid-stream, want 2 (ward signature + global signature)", rMid)
+	}
+	if sFinal != 0 || rFinal != 0 {
+		t.Errorf("groups outlive their subscribers: single %d, routed %d, want 0", sFinal, rFinal)
+	}
+}
+
+// groupSnapRun is groupRun with a snapshot/restore cut: at event
+// cutAt (-1: never) — chosen inside an equal-time, same-type run, so
+// the cut splits a dispatch run between two batches — it snapshots,
+// discards the session, restores and continues. Returns every
+// subscriber's results plus the final stats rendering.
+func groupSnapRun(t *testing.T, events []*cogra.Event, cutAt int) (map[string][]cogra.Result, string) {
+	t.Helper()
+	sess := cogra.NewSession(cogra.WithWorkers(4), cogra.WithExecutorGroups(3))
+	names := []string{"resident", "ward-seq", "ward-trend", "global"}
+	ids := map[string]int{}
+	subs := map[string]*cogra.Subscription{}
+	var err error
+	if subs["resident"], err = sess.Subscribe(cogra.MustParse(sessionTestQueries()["type"])); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.PushBatch(events[:600]); err != nil {
+		t.Fatal(err)
+	}
+	for name, src := range groupQueries() {
+		if subs[name], err = sess.Subscribe(cogra.MustParse(src)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, name := range names {
+		ids[name] = subs[name].ID()
+	}
+	for i := 600; i < len(events); {
+		end := min(i+256, len(events))
+		if cutAt > i && cutAt < end {
+			end = cutAt
+		}
+		if err := sess.PushBatch(events[i:end]); err != nil {
+			t.Fatal(err)
+		}
+		i = end
+		if i == cutAt {
+			var buf bytes.Buffer
+			if err := sess.Snapshot(&buf); err != nil {
+				t.Fatal(err)
+			}
+			before, err := sess.Stats()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if before.ExecutorGroups != 2 {
+				t.Fatalf("snapshot cut sees %d executor groups, want 2", before.ExecutorGroups)
+			}
+			sess.Close() // the original "crashes"; discard its tail
+			if sess, err = cogra.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+				t.Fatal(err)
+			}
+			after, err := sess.Stats()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fmt.Sprintf("%+v", after) != fmt.Sprintf("%+v", before) {
+				t.Fatalf("stats not continuous across restore\nbefore: %+v\nafter:  %+v", before, after)
+			}
+			all := sess.Subscriptions()
+			for _, name := range names {
+				if ids[name] >= len(all) || !all[ids[name]].Active() {
+					t.Fatalf("restored session lost subscription %s", name)
+				}
+				subs[name] = all[ids[name]]
+			}
+		}
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := sess.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := map[string][]cogra.Result{}
+	for _, name := range names {
+		results[name] = subs[name].Drain()
+	}
+	return results, fmt.Sprintf("%+v", st)
+}
+
+// TestSnapshotRestoreExecutorGroups pins checkpoint/restore for the
+// group topology across a mid-batch cut: the cut lands inside an
+// equal-time, same-type run (splitting it between two batches), the
+// restored session rebuilds both executor groups, and results AND
+// final stats equal the undisturbed run byte-for-byte.
+func TestSnapshotRestoreExecutorGroups(t *testing.T) {
+	events := runShapedStream(2400)
+	cutAt := -1
+	for i := 1000; i < 1800; i++ {
+		if events[i].Time == events[i-1].Time && events[i].Type == events[i-1].Type {
+			cutAt = i
+			break
+		}
+	}
+	if cutAt < 0 {
+		t.Fatal("no equal-time same-type run to cut; mid-batch coverage is vacuous")
+	}
+	want, wantStats := groupSnapRun(t, events, -1)
+	got, gotStats := groupSnapRun(t, events, cutAt)
+	for name := range want {
+		if len(want[name]) == 0 {
+			t.Errorf("%s: no results; differential test is vacuous", name)
+		}
+		if fmt.Sprintf("%v", got[name]) != fmt.Sprintf("%v", want[name]) {
+			t.Errorf("%s: restored run diverges from undisturbed run\ngot:  %v\nwant: %v", name, got[name], want[name])
+		}
+	}
+	if gotStats != wantStats {
+		t.Errorf("final stats diverge\ngot:  %s\nwant: %s", gotStats, wantStats)
+	}
+}

@@ -88,6 +88,8 @@ type runCfg struct {
 	input           string
 	workers         int
 	workersSet      bool // -workers given explicitly (restore: override the checkpoint's fleet size)
+	groups          int
+	groupsSet       bool // -groups given explicitly (restore: override the checkpoint's group cap)
 	slack           int64
 	rejectLate      bool
 	maxDepth        int
@@ -108,6 +110,7 @@ func main() {
 	flag.Var(sourceFlag{&cfg.sources, true}, "file", "file holding one query text; repeatable")
 	flag.StringVar(&cfg.input, "input", "", "CSV event stream (default stdin)")
 	flag.IntVar(&cfg.workers, "workers", 1, "partition-parallel workers")
+	flag.IntVar(&cfg.groups, "groups", 1, "cap on independently-routed executor groups: full-stream workers hosting queries subscribed mid-stream (-follow '+query') whose partition keys do not cover the frozen routing attributes; such queries cluster by partition-key signature (same signature, same group; a new signature starts a group while under the cap, then joins the least-loaded one) and an empty group retires when its last query unsubscribes")
 	flag.Int64Var(&cfg.slack, "slack", -1, "accept events up to this many time units out of order (-1: require in-order input)")
 	flag.BoolVar(&cfg.rejectLate, "late-reject", false, "fail on events beyond -slack instead of dropping them")
 	flag.IntVar(&cfg.maxDepth, "max-reorder-depth", 0, "cap the -slack reorder buffer at this many events (0: unbounded)")
@@ -122,8 +125,11 @@ func main() {
 	flag.StringVar(&cfg.restore, "restore", "", "resume from this checkpoint file instead of starting empty")
 	flag.Parse()
 	flag.Visit(func(f *flag.Flag) {
-		if f.Name == "workers" {
+		switch f.Name {
+		case "workers":
 			cfg.workersSet = true
+		case "groups":
+			cfg.groupsSet = true
 		}
 	})
 
@@ -200,6 +206,15 @@ func run(cfg runCfg) error {
 		// fleet size (allowed only before the stream's first event has
 		// frozen partition routing); otherwise the checkpoint decides.
 		opts = append(opts, cogra.WithWorkers(cfg.workers))
+	}
+	if cfg.groups < 0 {
+		return fmt.Errorf("-groups must be at least 1, got %d", cfg.groups)
+	}
+	if cfg.groups > 1 || (cfg.restore != "" && cfg.groupsSet) {
+		// Like -workers: on restore an explicit -groups overrides the
+		// checkpoint's group cap (before routing froze); otherwise the
+		// checkpoint decides.
+		opts = append(opts, cogra.WithExecutorGroups(cfg.groups))
 	}
 	if cfg.maxDepth < 0 {
 		return fmt.Errorf("-max-reorder-depth must be non-negative (0: unbounded), got %d", cfg.maxDepth)
@@ -355,8 +370,8 @@ func run(cfg runCfg) error {
 		if cfg.stats {
 			// st.Queries counts ACTIVE subscriptions — zero after Close —
 			// so the summary reports how many ever subscribed.
-			fmt.Fprintf(os.Stderr, "stream: %d events accepted, %d unroutable, %d dropped late, %d shed at the depth cap (reorder peak depth %d); %d quer(ies) subscribed on %d worker(s); %d catalog compaction(s)\n",
-				st.Events, st.Skipped, st.LateDropped, st.ReorderShed, st.ReorderPeakDepth, nextID, st.Workers, st.CatalogCompactions)
+			fmt.Fprintf(os.Stderr, "stream: %d events accepted, %d unroutable, %d dropped late, %d shed at the depth cap (reorder peak depth %d); %d quer(ies) subscribed on %d worker(s) and %d executor group(s); %d catalog compaction(s)\n",
+				st.Events, st.Skipped, st.LateDropped, st.ReorderShed, st.ReorderPeakDepth, nextID, st.Workers, st.ExecutorGroups, st.CatalogCompactions)
 		}
 	}
 	return nil

@@ -8,6 +8,16 @@
 // A query subscribed mid-stream reports results from the first window
 // it could observe completely (the partial first window is
 // suppressed), so its numbers are trustworthy from the first line.
+//
+// The session runs 4 partition workers routed on the dashboard's
+// partition attribute (patient). The incident query aggregates by
+// ward instead — a partition key that does not cover the frozen
+// routing — so the session hosts it on an *executor group*: a
+// full-stream worker that sees every event in order. Groups are
+// clustered by partition-key signature (a second ward-keyed query
+// would share this group; a differently-keyed one would start another,
+// up to the WithExecutorGroups cap) and retire with their last
+// subscriber, which Stats().ExecutorGroups makes visible below.
 package main
 
 import (
@@ -19,7 +29,7 @@ import (
 )
 
 func main() {
-	sess := cogra.NewSession() // cogra.WithWorkers(4) parallelises the same code
+	sess := cogra.NewSession(cogra.WithWorkers(4), cogra.WithExecutorGroups(2))
 
 	dashboard := mustSubscribe(sess, "dashboard", `
 		RETURN COUNT(*), MAX(M.rate)
@@ -29,7 +39,7 @@ func main() {
 		GROUP-BY patient
 		WITHIN 60 SLIDE 60`)
 
-	// One day of synthetic measurements for three patients.
+	// One day of synthetic measurements for three patients in two wards.
 	rng := rand.New(rand.NewSource(7))
 	rates := []float64{62, 71, 80}
 	var incident *cogra.Subscription
@@ -38,6 +48,7 @@ func main() {
 		rates[p] += float64(rng.Intn(7)) - 3
 		ev := cogra.NewEvent("M", t).
 			WithSym("patient", fmt.Sprintf("p%d", p)).
+			WithSym("ward", fmt.Sprintf("w%d", p%2)).
 			WithNum("rate", rates[p])
 		if err := sess.Push(ev); err != nil {
 			log.Fatal(err)
@@ -46,23 +57,27 @@ func main() {
 		switch t {
 		case 150:
 			// Operator attaches an incident query mid-stream: rising
-			// heart-rate trends. Its first report covers the first
-			// window starting after t=150.
+			// heart-rate trends per ward. Routing froze on patient at the
+			// first event, and ward does not cover it, so the session
+			// routes this query to an executor group. Its first report
+			// covers the first window starting after t=150.
 			incident = mustSubscribe(sess, "incident", `
 				RETURN COUNT(*)
 				PATTERN M+
 				SEMANTICS skip-till-any-match
-				WHERE [patient] AND M.rate < NEXT(M).rate
-				GROUP-BY patient
+				WHERE [ward] AND M.rate < NEXT(M).rate
+				GROUP-BY ward
 				WITHIN 60 SLIDE 60`)
-			fmt.Println("t=150: incident query attached")
+			fmt.Printf("t=150: incident query attached (executor groups: %d)\n", groupCount(sess))
 		case 450:
 			// Incident closed: detach the query; its remaining open
-			// windows flush here and its engine memory is released.
+			// windows flush here, its engine memory is released, and its
+			// executor group — now empty — retires.
 			fmt.Println("t=450: incident query detached; final windows:")
 			for _, r := range incident.Unsubscribe() {
 				fmt.Printf("  incident  %v\n", r)
 			}
+			fmt.Printf("t=450: executor groups after detach: %d\n", groupCount(sess))
 		}
 	}
 
@@ -85,6 +100,14 @@ func main() {
 	}
 	fmt.Printf("session: %d events, %d interned types, %d interned attrs\n",
 		st.Events, st.InternedTypes, st.InternedAttrs)
+}
+
+func groupCount(sess *cogra.Session) int {
+	st, err := sess.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return st.ExecutorGroups
 }
 
 func mustSubscribe(sess *cogra.Session, name, src string) *cogra.Subscription {

@@ -252,10 +252,54 @@ func (c *Catalog) retireType(id int32) {
 	c.freeTypes = append(c.freeTypes, id)
 }
 
+// truncate physically pops trailing tombstoned slots off both id
+// spaces, removing them from the free lists: churn that retired the
+// highest ids shrinks the arrays (and every later view's resolve
+// loop) instead of leaving dead slots to be probed forever. Interior
+// tombstones cannot move — live ids are never renumbered — so they
+// stay on the free lists for recycling; they become truncatable the
+// moment everything above them retires. Caller holds mu, as part of a
+// compaction (before publish).
+func (c *Catalog) truncate() {
+	n := len(c.attrNames)
+	for n > 0 && c.attrDead[n-1] {
+		n--
+	}
+	if n < len(c.attrNames) {
+		c.freeAttrs = dropIDsAtOrAbove(c.freeAttrs, int32(n))
+		c.attrNames = c.attrNames[:n]
+		c.symNeeded = c.symNeeded[:n]
+		c.attrDead = c.attrDead[:n]
+		c.attrRefs = c.attrRefs[:n]
+	}
+	n = len(c.typeNames)
+	for n > 0 && c.typeDead[n-1] {
+		n--
+	}
+	if n < len(c.typeNames) {
+		c.freeTypes = dropIDsAtOrAbove(c.freeTypes, int32(n))
+		c.typeNames = c.typeNames[:n]
+		c.typeDead = c.typeDead[:n]
+		c.typeRefs = c.typeRefs[:n]
+	}
+}
+
+// dropIDsAtOrAbove removes the free-list entries a truncation cut off.
+func dropIDsAtOrAbove(free []int32, n int32) []int32 {
+	kept := free[:0]
+	for _, id := range free {
+		if id < n {
+			kept = append(kept, id)
+		}
+	}
+	return kept
+}
+
 // Release drops one hosting's references. Ids whose last reference
 // goes — the quiescent point: no live epoch's dispatch reaches them —
 // are retired into a freshly published compacted view and queued for
-// recycling by the next compile.
+// recycling by the next compile; retirements at the top of the id
+// space shrink it physically (truncate).
 func (c *Catalog) Release(p *Plan) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -279,6 +323,7 @@ func (c *Catalog) Release(p *Plan) {
 		}
 	}
 	if retired {
+		c.truncate()
 		c.compactions.Add(1)
 		c.publish()
 	}
@@ -312,6 +357,7 @@ func (c *Catalog) DiscardPlan(p *Plan) {
 		}
 	}
 	if retired {
+		c.truncate()
 		c.compactions.Add(1)
 		c.publish()
 	}
@@ -335,6 +381,15 @@ func (c *Catalog) NumTypes() int { return c.view.Load().liveTypes }
 // NumAttrs returns how many attributes the catalog currently interns
 // (live ids; retired ids awaiting recycling are not counted).
 func (c *Catalog) NumAttrs() int { return c.view.Load().liveAttrs }
+
+// NumTypeSlots returns the physical type id-space size, including
+// tombstoned slots awaiting recycling. Compactions truncate trailing
+// tombstones, so sustained churn that retires the highest ids pulls
+// this back toward NumTypes instead of growing without bound.
+func (c *Catalog) NumTypeSlots() int { return len(c.view.Load().typeNames) }
+
+// NumAttrSlots is NumTypeSlots for the attribute id space.
+func (c *Catalog) NumAttrSlots() int { return len(c.view.Load().attrNames) }
 
 // resolveInto computes the union resolved view of ev under the given
 // epoch: one probe pass over every live interned attribute, after

@@ -70,7 +70,7 @@ func TestPaperTable5(t *testing.T) {
 // counts of Table 5 via the aggregator directly.
 func TestPaperTable5Intermediates(t *testing.T) {
 	plan := MustPlan(countQuery(query.Any))
-	tg := newTypeGrained(plan, nopAccountant{}, newBindings(plan.Slots, nopAccountant{}, false))
+	tg := newTypeGrained(plan, nopAccountant{}, newBindings(plan.Slots, nopAccountant{}, false), &runMemo{})
 	wantA := map[int64]uint64{1: 1, 3: 4, 4: 10, 7: 32}
 	wantB := map[int64]uint64{2: 1, 6: 11, 8: 43}
 	var rv resolvedVals

@@ -68,6 +68,17 @@ type Engine struct {
 	statesTime  int64
 	statesValid bool
 
+	// arenas backs the mixed-grained stored entries of every hosted
+	// sub-aggregator (arena.go); unused by the other granularities.
+	arenas storeArenas
+	// memo is the type-grained predecessor-sum scratch shared by every
+	// hosted sub-aggregator (runMemo); unused by the other
+	// granularities.
+	memo runMemo
+	// runParts is processRunSinglePart's reusable per-run view of the
+	// open windows' "" partitions.
+	runParts []subAggregator
+
 	lastTime int64
 	sawEvent bool
 	seq      int64
@@ -222,7 +233,7 @@ func (e *Engine) processResolved(ev *event.Event) error {
 	for _, ws := range e.states {
 		part, ok := ws.parts[string(keyBuf)]
 		if !ok {
-			part = newSubAggregator(e.plan, e.acct, e.bnd)
+			part = newSubAggregator(e.plan, e.acct, e.bnd, &e.arenas, &e.memo)
 			ws.parts[string(keyBuf)] = part
 		}
 		part.Process(&e.rv)

@@ -203,6 +203,76 @@ func BenchmarkEngineProcessPatternGrained(b *testing.B) {
 	benchEngine(b, q, measureBenchStream(4096))
 }
 
+// BenchmarkMixedAdjacentArena measures the arena-backed event store
+// under heavy window churn: the MixedAdjacent workload with 64-tick
+// tumbling windows expires a window every 64 events, freeing the
+// epoch's stored entries wholesale back to the engine-owned arenas.
+// Steady-state allocs/op is the gate — cell recycling must keep it
+// far below one allocation per stored event.
+func BenchmarkMixedAdjacentArena(b *testing.B) {
+	q := query.NewBuilder(pattern.Plus(pattern.TypeAs("Measurement", "M"))).
+		Return(agg.Spec{Func: agg.CountStar}).
+		Semantics(query.Any).
+		WhereEquiv(predicate.Equivalence{Attr: "patient"}).
+		WhereAdjacent(predicate.Adjacent{Left: "M", LeftAttr: "rate", Op: predicate.Lt, Right: "M", RightAttr: "rate"}).
+		GroupBy(query.GroupKey{Attr: "patient"}).
+		Within(64, 64).
+		MustBuild()
+	benchEngine(b, q, measureBenchStream(4096))
+}
+
+// BenchmarkEngineProcessRunKernel measures the batch-kernel execution
+// path (ResolveRun + ProcessResolvedRun) on dense same-time type runs
+// — the regression guard for the hoisted per-run prologue: admission
+// check, dispatch-table lookup and spec projection install run once
+// per run, so re-introducing a per-event subscription-index read
+// shows up directly as lost events/s here.
+func BenchmarkEngineProcessRunKernel(b *testing.B) {
+	q := query.NewBuilder(pattern.Plus(pattern.Seq(pattern.Plus(pattern.Type("A")), pattern.Type("B")))).
+		Return(agg.Spec{Func: agg.CountStar}, agg.Spec{Func: agg.Sum, Alias: "A", Attr: "v"}).
+		Semantics(query.Any).
+		Within(64, 64).
+		MustBuild()
+	plan := MustPlan(q)
+	events := denseBenchStream(4096, 16)
+	// Pre-bucket the stream into runs (same time, same type, arrival
+	// order) so the loop measures kernel execution, not bucketing.
+	type runSpec struct {
+		tid    int32
+		events []*event.Event
+	}
+	var runs []runSpec
+	for start := 0; start < len(events); {
+		end := start + 1
+		for end < len(events) && events[end].Time == events[start].Time && events[end].Type == events[start].Type {
+			end++
+		}
+		tid, ok := plan.Catalog().TypeID(events[start].Type)
+		if !ok {
+			b.Fatalf("type %s not interned", events[start].Type)
+		}
+		runs = append(runs, runSpec{tid, events[start:end]})
+		start = end
+	}
+	attrs := plan.ReferencedAttrIDs()
+	res := NewResolver(plan.Catalog())
+	var run ResolvedRun
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := NewEngine(plan)
+		for _, rs := range runs {
+			res.ResolveRun(&run, rs.events, rs.tid, attrs)
+			if err := eng.ProcessResolvedRun(&run); err != nil {
+				b.Fatal(err)
+			}
+		}
+		eng.Close()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(events))*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
 // TestHotPathZeroAllocs enforces the interning layer's allocation
 // invariants as a regular test, so a regression fails `go test ./...`
 // rather than only shifting benchmark output: steady-state binding

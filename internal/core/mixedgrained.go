@@ -38,6 +38,10 @@ type mixedGrained struct {
 	contrib  contribTable
 	fastNode agg.Node
 
+	// arenas backs the stored entries' slices — engine-owned bump
+	// allocators shared across windows and partitions; see arena.go.
+	arenas *storeArenas
+
 	curTime int64
 	hasCur  bool
 }
@@ -54,11 +58,12 @@ type storedEntry struct {
 	foot int64 // accounted logical bytes of this entry
 }
 
-func newMixedGrained(p *Plan, acct accountant, bnd *bindings) *mixedGrained {
+func newMixedGrained(p *Plan, acct accountant, bnd *bindings, ar *storeArenas) *mixedGrained {
 	m := &mixedGrained{
 		plan:       p,
 		acct:       acct,
 		bnd:        bnd,
+		arenas:     ar,
 		typeTables: make([]map[bkey]*agg.Node, len(p.aliasNames)),
 		stored:     make([][]storedEntry, len(p.aliasNames)),
 		fires:      newNegFires(len(p.FSA.Negations)),
@@ -164,7 +169,7 @@ func (m *mixedGrained) Process(rv *resolvedVals) {
 				started = 1
 			}
 			if ap.eventGrained {
-				var node agg.Node
+				node := agg.Node{Aux: m.arenas.aux.alloc(len(specs))}
 				specs.ExtendInto(&node, m.contrib.nodes[i], ap.specMatch, rv, started)
 				m.store(ap, rv, nk, node)
 			} else {
@@ -229,7 +234,7 @@ func (m *mixedGrained) processFast(ap *aliasPlan, rv *resolvedVals) {
 		}
 	}
 	if ap.eventGrained {
-		var node agg.Node
+		node := agg.Node{Aux: m.arenas.aux.alloc(len(specs))}
 		specs.ExtendInto(&node, m.fastNode, ap.specMatch, rv, started)
 		m.store(ap, rv, 0, node)
 	} else {
@@ -239,11 +244,11 @@ func (m *mixedGrained) processFast(ap *aliasPlan, rv *resolvedVals) {
 
 // store retains one event-grained entry: arrival-ordered, with the
 // event's adjacent-predicate left operands copied out of the resolved
-// view.
+// view into an arena cell (no per-entry GC object).
 func (m *mixedGrained) store(ap *aliasPlan, rv *resolvedVals, key bkey, node agg.Node) {
 	se := storedEntry{
 		time: rv.ev.Time,
-		left: m.plan.copyLeftVals(nil, rv),
+		left: m.plan.copyLeftVals(m.arenas.left.alloc(len(m.plan.adjLeft)), rv),
 		key:  key,
 		node: node,
 		foot: m.storedBytes(rv),
@@ -353,5 +358,8 @@ func (m *mixedGrained) Release() {
 		}
 	}
 	m.acct.Add(-m.fires.footprint())
+	// Dropping the stored slices is what frees arena slabs: once every
+	// sub-aggregator whose entries share a slab has been released, the
+	// whole slab is unreachable and collected in one step.
 	m.typeTables, m.shadows, m.stored = nil, nil, nil
 }

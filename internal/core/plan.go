@@ -264,6 +264,32 @@ func (p *Plan) Catalog() *Catalog { return p.cat }
 // runtime routes only these types to the plan's engine.
 func (p *Plan) SubscribedTypeIDs() []int32 { return p.typeIDs }
 
+// ReferencedAttrIDs returns the catalog ids of every attribute the
+// plan reads anywhere — local and adjacent predicates, binding slots,
+// partition keys, group keys and aggregation operands. The multi-query
+// runtime unions these per subscribed type so batch resolution
+// (Resolver.ResolveRun) fills only slots some hosted plan needs. The
+// ids are unique but unordered.
+func (p *Plan) ReferencedAttrIDs() []int32 {
+	ids := make([]int32, len(p.attrSyms))
+	for i, s := range p.attrSyms {
+		ids[i] = s.id
+	}
+	return ids
+}
+
+// OrderSensitive reports whether the plan's execution depends on the
+// arrival order of equal-timestamp events. Type- and mixed-grained
+// execution stages every contribution of the current time stamp and
+// commits at the next time advance (the stream-transaction discipline
+// of §8), and a predecessor must be STRICTLY earlier (Definition 7),
+// so any processing order among equal-time events yields identical
+// results — a multi-query runtime may bucket such events by type.
+// Pattern granularity is the exception: its single el chain retains
+// the last matched event in arrival order (Algorithm 3), so it must
+// observe its events exactly as they arrived.
+func (p *Plan) OrderSensitive() bool { return p.Granularity == PatternGrained }
+
 // WantsAllEvents reports whether the plan's engine must observe every
 // stream event regardless of type: under contiguous semantics any
 // unmatched event resets the chain of matched events (Example 7), so

@@ -611,8 +611,8 @@ func snapshotSubAgg(w *snap.Writer, sa subAggregator) {
 // restoreSubAgg builds a fresh sub-aggregator for the plan and loads
 // its serialized state. Accounting side effects of construction are
 // irrelevant: the owning accountant is restored verbatim afterwards.
-func restoreSubAgg(r *snap.Reader, p *Plan, acct accountant, bnd *bindings) (subAggregator, error) {
-	sa := newSubAggregator(p, acct, bnd)
+func restoreSubAgg(r *snap.Reader, p *Plan, acct accountant, bnd *bindings, ar *storeArenas, memo *runMemo) (subAggregator, error) {
+	sa := newSubAggregator(p, acct, bnd, ar, memo)
 	var err error
 	switch t := sa.(type) {
 	case *typeGrained:
@@ -864,7 +864,7 @@ func (e *Engine) RestoreState(r *snap.Reader) error {
 		np := r.Count(8)
 		for j := 0; j < np; j++ {
 			pk := r.Str()
-			sa, err := restoreSubAgg(r, e.plan, e.acct, e.bnd)
+			sa, err := restoreSubAgg(r, e.plan, e.acct, e.bnd, &e.arenas, &e.memo)
 			if err != nil {
 				return err
 			}

@@ -48,13 +48,17 @@ func sortBindingResults(out []bindingResult) {
 
 // newSubAggregator builds the aggregator the plan's granularity
 // selector chose. The engine-owned bindings instance is shared so
-// binding keys stay comparable across windows and partitions.
-func newSubAggregator(p *Plan, acct accountant, bnd *bindings) subAggregator {
+// binding keys stay comparable across windows and partitions, the
+// engine-owned store arenas so mixed-grained entries bump-allocate
+// instead of paying two GC objects per stored event, and the
+// engine-owned run memo so type-grained predecessor sums amortize over
+// equal-time runs without per-partition scratch.
+func newSubAggregator(p *Plan, acct accountant, bnd *bindings, ar *storeArenas, memo *runMemo) subAggregator {
 	switch p.Granularity {
 	case TypeGrained:
-		return newTypeGrained(p, acct, bnd)
+		return newTypeGrained(p, acct, bnd, memo)
 	case MixedGrained:
-		return newMixedGrained(p, acct, bnd)
+		return newMixedGrained(p, acct, bnd, ar)
 	default:
 		return newPatternGrained(p, acct)
 	}

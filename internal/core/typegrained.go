@@ -41,20 +41,69 @@ type typeGrained struct {
 	staged       []stagedUpdate
 	stagedResets []int
 
-	contrib  contribTable
-	fastNode agg.Node
+	contrib contribTable
+
+	// memo is the engine-owned predecessor-sum scratch shared by every
+	// partition and window the engine hosts (see runMemo); only the
+	// no-equivalence fast path reads it.
+	memo *runMemo
 
 	curTime int64
 	hasCur  bool
 }
 
-func newTypeGrained(p *Plan, acct accountant, bnd *bindings) *typeGrained {
+// runMemo memoizes, per alias id, the merged committed contribution of
+// the alias's predecessor tables. Staged updates commit only at flush
+// (the stream-transaction discipline), so the committed tables — main
+// and shadow — are frozen for the duration of one time stamp: the sum
+// computed for the first event of an equal-time run of a type is valid
+// for every follower, and the per-event table iteration collapses to a
+// copy. The scratch is owned by the Engine, not the sub-aggregator: a
+// partitioned engine constructs one aggregator per partition and
+// window, and per-instance arrays would cost more allocation than the
+// memo saves. Entries are valid only while one aggregator keeps
+// processing one time stamp — any other claimant, a time advance or a
+// flush of the owner (which commits staged updates into the memoized
+// tables) invalidates them wholesale.
+type runMemo struct {
+	owner *typeGrained
+	time  int64
+	sums  []agg.Node
+	state []uint8
+}
+
+// claim makes the memo current for aggregator t at its current time
+// stamp, invalidating all entries unless t already holds it there.
+func (m *runMemo) claim(t *typeGrained) {
+	if m.owner == t && m.time == t.curTime {
+		return
+	}
+	m.owner, m.time = t, t.curTime
+	if n := len(t.plan.aliasNames); len(m.state) < n {
+		m.sums = make([]agg.Node, n)
+		m.state = make([]uint8, n)
+		return
+	}
+	clear(m.state)
+}
+
+// runSumState values: the memo entry for an alias id is either stale
+// (recompute), cached with at least one contributing predecessor
+// entry, or cached with all predecessor tables empty.
+const (
+	runSumStale uint8 = iota
+	runSumFound
+	runSumEmpty
+)
+
+func newTypeGrained(p *Plan, acct accountant, bnd *bindings, memo *runMemo) *typeGrained {
 	t := &typeGrained{
 		plan:    p,
 		acct:    acct,
 		bnd:     bnd,
 		tables:  make([]map[bkey]*agg.Node, len(p.aliasNames)),
 		contrib: newContribTable(p.Specs),
+		memo:    memo,
 	}
 	for i := range t.tables {
 		t.tables[i] = map[bkey]*agg.Node{}
@@ -149,26 +198,39 @@ func (t *typeGrained) Process(rv *resolvedVals) {
 }
 
 // processFast is Process's inner loop for plans without equivalence
-// slots: the single empty-key binding is accumulated in a reused node.
+// slots: the single empty-key binding is accumulated in a reused node,
+// memoized per time stamp (runSums) so equal-time runs of a type pay
+// the predecessor-table iteration once.
 func (t *typeGrained) processFast(ap *aliasPlan, rv *resolvedVals) {
 	specs := t.plan.Specs
-	specs.ZeroInto(&t.fastNode)
-	found := false
-	for pi := range ap.preds {
-		edge := &ap.preds[pi]
-		for _, node := range t.tableFor(edge) {
-			specs.Merge(&t.fastNode, *node)
-			found = true
+	m := t.memo
+	m.claim(t)
+	state := m.state[ap.id]
+	if state == runSumStale {
+		sum := &m.sums[ap.id]
+		specs.ZeroInto(sum)
+		found := false
+		for pi := range ap.preds {
+			edge := &ap.preds[pi]
+			for _, node := range t.tableFor(edge) {
+				specs.Merge(sum, *node)
+				found = true
+			}
 		}
+		state = runSumEmpty
+		if found {
+			state = runSumFound
+		}
+		m.state[ap.id] = state
 	}
-	if !found && !ap.isStart {
+	if state == runSumEmpty && !ap.isStart {
 		return // no predecessor aggregates and nothing started
 	}
 	started := uint64(0)
 	if ap.isStart {
 		started = 1
 	}
-	specs.ExtendInto(t.stage(ap.id, 0), t.fastNode, ap.specMatch, rv, started)
+	specs.ExtendInto(t.stage(ap.id, 0), m.sums[ap.id], ap.specMatch, rv, started)
 }
 
 // stage appends one staged update via the shared helper.
@@ -186,8 +248,12 @@ func (t *typeGrained) tableFor(edge *predEdge) map[bkey]*agg.Node {
 
 // flush commits the staged time stamp: resets first (they concern
 // strictly earlier events), then contributions (events of the fired
-// time stamp stay valid for the future).
+// time stamp stay valid for the future). Committing mutates the
+// tables, so the per-time-stamp contribution memos go stale here.
 func (t *typeGrained) flush() {
+	if t.memo.owner == t {
+		t.memo.owner = nil
+	}
 	for _, ci := range t.stagedResets {
 		for ai, tbl := range t.shadows[ci] {
 			if tbl == nil {

@@ -105,12 +105,31 @@ type Runtime struct {
 	// which must observe every event. Rebuilt on membership change.
 	byType   [][]*Subscription
 	wantsAll []*Subscription
+	// The batch-execution split of byType: runByType holds the
+	// run-safe subscriptions (execution independent of equal-time
+	// arrival order — see Plan.OrderSensitive), seqByType the
+	// order-sensitive rest, and neededAttrs the per-type union of every
+	// attribute id the run-safe subscriptions read, which restricts
+	// batch resolution to the slots some hosted plan needs. All three
+	// are maintained alongside byType on membership change.
+	runByType   [][]*Subscription
+	seqByType   [][]*Subscription
+	neededAttrs [][]int32
 
 	lastTime    int64
 	sawEvent    bool
 	seq         int64
 	closed      bool
 	dispatching bool // inside Process: membership changes must wait
+
+	// Batch scratch, reused across chunks so the steady-state batch
+	// path does not allocate: per-event type ids, the per-type run
+	// buckets with their first-touch order, and the shared resolved-run
+	// view.
+	tids    []int32
+	buckets [][]*event.Event
+	touched []int32
+	run     core.ResolvedRun
 }
 
 // New returns an empty runtime over a fresh catalog.
@@ -213,18 +232,56 @@ func (rt *Runtime) subscribePlan(plan *core.Plan, opts ...core.Option) (*Subscri
 	return s, nil
 }
 
-// index registers a subscription in the per-type dispatch index.
+// index registers a subscription in the per-type dispatch index and
+// the batch-execution split (run-safe vs order-sensitive, plus the
+// per-type needed-attribute union).
 func (rt *Runtime) index(s *Subscription) {
 	if s.plan.WantsAllEvents() {
 		rt.wantsAll = append(rt.wantsAll, s)
 		return
 	}
+	ordered := s.plan.OrderSensitive()
 	for _, tid := range s.plan.SubscribedTypeIDs() {
 		for int(tid) >= len(rt.byType) {
 			rt.byType = append(rt.byType, nil)
+			rt.runByType = append(rt.runByType, nil)
+			rt.seqByType = append(rt.seqByType, nil)
+			rt.neededAttrs = append(rt.neededAttrs, nil)
 		}
 		rt.byType[tid] = append(rt.byType[tid], s)
+		if ordered {
+			rt.seqByType[tid] = append(rt.seqByType[tid], s)
+		} else {
+			rt.runByType[tid] = append(rt.runByType[tid], s)
+			rt.neededAttrs[tid] = mergeAttrIDs(rt.neededAttrs[tid], s.plan.ReferencedAttrIDs())
+		}
 	}
+}
+
+// mergeAttrIDs folds add into dst keeping it sorted and unique — the
+// membership-change slow path, sized in tens of attributes.
+func mergeAttrIDs(dst []int32, add []int32) []int32 {
+	for _, id := range add {
+		pos := len(dst)
+		dup := false
+		for i, d := range dst {
+			if d == id {
+				dup = true
+				break
+			}
+			if d > id {
+				pos = i
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		dst = append(dst, 0)
+		copy(dst[pos+1:], dst[pos:])
+		dst[pos] = id
+	}
+	return dst
 }
 
 // rebuildIndex reconstructs the per-type index from the active
@@ -233,6 +290,9 @@ func (rt *Runtime) index(s *Subscription) {
 func (rt *Runtime) rebuildIndex() {
 	for i := range rt.byType {
 		rt.byType[i] = nil
+		rt.runByType[i] = nil
+		rt.seqByType[i] = nil
+		rt.neededAttrs[i] = nil
 	}
 	rt.wantsAll = nil
 	for _, s := range rt.subs {
@@ -331,18 +391,176 @@ func (rt *Runtime) Process(ev *event.Event) error {
 	return rt.dispatch(ev)
 }
 
-// ProcessBatch consumes a pre-sorted batch natively: the closed check
-// and the dispatch guard are paid once for the whole batch, not per
-// event — the primary ingest path under Session.PushBatch.
+// runChunkSize bounds how many events one run-building pass buckets at
+// a time, keeping the scratch arrays cache-resident; it matches the
+// parallel router's batch granularity.
+const runChunkSize = 256
+
+// ProcessBatch consumes a pre-sorted batch natively — the primary
+// ingest path under Session.PushBatch. Unlike Process, the batch is
+// the unit of execution, not just of transport: each 256-event chunk
+// is order-validated and arrival-stamped in one prescan, split into
+// equal-timestamp groups (one watermark pass each), and every group is
+// bucketed by interned type id into runs. A run is resolved once into
+// a struct-of-arrays view restricted to the attributes its subscribed
+// plans read, and executed with one hoisted per-run prologue per
+// engine (Engine.ProcessResolvedRun). Order-sensitive queries
+// (pattern granularity, contiguous semantics) observe their events
+// through the per-event path in arrival order — results are
+// byte-identical to event-at-a-time execution either way. On an
+// out-of-order event the in-order prefix is ingested and the error
+// names the first offender, exactly like the per-event loop.
 func (rt *Runtime) ProcessBatch(events []*event.Event) error {
 	if rt.closed {
 		return fmt.Errorf("runtime: Process after Close: %w", core.ErrClosed)
 	}
 	rt.dispatching = true
 	defer func() { rt.dispatching = false }()
-	for _, ev := range events {
-		if err := rt.dispatch(ev); err != nil {
+	for start := 0; start < len(events); start += runChunkSize {
+		end := start + runChunkSize
+		if end > len(events) {
+			end = len(events)
+		}
+		if err := rt.dispatchChunk(events[start:end]); err != nil {
 			return err
+		}
+	}
+	return nil
+}
+
+// dispatchChunk runs one chunk through the batch kernels: prescan
+// (order validation + arrival-order id assignment, matching what the
+// per-event loop would have stamped), then group-by-time dispatch of
+// the in-order prefix.
+func (rt *Runtime) dispatchChunk(chunk []*event.Event) error {
+	good := len(chunk)
+	last, saw := rt.lastTime, rt.sawEvent
+	for i, ev := range chunk {
+		if saw && ev.Time < last {
+			good = i
+			break
+		}
+		last, saw = ev.Time, true
+		rt.seq++
+		if ev.ID == 0 {
+			ev.ID = rt.seq
+		}
+	}
+	prefix := chunk[:good]
+	for i := 0; i < len(prefix); {
+		j := i + 1
+		t := prefix[i].Time
+		for j < len(prefix) && prefix[j].Time == t {
+			j++
+		}
+		if err := rt.dispatchGroup(prefix[i:j]); err != nil {
+			return err
+		}
+		i = j
+	}
+	if good < len(chunk) {
+		return rt.lateEventErr(chunk[good].Time)
+	}
+	return nil
+}
+
+// dispatchGroup executes one equal-timestamp group: one watermark pass
+// across the fleet, then type-bucketed runs for the run-safe
+// subscriptions and an arrival-order pass for the order-sensitive
+// ones. Within one timestamp the staged-commit discipline makes the
+// split order-invariant (see Plan.OrderSensitive).
+func (rt *Runtime) dispatchGroup(group []*event.Event) error {
+	t := group[0].Time
+	if !rt.sawEvent || t != rt.lastTime {
+		for _, s := range rt.subs {
+			if err := s.eng.AdvanceWatermark(t); err != nil {
+				return err
+			}
+		}
+	}
+	rt.lastTime, rt.sawEvent = t, true
+
+	// Bucket by type id, preserving arrival order within each run and
+	// first-touch order across runs. The type-id probe is the only
+	// per-event map lookup left on this path.
+	if cap(rt.tids) < len(group) {
+		rt.tids = make([]int32, len(group))
+	}
+	tids := rt.tids[:len(group)]
+	needSeq := len(rt.wantsAll) > 0
+	for i, ev := range group {
+		tid := int32(-1)
+		if id, ok := rt.cat.TypeID(ev.Type); ok {
+			tid = id
+		}
+		tids[i] = tid
+		if tid < 0 || int(tid) >= len(rt.byType) {
+			continue
+		}
+		if len(rt.seqByType[tid]) > 0 {
+			needSeq = true
+		}
+		if len(rt.runByType[tid]) == 0 {
+			continue
+		}
+		for len(rt.buckets) < len(rt.byType) {
+			rt.buckets = append(rt.buckets, nil)
+		}
+		if len(rt.buckets[tid]) == 0 {
+			rt.touched = append(rt.touched, tid)
+		}
+		rt.buckets[tid] = append(rt.buckets[tid], ev)
+	}
+
+	// Run pass: resolve once per run, one hoisted prologue per engine.
+	var firstErr error
+	for _, tid := range rt.touched {
+		bucket := rt.buckets[tid]
+		if firstErr == nil {
+			rt.res.ResolveRun(&rt.run, bucket, tid, rt.neededAttrs[tid])
+			for _, s := range rt.runByType[tid] {
+				if err := s.eng.ProcessResolvedRun(&rt.run); err != nil {
+					firstErr = err
+					break
+				}
+			}
+		}
+		// Scrub the bucket even on the error path so a later group
+		// never inherits stale events (or retains their memory).
+		for k := range bucket {
+			bucket[k] = nil
+		}
+		rt.buckets[tid] = bucket[:0]
+	}
+	rt.touched = rt.touched[:0]
+	rt.run.Events = nil
+	if firstErr != nil {
+		return firstErr
+	}
+	if !needSeq {
+		return nil
+	}
+
+	// Arrival-order pass for pattern-grained and contiguous-semantics
+	// queries, which are sensitive to equal-time arrival order.
+	for i, ev := range group {
+		var interested []*Subscription
+		if tid := tids[i]; tid >= 0 && int(tid) < len(rt.seqByType) {
+			interested = rt.seqByType[tid]
+		}
+		if len(interested) == 0 && len(rt.wantsAll) == 0 {
+			continue
+		}
+		tid := rt.res.Resolve(ev)
+		for _, s := range interested {
+			if err := s.eng.ProcessResolved(ev, rt.res, tid); err != nil {
+				return err
+			}
+		}
+		for _, s := range rt.wantsAll {
+			if err := s.eng.ProcessResolved(ev, rt.res, tid); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

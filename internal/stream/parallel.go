@@ -40,11 +40,18 @@ const routeBatchSize = 256
 // (worker state depends on it); a late plan whose partition keys still
 // cover the routing attributes joins every partition worker, and a
 // late plan that breaks worker-locality (its key set does not cover
-// the routing attributes) falls back to a dedicated full-stream
-// worker: a lazily started (n+1)-th worker that receives every event
-// in order and hosts exactly the locality-breaking subscribers. The
-// fallback preserves correctness for everyone at the cost of streaming
-// each event twice (once to its partition, once to the full worker).
+// the routing attributes) falls back to an executor group: a lazily
+// started extra worker that receives every event in order and hosts
+// locality-breaking subscribers. Up to k such groups run side by side
+// (SetExecutorGroups); fallback plans are clustered onto groups by
+// compatible partition attributes — same partition-key signature, same
+// group, so plans that window the stream identically share one resolve
+// pass, while incompatible fleets spread across groups and execute in
+// parallel. The fallback preserves correctness for everyone at the
+// cost of streaming each event once per group in addition to its
+// partition worker. A group whose last subscriber leaves is retired at
+// the next membership change or Sync barrier, so a shrunk fleet stops
+// paying duplicate event delivery.
 //
 // Routing degenerates to a single worker when the hosted plans share
 // no partition attribute (some plan has an unpartitioned stream, or
@@ -55,13 +62,20 @@ const routeBatchSize = 256
 // into a reused buffer, hashed with an inlined FNV-1a loop, and events
 // travel in pooled batches instead of one channel send per event.
 type MultiExecutor struct {
-	cat         *core.Catalog
-	engOpts     []core.Option // applied to every hosted engine (e.g. intern eviction)
-	routeAttrs  []string
-	workers     []*mworker
-	full        *mworker          // lazily created full-stream fallback worker
+	cat        *core.Catalog
+	engOpts    []core.Option // applied to every hosted engine (e.g. intern eviction)
+	routeAttrs []string
+	workers    []*mworker
+	// Executor groups: lazily created full-stream workers hosting the
+	// locality-breaking subscribers, clustered by partition-key
+	// signature (groupSigs, parallel to groups). maxGroups caps how many
+	// run side by side; empty groups are retired at membership changes
+	// and Sync barriers.
+	groups      []*mworker
+	groupSigs   []string
+	groupPend   []*[]*event.Event
+	maxGroups   int
 	pending     []*[]*event.Event // per-worker batch under construction
-	fullPend    *[]*event.Event
 	keyBuf      []byte
 	pool        sync.Pool
 	subs        []*Sub // every subscription ever, indexed by id
@@ -176,6 +190,7 @@ func NewMultiExecutor(plans []*core.Plan, n int) (*MultiExecutor, error) {
 	m := &MultiExecutor{
 		cat:        cat,
 		routeAttrs: sharedRouteAttrs(plans),
+		maxGroups:  1,
 	}
 	if n < 1 || len(m.routeAttrs) == 0 {
 		n = 1
@@ -215,7 +230,7 @@ func NewMultiExecutorOn(cat *core.Catalog, n int, engOpts ...core.Option) *Multi
 	if n < 1 {
 		n = 1
 	}
-	m := &MultiExecutor{cat: cat, engOpts: engOpts}
+	m := &MultiExecutor{cat: cat, engOpts: engOpts, maxGroups: 1}
 	m.pool.New = func() any {
 		b := make([]*event.Event, 0, routeBatchSize)
 		return &b
@@ -252,13 +267,25 @@ func (m *MultiExecutor) shutdown() {
 	}
 }
 
-// allWorkers returns the partition workers plus the full-stream worker
-// when it exists.
+// SetExecutorGroups caps how many executor groups may run side by
+// side (k >= 1; the default is 1, the single-fallback-worker
+// behaviour). Groups start lazily when a locality-breaking plan
+// subscribes, so raising the cap takes effect for future subscribes;
+// lowering it never disturbs groups already hosting subscribers —
+// they shrink only by retirement when their last subscriber leaves.
+func (m *MultiExecutor) SetExecutorGroups(k int) {
+	if k < 1 {
+		k = 1
+	}
+	m.maxGroups = k
+}
+
+// allWorkers returns the partition workers plus the executor groups.
 func (m *MultiExecutor) allWorkers() []*mworker {
-	if m.full == nil {
+	if len(m.groups) == 0 {
 		return m.workers
 	}
-	return append(append([]*mworker(nil), m.workers...), m.full)
+	return append(append([]*mworker(nil), m.workers...), m.groups...)
 }
 
 // activePlans returns the plans of the active subscriptions.
@@ -280,10 +307,11 @@ type subOpts struct {
 }
 
 // StrictRouting rejects the subscription with ErrFrozenRouting instead
-// of falling back to the dedicated full-stream worker when the routing
-// is frozen and the plan's partition keys do not cover the routing
-// attributes. The fallback preserves correctness but streams every
-// event twice; strict callers prefer the explicit error.
+// of falling back to an executor group when the routing is frozen and
+// the plan's partition keys do not cover the routing attributes. The
+// fallback preserves correctness but streams every event to the
+// hosting group in addition to its partition worker; strict callers
+// prefer the explicit error.
 func StrictRouting() SubscribeOpt {
 	return func(o *subOpts) { o.strict = true }
 }
@@ -294,8 +322,9 @@ func StrictRouting() SubscribeOpt {
 // routing attributes are recomputed over the new fleet; mid-stream the
 // routing is frozen, and the plan either joins every partition worker
 // (its partition keys cover the routing attributes — sub-streams stay
-// worker-local) or falls back to the dedicated full-stream worker
-// (rejected with ErrFrozenRouting under StrictRouting). The
+// worker-local) or falls back to an executor group clustered by its
+// partition-key signature (rejected with ErrFrozenRouting under
+// StrictRouting). The
 // subscription takes effect at one consistent stream position on
 // every worker: after every event routed so far, before any event
 // routed later.
@@ -322,10 +351,7 @@ func (m *MultiExecutor) SubscribePlan(plan *core.Plan, opts ...SubscribeOpt) (*S
 			return nil, fmt.Errorf("stream: partition keys %v do not cover the frozen routing attributes %v: %w",
 				plan.StreamKeys, m.routeAttrs, core.ErrFrozenRouting)
 		}
-		if m.full == nil {
-			m.full = m.newWorker()
-		}
-		hosts = []*mworker{m.full}
+		hosts = []*mworker{m.groupFor(plan)}
 	}
 	m.flushPending()
 	sub := &Sub{m: m, id: len(m.subs), plan: plan, active: true, hosts: hosts}
@@ -349,6 +375,50 @@ func (m *MultiExecutor) SubscribePlan(plan *core.Plan, opts ...SubscribeOpt) (*S
 	}
 	m.subs = append(m.subs, sub)
 	return sub, nil
+}
+
+// groupSig is a plan's clustering signature: its partition attributes,
+// sorted and NUL-joined. Two plans with the same signature window the
+// stream into the same sub-stream universe, so hosting them on one
+// group shares the resolve pass and dispatch index.
+func groupSig(plan *core.Plan) string {
+	keys := append([]string(nil), plan.StreamKeys...)
+	sort.Strings(keys)
+	return strings.Join(keys, "\x00")
+}
+
+// groupFor picks (or starts) the executor group hosting a
+// locality-breaking plan: an existing group with the same
+// partition-key signature if one runs, a fresh group while the cap
+// (SetExecutorGroups) has headroom, and otherwise the least-loaded
+// group by active subscriber count.
+func (m *MultiExecutor) groupFor(plan *core.Plan) *mworker {
+	sig := groupSig(plan)
+	for gi, g := range m.groups {
+		if m.groupSigs[gi] == sig {
+			return g
+		}
+	}
+	if len(m.groups) < m.maxGroups {
+		g := m.newWorker()
+		m.groups = append(m.groups, g)
+		m.groupSigs = append(m.groupSigs, sig)
+		m.groupPend = append(m.groupPend, nil)
+		return g
+	}
+	best, bestLoad := m.groups[0], int(^uint(0)>>1)
+	for _, g := range m.groups {
+		load := 0
+		for _, s := range m.subs {
+			if s.active && len(s.hosts) == 1 && s.hosts[0] == g {
+				load++
+			}
+		}
+		if load < bestLoad {
+			best, bestLoad = g, load
+		}
+	}
+	return best
 }
 
 // attrsCovered reports whether every routing attribute appears in the
@@ -399,7 +469,7 @@ func (m *MultiExecutor) unsubscribe(sub *Sub) ([]core.Result, error) {
 		// that the intersection spans fewer plans.
 		m.routeAttrs = sharedRouteAttrs(m.activePlans())
 	}
-	if err := m.retireFullWorker(); err != nil && firstErr == nil {
+	if err := m.retireIdleGroups(); err != nil && firstErr == nil {
 		firstErr = err
 	}
 	// Even on a partial failure the healthy workers' engines have been
@@ -415,30 +485,45 @@ func (m *MultiExecutor) unsubscribe(sub *Sub) ([]core.Result, error) {
 	return merged, firstErr
 }
 
-// retireFullWorker shuts the full-stream fallback worker down once no
-// active subscription is hosted on it, so a long-lived stream stops
-// paying the duplicate event delivery after its last locality-breaking
-// subscriber leaves. A later locality-breaking subscribe starts a
-// fresh fallback worker, aligned to the watermark like any late
-// joiner.
-func (m *MultiExecutor) retireFullWorker() error {
-	if m.full == nil {
-		return nil
-	}
-	for _, s := range m.subs {
-		if s.active && len(s.hosts) == 1 && s.hosts[0] == m.full {
-			return nil
+// retireIdleGroups shuts down every executor group with no active
+// subscription left — the shrink half of group rebalancing, run at
+// membership changes and Sync barriers — so a long-lived stream stops
+// paying the duplicate event delivery after a group's last subscriber
+// leaves. A later locality-breaking subscribe starts a fresh group,
+// aligned to the watermark like any late joiner. The caller must have
+// flushed pending batches (any partial group batch was handed over).
+func (m *MultiExecutor) retireIdleGroups() error {
+	var firstErr error
+	kept := 0
+	for gi, g := range m.groups {
+		busy := false
+		for _, s := range m.subs {
+			if s.active && len(s.hosts) == 1 && s.hosts[0] == g {
+				busy = true
+				break
+			}
+		}
+		if busy {
+			m.groups[kept] = g
+			m.groupSigs[kept] = m.groupSigs[gi]
+			m.groupPend[kept] = m.groupPend[gi]
+			kept++
+			continue
+		}
+		close(g.in)
+		<-g.done
+		// Peak memory is a high-water mark over the whole run: keep the
+		// retired worker's contribution so the reported fleet peak stays
+		// monotone.
+		m.retiredPeak += g.acct.Peak()
+		if g.err != nil && firstErr == nil {
+			firstErr = g.err
 		}
 	}
-	w := m.full
-	m.full, m.fullPend = nil, nil
-	close(w.in)
-	<-w.done
-	// Peak memory is a high-water mark over the whole run: keep the
-	// retired worker's contribution so the reported fleet peak stays
-	// monotone.
-	m.retiredPeak += w.acct.Peak()
-	return w.err
+	m.groups = m.groups[:kept]
+	m.groupSigs = m.groupSigs[:kept]
+	m.groupPend = m.groupPend[:kept]
+	return firstErr
 }
 
 // drain implements Sub.Drain.
@@ -477,9 +562,11 @@ func (m *MultiExecutor) drain(sub *Sub) ([]core.Result, error) {
 // worker at the current stream position.
 type Stats struct {
 	// Queries is the number of active subscriptions; Workers counts the
-	// running workers (including the full-stream fallback worker).
+	// running workers (including the executor groups); Groups counts
+	// the running executor groups alone.
 	Queries int
 	Workers int
+	Groups  int
 	// Events is the number of events routed; Skipped counts events that
 	// lacked a routing attribute (not delivered to partition workers).
 	Events  int64
@@ -502,6 +589,7 @@ func (m *MultiExecutor) Stats() (Stats, error) {
 	st := Stats{
 		Queries:       len(m.activePlans()),
 		Workers:       len(m.allWorkers()),
+		Groups:        len(m.groups),
 		Events:        m.seq,
 		Skipped:       m.skipped,
 		InternedTypes: m.cat.NumTypes(),
@@ -568,11 +656,11 @@ func (w *mworker) run() {
 			continue
 		}
 		if w.err == nil {
-			for _, e := range *msg.batch {
-				if w.err = w.rt.Process(e); w.err != nil {
-					break // drain after failure
-				}
-			}
+			// The batch is the unit of execution, not just of transport:
+			// the runtime chunks it into equal-time, type-partitioned runs
+			// for the columnar kernels (Runtime.ProcessBatch). On failure
+			// the remaining input is drained without processing.
+			w.err = w.rt.ProcessBatch(*msg.batch)
 		}
 		*msg.batch = (*msg.batch)[:0]
 		w.pool.Put(msg.batch)
@@ -643,12 +731,12 @@ func (p *MultiExecutor) OnResult(qi int, fn func(core.Result)) error {
 }
 
 // Process routes one event to its partition's worker, and additionally
-// to the full-stream worker when one is running. Events missing a
-// shared routing attribute are counted and skipped for the partition
-// workers — such an event lacks part of every routed plan's partition
-// key, so no routed engine would admit it to a sub-stream — but they
-// still reach the full-stream worker, whose queries route on nothing.
-// Events are delivered in batches; Close flushes any partial batch.
+// to every running executor group. Events missing a shared routing
+// attribute are counted and skipped for the partition workers — such
+// an event lacks part of every routed plan's partition key, so no
+// routed engine would admit it to a sub-stream — but they still reach
+// the executor groups, whose queries route on nothing. Events are
+// delivered in batches; Close flushes any partial batch.
 func (p *MultiExecutor) Process(e *event.Event) error {
 	if p.closed {
 		return fmt.Errorf("stream: Process after Close: %w", core.ErrClosed)
@@ -698,8 +786,8 @@ func (p *MultiExecutor) route(e *event.Event) {
 	if routed {
 		p.append(p.workers[wi], &p.pending[wi], e)
 	}
-	if p.full != nil {
-		p.append(p.full, &p.fullPend, e)
+	for gi, g := range p.groups {
+		p.append(g, &p.groupPend[gi], e)
 	}
 }
 
@@ -728,9 +816,11 @@ func (p *MultiExecutor) flushPending() {
 			p.pending[i] = nil
 		}
 	}
-	if p.full != nil && p.fullPend != nil && len(*p.fullPend) > 0 {
-		p.full.in <- wmsg{batch: p.fullPend}
-		p.fullPend = nil
+	for gi, g := range p.groups {
+		if batch := p.groupPend[gi]; batch != nil && len(*batch) > 0 {
+			g.in <- wmsg{batch: batch}
+			p.groupPend[gi] = nil
+		}
 	}
 }
 
@@ -752,11 +842,17 @@ func (p *MultiExecutor) Run(src Iterator) error {
 // barrier. RunContext uses it when its context is cancelled, so the
 // workers' state reflects exactly the pushed prefix before the caller
 // regains control (Drain and Stats then observe a consistent cut).
+// The barrier is also the group-rebalance point: executor groups whose
+// last subscriber left since the previous barrier are retired here, so
+// a shrunk fleet stops paying their duplicate event delivery.
 func (p *MultiExecutor) Sync() error {
 	if p.closed {
 		return fmt.Errorf("stream: Sync after Close: %w", core.ErrClosed)
 	}
 	p.flushPending()
+	if err := p.retireIdleGroups(); err != nil {
+		return err
+	}
 	for _, w := range p.allWorkers() {
 		ctl := &ctlMsg{op: ctlStats, reply: make(chan ctlReply, 1)}
 		w.in <- wmsg{ctl: ctl}
@@ -833,8 +929,8 @@ func (p *MultiExecutor) Skipped() int64 { return p.skipped }
 
 // Workers returns the partition worker count — 1 when the hosted
 // plans share no partition attribute, regardless of what was
-// requested. The full-stream fallback worker, when running, is not
-// counted (see Stats).
+// requested. Executor groups, when running, are not counted (see
+// Stats).
 func (p *MultiExecutor) Workers() int { return len(p.workers) }
 
 // Catalog returns the shared catalog further plans must be compiled

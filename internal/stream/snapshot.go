@@ -133,7 +133,11 @@ func (m *MultiExecutor) Snapshot(w *snap.Writer, planIdxBySubID map[int]int32) e
 	w.Bool(m.sawEvent)
 	w.I64(m.skipped)
 	w.I64(m.retiredPeak)
-	w.Bool(m.full != nil)
+	w.U32(uint32(m.maxGroups))
+	w.U32(uint32(len(m.groups)))
+	for _, sig := range m.groupSigs {
+		w.Str(sig)
+	}
 	for _, wk := range m.allWorkers() {
 		if wk.err != nil {
 			return fmt.Errorf("stream: Snapshot with failed worker: %w", wk.err)
@@ -168,8 +172,9 @@ func (m *MultiExecutor) Snapshot(w *snap.Writer, planIdxBySubID map[int]int32) e
 		if !s.active {
 			continue
 		}
-		if len(s.hosts) == 1 && s.hosts[0] == m.full {
-			w.U8(2) // hosted on the full-stream fallback worker
+		if gi := m.groupIndex(s.hosts); gi >= 0 {
+			w.U8(2) // hosted on one executor group
+			w.U32(uint32(gi))
 		} else {
 			w.U8(1) // hosted on every partition worker
 		}
@@ -202,7 +207,18 @@ func RestoreMultiExecutor(cat *core.Catalog, r *snap.Reader, plans []*core.Plan,
 	sawEvent := r.Bool()
 	skipped := r.I64()
 	retiredPeak := r.I64()
-	hasFull := r.Bool()
+	maxGroups := int(r.U32())
+	if r.Err() == nil && (maxGroups < 1 || maxGroups > maxSnapWorkers) {
+		return nil, fmt.Errorf("%w: executor group cap %d", snap.ErrBadSnapshot, maxGroups)
+	}
+	ng := r.Count(1)
+	if r.Err() == nil && ng > maxGroups {
+		return nil, fmt.Errorf("%w: %d executor groups over a cap of %d", snap.ErrBadSnapshot, ng, maxGroups)
+	}
+	groupSigs := make([]string, 0, ng)
+	for i := 0; i < ng; i++ {
+		groupSigs = append(groupSigs, r.Str())
+	}
 	if err := r.Err(); err != nil {
 		return nil, err
 	}
@@ -216,8 +232,11 @@ func RestoreMultiExecutor(cat *core.Catalog, r *snap.Reader, plans []*core.Plan,
 	m.routeAttrs = routeAttrs
 	m.seq, m.lastTime, m.sawEvent = seq, lastTime, sawEvent
 	m.skipped, m.retiredPeak = skipped, retiredPeak
-	if hasFull {
-		m.full = m.newWorker()
+	m.maxGroups = maxGroups
+	for _, sig := range groupSigs {
+		m.groups = append(m.groups, m.newWorker())
+		m.groupSigs = append(m.groupSigs, sig)
+		m.groupPend = append(m.groupPend, nil)
 	}
 	for _, wk := range m.allWorkers() {
 		wk := wk
@@ -242,6 +261,10 @@ func RestoreMultiExecutor(cat *core.Catalog, r *snap.Reader, plans []*core.Plan,
 			continue
 		}
 		kind := r.U8()
+		gi := -1
+		if kind == 2 {
+			gi = int(r.U32())
+		}
 		nh := r.Count(8)
 		wsubIDs := make([]int, 0, nh)
 		for i := 0; i < nh; i++ {
@@ -255,10 +278,10 @@ func RestoreMultiExecutor(cat *core.Catalog, r *snap.Reader, plans []*core.Plan,
 		case 1:
 			hosts = m.workers
 		case 2:
-			if m.full == nil {
-				return nil, fmt.Errorf("%w: subscription %d hosted on an absent fallback worker", snap.ErrBadSnapshot, id)
+			if gi < 0 || gi >= len(m.groups) {
+				return nil, fmt.Errorf("%w: subscription %d hosted on absent executor group %d", snap.ErrBadSnapshot, id, gi)
 			}
-			hosts = []*mworker{m.full}
+			hosts = []*mworker{m.groups[gi]}
 		default:
 			return nil, fmt.Errorf("%w: subscription %d host kind %d", snap.ErrBadSnapshot, id, kind)
 		}
@@ -285,6 +308,21 @@ func RestoreMultiExecutor(cat *core.Catalog, r *snap.Reader, plans []*core.Plan,
 	}
 	ok = true
 	return m, nil
+}
+
+// groupIndex returns the index of the executor group a single-host
+// subscription is hosted on, or -1 when the hosts are the partition
+// workers.
+func (m *MultiExecutor) groupIndex(hosts []*mworker) int {
+	if len(hosts) != 1 {
+		return -1
+	}
+	for gi, g := range m.groups {
+		if g == hosts[0] {
+			return gi
+		}
+	}
+	return -1
 }
 
 // Sub returns the subscription with the given id, or nil.

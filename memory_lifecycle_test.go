@@ -315,6 +315,100 @@ func TestSessionCatalogCompaction(t *testing.T) {
 	}
 }
 
+// TestSessionCatalogSlotTruncation pins the physical side of
+// compaction: retiring the highest-id symbols truncates their slots
+// off the id arrays (Stats().InternedTypeSlots/InternedAttrSlots)
+// rather than leaving tombstones to probe forever. Interior
+// tombstones — retired while a later subscriber still holds higher
+// ids — stay in place until everything above them goes, then the
+// whole dead tail truncates at once.
+func TestSessionCatalogSlotTruncation(t *testing.T) {
+	events := lifecycleStream(300)
+	sess := cogra.NewSession()
+	defer sess.Close()
+	if _, err := sess.Subscribe(cogra.MustParse(lifecycleQueries()["type-slots"])); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.PushBatch(events[:100]); err != nil {
+		t.Fatal(err)
+	}
+	base, err := sess.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.InternedTypeSlots != base.InternedTypes || base.InternedAttrSlots != base.InternedAttrs {
+		t.Fatalf("fresh session has tombstones: type slots %d live %d, attr slots %d live %d",
+			base.InternedTypeSlots, base.InternedTypes, base.InternedAttrSlots, base.InternedAttrs)
+	}
+
+	churn := func(i int) string {
+		return fmt.Sprintf(`
+			RETURN COUNT(*)
+			PATTERN Trunc%d+
+			SEMANTICS skip-till-any-match
+			WHERE [patient] AND [Trunc%d.slot%d]
+			GROUP-BY patient
+			WITHIN 64 SLIDE 64`, i, i, i)
+	}
+	// Two churn subscribers stacked: lo holds lower ids than hi.
+	lo, err := sess.Subscribe(cogra.MustParse(churn(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := sess.Subscribe(cogra.MustParse(churn(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.PushBatch(events[100:200]); err != nil {
+		t.Fatal(err)
+	}
+	grown, err := sess.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grown.InternedTypeSlots <= base.InternedTypeSlots || grown.InternedAttrSlots <= base.InternedAttrSlots {
+		t.Fatalf("churn subscribers did not grow the id spaces: type slots %d->%d, attr slots %d->%d",
+			base.InternedTypeSlots, grown.InternedTypeSlots, base.InternedAttrSlots, grown.InternedAttrSlots)
+	}
+
+	// Retiring lo leaves interior tombstones: hi still pins the ids
+	// above them, so no physical shrink yet.
+	lo.Unsubscribe()
+	mid, err := sess.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mid.InternedTypeSlots != grown.InternedTypeSlots || mid.InternedAttrSlots != grown.InternedAttrSlots {
+		t.Errorf("interior tombstones moved live ids: type slots %d->%d, attr slots %d->%d",
+			grown.InternedTypeSlots, mid.InternedTypeSlots, grown.InternedAttrSlots, mid.InternedAttrSlots)
+	}
+	if mid.InternedTypes != base.InternedTypes+1 || mid.InternedAttrs != base.InternedAttrs+1 {
+		t.Errorf("live counts after retiring lo: types %d (want %d), attrs %d (want %d)",
+			mid.InternedTypes, base.InternedTypes+1, mid.InternedAttrs, base.InternedAttrs+1)
+	}
+
+	// Retiring hi makes the entire dead tail trailing — lo's interior
+	// tombstones included — and the arrays truncate back to the
+	// resident footprint.
+	hi.Unsubscribe()
+	final, err := sess.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.InternedTypeSlots != base.InternedTypeSlots || final.InternedAttrSlots != base.InternedAttrSlots {
+		t.Errorf("dead tail not truncated: type slots %d (want %d), attr slots %d (want %d)",
+			final.InternedTypeSlots, base.InternedTypeSlots, final.InternedAttrSlots, base.InternedAttrSlots)
+	}
+	if final.InternedTypeSlots != final.InternedTypes || final.InternedAttrSlots != final.InternedAttrs {
+		t.Errorf("tombstones survive full churn: type slots %d live %d, attr slots %d live %d",
+			final.InternedTypeSlots, final.InternedTypes, final.InternedAttrSlots, final.InternedAttrs)
+	}
+	// The resident query is untouched.
+	if err := sess.PushBatch(events[200:]); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestSessionCompactionKeepsResidentResults pins compaction as
 // invisible to the surviving fleet: a session that churns disjoint
 // queries mid-stream leaves the resident query byte-identical to an

@@ -92,6 +92,7 @@ type SessionOption func(*sessionCfg)
 
 type sessionCfg struct {
 	workers  int
+	groups   int
 	slack    int64
 	reorder  bool
 	late     LatePolicy
@@ -106,6 +107,21 @@ type sessionCfg struct {
 // see MultiExecutor for the routing and fallback rules.
 func WithWorkers(n int) SessionOption {
 	return func(c *sessionCfg) { c.workers = n }
+}
+
+// WithExecutorGroups lets up to k executor groups run side by side
+// (k > 1; the default is one). Executor groups host the queries that
+// cannot be partition-routed — the fleet shares no partition
+// attribute with them, or they subscribed after routing froze — and
+// each group receives the full stream in order. Queries are clustered
+// onto groups by compatible partition attributes: same partition-key
+// signature, same group (they share one resolve pass); incompatible
+// queries spread across groups and execute in parallel, up to k. A
+// group whose last subscriber unsubscribes is retired at the next
+// membership change or Sync barrier. With k > 1 the session runs in
+// parallel mode even when WithWorkers was not given.
+func WithExecutorGroups(k int) SessionOption {
+	return func(c *sessionCfg) { c.groups = k }
 }
 
 // WithSlack accepts bounded-disorder sources: a K-slack buffer in
@@ -243,8 +259,11 @@ func NewSession(opts ...SessionOption) *Session {
 	if cfg.evict {
 		engOpts = append(engOpts, core.WithInternEviction())
 	}
-	if cfg.workers > 1 {
+	if cfg.workers > 1 || cfg.groups > 1 {
 		s.mx = stream.NewMultiExecutorOn(s.cat, cfg.workers, engOpts...)
+		if cfg.groups > 1 {
+			s.mx.SetExecutorGroups(cfg.groups)
+		}
 	} else {
 		s.rt = runtime.NewOn(s.cat)
 	}
@@ -645,10 +664,13 @@ func (s *Session) Close() error {
 // SessionStats summarises a session's hosted state.
 type SessionStats struct {
 	// Queries is the number of active subscriptions; Workers the
-	// worker count (1 for inline sessions; parallel sessions count the
-	// full-stream fallback worker when it is running).
-	Queries int
-	Workers int
+	// worker count (1 for inline sessions; parallel sessions count
+	// running executor groups too). ExecutorGroups counts the running
+	// executor groups alone (0 for inline sessions and while none
+	// hosts a subscriber).
+	Queries        int
+	Workers        int
+	ExecutorGroups int
 	// Events is the number of events the session accepted; Skipped
 	// counts events a parallel session could not route (missing a
 	// routing attribute).
@@ -671,9 +693,15 @@ type SessionStats struct {
 	// subscribe; unsubscribing releases symbols no remaining query
 	// references, so churn no longer ratchets them up (ids of hosted
 	// queries stay stable throughout). CatalogCompactions counts the
-	// compacted snapshots published so far.
+	// compacted snapshots published so far. InternedTypeSlots and
+	// InternedAttrSlots are the physical id-space sizes including
+	// tombstoned slots awaiting recycling; compaction truncates
+	// trailing tombstones, so churn that retires the highest ids
+	// shrinks the slot counts back toward the live counts.
 	InternedTypes      int
 	InternedAttrs      int
+	InternedTypeSlots  int
+	InternedAttrSlots  int
 	CatalogCompactions uint64
 	// RoutingAttrs are the partition attributes a parallel session
 	// routes events by; empty with Workers > 1 means the subscribed
@@ -717,6 +745,7 @@ func (s *Session) Stats() (SessionStats, error) {
 		st = SessionStats{
 			Queries:            ms.Queries,
 			Workers:            ms.Workers,
+			ExecutorGroups:     ms.Groups,
 			Events:             ms.Events,
 			Skipped:            ms.Skipped,
 			InternedTypes:      ms.InternedTypes,
@@ -732,6 +761,8 @@ func (s *Session) Stats() (SessionStats, error) {
 		st.ReorderPeakDepth = s.roPeak
 		st.ReorderShed = s.ro.Shed()
 	}
+	st.InternedTypeSlots = s.cat.NumTypeSlots()
+	st.InternedAttrSlots = s.cat.NumAttrSlots()
 	st.CatalogCompactions = s.cat.Compactions()
 	return st, nil
 }

@@ -69,6 +69,7 @@ func (s *Session) Snapshot(w io.Writer) error {
 	}
 	var sw snap.Writer
 	sw.Int(s.cfg.workers)
+	sw.Int(s.cfg.groups)
 	sw.I64(s.cfg.slack)
 	sw.Bool(s.cfg.reorder)
 	sw.U8(uint8(s.cfg.late))
@@ -155,6 +156,7 @@ func Restore(r io.Reader, opts ...SessionOption) (*Session, error) {
 	}
 	var orig sessionCfg
 	orig.workers = rd.Int()
+	orig.groups = rd.Int()
 	orig.slack = rd.I64()
 	orig.reorder = rd.Bool()
 	late := rd.U8()
@@ -169,6 +171,9 @@ func Restore(r io.Reader, opts ...SessionOption) (*Session, error) {
 	}
 	if orig.workers > maxRestoreWorkers || orig.workers < 0 {
 		return nil, fmt.Errorf("%w: session worker count %d", ErrBadSnapshot, orig.workers)
+	}
+	if orig.groups > maxRestoreWorkers || orig.groups < 0 {
+		return nil, fmt.Errorf("%w: session executor group count %d", ErrBadSnapshot, orig.groups)
 	}
 	orig.late, orig.depth = LatePolicy(late), DepthPolicy(depth)
 	cfg := orig
@@ -234,7 +239,7 @@ func Restore(r io.Reader, opts ...SessionOption) (*Session, error) {
 	sawAny := rd.Bool()
 	blob := rd.RawBytes()
 	var acctCur, acctPeak int64
-	if orig.workers <= 1 {
+	if orig.workers <= 1 && orig.groups <= 1 {
 		acctCur, acctPeak = rd.I64(), rd.I64()
 	}
 	if err := rd.Close(); err != nil {
@@ -251,18 +256,22 @@ func Restore(r io.Reader, opts ...SessionOption) (*Session, error) {
 	if cfg.evict {
 		engOpts = append(engOpts, core.WithInternEviction())
 	}
+	parallel := cfg.workers > 1 || cfg.groups > 1
 	rsubs := make([]*runtime.Subscription, nsubs)
 	msubs := make([]*stream.Sub, nsubs)
-	if normalize(cfg.workers) != normalize(orig.workers) {
+	if normalize(cfg.workers) != normalize(orig.workers) || normalize(cfg.groups) != normalize(orig.groups) {
 		if sawAny {
-			return nil, fmt.Errorf("cogra: restore with %d workers from a %d-worker snapshot after events flowed (routing is frozen): %w",
-				normalize(cfg.workers), normalize(orig.workers), ErrFrozenRouting)
+			return nil, fmt.Errorf("cogra: restore with %d workers / %d groups from a %d-worker / %d-group snapshot after events flowed (routing is frozen): %w",
+				normalize(cfg.workers), normalize(cfg.groups), normalize(orig.workers), normalize(orig.groups), ErrFrozenRouting)
 		}
 		// Event-free snapshot: the topology blob holds only fresh
 		// construction state, so skip it and re-subscribe the surviving
 		// plans against a fresh topology of the requested width.
-		if cfg.workers > 1 {
+		if parallel {
 			s.mx = stream.NewMultiExecutorOn(cat, cfg.workers, engOpts...)
+			if cfg.groups > 1 {
+				s.mx.SetExecutorGroups(cfg.groups)
+			}
 		} else {
 			s.rt = runtime.NewOn(cat)
 		}
@@ -283,7 +292,7 @@ func Restore(r io.Reader, opts ...SessionOption) (*Session, error) {
 	} else {
 		brd := snap.NewReader(blob)
 		tag := brd.U8()
-		if cfg.workers > 1 {
+		if parallel {
 			if tag != 1 {
 				return nil, fmt.Errorf("%w: parallel session with an inline topology blob", ErrBadSnapshot)
 			}

@@ -59,6 +59,7 @@ import (
 	"strings"
 
 	cogra "repro"
+	"repro/internal/sessionflags"
 )
 
 // querySource is one query given on the command line, in flag order —
@@ -82,19 +83,13 @@ func (f sourceFlag) Set(v string) error {
 	return nil
 }
 
-// runCfg collects the command line; run is testable over it.
+// runCfg collects the command line; run is testable over it. The
+// session-shaping flags (-workers, -slack, ...) live in the shared
+// sessionflags struct, the same set cograd serves.
 type runCfg struct {
 	sources         []querySource
 	input           string
-	workers         int
-	workersSet      bool // -workers given explicitly (restore: override the checkpoint's fleet size)
-	groups          int
-	groupsSet       bool // -groups given explicitly (restore: override the checkpoint's group cap)
-	slack           int64
-	rejectLate      bool
-	maxDepth        int
-	rejectOverrun   bool
-	evict           bool
+	session         sessionflags.Flags
 	follow          bool
 	explain         bool
 	memory          bool
@@ -109,13 +104,7 @@ func main() {
 	flag.Var(sourceFlag{&cfg.sources, false}, "query", "query text (SASE-style syntax); repeatable")
 	flag.Var(sourceFlag{&cfg.sources, true}, "file", "file holding one query text; repeatable")
 	flag.StringVar(&cfg.input, "input", "", "CSV event stream (default stdin)")
-	flag.IntVar(&cfg.workers, "workers", 1, "partition-parallel workers")
-	flag.IntVar(&cfg.groups, "groups", 1, "cap on independently-routed executor groups: full-stream workers hosting queries subscribed mid-stream (-follow '+query') whose partition keys do not cover the frozen routing attributes; such queries cluster by partition-key signature (same signature, same group; a new signature starts a group while under the cap, then joins the least-loaded one) and an empty group retires when its last query unsubscribes")
-	flag.Int64Var(&cfg.slack, "slack", -1, "accept events up to this many time units out of order (-1: require in-order input)")
-	flag.BoolVar(&cfg.rejectLate, "late-reject", false, "fail on events beyond -slack instead of dropping them")
-	flag.IntVar(&cfg.maxDepth, "max-reorder-depth", 0, "cap the -slack reorder buffer at this many events (0: unbounded)")
-	flag.BoolVar(&cfg.rejectOverrun, "reorder-reject", false, "fail with backpressure when the capped reorder buffer is full, instead of shedding its oldest events")
-	flag.BoolVar(&cfg.evict, "evict", false, "bound binding-intern memory: reclaim slot values once no open window references them")
+	sf := sessionflags.Register(flag.CommandLine)
 	flag.BoolVar(&cfg.follow, "follow", false, "tail the feed line by line; '+query <text>' / '-query <id>' control lines change the fleet mid-stream")
 	flag.BoolVar(&cfg.explain, "explain", false, "print the compiled plans and exit")
 	flag.BoolVar(&cfg.memory, "memory", false, "report logical peak memory after the run")
@@ -124,14 +113,7 @@ func main() {
 	flag.IntVar(&cfg.checkpointEvery, "checkpoint-every", 0, "checkpoint after every N accepted events (requires -checkpoint)")
 	flag.StringVar(&cfg.restore, "restore", "", "resume from this checkpoint file instead of starting empty")
 	flag.Parse()
-	flag.Visit(func(f *flag.Flag) {
-		switch f.Name {
-		case "workers":
-			cfg.workersSet = true
-		case "groups":
-			cfg.groupsSet = true
-		}
-	})
+	cfg.session = *sf
 
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "cograql:", err)
@@ -200,48 +182,20 @@ func run(cfg runCfg) error {
 		in = f
 	}
 
+	// The shared helper validates the cross-flag rules and builds the
+	// session options; when restoring, an explicitly given -workers or
+	// -groups overrides the checkpoint's topology (allowed only before
+	// the stream's first event froze partition routing), while an
+	// omitted flag lets the checkpoint decide.
 	var opts []cogra.SessionOption
-	if cfg.workers > 1 || (cfg.restore != "" && cfg.workersSet) {
-		// When restoring, an explicit -workers overrides the checkpoint's
-		// fleet size (allowed only before the stream's first event has
-		// frozen partition routing); otherwise the checkpoint decides.
-		opts = append(opts, cogra.WithWorkers(cfg.workers))
-	}
-	if cfg.groups < 0 {
-		return fmt.Errorf("-groups must be at least 1, got %d", cfg.groups)
-	}
-	if cfg.groups > 1 || (cfg.restore != "" && cfg.groupsSet) {
-		// Like -workers: on restore an explicit -groups overrides the
-		// checkpoint's group cap (before routing froze); otherwise the
-		// checkpoint decides.
-		opts = append(opts, cogra.WithExecutorGroups(cfg.groups))
-	}
-	if cfg.maxDepth < 0 {
-		return fmt.Errorf("-max-reorder-depth must be non-negative (0: unbounded), got %d", cfg.maxDepth)
-	}
-	if cfg.slack < 0 {
-		// Refuse silently-ignored flags: without -slack there is no
-		// reorder buffer (and no late policy) for these to govern.
-		if cfg.maxDepth > 0 || cfg.rejectOverrun || cfg.rejectLate {
-			return fmt.Errorf("-late-reject/-max-reorder-depth/-reorder-reject require -slack (there is no reorder buffer without it)")
-		}
+	var err error
+	if cfg.restore != "" {
+		opts, err = cfg.session.RestoreOptions()
 	} else {
-		opts = append(opts, cogra.WithSlack(cfg.slack))
-		if cfg.rejectLate {
-			opts = append(opts, cogra.WithLatePolicy(cogra.RejectLate))
-		}
-		if cfg.rejectOverrun && cfg.maxDepth <= 0 {
-			return fmt.Errorf("-reorder-reject requires -max-reorder-depth (an unbounded buffer never exerts backpressure)")
-		}
-		if cfg.maxDepth > 0 {
-			opts = append(opts, cogra.WithMaxReorderDepth(cfg.maxDepth))
-			if cfg.rejectOverrun {
-				opts = append(opts, cogra.WithDepthPolicy(cogra.Reject))
-			}
-		}
+		opts, err = cfg.session.Options()
 	}
-	if cfg.evict {
-		opts = append(opts, cogra.WithInternEviction())
+	if err != nil {
+		return err
 	}
 
 	var sess *cogra.Session
@@ -321,9 +275,9 @@ func run(cfg runCfg) error {
 		}
 		subs[sub.ID()] = sub
 	}
-	if cfg.workers > 1 && len(queries) > 0 {
+	if cfg.session.Workers > 1 && len(queries) > 0 {
 		if st, err := sess.Stats(); err == nil && len(st.RoutingAttrs) == 0 {
-			fmt.Fprintf(os.Stderr, "cograql: no shared partition attribute to route on; all events run on 1 of %d workers\n", cfg.workers)
+			fmt.Fprintf(os.Stderr, "cograql: no shared partition attribute to route on; all events run on 1 of %d workers\n", cfg.session.Workers)
 		}
 	}
 

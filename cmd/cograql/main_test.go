@@ -4,6 +4,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"repro/internal/sessionflags"
 )
 
 func writeFile(t *testing.T, name, content string) string {
@@ -42,7 +44,7 @@ const testCSV = `time,type,k,x:num
 func TestRunWithQueryFileAndInput(t *testing.T) {
 	qf := writeFile(t, "q.etaq", `RETURN COUNT(*) PATTERN SEQ(A+, B) WHERE [k] GROUP-BY k WITHIN 10 SLIDE 10`)
 	in := writeFile(t, "in.csv", testCSV)
-	if err := run(runCfg{sources: fromFile(qf), input: in, workers: 1, memory: true}); err != nil {
+	if err := run(runCfg{sources: fromFile(qf), input: in, session: sessionflags.Flags{Workers: 1}, memory: true}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -51,7 +53,7 @@ func TestRunParallelWorkers(t *testing.T) {
 	in := writeFile(t, "in.csv", testCSV)
 	err := run(runCfg{
 		sources: inline(`RETURN COUNT(*) PATTERN SEQ(A+, B) WHERE [k] GROUP-BY k WITHIN 10 SLIDE 10`),
-		input:   in, workers: 4, memory: true,
+		input:   in, session: sessionflags.Flags{Workers: 4}, memory: true,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -64,13 +66,13 @@ func TestRunMultipleQueries(t *testing.T) {
 		`RETURN COUNT(*) PATTERN SEQ(A+, B) WHERE [k] GROUP-BY k WITHIN 10 SLIDE 10`,
 		`RETURN COUNT(*) PATTERN A+ WHERE [k] GROUP-BY k WITHIN 10 SLIDE 10`,
 	)
-	if err := run(runCfg{sources: queries, input: in, workers: 1, memory: true}); err != nil {
+	if err := run(runCfg{sources: queries, input: in, session: sessionflags.Flags{Workers: 1}, memory: true}); err != nil {
 		t.Fatalf("shared runtime: %v", err)
 	}
-	if err := run(runCfg{sources: queries, input: in, workers: 3, memory: true}); err != nil {
+	if err := run(runCfg{sources: queries, input: in, session: sessionflags.Flags{Workers: 3}, memory: true}); err != nil {
 		t.Fatalf("multi executor: %v", err)
 	}
-	if err := run(runCfg{sources: queries, workers: 1, explain: true}); err != nil {
+	if err := run(runCfg{sources: queries, session: sessionflags.Flags{Workers: 1}, explain: true}); err != nil {
 		t.Fatalf("multi explain: %v", err)
 	}
 }
@@ -85,19 +87,19 @@ func TestRunWithSlack(t *testing.T) {
 `
 	in := writeFile(t, "in.csv", disordered)
 	q := inline(`RETURN COUNT(*) PATTERN SEQ(A+, B) WHERE [k] GROUP-BY k WITHIN 10 SLIDE 10`)
-	if err := run(runCfg{sources: q, input: in, workers: 1, slack: 5, stats: true}); err != nil {
+	if err := run(runCfg{sources: q, input: in, session: sessionflags.Flags{Workers: 1, Slack: 5}, stats: true}); err != nil {
 		t.Fatalf("slack 5: %v", err)
 	}
 	// Slack 0 drops the straggler but the run succeeds (DropLate).
-	if err := run(runCfg{sources: q, input: in, workers: 1, slack: 0, stats: true}); err != nil {
+	if err := run(runCfg{sources: q, input: in, session: sessionflags.Flags{Workers: 1, Slack: 0}, stats: true}); err != nil {
 		t.Fatalf("slack 0 drop: %v", err)
 	}
 	// Reject policy fails the run on the straggler.
-	if err := run(runCfg{sources: q, input: in, workers: 1, slack: 0, rejectLate: true}); err == nil {
+	if err := run(runCfg{sources: q, input: in, session: sessionflags.Flags{Workers: 1, Slack: 0, RejectLate: true}}); err == nil {
 		t.Fatal("slack 0 -late-reject accepted a straggler")
 	}
 	// Without slack the disorder fails the stream contract.
-	if err := run(runCfg{sources: q, input: in, workers: 1, slack: -1}); err == nil {
+	if err := run(runCfg{sources: q, input: in, session: sessionflags.Flags{Workers: 1, Slack: -1}}); err == nil {
 		t.Fatal("disordered input accepted without -slack")
 	}
 }
@@ -119,12 +121,12 @@ func TestRunFollow(t *testing.T) {
 	in := writeFile(t, "feed.txt", feed)
 	base := inline(`RETURN COUNT(*) PATTERN SEQ(A+, B) WHERE [k] GROUP-BY k WITHIN 10 SLIDE 10`)
 	for _, workers := range []int{1, 3} {
-		if err := run(runCfg{sources: base, input: in, workers: workers, follow: true, stats: true}); err != nil {
+		if err := run(runCfg{sources: base, input: in, session: sessionflags.Flags{Workers: workers}, follow: true, stats: true}); err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
 	}
 	// A follow session may start with an empty fleet.
-	if err := run(runCfg{input: in, workers: 1, follow: true}); err != nil {
+	if err := run(runCfg{input: in, session: sessionflags.Flags{Workers: 1}, follow: true}); err != nil {
 		t.Fatalf("empty fleet: %v", err)
 	}
 }
@@ -154,29 +156,29 @@ func TestSourceFlagPreservesOrder(t *testing.T) {
 }
 
 func TestRunExplain(t *testing.T) {
-	if err := run(runCfg{sources: inline(`RETURN COUNT(*) PATTERN A+ WITHIN 10 SLIDE 10`), workers: 1, explain: true}); err != nil {
+	if err := run(runCfg{sources: inline(`RETURN COUNT(*) PATTERN A+ WITHIN 10 SLIDE 10`), session: sessionflags.Flags{Workers: 1}, explain: true}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run(runCfg{workers: 1}); err == nil {
+	if err := run(runCfg{session: sessionflags.Flags{Workers: 1}}); err == nil {
 		t.Error("missing query accepted")
 	}
-	if err := run(runCfg{sources: inline("garbage query"), workers: 1}); err == nil {
+	if err := run(runCfg{sources: inline("garbage query"), session: sessionflags.Flags{Workers: 1}}); err == nil {
 		t.Error("bad query accepted")
 	}
-	if err := run(runCfg{sources: inline(`RETURN COUNT(*) PATTERN A+ WITHIN 10 SLIDE 10`), input: "/does/not/exist.csv", workers: 1}); err == nil {
+	if err := run(runCfg{sources: inline(`RETURN COUNT(*) PATTERN A+ WITHIN 10 SLIDE 10`), input: "/does/not/exist.csv", session: sessionflags.Flags{Workers: 1}}); err == nil {
 		t.Error("missing input accepted")
 	}
-	if err := run(runCfg{sources: fromFile("/does/not/exist.q"), workers: 1}); err == nil {
+	if err := run(runCfg{sources: fromFile("/does/not/exist.q"), session: sessionflags.Flags{Workers: 1}}); err == nil {
 		t.Error("missing query file accepted")
 	}
 	bad := writeFile(t, "bad.csv", "not,a,valid,header\n")
-	if err := run(runCfg{sources: inline(`RETURN COUNT(*) PATTERN A+ WITHIN 10 SLIDE 10`), input: bad, workers: 1}); err == nil {
+	if err := run(runCfg{sources: inline(`RETURN COUNT(*) PATTERN A+ WITHIN 10 SLIDE 10`), input: bad, session: sessionflags.Flags{Workers: 1}}); err == nil {
 		t.Error("bad CSV accepted")
 	}
-	if err := run(runCfg{sources: inline(`RETURN COUNT(*) PATTERN A+ WITHIN 10 SLIDE 10`), input: bad, workers: 1, follow: true}); err == nil {
+	if err := run(runCfg{sources: inline(`RETURN COUNT(*) PATTERN A+ WITHIN 10 SLIDE 10`), input: bad, session: sessionflags.Flags{Workers: 1}, follow: true}); err == nil {
 		t.Error("bad header accepted in follow mode")
 	}
 }

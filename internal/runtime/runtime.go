@@ -348,6 +348,10 @@ type Stats struct {
 	// BindingInternBytes is the summed live footprint of the hosted
 	// engines' binding intern tables.
 	BindingInternBytes int64
+	// Watermark is the time stamp of the last dispatched event;
+	// WatermarkValid is false before the first event.
+	Watermark      int64
+	WatermarkValid bool
 }
 
 // Stats reports the runtime's hosted-query and interning state.
@@ -364,6 +368,8 @@ func (rt *Runtime) Stats() Stats {
 		InternedTypes:      rt.cat.NumTypes(),
 		InternedAttrs:      rt.cat.NumAttrs(),
 		BindingInternBytes: rt.InternBytes(),
+		Watermark:          rt.lastTime,
+		WatermarkValid:     rt.sawEvent,
 	}
 }
 

@@ -1,0 +1,199 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	cogra "repro"
+)
+
+func newBenchListener() (net.Listener, error) {
+	return net.Listen("tcp", "127.0.0.1:0")
+}
+
+// The cograd ingest benches measure the cost of the network service
+// versus embedding the Session directly: 8 tenants, a four-query
+// portfolio each, batches of 500 events pushed round-robin from one
+// client. InProcess is the floor (direct PushBatch); TCP is the bulk
+// path the ≤25%-overhead acceptance gate tracks; HTTP is the
+// management-surface convenience path (JSON on both ends, a new
+// request per batch) and is expected to cost more.
+
+const (
+	benchTenants = 8
+	benchBatch   = 500
+)
+
+// benchQueries is each tenant's portfolio: a multi-tenant service
+// hosts several standing pattern queries per tenant, and the engine
+// work they add is what a network hop must be measured against.
+var benchQueries = []string{
+	testQuery,
+	`RETURN COUNT(*), MAX(A.x) PATTERN A+ WHERE [k] GROUP-BY k WITHIN 30 SLIDE 30`,
+	`RETURN COUNT(*), AVG(B.x) PATTERN SEQ(A+, B+) WHERE [k] GROUP-BY k WITHIN 100 SLIDE 100`,
+	`RETURN COUNT(*) PATTERN SEQ(B+, C) WHERE [k] GROUP-BY k WITHIN 40 SLIDE 40`,
+}
+
+// benchFeed deterministically generates each tenant's next batch with
+// strictly advancing time stamps, so persistent sessions accept an
+// unbounded number of bench iterations.
+type benchFeed struct {
+	rng  *rand.Rand
+	next int64
+}
+
+func newBenchFeeds() []*benchFeed {
+	feeds := make([]*benchFeed, benchTenants)
+	for i := range feeds {
+		feeds[i] = &benchFeed{rng: rand.New(rand.NewSource(int64(100 + i)))}
+	}
+	return feeds
+}
+
+func (f *benchFeed) batch() []*cogra.Event {
+	events := make([]*cogra.Event, benchBatch)
+	for i := range events {
+		f.next++
+		typ := [3]string{"A", "B", "C"}[f.rng.Intn(3)]
+		e := cogra.NewEvent(typ, f.next)
+		e.ID = f.next
+		e.WithSym("k", [2]string{"g", "h"}[f.rng.Intn(2)])
+		e.WithNum("x", float64(f.rng.Intn(100)))
+		events[i] = e
+	}
+	return events
+}
+
+func reportIngestRate(b *testing.B) {
+	b.ReportMetric(float64(benchTenants*benchBatch)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkCogradIngestInProcess is the embedded floor every server
+// path is measured against.
+func BenchmarkCogradIngestInProcess(b *testing.B) {
+	sessions := make([]*cogra.Session, benchTenants)
+	for i := range sessions {
+		sessions[i] = cogra.NewSession()
+		for _, q := range benchQueries {
+			if _, err := sessions[i].Subscribe(cogra.MustParse(q)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	feeds := newBenchFeeds()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		for ti, sess := range sessions {
+			if err := sess.PushBatch(feeds[ti].batch()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	reportIngestRate(b)
+}
+
+func newBenchServer(b *testing.B) *Server {
+	b.Helper()
+	srv, err := New(Config{Shards: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < benchTenants; i++ {
+		for _, q := range benchQueries {
+			if _, werr := srv.Subscribe("tenant-"+itoa(i), q, false); werr != nil {
+				b.Fatal(werr)
+			}
+		}
+	}
+	return srv
+}
+
+// BenchmarkCogradIngestTCP is the framed-TCP bulk path: binary codec,
+// one persistent connection, lock-step replies.
+func BenchmarkCogradIngestTCP(b *testing.B) {
+	srv := newBenchServer(b)
+	ln, err := newBenchListener()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ln.Close()
+	go srv.ServeTCP(ln)
+	conn, err := DialIngest(ln.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer conn.Close()
+	feeds := newBenchFeeds()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		// Pipelined: all 8 tenant batches go out flushed as they are
+		// encoded, and the previous round's replies are collected only
+		// after this round is in flight — so the client encodes round
+		// n+1 while the server's shards still push round n, and the
+		// pipeline never fully drains between rounds.
+		for ti := 0; ti < benchTenants; ti++ {
+			if err := conn.PushAsync("tenant-"+itoa(ti), feeds[ti].batch()); err != nil {
+				b.Fatal(err)
+			}
+			if err := conn.Flush(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for conn.Inflight() > benchTenants {
+			if acc, err := conn.Collect(); err != nil || acc != benchBatch {
+				b.Fatalf("(%d, %v)", acc, err)
+			}
+		}
+	}
+	for conn.Inflight() > 0 {
+		if acc, err := conn.Collect(); err != nil || acc != benchBatch {
+			b.Fatalf("(%d, %v)", acc, err)
+		}
+	}
+	reportIngestRate(b)
+}
+
+// BenchmarkCogradIngestHTTP is the JSON management path: a request per
+// batch, JSON encode on the client, decode on the server.
+func BenchmarkCogradIngestHTTP(b *testing.B) {
+	srv := newBenchServer(b)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ts.Client()
+	feeds := newBenchFeeds()
+	var buf bytes.Buffer
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		for ti := 0; ti < benchTenants; ti++ {
+			events := feeds[ti].batch()
+			wire := make([]WireEvent, len(events))
+			for i, e := range events {
+				wire[i] = ToWireEvent(e)
+			}
+			buf.Reset()
+			if err := json.NewEncoder(&buf).Encode(map[string]any{"events": wire}); err != nil {
+				b.Fatal(err)
+			}
+			resp, err := client.Post(ts.URL+"/v1/tenant-"+itoa(ti)+"/events", "application/json", &buf)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if resp.StatusCode != http.StatusOK {
+				b.Fatalf("http %d", resp.StatusCode)
+			}
+			var reply struct {
+				Accepted int `json:"accepted"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil || reply.Accepted != benchBatch {
+				b.Fatalf("(%d, %v)", reply.Accepted, err)
+			}
+			resp.Body.Close()
+		}
+	}
+	reportIngestRate(b)
+}

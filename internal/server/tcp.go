@@ -1,0 +1,206 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+
+	cogra "repro"
+)
+
+// ServeTCP accepts framed-TCP bulk-ingest connections on l until the
+// listener closes (cmd/cograd closes it on drain). Each connection is
+// a sequence of ingest requests answered in order; see codec.go for
+// the frame layout.
+func (s *Server) ServeTCP(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if s.draining.Load() {
+				return nil
+			}
+			return err
+		}
+		go s.serveConn(conn)
+	}
+}
+
+// serveConn runs one bulk-ingest connection, pipelined across the
+// shard pool: the reader decodes each frame and enqueues the push on
+// the owning shard via IngestAsync — without waiting — while a writer
+// goroutine emits the replies in request order. Per-tenant order holds
+// because one reader enqueues sequentially onto each shard's FIFO, but
+// batches for tenants on different shards execute in parallel, so a
+// single pipelined connection drives the whole pool. Request errors
+// ('E' replies) keep the connection alive; framing errors end it —
+// after a structural violation the byte stream cannot be trusted.
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	type pendingReply struct {
+		rc    <-chan IngestResult
+		fatal bool // framing violation: reply, then close
+	}
+	pending := make(chan pendingReply, 32)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		bw := bufio.NewWriterSize(conn, 1<<16)
+		var reply []byte
+		for p := range pending {
+			r := <-p.rc
+			if r.Err != nil {
+				reply = AppendErr(reply[:0], r.Err)
+			} else {
+				reply = AppendOK(reply[:0], r.Accepted)
+			}
+			if err := WriteFrame(bw, reply); err != nil {
+				return
+			}
+			if p.fatal {
+				bw.Flush()
+				return
+			}
+			// Flush only when no reply is queued behind this one:
+			// pipelined bursts coalesce into one syscall.
+			if len(pending) == 0 {
+				if err := bw.Flush(); err != nil {
+					return
+				}
+			}
+		}
+		bw.Flush()
+	}()
+
+	br := bufio.NewReaderSize(conn, 1<<16)
+	var dec Decoder // per-connection string interning
+	var frame []byte
+	for {
+		payload, err := ReadFrame(br, frame)
+		if err != nil {
+			if err != io.EOF {
+				s.cfg.Logf("cograd: tcp %s: %v", conn.RemoteAddr(), err)
+			}
+			break
+		}
+		s.tcpFrames.Add(1)
+		tenant, events, derr := dec.DecodeIngest(payload)
+		// The decoder copies everything it keeps, so the frame buffer
+		// is reusable as soon as it returns — even with the previous
+		// batch still in flight on its shard.
+		frame = payload[:0]
+		var p pendingReply
+		if derr != nil {
+			rc := make(chan IngestResult, 1)
+			rc <- IngestResult{Err: &WireError{Code: CodeBadRequest, Message: derr.Error()}}
+			p = pendingReply{rc: rc, fatal: true}
+			s.cfg.Logf("cograd: tcp %s: %v", conn.RemoteAddr(), derr)
+		} else {
+			p = pendingReply{rc: s.IngestAsync(tenant, events)}
+		}
+		select {
+		case pending <- p:
+		case <-done:
+			// Writer died on a write error; stop reading.
+		}
+		if p.fatal || isClosed(done) {
+			break
+		}
+	}
+	close(pending)
+	<-done
+}
+
+func isClosed(ch <-chan struct{}) bool {
+	select {
+	case <-ch:
+		return true
+	default:
+		return false
+	}
+}
+
+// IngestConn is the client side of the framed-TCP path. Push is the
+// simple lock-step call; PushAsync/Flush/Collect expose the pipelined
+// protocol — keep a few batches in flight and the connection ingests
+// at close to the embedded rate, because the server decodes frame k+1
+// while its shard pushes frame k.
+type IngestConn struct {
+	conn     net.Conn
+	br       *bufio.Reader
+	bw       *bufio.Writer
+	buf      []byte
+	reply    []byte
+	inflight int
+}
+
+// DialIngest connects to a cograd TCP ingest address.
+func DialIngest(addr string) (*IngestConn, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &IngestConn{
+		conn: conn,
+		br:   bufio.NewReaderSize(conn, 1<<16),
+		bw:   bufio.NewWriterSize(conn, 1<<16),
+	}, nil
+}
+
+// PushAsync encodes and sends one batch without waiting for its reply.
+// Call Flush to put buffered frames on the wire and Collect once per
+// PushAsync to read the replies, in order.
+func (c *IngestConn) PushAsync(tenant string, events []*cogra.Event) error {
+	var err error
+	c.buf, err = AppendIngest(c.buf[:0], tenant, events)
+	if err != nil {
+		return err
+	}
+	if err := WriteFrame(c.bw, c.buf); err != nil {
+		return err
+	}
+	c.inflight++
+	return nil
+}
+
+// Flush sends any buffered frames.
+func (c *IngestConn) Flush() error { return c.bw.Flush() }
+
+// Inflight reports how many pushes are awaiting a Collect.
+func (c *IngestConn) Inflight() int { return c.inflight }
+
+// Collect reads the oldest outstanding reply. Typed server-side
+// failures come back sentinel-matchable: errors.Is sees the same
+// ErrBackpressure/ErrLateEvent an embedded caller would.
+func (c *IngestConn) Collect() (int, error) {
+	if c.inflight == 0 {
+		return 0, fmt.Errorf("cograd: Collect with no push in flight")
+	}
+	var err error
+	c.reply, err = ReadFrame(c.br, c.reply)
+	if err != nil {
+		return 0, err
+	}
+	c.inflight--
+	n, err := DecodeReply(c.reply)
+	var werr *WireError
+	if errors.As(err, &werr) {
+		return n, DecodeWireError(werr)
+	}
+	return n, err
+}
+
+// Push sends one batch and waits for the reply (lock-step).
+func (c *IngestConn) Push(tenant string, events []*cogra.Event) (int, error) {
+	if err := c.PushAsync(tenant, events); err != nil {
+		return 0, err
+	}
+	if err := c.Flush(); err != nil {
+		return 0, err
+	}
+	return c.Collect()
+}
+
+// Close closes the connection.
+func (c *IngestConn) Close() error { return c.conn.Close() }

@@ -1,0 +1,76 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"testing"
+
+	cogra "repro"
+)
+
+// TestWireErrorRoundTrip: every typed sentinel encodes to its stable
+// code and decodes back to an error the ORIGINAL sentinel matches via
+// errors.Is — a Go client of cograd reuses its embedded error logic.
+func TestWireErrorRoundTrip(t *testing.T) {
+	cases := []struct {
+		sentinel error
+		code     string
+		status   int
+	}{
+		{cogra.ErrBackpressure, CodeBackpressure, http.StatusTooManyRequests},
+		{cogra.ErrLateEvent, CodeLateEvent, http.StatusBadRequest},
+		{cogra.ErrFrozenRouting, CodeFrozenRouting, http.StatusConflict},
+		{cogra.ErrNotHosted, CodeNotHosted, http.StatusNotFound},
+		{cogra.ErrClosed, CodeClosed, http.StatusConflict},
+		{cogra.ErrSinkPanic, CodeSinkPanic, http.StatusInternalServerError},
+		{cogra.ErrBadSnapshot, CodeBadSnapshot, http.StatusInternalServerError},
+	}
+	for _, c := range cases {
+		t.Run(c.code, func(t *testing.T) {
+			wrapped := fmt.Errorf("tenant %q: %w", "acme", c.sentinel)
+			w := EncodeError(wrapped)
+			if w.Code != c.code {
+				t.Fatalf("EncodeError code = %q, want %q", w.Code, c.code)
+			}
+			if got := HTTPStatus(w.Code); got != c.status {
+				t.Fatalf("HTTPStatus(%q) = %d, want %d", w.Code, got, c.status)
+			}
+			back := DecodeWireError(w)
+			if !errors.Is(back, c.sentinel) {
+				t.Fatalf("decoded error %v does not match the original sentinel", back)
+			}
+			// The decoded error must match ONLY its own sentinel.
+			for _, other := range cases {
+				if other.code != c.code && errors.Is(back, other.sentinel) {
+					t.Fatalf("decoded %q error also matches %q", c.code, other.code)
+				}
+			}
+		})
+	}
+}
+
+func TestWireErrorNonSentinel(t *testing.T) {
+	w := EncodeError(fmt.Errorf("disk on fire"))
+	if w.Code != CodeInternal {
+		t.Fatalf("plain error encoded as %q, want %q", w.Code, CodeInternal)
+	}
+	// Codes without a sentinel decode to the bare wire error.
+	for _, code := range []string{CodeBadRequest, CodeDraining, CodeInternal} {
+		we := &WireError{Code: code, Message: "m"}
+		back := DecodeWireError(we)
+		var got *WireError
+		if !errors.As(back, &got) || got.Code != code {
+			t.Fatalf("code %q decoded to %T %v, want the bare WireError", code, back, back)
+		}
+	}
+	if HTTPStatus("never-heard-of-it") != http.StatusInternalServerError {
+		t.Fatal("unknown code did not map to 500")
+	}
+	if HTTPStatus(CodeDraining) != http.StatusServiceUnavailable {
+		t.Fatal("draining did not map to 503")
+	}
+	if HTTPStatus(CodeBadRequest) != http.StatusBadRequest {
+		t.Fatal("bad_request did not map to 400")
+	}
+}

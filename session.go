@@ -714,14 +714,27 @@ type SessionStats struct {
 	// PeakBytes is the peak logical memory across the session's
 	// engines (summed across workers in parallel mode).
 	PeakBytes int64
+	// Watermark is the stream position: the time stamp of the last
+	// event dispatched to the execution layer (events still held by a
+	// WithSlack reorder buffer have not been dispatched yet).
+	// WatermarkValid is false before the first dispatched event. Both
+	// survive Snapshot/Restore, like every other counter here.
+	Watermark      int64
+	WatermarkValid bool
 }
 
 // Stats reports the session's hosted-query, interning, disorder and
 // memory state at the current stream position. Unlike the rest of the
 // Session surface, Stats is safe to call from any goroutine while the
-// feeding goroutine keeps pushing: it synchronises with ingest on the
-// session's lock (do not call it from inside a result sink — the lock
-// is already held there).
+// feeding goroutine keeps working — not just Push/PushBatch but the
+// whole feeding-goroutine surface (Subscribe, Unsubscribe, Close,
+// Snapshot): it synchronises on the session's lock, which every one of
+// those methods holds for its critical section. That makes it the
+// shard-safe stats snapshot a serving layer scrapes from a metrics
+// goroutine while a shard goroutine owns the session (cograd does
+// exactly this). Stats keeps working after Close — it reports the
+// final stream position. Do not call it from inside a result sink —
+// the lock is already held there.
 func (s *Session) Stats() (SessionStats, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -736,6 +749,8 @@ func (s *Session) Stats() (SessionStats, error) {
 			InternedAttrs:      rs.InternedAttrs,
 			BindingInternBytes: rs.BindingInternBytes,
 			PeakBytes:          s.acct.Peak(),
+			Watermark:          rs.Watermark,
+			WatermarkValid:     rs.WatermarkValid,
 		}
 	} else {
 		ms, err := s.mx.Stats()
@@ -753,6 +768,8 @@ func (s *Session) Stats() (SessionStats, error) {
 			RoutingAttrs:       ms.RoutingAttrs,
 			BindingInternBytes: ms.BindingInternBytes,
 			PeakBytes:          ms.PeakBytes,
+			Watermark:          s.mxLast,
+			WatermarkValid:     s.mxSaw,
 		}
 	}
 	if s.ro != nil {

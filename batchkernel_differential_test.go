@@ -27,6 +27,7 @@ import (
 	"testing"
 
 	cogra "repro"
+	"repro/internal/fuzz/diff"
 )
 
 // runShapedStream emits the session test stream reshaped into type
@@ -182,8 +183,8 @@ func TestSessionBatchKernelDifferential(t *testing.T) {
 					opts := append(mopts[:len(mopts):len(mopts)], v.opts...)
 					want := kernelRun(t, opts, src, v.events, false, v.churnAt)
 					got := kernelRun(t, opts, src, v.events, true, v.churnAt)
-					if fmt.Sprintf("%v", got) != fmt.Sprintf("%v", want) {
-						t.Errorf("batch kernels diverge from event-at-a-time\ngot:  %v\nwant: %v", got, want)
+					if !diff.Equal(got, want) {
+						t.Errorf("batch kernels diverge from event-at-a-time\n%s", diff.Diff(got, want))
 					}
 					if len(want) == 0 {
 						t.Error("no results; differential test is vacuous")
@@ -294,11 +295,11 @@ func TestExecutorGroupsDifferential(t *testing.T) {
 		if len(inline[name]) == 0 {
 			t.Errorf("%s: no results; differential test is vacuous", name)
 		}
-		if fmt.Sprintf("%v", single[name]) != fmt.Sprintf("%v", inline[name]) {
-			t.Errorf("%s: single-group diverges from inline\ngot:  %v\nwant: %v", name, single[name], inline[name])
+		if !diff.Equal(single[name], inline[name]) {
+			t.Errorf("%s: single-group diverges from inline\n%s", name, diff.Diff(single[name], inline[name]))
 		}
-		if fmt.Sprintf("%v", routed[name]) != fmt.Sprintf("%v", single[name]) {
-			t.Errorf("%s: 3-group diverges from single-group\ngot:  %v\nwant: %v", name, routed[name], single[name])
+		if !diff.Equal(routed[name], single[name]) {
+			t.Errorf("%s: 3-group diverges from single-group\n%s", name, diff.Diff(routed[name], single[name]))
 		}
 	}
 	if sMid != 1 {
@@ -416,8 +417,8 @@ func TestSnapshotRestoreExecutorGroups(t *testing.T) {
 		if len(want[name]) == 0 {
 			t.Errorf("%s: no results; differential test is vacuous", name)
 		}
-		if fmt.Sprintf("%v", got[name]) != fmt.Sprintf("%v", want[name]) {
-			t.Errorf("%s: restored run diverges from undisturbed run\ngot:  %v\nwant: %v", name, got[name], want[name])
+		if !diff.Equal(got[name], want[name]) {
+			t.Errorf("%s: restored run diverges from undisturbed run\n%s", name, diff.Diff(got[name], want[name]))
 		}
 	}
 	if gotStats != wantStats {

@@ -1,0 +1,44 @@
+package cogra_test
+
+// The permanent regression net behind testdata/repros/: every file in
+// the directory is a shrunk scenario cografuzz once caught failing an
+// oracle, committed after the underlying bug was fixed. Replaying them
+// here pins each bug fixed forever — a regression flips the replay
+// back to failing. New repros are added by copying the file cografuzz
+// -out wrote (see README "Differential fuzzing").
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/fuzz"
+)
+
+func TestFuzzRepros(t *testing.T) {
+	dir := filepath.Join("testdata", "repros")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading %s: %v", dir, err)
+	}
+	ran := 0
+	for _, ent := range entries {
+		if ent.IsDir() || filepath.Ext(ent.Name()) != ".repro" {
+			continue
+		}
+		ran++
+		t.Run(ent.Name(), func(t *testing.T) {
+			rep, mismatch, err := fuzz.ReplayFile(filepath.Join(dir, ent.Name()))
+			if err != nil {
+				t.Fatalf("replay: %v", err)
+			}
+			if mismatch != "" {
+				t.Errorf("oracle %s fails again on %s — a fixed bug has regressed:\n%s",
+					rep.Oracle, rep.Scenario, mismatch)
+			}
+		})
+	}
+	if ran == 0 {
+		t.Fatal("no .repro files under testdata/repros; the regression net is vacuous")
+	}
+}

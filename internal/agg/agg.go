@@ -333,12 +333,18 @@ func (ss Specs) FoldTrend(trend []any) Node {
 // Value is one reported aggregation result.
 type Value struct {
 	Spec Spec
-	// Count is set for COUNT(*) and COUNT(E).
+	// Count is set for COUNT(*) and COUNT(E); for AVG it carries the
+	// contributing COUNT(E) denominator so disjoint partial results
+	// stay mergeable (MergeValues).
 	Count uint64
 	// F is set for MIN/MAX/SUM/AVG; Valid is false when no trend
 	// contributed (e.g. MIN over zero trends).
 	F     float64
 	Valid bool
+	// Sum is AVG's raw numerator (F is the already-divided mean);
+	// MergeValues re-divides from the merged Sum and Count so a
+	// partitioned run reports the same quotient as a solo run.
+	Sum float64
 }
 
 // String renders the value, e.g. "COUNT(*)=43" or "MIN(M.rate)=61".
@@ -376,6 +382,7 @@ func (ss Specs) Report(final Node) []Value {
 				v.F = 0
 			}
 		case Avg:
+			v.Sum, v.Count = a.F, a.N
 			if a.N == 0 || !a.Valid {
 				v.Valid = false
 				v.F = math.NaN()
@@ -387,6 +394,41 @@ func (ss Specs) Report(final Node) []Value {
 		out[i] = v
 	}
 	return out
+}
+
+// MergeValues folds src into dst, position-wise: the reported values
+// of the union of two disjoint trend sets (the reported counterpart of
+// Specs.Merge, for when the underlying Nodes are gone — e.g. combining
+// per-partition results of one window gathered from parallel workers).
+// Both slices must come from the same Specs.
+func MergeValues(dst, src []Value) {
+	for i := range dst {
+		a, b := &dst[i], src[i]
+		switch a.Spec.Func {
+		case CountStar, CountType:
+			a.Count += b.Count
+		case Min:
+			if b.Valid && (!a.Valid || b.F < a.F) {
+				a.F, a.Valid = b.F, true
+			}
+		case Max:
+			if b.Valid && (!a.Valid || b.F > a.F) {
+				a.F, a.Valid = b.F, true
+			}
+		case Sum:
+			a.F += b.F
+			a.Valid = a.Valid || b.Valid
+		case Avg:
+			a.Sum += b.Sum
+			a.Count += b.Count
+			a.Valid = a.Valid || b.Valid
+			if a.Count == 0 || !a.Valid {
+				a.F, a.Valid = math.NaN(), false
+			} else {
+				a.F = a.Sum / float64(a.Count)
+			}
+		}
+	}
 }
 
 // Equal compares two reported value slices exactly (NaN equals NaN);

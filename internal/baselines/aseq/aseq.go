@@ -16,7 +16,6 @@ import (
 	"repro/internal/core"
 	"repro/internal/event"
 	"repro/internal/metrics"
-	"repro/internal/query"
 )
 
 // Runner is the A-Seq baseline.
@@ -39,6 +38,14 @@ func New(plan *core.Plan) *Runner { return &Runner{plan: plan} }
 // Name implements baselines.Runner.
 func (r *Runner) Name() string { return "A-Seq" }
 
+// Capabilities implements baselines.CapableRunner: A-Seq flattens
+// Kleene into fixed-length sequences, which works only under
+// skip-till-any-match and cannot express adjacent predicates or
+// negation (Table 9).
+func (r *Runner) Capabilities() baselines.Capabilities {
+	return baselines.Capabilities{Approach: "A-Seq", Any: true}
+}
+
 // seqQuery is one flattened fixed-length sequence query: prefix i
 // holds the aggregate of all partial matches of aliases[0..i], per
 // equivalence binding.
@@ -54,14 +61,8 @@ type prefixEntry struct {
 
 // Run implements baselines.Runner.
 func (r *Runner) Run(events []*event.Event) ([]core.Result, error) {
-	if r.plan.Query.Semantics != query.Any {
-		return nil, baselines.ErrUnsupported{Approach: "A-Seq", Feature: r.plan.Query.Semantics.String() + " semantics"}
-	}
-	if r.plan.Where.HasAdjacent() {
-		return nil, baselines.ErrUnsupported{Approach: "A-Seq", Feature: "predicates on adjacent events"}
-	}
-	if len(r.plan.FSA.Negations) > 0 {
-		return nil, baselines.ErrUnsupported{Approach: "A-Seq", Feature: "negation"}
+	if err := r.Capabilities().Supports(r.plan); err != nil {
+		return nil, err
 	}
 	budget := metrics.NewBudget(r.BudgetUnits)
 	acct := r.Acct

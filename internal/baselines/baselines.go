@@ -21,6 +21,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/event"
 	"repro/internal/pattern"
+	"repro/internal/query"
 )
 
 // Runner evaluates a compiled query over a complete in-order stream.
@@ -49,6 +50,49 @@ type ErrUnsupported struct {
 
 func (e ErrUnsupported) Error() string {
 	return e.Approach + " does not support " + e.Feature + " (Table 9)"
+}
+
+// Capabilities is one row of the paper's expressive-power matrix
+// (Table 9): which matching semantics, predicate classes and pattern
+// operators an approach supports. Oracle selection — both the
+// crosscheck suite and the fuzz runner — reads this table instead of
+// probing Run for ErrUnsupported, so a runner accepting a query its
+// row disclaims (or vice versa) is a detectable bug rather than a
+// silent skip.
+type Capabilities struct {
+	// Approach is the name used in ErrUnsupported messages.
+	Approach string
+	// Any, Next, Cont report support for the three matching semantics.
+	Any, Next, Cont bool
+	// Adjacent reports support for predicates on adjacent trend events.
+	Adjacent bool
+	// Negation reports support for negated sub-patterns.
+	Negation bool
+}
+
+// Supports checks the plan against the capability row, returning nil
+// or the ErrUnsupported naming the first missing feature. Runners call
+// it as their Run prologue, so the table and the runtime check can
+// never drift apart.
+func (c Capabilities) Supports(plan *core.Plan) error {
+	sem := plan.Query.Semantics
+	semOK := map[query.Semantics]bool{query.Any: c.Any, query.Next: c.Next, query.Cont: c.Cont}
+	if !semOK[sem] {
+		return ErrUnsupported{Approach: c.Approach, Feature: sem.String() + " semantics"}
+	}
+	if !c.Adjacent && plan.Where.HasAdjacent() {
+		return ErrUnsupported{Approach: c.Approach, Feature: "predicates on adjacent events"}
+	}
+	if !c.Negation && len(plan.FSA.Negations) > 0 {
+		return ErrUnsupported{Approach: c.Approach, Feature: "negation"}
+	}
+	return nil
+}
+
+// CapableRunner is a Runner that publishes its Table 9 row.
+type CapableRunner interface {
+	Runner
+	Capabilities() Capabilities
 }
 
 // Substream is the unit every approach evaluates: the events of one

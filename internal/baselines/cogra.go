@@ -21,6 +21,13 @@ func NewCogra(plan *core.Plan) *CograRunner { return &CograRunner{Plan: plan} }
 // Name implements Runner.
 func (r *CograRunner) Name() string { return "COGRA" }
 
+// Capabilities implements CapableRunner: the engine under test covers
+// the full matrix — which is the point of the comparison.
+func (r *CograRunner) Capabilities() Capabilities {
+	return Capabilities{Approach: "COGRA",
+		Any: true, Next: true, Cont: true, Adjacent: true, Negation: true}
+}
+
 // Run implements Runner.
 func (r *CograRunner) Run(events []*event.Event) ([]core.Result, error) {
 	var opts []core.Option

@@ -45,6 +45,14 @@ func New(plan *core.Plan) *Runner { return &Runner{plan: plan} }
 // Name implements baselines.Runner.
 func (r *Runner) Name() string { return "Flink" }
 
+// Capabilities implements baselines.CapableRunner: Flink's NFA covers
+// skip-till-any-match and contiguous matching with adjacent (IterativeCondition-
+// style) predicates, but has no skip-till-next-match and no negation
+// inside Kleene (Table 9).
+func (r *Runner) Capabilities() baselines.Capabilities {
+	return baselines.Capabilities{Approach: "Flink", Any: true, Cont: true, Adjacent: true}
+}
+
 // match is one materialised sequence match: the two-step approach
 // keeps every match of a window buffered until aggregation.
 type match struct {
@@ -55,11 +63,8 @@ type match struct {
 
 // Run implements baselines.Runner.
 func (r *Runner) Run(events []*event.Event) ([]core.Result, error) {
-	if r.plan.Query.Semantics == query.Next {
-		return nil, baselines.ErrUnsupported{Approach: "Flink", Feature: "skip-till-next-match semantics"}
-	}
-	if len(r.plan.FSA.Negations) > 0 {
-		return nil, baselines.ErrUnsupported{Approach: "Flink", Feature: "negation"}
+	if err := r.Capabilities().Supports(r.plan); err != nil {
+		return nil, err
 	}
 	budget := metrics.NewBudget(r.BudgetUnits)
 	acct := r.Acct

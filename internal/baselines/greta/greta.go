@@ -14,7 +14,6 @@ import (
 	"repro/internal/core"
 	"repro/internal/event"
 	"repro/internal/metrics"
-	"repro/internal/query"
 )
 
 // Runner is the GRETA baseline.
@@ -34,6 +33,13 @@ func New(plan *core.Plan) *Runner { return &Runner{plan: plan} }
 // Name implements baselines.Runner.
 func (r *Runner) Name() string { return "GRETA" }
 
+// Capabilities implements baselines.CapableRunner: GRETA handles only
+// skip-till-any-match, but within it supports adjacent predicates
+// (edge filtering) and negation (Table 9).
+func (r *Runner) Capabilities() baselines.Capabilities {
+	return baselines.Capabilities{Approach: "GRETA", Any: true, Adjacent: true, Negation: true}
+}
+
 // gNode is one graph node: a matched event with the aggregate of all
 // (partial) trends ending at it, per equivalence binding.
 type gNode struct {
@@ -45,8 +51,8 @@ type gNode struct {
 
 // Run implements baselines.Runner.
 func (r *Runner) Run(events []*event.Event) ([]core.Result, error) {
-	if r.plan.Query.Semantics != query.Any {
-		return nil, baselines.ErrUnsupported{Approach: "GRETA", Feature: r.plan.Query.Semantics.String() + " semantics"}
+	if err := r.Capabilities().Supports(r.plan); err != nil {
+		return nil, err
 	}
 	budget := metrics.NewBudget(r.BudgetUnits)
 	acct := r.Acct

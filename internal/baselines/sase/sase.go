@@ -46,6 +46,15 @@ func New(plan *core.Plan) *Runner { return &Runner{plan: plan} }
 // Name implements baselines.Runner.
 func (r *Runner) Name() string { return "SASE" }
 
+// Capabilities implements baselines.CapableRunner: the two-step
+// oracle materialises trends, so it covers every semantics and
+// predicate class (Table 9) — at exponential cost, bounded by
+// BudgetUnits.
+func (r *Runner) Capabilities() baselines.Capabilities {
+	return baselines.Capabilities{Approach: "SASE",
+		Any: true, Next: true, Cont: true, Adjacent: true, Negation: true}
+}
+
 // Run implements baselines.Runner: two-step evaluation per sub-stream.
 func (r *Runner) Run(events []*event.Event) ([]core.Result, error) {
 	budget := metrics.NewBudget(r.BudgetUnits)

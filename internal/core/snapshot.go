@@ -177,6 +177,7 @@ func SnapshotResult(w *snap.Writer, res Result) {
 		w.U64(v.Count)
 		w.F64(v.F)
 		w.Bool(v.Valid)
+		w.F64(v.Sum)
 	}
 }
 
@@ -200,6 +201,7 @@ func RestoreResult(r *snap.Reader) (Result, error) {
 			Count: r.U64(),
 			F:     r.F64(),
 			Valid: r.Bool(),
+			Sum:   r.F64(),
 		})
 	}
 	return res, r.Err()

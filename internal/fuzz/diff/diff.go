@@ -1,0 +1,184 @@
+// Package diff holds the differential-comparison helpers shared by
+// the repo's hand-written differential spine (session, batch-kernel
+// and snapshot tests) and the randomized fuzz runner (internal/fuzz):
+// solo-replay references, result canonicalization, first-divergence
+// byte diffs, the full-window filter for mid-stream joiners and the
+// bounded shuffle that produces slack-repairable disorder.
+//
+// The helpers are deliberately test-framework-free (no testing.TB):
+// the fuzz runner calls them from a plain binary and the tests wrap
+// them with t.Fatal at the call site.
+package diff
+
+import (
+	"fmt"
+	"strings"
+
+	cogra "repro"
+	"repro/internal/agg"
+)
+
+// Canon renders a result slice into the canonical byte string the
+// differential spine compares: one result per line, window id and
+// bounds, group values and exact (%g round-trips float64) aggregate
+// values. Two runs are considered identical iff their Canon strings
+// are byte-identical.
+func Canon(results []cogra.Result) string {
+	if len(results) == 0 {
+		return "(none)"
+	}
+	var b strings.Builder
+	for _, r := range results {
+		fmt.Fprintf(&b, "w%d %s\n", r.Wid, r.String())
+	}
+	return b.String()
+}
+
+// Equal reports whether two result slices are byte-identical under
+// Canon.
+func Equal(a, b []cogra.Result) bool { return Canon(a) == Canon(b) }
+
+// Compare compares two result lists structurally: length, window
+// identity, group values and counts exactly; float aggregates with
+// relative tolerance relTol (0 compares exactly). A non-zero tolerance
+// is for comparisons whose sides legitimately accumulate float sums in
+// different orders — a solo engine folds a window's partition classes
+// in sorted key order, parallel workers in routing order — so the last
+// ULP of SUM/AVG may differ (the same reason agg.ApproxEqual exists).
+// Returns "" on match, else a description of the first difference.
+func Compare(got, want []cogra.Result, relTol float64) string {
+	if len(got) != len(want) {
+		return fmt.Sprintf("%d results != %d results\n%s",
+			len(got), len(want), FirstByteDiff(Canon(got), Canon(want)))
+	}
+	for i := range got {
+		g, w := got[i], want[i]
+		structEq := g.Wid == w.Wid && g.Start == w.Start && g.End == w.End && len(g.Group) == len(w.Group)
+		if structEq {
+			for j := range g.Group {
+				if g.Group[j] != w.Group[j] {
+					structEq = false
+					break
+				}
+			}
+		}
+		if !structEq || !agg.ApproxEqual(g.Values, w.Values, relTol) {
+			return fmt.Sprintf("result %d differs:\n  got:  w%d %s\n  want: w%d %s",
+				i, g.Wid, g.String(), w.Wid, w.String())
+		}
+	}
+	return ""
+}
+
+// Diff describes the first divergence between two canonicalized runs:
+// the first line that differs (or the extra tail when one is a prefix
+// of the other), with the byte offset of the divergence. Empty when
+// the runs are identical.
+func Diff(got, want []cogra.Result) string {
+	return FirstByteDiff(Canon(got), Canon(want))
+}
+
+// FirstByteDiff locates the first byte where two canonical strings
+// diverge and renders the surrounding lines; empty when identical.
+func FirstByteDiff(got, want string) string {
+	if got == want {
+		return ""
+	}
+	i := 0
+	for i < len(got) && i < len(want) && got[i] == want[i] {
+		i++
+	}
+	line := 1 + strings.Count(got[:i], "\n")
+	return fmt.Sprintf("first divergence at byte %d (line %d):\n  got:  %s\n  want: %s",
+		i, line, lineAround(got, i), lineAround(want, i))
+}
+
+// lineAround extracts the line containing byte offset i.
+func lineAround(s string, i int) string {
+	if i >= len(s) {
+		return "(end of output)"
+	}
+	start := strings.LastIndexByte(s[:i], '\n') + 1
+	end := strings.IndexByte(s[start:], '\n')
+	if end < 0 {
+		return s[start:]
+	}
+	return s[start : start+end]
+}
+
+// SoloRun executes one query alone over an in-order event slice — the
+// pre-stream-subscriber reference every membership differential is
+// pinned against — and returns its drained results.
+func SoloRun(src string, events []*cogra.Event, opts ...cogra.SessionOption) ([]cogra.Result, error) {
+	q, err := cogra.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	sess := cogra.NewSession(opts...)
+	sub, err := sess.Subscribe(q)
+	if err != nil {
+		return nil, err
+	}
+	if err := sess.PushBatch(events); err != nil {
+		return nil, err
+	}
+	if err := sess.Close(); err != nil {
+		return nil, err
+	}
+	return sub.Drain(), nil
+}
+
+// FullWindowsAfter keeps the results of windows fully covered by an
+// observer joining at watermark t: those starting strictly after t.
+func FullWindowsAfter(results []cogra.Result, t int64) []cogra.Result {
+	var out []cogra.Result
+	for _, r := range results {
+		if r.Start > t {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// ShuffleBounded returns a copy of events shuffled within blocks of
+// the given size (bounded disorder) plus the slack required to repair
+// it: the largest amount by which any event trails the running
+// maximum time stamp. A zero returned slack means the shuffle
+// produced no disorder (the caller's vacuity check).
+func ShuffleBounded(events []*cogra.Event, block int, seed int64) ([]*cogra.Event, int64) {
+	rng := newSplitMix(uint64(seed))
+	out := make([]*cogra.Event, len(events))
+	copy(out, events)
+	for i := 0; i+block-1 < len(out); i += block {
+		// Fisher-Yates within the block.
+		for a := block - 1; a > 0; a-- {
+			b := int(rng.next() % uint64(a+1))
+			out[i+a], out[i+b] = out[i+b], out[i+a]
+		}
+	}
+	var slack, maxSeen int64
+	for i, e := range out {
+		if i == 0 || e.Time > maxSeen {
+			maxSeen = e.Time
+		}
+		if d := maxSeen - e.Time; d > slack {
+			slack = d
+		}
+	}
+	return out, slack
+}
+
+// splitMix is a tiny deterministic PRNG (splitmix64) so the shuffle
+// does not depend on math/rand's generator remaining stable across Go
+// releases — repro files pin shuffle seeds forever.
+type splitMix struct{ state uint64 }
+
+func newSplitMix(seed uint64) *splitMix { return &splitMix{state: seed ^ 0x9E3779B97F4A7C15} }
+
+func (s *splitMix) next() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}

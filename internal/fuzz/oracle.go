@@ -1,0 +1,298 @@
+// The metamorphic oracle suite. Each oracle checks one correctness
+// property of a scenario: a self-differential (base execution mode vs
+// the same scenario with exactly one mode axis flipped), a baseline
+// differential (COGRA vs the independent reference implementations
+// where the query's shape permits), or an invariant over one run's
+// observations. Oracles are pure: Check re-executes the scenario, so
+// the shrinker can re-ask "does this smaller scenario still fail?".
+package fuzz
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	cogra "repro"
+	"repro/internal/baselines"
+	"repro/internal/baselines/aseq"
+	"repro/internal/baselines/flinklite"
+	"repro/internal/baselines/greta"
+	"repro/internal/baselines/sase"
+	"repro/internal/core"
+	"repro/internal/fuzz/diff"
+)
+
+// Oracle is one pluggable correctness check.
+type Oracle struct {
+	// Name identifies the oracle in reports and repro files.
+	Name string
+	// Doc is a one-line description for -list output.
+	Doc string
+	// Check runs the oracle. It returns "" when the scenario passes or
+	// the oracle does not apply to it (an inapplicable scenario cannot
+	// fail — this is what keeps the shrinker from wandering out of the
+	// oracle's domain), and a mismatch description otherwise. The
+	// error return is for scenario execution breaking outright, which
+	// is itself reported as a failure by the runner.
+	Check func(sc *Scenario) (string, error)
+}
+
+// Oracles returns the full suite, in deterministic order.
+func Oracles() []Oracle {
+	return []Oracle{
+		{
+			Name: "batch",
+			Doc:  "batch kernels == per-event execution",
+			Check: func(sc *Scenario) (string, error) {
+				flipped := BaseMode(sc)
+				if flipped.BatchSize > 0 {
+					flipped.BatchSize = 0
+				} else {
+					flipped.BatchSize = 256
+				}
+				return selfDiff(sc, flipped)
+			},
+		},
+		{
+			Name: "workers",
+			Doc:  "4-worker parallel session == inline",
+			Check: func(sc *Scenario) (string, error) {
+				flipped := BaseMode(sc)
+				if flipped.Workers > 0 {
+					flipped.Workers, flipped.Groups = 0, 0
+				} else {
+					flipped.Workers = 4
+				}
+				return selfDiff(sc, flipped)
+			},
+		},
+		{
+			Name: "groups",
+			Doc:  "k executor groups == single group",
+			Check: func(sc *Scenario) (string, error) {
+				if sc.Workers == 0 {
+					return "", nil // groups require a parallel session
+				}
+				flipped := BaseMode(sc)
+				if flipped.Groups > 0 {
+					flipped.Groups = 0
+				} else {
+					flipped.Groups = 3
+				}
+				return selfDiff(sc, flipped)
+			},
+		},
+		{
+			Name: "slack",
+			Doc:  "shuffled-within-slack == sorted",
+			Check: func(sc *Scenario) (string, error) {
+				if sc.HasChurn() {
+					return "", nil // join watermarks differ under reorder buffering
+				}
+				flipped := BaseMode(sc)
+				flipped.Shuffled = true
+				return selfDiff(sc, flipped)
+			},
+		},
+		{
+			Name: "evict",
+			Doc:  "intern eviction + catalog compaction == unbounded",
+			Check: func(sc *Scenario) (string, error) {
+				flipped := BaseMode(sc)
+				flipped.Evict = true
+				return selfDiff(sc, flipped)
+			},
+		},
+		{
+			Name: "snapshot",
+			Doc:  "snapshot-at-k + restore + suffix == undisturbed",
+			Check: func(sc *Scenario) (string, error) {
+				if sc.SnapshotAt <= 0 || sc.SnapshotAt >= len(sc.Events) {
+					return "", nil
+				}
+				flipped := BaseMode(sc)
+				flipped.SnapshotAt = sc.SnapshotAt
+				return selfDiff(sc, flipped)
+			},
+		},
+		{
+			Name: "server",
+			Doc:  "cograd-served tenant == embedded session",
+			Check: func(sc *Scenario) (string, error) {
+				flipped := BaseMode(sc)
+				flipped.Server = true
+				return selfDiff(sc, flipped)
+			},
+		},
+		{
+			Name:  "baselines",
+			Doc:   "COGRA == SASE/GRETA/A-Seq/Flink solo references (small scenarios)",
+			Check: checkBaselines,
+		},
+		{
+			Name: "watermark",
+			Doc:  "Stats().Watermark is monotone along the run",
+			Check: func(sc *Scenario) (string, error) {
+				out, err := Execute(sc, BaseMode(sc))
+				if err != nil {
+					return "", err
+				}
+				var last WatermarkSample
+				haveLast := false
+				for _, s := range out.Watermarks {
+					if haveLast && last.Valid && (!s.Valid || s.Watermark < last.Watermark) {
+						return fmt.Sprintf("watermark regressed: %d after %d events, then %d (valid=%v) after %d events",
+							last.Watermark, last.AfterEvents, s.Watermark, s.Valid, s.AfterEvents), nil
+					}
+					if s.Valid {
+						last, haveLast = s, true
+					}
+				}
+				return "", nil
+			},
+		},
+		{
+			Name: "stats",
+			Doc:  "Stats() accounting: Events == pushed, Queries == resident fleet",
+			Check: func(sc *Scenario) (string, error) {
+				out, err := Execute(sc, BaseMode(sc))
+				if err != nil {
+					return "", err
+				}
+				if !out.HasStats {
+					return "", nil
+				}
+				n := len(sc.Events)
+				if out.Stats.Events != int64(n) {
+					return fmt.Sprintf("Stats().Events = %d, want %d (events pushed)", out.Stats.Events, n), nil
+				}
+				resident := 0
+				for _, s := range sc.Subs {
+					if s.Leave == n {
+						resident++
+					}
+				}
+				if out.Stats.Queries != resident {
+					return fmt.Sprintf("Stats().Queries = %d, want %d (resident subscriptions)", out.Stats.Queries, resident), nil
+				}
+				if resident == 0 && out.Stats.BindingInternBytes != 0 {
+					return fmt.Sprintf("Stats().BindingInternBytes = %d after every subscription unsubscribed, want 0",
+						out.Stats.BindingInternBytes), nil
+				}
+				return "", nil
+			},
+		},
+	}
+}
+
+// OracleByName finds one oracle; nil when unknown.
+func OracleByName(name string) *Oracle {
+	for _, o := range Oracles() {
+		if o.Name == name {
+			oc := o
+			return &oc
+		}
+	}
+	return nil
+}
+
+// floatTol is the relative tolerance on SUM/AVG in every differential
+// comparison: a solo engine folds a window's partition classes into
+// the aggregate in sorted key order while parallel workers (and the
+// independent baselines) accumulate in their own orders, so the last
+// ULP legitimately differs. Counts, windows and groups always compare
+// exactly.
+const floatTol = 1e-9
+
+// selfDiff runs the scenario under its base mode and under the
+// flipped mode and compares every subscription's results.
+func selfDiff(sc *Scenario, flipped Mode) (string, error) {
+	base, err := Execute(sc, BaseMode(sc))
+	if err != nil {
+		return "", err
+	}
+	got, err := Execute(sc, flipped)
+	if err != nil {
+		return "", fmt.Errorf("flipped mode (%s): %w", flipped, err)
+	}
+	for si := range sc.Subs {
+		if d := diff.Compare(got.Results[si], base.Results[si], floatTol); d != "" {
+			return fmt.Sprintf("sub %d: %s != base (%s)\n%s", si, flipped, BaseMode(sc), d), nil
+		}
+	}
+	return "", nil
+}
+
+// baselineBudget bounds each reference run; exceeding it skips the
+// pair (the paper's DNF), it does not fail the oracle.
+const baselineBudget = 20_000_000
+
+// checkBaselines compares each query's full-stream solo results
+// against every baseline whose Table 9 capability row covers the
+// query. Applies only to small churn-free scenarios — the two-step
+// oracle materialises every trend.
+func checkBaselines(sc *Scenario) (string, error) {
+	if len(sc.Events) > 20 || sc.HasChurn() {
+		return "", nil
+	}
+	for i, e := range sc.Events {
+		e.ID = int64(i + 1)
+	}
+	for si, sub := range sc.Subs {
+		q, err := cogra.Parse(sub.Src)
+		if err != nil {
+			return "", fmt.Errorf("sub %d: %w", si, err)
+		}
+		plan, err := core.NewPlan(q)
+		if err != nil {
+			return "", fmt.Errorf("sub %d: plan: %w", si, err)
+		}
+		ref, err := baselines.NewCogra(plan).Run(sc.Events)
+		if err != nil {
+			return "", fmt.Errorf("sub %d: COGRA solo: %w", si, err)
+		}
+		for _, r := range capableRunners(plan) {
+			if r.Capabilities().Supports(plan) != nil {
+				continue
+			}
+			got, err := r.Run(sc.Events)
+			if err != nil {
+				if errors.As(err, new(baselines.ErrBudget)) {
+					continue // DNF: outside the reference's budget, not a mismatch
+				}
+				return "", fmt.Errorf("sub %d: %s: %w", si, r.Name(), err)
+			}
+			if d := diff.Compare(canonOrder(got), canonOrder(ref), floatTol); d != "" {
+				return fmt.Sprintf("sub %d: %s disagrees with COGRA\n%s", si, r.Name(), d), nil
+			}
+		}
+	}
+	return "", nil
+}
+
+func capableRunners(plan *core.Plan) []baselines.CapableRunner {
+	s := sase.New(plan)
+	s.BudgetUnits = baselineBudget
+	g := greta.New(plan)
+	g.BudgetUnits = baselineBudget
+	a := aseq.New(plan)
+	a.BudgetUnits = baselineBudget
+	f := flinklite.New(plan)
+	f.BudgetUnits = baselineBudget
+	return []baselines.CapableRunner{s, g, a, f}
+}
+
+// canonOrder returns a copy sorted by (window, group) — the canonical
+// emit order; baselines already report in it, but sorting makes the
+// comparison robust to tie order among equal keys.
+func canonOrder(rs []cogra.Result) []cogra.Result {
+	out := append([]cogra.Result(nil), rs...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Wid != out[j].Wid {
+			return out[i].Wid < out[j].Wid
+		}
+		return strings.Join(out[i].Group, "\x00") < strings.Join(out[j].Group, "\x00")
+	})
+	return out
+}

@@ -1,0 +1,137 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/query"
+)
+
+// testSchema mirrors the fuzzer's stock template: two matchable shapes
+// worth of types would be better, but one type plus rich attributes
+// already reaches every predicate class the generator draws.
+func testSchema() QuerySchema {
+	return QuerySchema{
+		Types: []string{"Stock", "News"},
+		Keys:  []string{"company", "sector"},
+		Nums: map[string][]NumAttr{
+			"Stock": {{Name: "price", Lo: 1, Hi: 150}, {Name: "volume", Lo: 100, Hi: 1000}},
+			"News":  {{Name: "score", Lo: 0, Hi: 1}},
+		},
+		Syms: map[string][]SymAttr{
+			"Stock": {{Name: "sector", Values: []string{"s0", "s1"}}},
+		},
+		Windows: [][2]int64{{8, 8}, {16, 8}, {10, 15}},
+	}
+}
+
+// Every drawn query must round-trip through its canonical text (the
+// repro codec stores text) and compile to a plan (oracles execute it).
+func TestRandomQueryRoundTripsAndCompiles(t *testing.T) {
+	s := testSchema()
+	semCount := map[query.Semantics]int{}
+	for seed := int64(0); seed < 300; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		q, err := RandomQuery(rng, s)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		semCount[q.Semantics]++
+		src := q.String()
+		back, err := query.Parse(src)
+		if err != nil {
+			t.Fatalf("seed %d: parse of own rendering failed: %v\n%s", seed, err, src)
+		}
+		if back.String() != src {
+			t.Fatalf("seed %d: String/Parse is not a fixpoint:\n%s\nvs\n%s", seed, src, back.String())
+		}
+		if _, err := core.NewPlan(back); err != nil {
+			t.Fatalf("seed %d: re-parsed query does not compile: %v\n%s", seed, err, src)
+		}
+	}
+	// The draw must cover all three matching semantics, or the fuzzer's
+	// coverage silently collapses to one evaluation strategy.
+	for _, sem := range []query.Semantics{query.Any, query.Next, query.Cont} {
+		if semCount[sem] == 0 {
+			t.Errorf("300 draws produced no %v query", sem)
+		}
+	}
+}
+
+func TestRandomQueryDeterministic(t *testing.T) {
+	s := testSchema()
+	for seed := int64(0); seed < 50; seed++ {
+		a, err := RandomQuery(rand.New(rand.NewSource(seed)), s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := RandomQuery(rand.New(rand.NewSource(seed)), s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.String() != b.String() {
+			t.Fatalf("seed %d: two draws differ:\n%s\nvs\n%s", seed, a, b)
+		}
+	}
+}
+
+func TestRandomChurnBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const n = 200
+	stayers := 0
+	for _, iv := range RandomChurn(rng, 500, n) {
+		if iv.Join < 0 || iv.Join >= n || iv.Leave <= iv.Join || iv.Leave > n {
+			t.Fatalf("interval [%d,%d) out of bounds for %d events", iv.Join, iv.Leave, n)
+		}
+		if iv.Leave == n {
+			stayers++
+		}
+	}
+	if stayers == 0 || stayers == 500 {
+		t.Errorf("churn draw degenerate: %d/500 subscriptions stay to the end", stayers)
+	}
+}
+
+func TestRetimeShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	events := Stock(StockConfig{Seed: 4, Events: 400})
+	Retime(rng, events, 0.3, 0.1, 16)
+	ties, jumps := 0, 0
+	for i := 1; i < len(events); i++ {
+		d := events[i].Time - events[i-1].Time
+		if d < 0 {
+			t.Fatalf("event %d: Retime broke time order (%d after %d)", i, events[i].Time, events[i-1].Time)
+		}
+		if d == 0 {
+			ties++
+		}
+		if d > 1 {
+			jumps++
+		}
+	}
+	if ties == 0 {
+		t.Error("Retime with tieProb=0.3 produced no equal-time runs")
+	}
+	if jumps == 0 {
+		t.Error("Retime with jumpProb=0.1 produced no window-straddling jumps")
+	}
+}
+
+// Retime must not touch anything but timestamps.
+func TestRetimePreservesPayload(t *testing.T) {
+	events := Stock(StockConfig{Seed: 7, Events: 50})
+	var copies []event.Event
+	for _, e := range events {
+		copies = append(copies, *e)
+	}
+	Retime(rand.New(rand.NewSource(7)), events, 0.5, 0.2, 8)
+	for i, e := range events {
+		want := copies[i]
+		want.Time = e.Time
+		if e.Type != want.Type || e.ID != want.ID {
+			t.Fatalf("event %d: Retime changed non-time fields", i)
+		}
+	}
+}

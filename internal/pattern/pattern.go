@@ -100,6 +100,12 @@ func (n *OptNode) children() []Node  { return []Node{n.Sub} }
 func (n *OrNode) children() []Node   { return n.Parts }
 func (n *NotNode) children() []Node  { return []Node{n.Sub} }
 
+// Children returns a node's direct sub-patterns in syntactic order
+// (nil for leaves), for callers outside the package that need a
+// generic traversal — e.g. the fuzz query generator classifying
+// negated aliases.
+func Children(n Node) []Node { return n.children() }
+
 func (n *TypeNode) clone() Node { c := *n; return &c }
 func (n *SeqNode) clone() Node  { return &SeqNode{Parts: cloneAll(n.Parts)} }
 func (n *PlusNode) clone() Node { return &PlusNode{Sub: n.Sub.clone()} }

@@ -30,7 +30,7 @@ const Magic = "COGRASNP"
 // exactly this version: the format captures private executor state, so
 // cross-version compatibility is out of scope (checkpoints are
 // re-taken after an upgrade).
-const Version uint32 = 1
+const Version uint32 = 2
 
 // Writer accumulates a snapshot payload in memory.
 type Writer struct {

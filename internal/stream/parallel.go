@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/agg"
 	"repro/internal/core"
 	"repro/internal/event"
 	"repro/internal/metrics"
@@ -475,7 +476,7 @@ func (m *MultiExecutor) unsubscribe(sub *Sub) ([]core.Result, error) {
 	// Even on a partial failure the healthy workers' engines have been
 	// flushed and released; return what they reported alongside the
 	// error rather than destroying it.
-	sortResults(merged)
+	merged = sortResults(merged)
 	if sub.cb != nil {
 		for _, r := range merged {
 			sub.cb(r)
@@ -548,7 +549,7 @@ func (m *MultiExecutor) drain(sub *Sub) ([]core.Result, error) {
 	}
 	// Drained results are destructively taken from the worker engines;
 	// hand them over even when one worker reported an error.
-	sortResults(merged)
+	merged = sortResults(merged)
 	if sub.cb != nil {
 		for _, r := range merged {
 			sub.cb(r)
@@ -901,7 +902,7 @@ func (p *MultiExecutor) Close() ([][]core.Result, error) {
 		for i, w := range sub.hosts {
 			merged = append(merged, w.results[sub.wsubs[i].ID()]...)
 		}
-		sortResults(merged)
+		merged = sortResults(merged)
 		if sub.cb != nil {
 			for _, r := range merged {
 				sub.cb(r)
@@ -914,14 +915,29 @@ func (p *MultiExecutor) Close() ([][]core.Result, error) {
 }
 
 // sortResults orders merged per-worker results by window then group,
-// the order a single engine emits.
-func sortResults(out []core.Result) {
+// the order a single engine emits, and coalesces duplicates: when a
+// window's partition classes were routed to different workers, each
+// worker reports its own partial aggregate for the same (window,
+// group) — those are disjoint trend sets, folded back into the single
+// result a solo engine would have emitted (agg.MergeValues).
+func sortResults(out []core.Result) []core.Result {
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Wid != out[j].Wid {
 			return out[i].Wid < out[j].Wid
 		}
 		return strings.Join(out[i].Group, "\x00") < strings.Join(out[j].Group, "\x00")
 	})
+	w := 0
+	for i := range out {
+		if w > 0 && out[w-1].Wid == out[i].Wid &&
+			strings.Join(out[w-1].Group, "\x00") == strings.Join(out[i].Group, "\x00") {
+			agg.MergeValues(out[w-1].Values, out[i].Values)
+			continue
+		}
+		out[w] = out[i]
+		w++
+	}
+	return out[:w]
 }
 
 // Skipped returns the number of events without a routing key.

@@ -16,6 +16,7 @@ import (
 	"testing"
 
 	cogra "repro"
+	"repro/internal/fuzz/diff"
 )
 
 // sessionTestStream emits a multi-type stream: A/B sequences, M
@@ -97,33 +98,21 @@ func sessionTestQueries() map[string]string {
 }
 
 // soloRun executes one query alone over a slice of the stream — the
-// pre-stream-subscriber reference — and returns its results.
+// pre-stream-subscriber reference — and returns its results
+// (diff.SoloRun with the error lifted to t.Fatal).
 func soloRun(t *testing.T, src string, events []*cogra.Event) []cogra.Result {
 	t.Helper()
-	sess := cogra.NewSession()
-	sub, err := sess.Subscribe(cogra.MustParse(src))
+	rs, err := diff.SoloRun(src, events)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := sess.ProcessAll(events); err != nil {
-		t.Fatal(err)
-	}
-	if err := sess.Close(); err != nil {
-		t.Fatal(err)
-	}
-	return sub.Drain()
+	return rs
 }
 
 // fullWindowsAfter keeps the results of windows fully covered by an
 // observer joining at watermark t: those starting strictly after t.
 func fullWindowsAfter(results []cogra.Result, t int64) []cogra.Result {
-	var out []cogra.Result
-	for _, r := range results {
-		if r.Start > t {
-			out = append(out, r)
-		}
-	}
-	return out
+	return diff.FullWindowsAfter(results, t)
 }
 
 func sessionModes() map[string][]cogra.SessionOption {

@@ -13,31 +13,14 @@ import (
 	"testing"
 
 	cogra "repro"
+	"repro/internal/fuzz/diff"
 )
 
 // shuffleBounded returns a copy of events shuffled within blocks of
 // the given size (bounded disorder) plus the slack required to repair
-// it: the largest amount by which any event trails the running
-// maximum time stamp.
+// it (diff.ShuffleBounded, shared with the fuzzer's slack oracle).
 func shuffleBounded(events []*cogra.Event, block int, seed int64) ([]*cogra.Event, int64) {
-	rng := rand.New(rand.NewSource(seed))
-	out := make([]*cogra.Event, len(events))
-	copy(out, events)
-	for i := 0; i+block-1 < len(out); i += block {
-		rng.Shuffle(block, func(a, b int) {
-			out[i+a], out[i+b] = out[i+b], out[i+a]
-		})
-	}
-	var slack, maxSeen int64
-	for i, e := range out {
-		if i == 0 || e.Time > maxSeen {
-			maxSeen = e.Time
-		}
-		if d := maxSeen - e.Time; d > slack {
-			slack = d
-		}
-	}
-	return out, slack
+	return diff.ShuffleBounded(events, block, seed)
 }
 
 // TestSessionSlackDifferential: a stream shuffled within slack K,

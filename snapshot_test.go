@@ -15,6 +15,7 @@ import (
 	"testing"
 
 	cogra "repro"
+	"repro/internal/fuzz/diff"
 )
 
 // snapRun feeds events to a session hosting a standing query and the
@@ -117,8 +118,8 @@ func TestSessionSnapshotRestoreDifferential(t *testing.T) {
 					opts := append(mopts[:len(mopts):len(mopts)], v.opts...)
 					want, wantStats, _ := snapRun(t, opts, src, v.events, -1, v.churnAt)
 					got, gotStats, _ := snapRun(t, opts, src, v.events, snapAt, v.churnAt)
-					if fmt.Sprintf("%v", got) != fmt.Sprintf("%v", want) {
-						t.Errorf("restored run diverges from undisturbed run\ngot:  %v\nwant: %v", got, want)
+					if !diff.Equal(got, want) {
+						t.Errorf("restored run diverges from undisturbed run\n%s", diff.Diff(got, want))
 					}
 					if len(want) == 0 {
 						t.Error("no results; differential test is vacuous")
@@ -153,8 +154,8 @@ func TestSessionSnapshotMidTimestamp(t *testing.T) {
 			t.Run(mode+"/"+qname, func(t *testing.T) {
 				want, wantStats, _ := snapRun(t, mopts, src, events, -1, -1)
 				got, gotStats, _ := snapRun(t, mopts, src, events, snapAt, -1)
-				if fmt.Sprintf("%v", got) != fmt.Sprintf("%v", want) {
-					t.Errorf("mid-timestamp restore diverges\ngot:  %v\nwant: %v", got, want)
+				if !diff.Equal(got, want) {
+					t.Errorf("mid-timestamp restore diverges\n%s", diff.Diff(got, want))
 				}
 				if gotStats != wantStats {
 					t.Errorf("final stats diverge\ngot:  %s\nwant: %s", gotStats, wantStats)
@@ -215,8 +216,8 @@ func TestRestoreWorkerCount(t *testing.T) {
 		}
 		got := restored.Subscriptions()[0].Drain()
 		want := soloRun(t, sessionTestQueries()["type"], events)
-		if fmt.Sprintf("%v", got) != fmt.Sprintf("%v", want) {
-			t.Errorf("event-free snapshot rescaled to 4 workers diverges from solo run\ngot:  %v\nwant: %v", got, want)
+		if !diff.Equal(got, want) {
+			t.Errorf("event-free snapshot rescaled to 4 workers diverges from solo run\n%s", diff.Diff(got, want))
 		}
 		if len(want) == 0 {
 			t.Error("no results; test is vacuous")
@@ -262,8 +263,8 @@ func TestRestoreThenSubscribe(t *testing.T) {
 			}
 			got := late.Drain()
 			want := fullWindowsAfter(soloRun(t, src, events[k:]), joinTime)
-			if fmt.Sprintf("%v", got) != fmt.Sprintf("%v", want) {
-				t.Errorf("post-restore subscriber diverges from suffix solo run\ngot:  %v\nwant: %v", got, want)
+			if !diff.Equal(got, want) {
+				t.Errorf("post-restore subscriber diverges from suffix solo run\n%s", diff.Diff(got, want))
 			}
 			if len(want) == 0 {
 				t.Error("no results; test is vacuous")

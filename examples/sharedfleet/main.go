@@ -1,0 +1,112 @@
+// Sharedfleet: shared trend aggregation across a query fleet. Eight
+// dashboards watch the same ascending-measurement trend — identical
+// PATTERN, SEMANTICS, WHERE, GROUP-BY and WITHIN — and differ only in
+// the aggregates their RETURN clauses project. Without sharing, the
+// session runs eight engines that each re-match the Kleene pattern
+// and re-aggregate every trend; WithSharedAggregation folds them into
+// one *sharing group*: a host engine computes the union of the eight
+// aggregation specs once per trend, and each query's answer is a
+// cheap projection of the union row at emission.
+//
+// Whether sharing pays depends on the stream, so the decision is
+// taken at runtime, per window epoch: a burstiness monitor compares
+// the group's per-epoch event volume against its fleet size and flips
+// between shared and per-query execution — only ever at a window
+// boundary, so results are byte-identical either way. The stream
+// below has a dense phase (sharing wins: eight-fold work collapses
+// into one pass), then a sparse phase (per-query execution wins: the
+// host's union bookkeeping is overhead at a trickle), then a dense
+// phase again; Stats() shows the group forming, the flips, and the
+// aggregation passes the host saved.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	cogra "repro"
+)
+
+// fleetReturns: eight distinct answers over one trend computation.
+var fleetReturns = [8]string{
+	"COUNT(*)",
+	"COUNT(M)",
+	"SUM(M.rate)",
+	"AVG(M.rate)",
+	"MAX(M.rate)",
+	"MIN(M.rate)",
+	"COUNT(*), SUM(M.rate)",
+	"COUNT(*), AVG(M.rate)",
+}
+
+const fleetBody = `
+	PATTERN M+
+	SEMANTICS skip-till-next-match
+	WHERE [patient] AND M.rate <= NEXT(M).rate
+	GROUP-BY patient
+	WITHIN 60 SLIDE 60`
+
+func main() {
+	sess := cogra.NewSession(cogra.WithSharedAggregation())
+
+	subs := make([]*cogra.Subscription, len(fleetReturns))
+	for i, ret := range fleetReturns {
+		var err error
+		if subs[i], err = sess.Subscribe(cogra.MustParse("RETURN " + ret + "\n" + fleetBody)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Three phases of synthetic measurements for three patients:
+	// dense (25 events per time step), sparse (one event every 10
+	// steps — under one per window-epoch per member), dense again.
+	rng := rand.New(rand.NewSource(7))
+	rates := []float64{62, 71, 80}
+	push := func(t int64) {
+		p := rng.Intn(3)
+		rates[p] += float64(rng.Intn(7)) - 3
+		ev := cogra.NewEvent("M", t).
+			WithSym("patient", fmt.Sprintf("p%d", p)).
+			WithNum("rate", rates[p])
+		if err := sess.Push(ev); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for t := int64(0); t < 240; t++ {
+		for i := 0; i < 25; i++ {
+			push(t)
+		}
+	}
+	report(sess, "after the dense phase (one host computes all eight)")
+	for t := int64(240); t < 480; t += 10 {
+		push(t)
+	}
+	report(sess, "after the sparse phase (fleet flipped back to per-query)")
+	for t := int64(480); t < 720; t++ {
+		for i := 0; i < 25; i++ {
+			push(t)
+		}
+	}
+	report(sess, "after the second dense phase (shared again)")
+
+	if err := sess.Close(); err != nil {
+		log.Fatal(err)
+	}
+	// Every query kept its own answer shape throughout — the same
+	// results, window for window, a per-query fleet would produce.
+	for i, sub := range subs {
+		results := sub.Drain()
+		fmt.Printf("  RETURN %-22s -> %d window results, first: %v\n",
+			fleetReturns[i], len(results), results[0])
+	}
+}
+
+func report(sess *cogra.Session, phase string) {
+	st, err := sess.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s:\n  sharing groups: %d, share/unshare flips: %d, aggregation passes saved: %d\n",
+		phase, st.SharedGroups, st.ShareFlips, st.SharedSavedOps)
+}

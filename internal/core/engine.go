@@ -280,6 +280,54 @@ func (e *Engine) AlignTo(t int64) {
 	}
 }
 
+// RetireFrom caps the engine at window boundary wid: windows >= wid
+// are never created, so the engine drains as the watermark closes its
+// remaining windows. A sharing-group flip retires the outgoing
+// execution side this way while the incoming side aligns with the same
+// boundary — every window is owned by exactly one side, keeping
+// results byte-identical across the flip.
+func (e *Engine) RetireFrom(wid int64) {
+	e.mgr.SkipFrom(wid)
+	e.statesValid = false
+}
+
+// Unretire lifts a RetireFrom ceiling so the engine owns windows
+// again; pair with ResumeFrom to fix the resumption boundary.
+func (e *Engine) Unretire() {
+	e.mgr.ClearCeiling()
+	e.statesValid = false
+}
+
+// ResumeFrom suppresses every window below wid — the revived side of a
+// sharing-group flip resumes ownership exactly at the boundary the
+// retiring side stops at. Unlike AlignTo this takes the window id
+// directly: the flip boundary was fixed when the transition started,
+// not at the current watermark.
+func (e *Engine) ResumeFrom(wid int64) {
+	e.mgr.SkipBefore(wid)
+	e.statesValid = false
+}
+
+// Drained reports whether the engine was retired and every window
+// below its ceiling has closed: it owns nothing anymore and can be
+// removed from event dispatch (watermark passes must continue so its
+// stream clock stays current for a later revival).
+func (e *Engine) Drained() bool { return e.mgr.Drained() }
+
+// Deliver injects an externally computed result as if this engine had
+// emitted it: through the result callback when one is installed,
+// otherwise into the collected-results buffer. A sharing group's host
+// engine fans its per-member projections back through Deliver so
+// downstream consumers see one result stream per subscription
+// regardless of which side computed each window.
+func (e *Engine) Deliver(r Result) {
+	if e.onResult != nil {
+		e.onResult(r)
+	} else {
+		e.results = append(e.results, r)
+	}
+}
+
 // Close flushes every open window and returns all collected results
 // (nil when a result callback is installed).
 func (e *Engine) Close() []Result {

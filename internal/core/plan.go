@@ -98,6 +98,10 @@ type Plan struct {
 	// negGuard maps a (predecessor alias, successor alias) pair to the
 	// negation constraint guarding it, if any.
 	negGuard map[[2]string]int
+	// fingerprint is the sharing-equivalence key (sharedagg.go):
+	// everything except the RETURN clause, rendered canonically. Plans
+	// with equal fingerprints may be served by one shared engine.
+	fingerprint string
 
 	// Compiled interning state (symbols.go), built once by compile():
 	// dense ids for aliases and — in the shared catalog — event types
@@ -159,6 +163,7 @@ func NewPlanIn(cat *Catalog, q *query.Query) (*Plan, error) {
 		Where:       q.Where,
 		negTypes:    map[string][]negRef{},
 		negGuard:    map[[2]string]int{},
+		fingerprint: sharedFingerprint(q),
 	}
 	p.EventGrained = q.Where.EventGrainedAliases(fsa)
 	if p.Granularity != MixedGrained {

@@ -1,0 +1,142 @@
+// Shared sub-aggregation across plans (the Hamlet direction: "To
+// Share, or not to Share Online Event Trend Aggregation Over Bursty
+// Event Streams"). Two plans are sharing-equivalent when everything
+// that determines their per-window aggregation state — pattern,
+// matching semantics, predicates, grouping and window clause — is
+// identical; only the RETURN clause may differ. Such plans can be
+// served by ONE engine running the union of their aggregation specs:
+// the Table 8 propagation maintains every spec's auxiliary state
+// independently inside one trend count, so a member's RETURN values
+// are an exact column projection of the union's values, applied as a
+// cheap per-query correction at emission. Whether a group actually
+// runs shared is a runtime decision (internal/runtime); this file is
+// the static side: the equivalence key, the spec union and the
+// per-member projections.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/agg"
+	"repro/internal/query"
+)
+
+// sharedFingerprint renders the sharing-equivalence key of a query:
+// its normalised text WITHOUT the RETURN clause. Everything rendered
+// here feeds aggregation state (pattern/semantics/predicates pick the
+// trends, GROUP-BY shapes Result.Group, WITHIN/SLIDE shapes window
+// ids); everything omitted (Returns, ReturnKeys) only selects which
+// columns of the union a member reports.
+func sharedFingerprint(q *query.Query) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "PATTERN %s", q.Pattern)
+	fmt.Fprintf(&b, "\nSEMANTICS %s", q.Semantics)
+	if q.Where != nil && q.Where.String() != "true" {
+		fmt.Fprintf(&b, "\nWHERE %s", q.Where)
+	}
+	if len(q.GroupBy) > 0 {
+		keys := make([]string, len(q.GroupBy))
+		for i, k := range q.GroupBy {
+			keys[i] = k.String()
+		}
+		fmt.Fprintf(&b, "\nGROUP-BY %s", strings.Join(keys, ", "))
+	}
+	fmt.Fprintf(&b, "\nWITHIN %d SLIDE %d", q.Window.Within, q.Window.Slide)
+	return b.String()
+}
+
+// Fingerprint returns the plan's sharing-equivalence key, computed at
+// compile time. Plans with equal fingerprints detect identical trends
+// over identical sub-streams and windows and differ at most in which
+// aggregates they report — the precondition for registering them
+// against one shared aggregation node.
+func (p *Plan) Fingerprint() string { return p.fingerprint }
+
+// SpecUnion accumulates the distinct aggregation specs of a sharing
+// group's members, in first-seen order, and hands each member the
+// projection mapping its RETURN columns onto the union's columns.
+type SpecUnion struct {
+	specs agg.Specs
+	index map[agg.Spec]int
+}
+
+// NewSpecUnion returns an empty union.
+func NewSpecUnion() *SpecUnion {
+	return &SpecUnion{index: map[agg.Spec]int{}}
+}
+
+// Add merges a member's specs into the union and returns the member's
+// projection: proj[i] is the union column holding the member's i-th
+// RETURN value. grew reports whether the union gained a column (the
+// hosting engine must then be rebuilt to maintain the new spec).
+func (u *SpecUnion) Add(specs agg.Specs) (proj []int, grew bool) {
+	proj = make([]int, len(specs))
+	for i, s := range specs {
+		j, ok := u.index[s]
+		if !ok {
+			j = len(u.specs)
+			u.specs = append(u.specs, s)
+			u.index[s] = j
+			grew = true
+		}
+		proj[i] = j
+	}
+	return proj, grew
+}
+
+// Covers reports whether every given spec is already a union column.
+func (u *SpecUnion) Covers(specs agg.Specs) bool {
+	for _, s := range specs {
+		if _, ok := u.index[s]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Project returns the projection for specs without growing the union;
+// ok is false when some spec is not a union column.
+func (u *SpecUnion) Project(specs agg.Specs) (proj []int, ok bool) {
+	proj = make([]int, len(specs))
+	for i, s := range specs {
+		j, found := u.index[s]
+		if !found {
+			return nil, false
+		}
+		proj[i] = j
+	}
+	return proj, true
+}
+
+// Specs returns the union columns in first-seen order.
+func (u *SpecUnion) Specs() agg.Specs {
+	return append(agg.Specs(nil), u.specs...)
+}
+
+// Len returns the number of union columns.
+func (u *SpecUnion) Len() int { return len(u.specs) }
+
+// UnionQuery builds the query a sharing group's host engine runs: the
+// representative member's query with the RETURN clause replaced by the
+// union columns. ReturnKeys are dropped — they only echo group values
+// at the presentation layer and each member re-applies its own.
+func UnionQuery(rep *query.Query, specs agg.Specs) *query.Query {
+	q := *rep
+	q.Returns = append(agg.Specs(nil), specs...)
+	q.ReturnKeys = nil
+	return &q
+}
+
+// ProjectResult applies a member's projection to a union result:
+// the member's RETURN values are the proj-selected columns, in its own
+// clause order. Wid/bounds/group carry over (the group tuple is shared
+// read-only across members — consumers never mutate results).
+func ProjectResult(r Result, proj []int) Result {
+	vals := make([]agg.Value, len(proj))
+	for i, j := range proj {
+		vals[i] = r.Values[j]
+	}
+	r.Values = vals
+	return r
+}

@@ -798,6 +798,9 @@ func (e *Engine) Snapshot(w *snap.Writer) {
 	w.I64(emitted)
 	w.I64(maxWid)
 	w.Bool(ever)
+	ceil, hasCeil := e.mgr.Ceiling()
+	w.Bool(hasCeil)
+	w.I64(ceil)
 	wids := e.mgr.ActiveWids()
 	w.U32(uint32(len(wids)))
 	for _, wid := range wids {
@@ -850,15 +853,18 @@ func (e *Engine) RestoreState(r *snap.Reader) error {
 	emitted := r.I64()
 	maxWid := r.I64()
 	ever := r.Bool()
+	hasCeil := r.Bool()
+	ceil := r.I64()
 	if err := r.Err(); err != nil {
 		return err
 	}
 	e.mgr.RestoreCursor(emitted, maxWid, ever)
+	e.mgr.RestoreCeiling(ceil, hasCeil)
 	nw := r.Count(16)
 	var lastWid int64
 	for i := 0; i < nw; i++ {
 		wid := r.I64()
-		if r.Err() == nil && (wid < emitted || (i > 0 && wid <= lastWid)) {
+		if r.Err() == nil && (wid < emitted || (i > 0 && wid <= lastWid) || (hasCeil && wid >= ceil)) {
 			return fmt.Errorf("%w: active window %d violates the cursor order", snap.ErrBadSnapshot, wid)
 		}
 		lastWid = wid

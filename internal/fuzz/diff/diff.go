@@ -12,6 +12,7 @@ package diff
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	cogra "repro"
@@ -156,8 +157,46 @@ func ShuffleBounded(events []*cogra.Event, block int, seed int64) ([]*cogra.Even
 			out[i+a], out[i+b] = out[i+b], out[i+a]
 		}
 	}
+	return out, repairSlack(events, out)
+}
+
+// JitterOrder models disorder at ingest rather than a shuffle of the
+// sorted stream: each event's arrival stamp is its time stamp plus an
+// independent random delay in [0, jitter], and events arrive in
+// arrival-stamp order (stable on ties, so equal stamps keep generation
+// order). This is how real sources misbehave — a slow sender delays
+// its events relative to everyone else's — and unlike ShuffleBounded
+// it produces disorder whose span varies along the stream, so a single
+// repairing slack is tight in some regions and generous in others.
+// Returns the jittered order plus the slack required to repair it
+// exactly (the largest amount any event trails the running maximum
+// time stamp); slack 0 means the jitter produced no disorder.
+func JitterOrder(events []*cogra.Event, jitter int64, seed int64) ([]*cogra.Event, int64) {
+	out := make([]*cogra.Event, len(events))
+	copy(out, events)
+	if jitter > 0 {
+		rng := newSplitMix(uint64(seed))
+		arrival := make(map[*cogra.Event]int64, len(out))
+		for _, e := range out {
+			arrival[e] = e.Time + int64(rng.next()%uint64(jitter+1))
+		}
+		sort.SliceStable(out, func(i, j int) bool { return arrival[out[i]] < arrival[out[j]] })
+	}
+	return out, repairSlack(events, out)
+}
+
+// repairSlack computes the slack a session needs to process the
+// permuted order with results identical to the canonical order: the
+// largest amount any event trails the running maximum time stamp.
+// That bound provably covers every time inversion AND keeps inverted
+// equal-time ties buffered long enough to re-sort — except when it
+// computes to exactly 0, where the session would install no reorder
+// buffer at all. A tie-only inversion (two equal-time events swapped,
+// everything else sorted) therefore needs slack 1: any positive slack
+// restores (time, ID) tie order, and 1 is the smallest.
+func repairSlack(canonical, permuted []*cogra.Event) int64 {
 	var slack, maxSeen int64
-	for i, e := range out {
+	for i, e := range permuted {
 		if i == 0 || e.Time > maxSeen {
 			maxSeen = e.Time
 		}
@@ -165,7 +204,14 @@ func ShuffleBounded(events []*cogra.Event, block int, seed int64) ([]*cogra.Even
 			slack = d
 		}
 	}
-	return out, slack
+	if slack == 0 {
+		for i := range permuted {
+			if permuted[i] != canonical[i] {
+				return 1
+			}
+		}
+	}
+	return slack
 }
 
 // splitMix is a tiny deterministic PRNG (splitmix64) so the shuffle

@@ -1,0 +1,33 @@
+package diff
+
+import (
+	"testing"
+
+	cogra "repro"
+)
+
+// TestRepairSlackTieInversion pins the fix for a latent bug the
+// jitter oracle exposed: a permutation that only swaps equal-time
+// events has a zero time-based slack, but zero slack means the
+// session installs no reorder buffer at all, so arrival order would
+// leak into trend order. The minimal repair slack for any non-trivial
+// permutation is 1.
+func TestRepairSlackTieInversion(t *testing.T) {
+	mk := func(tm int64, id int64) *cogra.Event {
+		e := cogra.NewEvent("A", tm)
+		e.ID = id
+		return e
+	}
+	a, b, c := mk(5, 1), mk(5, 2), mk(7, 3)
+	canonical := []*cogra.Event{a, b, c}
+
+	if got := repairSlack(canonical, []*cogra.Event{a, b, c}); got != 0 {
+		t.Errorf("identity permutation: repair slack %d, want 0", got)
+	}
+	if got := repairSlack(canonical, []*cogra.Event{b, a, c}); got != 1 {
+		t.Errorf("tie-only inversion: repair slack %d, want 1", got)
+	}
+	if got := repairSlack(canonical, []*cogra.Event{a, c, b}); got != 2 {
+		t.Errorf("time inversion: repair slack %d, want 2 (maxSeen 7 - time 5)", got)
+	}
+}

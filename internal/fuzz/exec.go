@@ -25,6 +25,14 @@ type Mode struct {
 	// seed from the scenario) on a WithSlack session sized to repair
 	// the disorder exactly.
 	Shuffled bool
+	// Jittered pushes the events in ingest-jitter order (each event
+	// delayed by an independent random amount up to Scenario.Jitter) on
+	// a WithSlack session sized to repair the disorder exactly — the
+	// genuinely-disordered sibling of Shuffled.
+	Jittered bool
+	// Shared enables runtime share/unshare decisions
+	// (WithSharedAggregation).
+	Shared bool
 	// Evict enables binding-intern epoch eviction and catalog
 	// compaction.
 	Evict bool
@@ -46,6 +54,12 @@ func (m Mode) String() string {
 	s := fmt.Sprintf("workers=%d groups=%d batch=%d", m.Workers, m.Groups, m.BatchSize)
 	if m.Shuffled {
 		s += " shuffled"
+	}
+	if m.Jittered {
+		s += " jittered"
+	}
+	if m.Shared {
+		s += " shared"
 	}
 	if m.Evict {
 		s += " evict"
@@ -96,6 +110,9 @@ func (m Mode) options() []cogra.SessionOption {
 	if m.Evict {
 		opts = append(opts, cogra.WithInternEviction())
 	}
+	if m.Shared {
+		opts = append(opts, cogra.WithSharedAggregation())
+	}
 	return opts
 }
 
@@ -108,8 +125,8 @@ func Execute(sc *Scenario, m Mode) (*RunOutput, error) {
 	for i, e := range sc.Events {
 		e.ID = int64(i + 1)
 	}
-	if m.Shuffled && sc.HasChurn() {
-		return nil, fmt.Errorf("fuzz: shuffled mode with churn: join watermarks would differ")
+	if (m.Shuffled || m.Jittered) && sc.HasChurn() {
+		return nil, fmt.Errorf("fuzz: disordered mode with churn: join watermarks would differ")
 	}
 	if m.Server {
 		return executeServer(sc, m)
@@ -120,6 +137,12 @@ func Execute(sc *Scenario, m Mode) (*RunOutput, error) {
 	if m.Shuffled {
 		shuffled, slack := diff.ShuffleBounded(sc.Events, sc.ShuffleBlock, sc.ShuffleSeed)
 		pushOrder = shuffled
+		if slack > 0 {
+			opts = append(opts, cogra.WithSlack(slack))
+		}
+	} else if m.Jittered {
+		jittered, slack := diff.JitterOrder(sc.Events, sc.Jitter, sc.ShuffleSeed)
+		pushOrder = jittered
 		if slack > 0 {
 			opts = append(opts, cogra.WithSlack(slack))
 		}

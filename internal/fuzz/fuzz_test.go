@@ -180,7 +180,7 @@ func TestRunHealthy(t *testing.T) {
 // Every oracle named by a committed repro (and the runner's -oracles
 // flag) must resolve; the suite's names are part of the repro format.
 func TestOracleNamesStable(t *testing.T) {
-	for _, name := range []string{"batch", "workers", "groups", "slack", "evict", "snapshot", "server", "baselines", "watermark", "stats"} {
+	for _, name := range []string{"batch", "workers", "groups", "slack", "jitter", "late", "shared", "evict", "snapshot", "server", "baselines", "watermark", "stats"} {
 		if OracleByName(name) == nil {
 			t.Errorf("oracle %q is gone; committed repro files may name it", name)
 		}

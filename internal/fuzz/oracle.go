@@ -21,6 +21,7 @@ import (
 	"repro/internal/baselines/sase"
 	"repro/internal/core"
 	"repro/internal/fuzz/diff"
+	"repro/internal/stream"
 )
 
 // Oracle is one pluggable correctness check.
@@ -92,6 +93,32 @@ func Oracles() []Oracle {
 				}
 				flipped := BaseMode(sc)
 				flipped.Shuffled = true
+				return selfDiff(sc, flipped)
+			},
+		},
+		{
+			Name: "jitter",
+			Doc:  "ingest-jittered-within-slack == sorted",
+			Check: func(sc *Scenario) (string, error) {
+				if sc.HasChurn() || sc.Jitter <= 0 {
+					return "", nil // join watermarks differ under reorder buffering
+				}
+				flipped := BaseMode(sc)
+				flipped.Jittered = true
+				return selfDiff(sc, flipped)
+			},
+		},
+		{
+			Name:  "late",
+			Doc:   "under-slacked session == solo run over the predicted survivors",
+			Check: checkLate,
+		},
+		{
+			Name: "shared",
+			Doc:  "shared aggregation == per-query execution",
+			Check: func(sc *Scenario) (string, error) {
+				flipped := BaseMode(sc)
+				flipped.Shared = true
 				return selfDiff(sc, flipped)
 			},
 		},
@@ -222,6 +249,95 @@ func selfDiff(sc *Scenario, flipped Mode) (string, error) {
 		}
 	}
 	return "", nil
+}
+
+// checkLate exercises the DropLate path for real: the events are
+// pushed in ingest-jitter order into a session whose slack is HALF of
+// what the disorder needs, so the worst stragglers are genuinely
+// dropped. The reference predicts the exact survivor set with a model
+// stream.Reorderer at the same slack (the drop boundary is a pure
+// function of the arrival sequence) and replays the survivors, in
+// emission order, into an ordinary in-order session. Results must
+// match and Stats().LateDropped must equal the predicted drop count.
+func checkLate(sc *Scenario) (string, error) {
+	if sc.HasChurn() || sc.Jitter <= 0 {
+		return "", nil
+	}
+	for i, e := range sc.Events {
+		e.ID = int64(i + 1)
+	}
+	jittered, slack := diff.JitterOrder(sc.Events, sc.Jitter, sc.ShuffleSeed)
+	if slack < 2 {
+		return "", nil // halving it would not drop anything
+	}
+	short := slack / 2
+	model := stream.NewReorderer(short)
+	var survivors []*cogra.Event
+	for _, e := range jittered {
+		out, err := model.Offer(e)
+		if err != nil {
+			return "", fmt.Errorf("late: model reorderer: %w", err)
+		}
+		survivors = append(survivors, out...)
+	}
+	survivors = append(survivors, model.Flush()...)
+	dropped := int64(len(jittered) - len(survivors))
+	if dropped == 0 {
+		return "", nil
+	}
+	got, gotStats, err := runResident(sc, jittered, cogra.WithSlack(short))
+	if err != nil {
+		return "", fmt.Errorf("late: under-slacked run: %w", err)
+	}
+	want, _, err := runResident(sc, survivors)
+	if err != nil {
+		return "", fmt.Errorf("late: survivor replay: %w", err)
+	}
+	if gotStats.LateDropped != dropped {
+		return fmt.Sprintf("Stats().LateDropped = %d, want %d (predicted by a slack-%d reorderer over the jittered stream)",
+			gotStats.LateDropped, dropped, short), nil
+	}
+	for si := range sc.Subs {
+		if d := diff.Compare(got[si], want[si], floatTol); d != "" {
+			return fmt.Sprintf("sub %d: slack-%d DropLate run != survivor replay\n%s", si, short, d), nil
+		}
+	}
+	return "", nil
+}
+
+// runResident runs the whole fleet resident over one event sequence on
+// an inline session — the churn-free executor the late oracle's two
+// sides share.
+func runResident(sc *Scenario, events []*cogra.Event, opts ...cogra.SessionOption) ([][]cogra.Result, cogra.SessionStats, error) {
+	sess := cogra.NewSession(opts...)
+	subs := make([]*cogra.Subscription, len(sc.Subs))
+	for si := range sc.Subs {
+		q, err := cogra.Parse(sc.Subs[si].Src)
+		if err != nil {
+			return nil, cogra.SessionStats{}, fmt.Errorf("sub %d: %w", si, err)
+		}
+		if subs[si], err = sess.Subscribe(q); err != nil {
+			return nil, cogra.SessionStats{}, fmt.Errorf("sub %d: %w", si, err)
+		}
+	}
+	if err := sess.PushBatch(events); err != nil {
+		return nil, cogra.SessionStats{}, err
+	}
+	st, err := sess.Stats()
+	if err != nil {
+		return nil, cogra.SessionStats{}, err
+	}
+	if err := sess.Close(); err != nil {
+		return nil, cogra.SessionStats{}, err
+	}
+	results := make([][]cogra.Result, len(sc.Subs))
+	for si, sub := range subs {
+		results[si] = sub.Drain()
+		if err := sub.Err(); err != nil {
+			return nil, cogra.SessionStats{}, fmt.Errorf("sub %d drain: %w", si, err)
+		}
+	}
+	return results, st, nil
 }
 
 // baselineBudget bounds each reference run; exceeding it skips the

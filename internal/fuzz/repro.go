@@ -63,8 +63,8 @@ func WriteRepro(w io.Writer, r *Repro) error {
 		fmt.Fprintf(bw, "template %s\n", sc.Template)
 	}
 	fmt.Fprintf(bw, "seed %#x\n", sc.Seed)
-	fmt.Fprintf(bw, "config workers=%d groups=%d batch=%d shuffleblock=%d shuffleseed=%d snapat=%d\n",
-		sc.Workers, sc.Groups, sc.BatchSize, sc.ShuffleBlock, sc.ShuffleSeed, sc.SnapshotAt)
+	fmt.Fprintf(bw, "config workers=%d groups=%d batch=%d shuffleblock=%d shuffleseed=%d snapat=%d jitter=%d\n",
+		sc.Workers, sc.Groups, sc.BatchSize, sc.ShuffleBlock, sc.ShuffleSeed, sc.SnapshotAt, sc.Jitter)
 	for _, sub := range sc.Subs {
 		fmt.Fprintf(bw, "sub join=%d leave=%d\n", sub.Join, sub.Leave)
 		for _, line := range strings.Split(strings.TrimRight(sub.Src, "\n"), "\n") {
@@ -205,6 +205,10 @@ func parseConfig(s string, sc *Scenario) error {
 			sc.ShuffleSeed = n
 		case "snapat":
 			sc.SnapshotAt = int(n)
+		case "jitter":
+			// Absent in v1 files written before the jitter oracles
+			// existed; they replay with jitter 0 (those oracles skip).
+			sc.Jitter = n
 		default:
 			return fmt.Errorf("repro: unknown config field %q", k)
 		}

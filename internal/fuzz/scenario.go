@@ -16,7 +16,10 @@ import (
 	"math/rand"
 
 	cogra "repro"
+	"repro/internal/agg"
 	"repro/internal/gen"
+	"repro/internal/pattern"
+	"repro/internal/query"
 )
 
 // SubSpec is one subscription of a scenario: the query (canonical
@@ -52,6 +55,7 @@ type Scenario struct {
 	ShuffleBlock int   // block size for the bounded shuffle oracle
 	ShuffleSeed  int64 // splitmix seed pinned in repro files
 	SnapshotAt   int   // event index for the snapshot oracle; <=0 none
+	Jitter       int64 // max ingest delay for the jitter/late oracles; <=0 none
 }
 
 // HasChurn reports whether any subscription joins or leaves
@@ -86,6 +90,9 @@ func (sc *Scenario) Size() int {
 		n += 5
 	}
 	if sc.SnapshotAt > 0 {
+		n += 5
+	}
+	if sc.Jitter > 0 {
 		n += 5
 	}
 	return n
@@ -184,6 +191,39 @@ func templates() []template {
 	}
 }
 
+// returnVariant derives a sharing-equivalent twin of src: the same
+// query except for its RETURN aggregates, so the twin's plan carries
+// the same sharing fingerprint without being the same query. Falls
+// back to src itself (an exact duplicate — trivially sharable) when no
+// valid variant exists.
+func returnVariant(src string) string {
+	q, err := query.Parse(src)
+	if err != nil {
+		return src
+	}
+	star := agg.Spec{Func: agg.CountStar}
+	switch {
+	case len(q.Returns) > 1:
+		q.Returns = q.Returns[:1]
+	case q.Returns[0] != star:
+		q.Returns = agg.Specs{star}
+	default:
+		// COUNT(*) alone: add a per-alias event count. Negated aliases
+		// cannot be aggregated, so probe until one validates.
+		for _, a := range pattern.Aliases(q.Pattern) {
+			q.Returns = agg.Specs{star, {Func: agg.CountType, Alias: a}}
+			if q.Validate() == nil {
+				return q.String()
+			}
+		}
+		return src
+	}
+	if q.Validate() != nil {
+		return src
+	}
+	return q.String()
+}
+
 // ScenarioSeed derives scenario index i's seed from the base seed via
 // one splitmix64 step, so neighbouring indices get decorrelated
 // streams and any scenario can be regenerated from (baseSeed, i)
@@ -259,6 +299,20 @@ func Generate(baseSeed uint64, i int) (*Scenario, error) {
 			sc.Subs[s].Leave = churn[s-1].Leave
 		}
 	}
+	if rng.Intn(2) == 0 {
+		// Sharing-equivalent twin: same query as subscription 0 except
+		// for an extra RETURN aggregate, so shared-aggregation scenarios
+		// regularly have a fleet the runtime can actually share (random
+		// query pairs almost never collide on the sharing fingerprint).
+		twin := returnVariant(sc.Subs[0].Src)
+		join, leave := 0, n
+		if !small && rng.Intn(2) == 0 {
+			// Sometimes mid-stream, so share formation under a running
+			// host gets exercised too.
+			join = rng.Intn(n / 2)
+		}
+		sc.Subs = append(sc.Subs, SubSpec{Src: twin, Join: join, Leave: leave})
+	}
 
 	if !small {
 		if rng.Intn(2) == 0 {
@@ -276,5 +330,10 @@ func Generate(baseSeed uint64, i int) (*Scenario, error) {
 	}
 	sc.ShuffleBlock = []int{4, 8, 16}[rng.Intn(3)]
 	sc.ShuffleSeed = int64(seed>>1) + 1
+	// Ingest jitter on the window scale: small enough that most events
+	// stay repairable, large enough that a half-slack session drops
+	// stragglers (the late-policy oracle's fodder).
+	w := tpl.schema.Windows[0][0]
+	sc.Jitter = 1 + int64(rng.Intn(int(w)))
 	return sc, nil
 }

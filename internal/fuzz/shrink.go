@@ -241,6 +241,7 @@ func shrinkKnobs(cur **Scenario, try func(*Scenario) bool) {
 		func(sc *Scenario) { sc.Groups = 0 },
 		func(sc *Scenario) { sc.Workers, sc.Groups = 0, 0 },
 		func(sc *Scenario) { sc.BatchSize = 0 },
+		func(sc *Scenario) { sc.Jitter = 0 },
 	}
 	for _, k := range knobs {
 		cand := (*cur).Clone()

@@ -55,6 +55,11 @@ type Subscription struct {
 	eng    *core.Engine
 	rt     *Runtime
 	active bool
+	// group/gm link the subscription to its sharing group when shared
+	// aggregation is enabled (sharing.go); nil otherwise. A group host
+	// is itself a Subscription with id -1, never part of rt.subs.
+	group *shareGroup
+	gm    *groupMember
 }
 
 // ID returns the subscription's id: 0-based, in Subscribe order,
@@ -122,6 +127,16 @@ type Runtime struct {
 	closed      bool
 	dispatching bool // inside Process: membership changes must wait
 
+	// Shared-aggregation state (sharing.go): the sharing groups keyed
+	// by plan fingerprint, plus a deterministic iteration order —
+	// share/unshare decisions must replay identically across runs.
+	sharedOn       bool
+	hostOpts       []core.Option
+	groups         map[string]*shareGroup
+	groupList      []*shareGroup
+	shareFlips     int64
+	sharedSavedOps int64
+
 	// Batch scratch, reused across chunks so the steady-state batch
 	// path does not allocate: per-event type ids, the per-type run
 	// buckets with their first-touch order, and the shared resolved-run
@@ -184,6 +199,9 @@ func (rt *Runtime) SubscribePlan(plan *core.Plan, opts ...core.Option) (*Subscri
 	if rt.sawEvent {
 		s.eng.AlignTo(rt.lastTime)
 	}
+	if rt.sharedOn && rt.groupJoin(s, rt.lastTime, rt.sawEvent) {
+		rt.rebuildIndex()
+	}
 	return s, nil
 }
 
@@ -200,6 +218,9 @@ func (rt *Runtime) SubscribePlanFrom(plan *core.Plan, t int64, opts ...core.Opti
 		t = rt.lastTime
 	}
 	s.eng.AlignTo(t)
+	if rt.sharedOn && rt.groupJoin(s, t, true) {
+		rt.rebuildIndex()
+	}
 	return s, nil
 }
 
@@ -296,7 +317,17 @@ func (rt *Runtime) rebuildIndex() {
 	}
 	rt.wantsAll = nil
 	for _, s := range rt.subs {
+		if s.gm != nil && s.gm.mode == memberShared {
+			continue // served by its group's host; no event dispatch
+		}
 		rt.index(s)
+	}
+	for _, g := range rt.groupList {
+		if g.host != nil {
+			// Live and retiring hosts both receive events: a retiring
+			// host still owns the open windows below its ceiling.
+			rt.index(g.host)
+		}
 	}
 }
 
@@ -322,8 +353,16 @@ func (rt *Runtime) unsubscribe(s *Subscription) ([]core.Result, error) {
 			break
 		}
 	}
+	var out []core.Result
+	if s.gm != nil {
+		var err error
+		if out, err = rt.groupLeave(s); err != nil {
+			return nil, err
+		}
+	} else {
+		out = s.eng.Close()
+	}
 	rt.rebuildIndex()
-	out := s.eng.Close()
 	s.eng.ReleaseIntern()
 	// Drop this hosting's symbol references; ids only this plan used
 	// are retired and the catalog publishes a compacted view. The
@@ -352,6 +391,15 @@ type Stats struct {
 	// WatermarkValid is false before the first event.
 	Watermark      int64
 	WatermarkValid bool
+	// SharedGroups counts sharing groups currently backed by a host
+	// engine (shared execution, or a flip in flight); ShareFlips counts
+	// share/unshare decisions taken; SharedSavedOps estimates the
+	// member-engine event aggregations the hosts absorbed (host events
+	// × served members beyond the first). All zero when shared
+	// aggregation is disabled.
+	SharedGroups   int
+	ShareFlips     int64
+	SharedSavedOps int64
 }
 
 // Stats reports the runtime's hosted-query and interning state.
@@ -362,6 +410,18 @@ func (rt *Runtime) Stats() Stats {
 			active++
 		}
 	}
+	hosted := 0
+	saved := rt.sharedSavedOps
+	for _, g := range rt.groupList {
+		if g.host != nil {
+			hosted++
+			if served := g.servedCount(); served > 1 {
+				// Fold in the not-yet-accounted host volume so Stats
+				// reflects savings accrued mid-epoch.
+				saved += (g.host.eng.EventsProcessed() - g.hostBase) * int64(served-1)
+			}
+		}
+	}
 	return Stats{
 		Queries:            active,
 		Events:             rt.seq,
@@ -370,6 +430,9 @@ func (rt *Runtime) Stats() Stats {
 		BindingInternBytes: rt.InternBytes(),
 		Watermark:          rt.lastTime,
 		WatermarkValid:     rt.sawEvent,
+		SharedGroups:       hosted,
+		ShareFlips:         rt.shareFlips,
+		SharedSavedOps:     saved,
 	}
 }
 
@@ -379,6 +442,11 @@ func (rt *Runtime) InternBytes() int64 {
 	var total int64
 	for _, s := range rt.subs {
 		total += s.eng.InternBytes()
+	}
+	for _, g := range rt.groupList {
+		if g.host != nil {
+			total += g.host.eng.InternBytes()
+		}
 	}
 	return total
 }
@@ -478,10 +546,8 @@ func (rt *Runtime) dispatchChunk(chunk []*event.Event) error {
 func (rt *Runtime) dispatchGroup(group []*event.Event) error {
 	t := group[0].Time
 	if !rt.sawEvent || t != rt.lastTime {
-		for _, s := range rt.subs {
-			if err := s.eng.AdvanceWatermark(t); err != nil {
-				return err
-			}
+		if err := rt.advanceAll(t); err != nil {
+			return err
 		}
 	}
 	rt.lastTime, rt.sawEvent = t, true
@@ -572,6 +638,53 @@ func (rt *Runtime) dispatchGroup(group []*event.Event) error {
 	return nil
 }
 
+// advanceAll drives one stream watermark through every hosted engine,
+// in two sweeps so sharing-group flips preserve result order: the
+// retiring side of any in-flight flip advances first (its windows lie
+// below the flip boundary and must emit before the incoming side
+// reaches the boundary), then every live engine and group host. With
+// no sharing groups this degenerates to the plain fleet-wide pass.
+// Afterwards the sharing state machine steps: transitions whose
+// retiring side just drained complete, and the per-epoch monitor may
+// initiate new flips — all before the caller dispatches the events
+// that exposed this watermark, so the index reads below see the
+// post-flip membership.
+func (rt *Runtime) advanceAll(t int64) error {
+	for _, g := range rt.groupList {
+		for _, m := range g.members {
+			if m.mode == memberDraining {
+				if err := m.sub.eng.AdvanceWatermark(t); err != nil {
+					return err
+				}
+			}
+		}
+		if g.host != nil && g.hostRetiring {
+			if err := g.host.eng.AdvanceWatermark(t); err != nil {
+				return err
+			}
+		}
+	}
+	for _, s := range rt.subs {
+		if s.gm != nil && s.gm.mode == memberDraining {
+			continue // advanced in the retiring sweep
+		}
+		if err := s.eng.AdvanceWatermark(t); err != nil {
+			return err
+		}
+	}
+	for _, g := range rt.groupList {
+		if g.host != nil && !g.hostRetiring {
+			if err := g.host.eng.AdvanceWatermark(t); err != nil {
+				return err
+			}
+		}
+	}
+	if len(rt.groupList) > 0 {
+		rt.shareStep(t)
+	}
+	return nil
+}
+
 // dispatch is the per-event body shared by Process and ProcessBatch;
 // the caller holds the dispatching guard. Error construction lives
 // out of line (lateEventErr) to keep the hot path lean.
@@ -586,10 +699,8 @@ func (rt *Runtime) dispatch(ev *event.Event) error {
 	if !rt.sawEvent || ev.Time != rt.lastTime {
 		// One watermark pass closes complete windows across every
 		// hosted engine, including those the event's type won't reach.
-		for _, s := range rt.subs {
-			if err := s.eng.AdvanceWatermark(ev.Time); err != nil {
-				return err
-			}
+		if err := rt.advanceAll(ev.Time); err != nil {
+			return err
 		}
 	}
 	rt.lastTime, rt.sawEvent = ev.Time, true
@@ -638,6 +749,24 @@ func (rt *Runtime) ProcessAll(events []*event.Event) error {
 // unsubscribed — their results were returned at Unsubscribe time).
 func (rt *Runtime) Close() [][]core.Result {
 	rt.closed = true
+	// Flush in flip order so each member's results stay in window
+	// order: draining member engines own the windows below an in-flight
+	// flip boundary and flush first; the group hosts flush next, fanning
+	// their windows out through the member engines; the uniform pass
+	// then re-Closes every engine (idempotent — nothing left to flush)
+	// and collects the full buffers.
+	for _, g := range rt.groupList {
+		for _, m := range g.members {
+			if m.mode == memberDraining {
+				m.sub.eng.Close()
+			}
+		}
+	}
+	for _, g := range rt.groupList {
+		if g.host != nil {
+			g.releaseHost()
+		}
+	}
 	out := make([][]core.Result, rt.nextID)
 	for _, s := range rt.subs {
 		out[s.id] = s.eng.Close()

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/query"
 	"repro/internal/snap"
 )
 
@@ -32,6 +33,41 @@ func (rt *Runtime) Snapshot(w *snap.Writer, planIdxByID map[int]int32) error {
 		w.U32(uint32(pi))
 		s.eng.Snapshot(w)
 	}
+	// Sharing-group section: membership, flip state, the per-epoch
+	// monitor, and — when a host exists — its union query (restore
+	// recompiles it; the union is not in the session plan table) and
+	// engine state. Written in groupList order so restored decision
+	// replay stays deterministic.
+	w.Bool(rt.sharedOn)
+	if rt.sharedOn {
+		w.U32(uint32(len(rt.groupList)))
+		for _, g := range rt.groupList {
+			w.U8(uint8(g.mode))
+			w.Bool(g.wantRefresh)
+			w.Bool(g.poisoned)
+			w.I64(g.lastEpoch)
+			w.Bool(g.epochValid)
+			w.I64(g.probeBase)
+			w.I64(g.hostBase)
+			w.U32(uint32(len(g.members)))
+			for _, m := range g.members {
+				w.Int(m.sub.id)
+				w.U8(uint8(m.mode))
+				w.Bool(m.served)
+				w.I64(m.from)
+			}
+			w.Bool(g.host != nil)
+			if g.host != nil {
+				w.Bool(g.hostRetiring)
+				if err := g.host.plan.Query.Snapshot(w); err != nil {
+					return err
+				}
+				g.host.eng.Snapshot(w)
+			}
+		}
+		w.I64(rt.shareFlips)
+		w.I64(rt.sharedSavedOps)
+	}
 	return nil
 }
 
@@ -40,7 +76,11 @@ func (rt *Runtime) Snapshot(w *snap.Writer, planIdxByID map[int]int32) error {
 // Snapshot; engOpts yields the engine options for a subscription using
 // plan index pi (the caller wires accountants and eviction there). The
 // catalog reference counts are rebuilt by re-retaining each hosted
-// plan, mirroring live subscribe.
+// plan, mirroring live subscribe. When the snapshot carries sharing
+// groups, engOpts(-1) supplies the base options for group host
+// engines — session-wide accounting and eviction without any
+// per-subscription result callback (the host's callback is the
+// group-owned fan-out).
 func RestoreRuntime(cat *core.Catalog, r *snap.Reader, plans []*core.Plan, engOpts func(pi int) []core.Option) (*Runtime, error) {
 	rt := NewOn(cat)
 	rt.lastTime = r.I64()
@@ -78,7 +118,111 @@ func RestoreRuntime(cat *core.Catalog, r *snap.Reader, plans []*core.Plan, engOp
 		rt.index(s)
 	}
 	rt.nextID = nextID
+	if r.Bool() {
+		if err := restoreGroups(rt, r, engOpts); err != nil {
+			return nil, err
+		}
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
 	return rt, nil
+}
+
+// restoreGroups loads the sharing-group section: the runtime is
+// re-enabled for shared aggregation, each group's membership and flip
+// state are re-linked to the restored subscriptions, and host engines
+// are recompiled from their serialized union queries and restored.
+// Member projections are recomputed from the union rather than
+// serialized — the union's column order is the host query's RETURN
+// order, which the snapshot pins.
+func restoreGroups(rt *Runtime, r *snap.Reader, engOpts func(pi int) []core.Option) error {
+	rt.EnableSharedAggregation(engOpts(-1)...)
+	ng := r.Count(16)
+	for i := 0; i < ng; i++ {
+		g := &shareGroup{rt: rt}
+		g.mode = groupMode(r.U8())
+		if r.Err() == nil && g.mode > groupUnsharing {
+			return fmt.Errorf("%w: sharing group %d mode %d", snap.ErrBadSnapshot, i, g.mode)
+		}
+		g.wantRefresh = r.Bool()
+		g.poisoned = r.Bool()
+		g.lastEpoch = r.I64()
+		g.epochValid = r.Bool()
+		g.probeBase = r.I64()
+		g.hostBase = r.I64()
+		nm := r.Count(11)
+		if r.Err() == nil && nm == 0 {
+			return fmt.Errorf("%w: sharing group %d has no members", snap.ErrBadSnapshot, i)
+		}
+		for j := 0; j < nm; j++ {
+			id := r.Int()
+			mode := memberMode(r.U8())
+			served := r.Bool()
+			from := r.I64()
+			if err := r.Err(); err != nil {
+				return err
+			}
+			if mode > memberShared {
+				return fmt.Errorf("%w: sharing group %d member mode %d", snap.ErrBadSnapshot, i, mode)
+			}
+			s := rt.Lookup(id)
+			if s == nil {
+				return fmt.Errorf("%w: sharing group %d references unknown subscription %d", snap.ErrBadSnapshot, i, id)
+			}
+			if s.gm != nil {
+				return fmt.Errorf("%w: subscription %d belongs to two sharing groups", snap.ErrBadSnapshot, id)
+			}
+			m := &groupMember{sub: s, mode: mode, served: served, from: from}
+			g.members = append(g.members, m)
+			s.group, s.gm = g, m
+		}
+		g.key = g.members[0].sub.plan.Fingerprint()
+		g.win = g.members[0].sub.plan.Query.Window
+		if r.Bool() {
+			g.hostRetiring = r.Bool()
+			uq, err := query.RestoreQuery(r)
+			if err != nil {
+				return err
+			}
+			plan, err := core.NewPlanIn(rt.cat, uq)
+			if err != nil {
+				return fmt.Errorf("%w: recompiling sharing-group union query: %v", snap.ErrBadSnapshot, err)
+			}
+			if err := rt.cat.Retain(plan); err != nil {
+				rt.cat.DiscardPlan(plan)
+				return fmt.Errorf("%w: retaining sharing-group union plan: %v", snap.ErrBadSnapshot, err)
+			}
+			opts := append(append([]core.Option(nil), rt.hostOpts...), core.WithResultCallback(g.fanout))
+			g.host = &Subscription{id: -1, plan: plan, eng: core.NewEngine(plan, opts...), rt: rt, active: true}
+			if err := g.host.eng.RestoreState(r); err != nil {
+				return err
+			}
+			g.union = core.NewSpecUnion()
+			g.union.Add(plan.Specs)
+			for _, m := range g.members {
+				if !m.served {
+					continue
+				}
+				proj, ok := g.union.Project(m.sub.plan.Specs)
+				if !ok {
+					return fmt.Errorf("%w: sharing group %d union does not cover subscription %d", snap.ErrBadSnapshot, i, m.sub.id)
+				}
+				m.proj = proj
+			}
+		} else if g.mode == groupSharing || g.mode == groupShared || g.mode == groupUnsharing {
+			return fmt.Errorf("%w: sharing group %d in mode %d without a host", snap.ErrBadSnapshot, i, g.mode)
+		}
+		if dup := rt.groups[g.key]; dup != nil {
+			return fmt.Errorf("%w: two sharing groups share fingerprint", snap.ErrBadSnapshot)
+		}
+		rt.groups[g.key] = g
+		rt.groupList = append(rt.groupList, g)
+	}
+	rt.shareFlips = r.I64()
+	rt.sharedSavedOps = r.I64()
+	rt.rebuildIndex()
+	return r.Err()
 }
 
 // Lookup returns the live subscription with the given id, or nil.

@@ -51,7 +51,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		row := sessionStatsRow{name: name, events: st.Events, queries: st.Queries,
 			workers: st.Workers, skipped: st.Skipped, late: st.LateDropped,
 			shed: st.ReorderShed, peak: st.PeakBytes, watermark: st.Watermark,
-			wmValid: st.WatermarkValid}
+			wmValid: st.WatermarkValid, sharedGroups: st.SharedGroups,
+			shareFlips: st.ShareFlips, sharedSaved: st.SharedSavedOps}
 		// events/s from scrape-to-scrape deltas, owned by this handler.
 		t.rateMu.Lock()
 		if !t.rateWhen.IsZero() {
@@ -72,6 +73,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"cograd_tenant_reorder_shed_total", "Events shed by the reorder depth cap.", func(r sessionStatsRow) float64 { return float64(r.shed) }},
 		{"cograd_tenant_peak_bytes", "Peak logical memory of the session.", func(r sessionStatsRow) float64 { return float64(r.peak) }},
 		{"cograd_tenant_ingest_rate", "Events/s between the last two scrapes.", func(r sessionStatsRow) float64 { return r.rate }},
+		{"cograd_tenant_shared_groups", "Sharing groups currently backed by a host engine.", func(r sessionStatsRow) float64 { return float64(r.sharedGroups) }},
+		{"cograd_tenant_share_flips_total", "Share/unshare decisions taken.", func(r sessionStatsRow) float64 { return float64(r.shareFlips) }},
+		{"cograd_tenant_shared_saved_ops_total", "Estimated per-event aggregation passes saved by sharing.", func(r sessionStatsRow) float64 { return float64(r.sharedSaved) }},
 	}
 	for _, g := range gauges {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", g.name, g.help, g.name)
@@ -91,17 +95,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 // sessionStatsRow is the per-tenant scrape snapshot metrics.go formats.
 type sessionStatsRow struct {
-	name      string
-	events    int64
-	queries   int
-	workers   int
-	skipped   int64
-	late      int64
-	shed      int64
-	peak      int64
-	watermark int64
-	wmValid   bool
-	rate      float64
+	name         string
+	events       int64
+	queries      int
+	workers      int
+	skipped      int64
+	late         int64
+	shed         int64
+	peak         int64
+	watermark    int64
+	wmValid      bool
+	rate         float64
+	sharedGroups int
+	shareFlips   int64
+	sharedSaved  int64
 }
 
 func b2i(b bool) int {

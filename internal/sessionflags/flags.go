@@ -1,7 +1,8 @@
 // Package sessionflags is the one place the session-option command
 // line is defined: cograql and cograd both serve a cogra.Session, so
 // they share the flags that shape one (-workers, -groups, -slack,
-// -late-reject, -max-reorder-depth, -reorder-reject, -evict), their
+// -late-reject, -max-reorder-depth, -reorder-reject, -evict,
+// -shared), their
 // help strings, their cross-flag validation and their translation into
 // []cogra.SessionOption. A binary registers the set on its FlagSet,
 // parses, validates, and asks for the options:
@@ -43,6 +44,9 @@ type Flags struct {
 	RejectOverrun bool
 	// Evict bounds binding-intern memory via window-expiry epochs.
 	Evict bool
+	// Shared folds fingerprint-equal queries into sharing groups with
+	// runtime share/unshare decisions at window boundaries.
+	Shared bool
 
 	fs *flag.FlagSet // nil when the struct was filled by hand
 }
@@ -58,6 +62,7 @@ func Register(fs *flag.FlagSet) *Flags {
 	fs.IntVar(&f.MaxDepth, "max-reorder-depth", 0, "cap the -slack reorder buffer at this many events (0: unbounded)")
 	fs.BoolVar(&f.RejectOverrun, "reorder-reject", false, "fail with backpressure when the capped reorder buffer is full, instead of shedding its oldest events")
 	fs.BoolVar(&f.Evict, "evict", false, "bound binding-intern memory: reclaim slot values once no open window references them")
+	fs.BoolVar(&f.Shared, "shared", false, "share trend aggregation across queries that differ only in RETURN: fingerprint-equal queries form a sharing group whose host computes the union of their aggregation specs once per trend, with a per-epoch burstiness monitor flipping between shared and per-query execution at window boundaries (results are byte-identical either way)")
 	return f
 }
 
@@ -135,6 +140,9 @@ func (f *Flags) options(restoring bool) ([]cogra.SessionOption, error) {
 	}
 	if f.Evict {
 		opts = append(opts, cogra.WithInternEviction())
+	}
+	if f.Shared {
+		opts = append(opts, cogra.WithSharedAggregation())
 	}
 	return opts, nil
 }

@@ -29,8 +29,10 @@ const Magic = "COGRASNP"
 // Version is the current snapshot format version. Restore accepts
 // exactly this version: the format captures private executor state, so
 // cross-version compatibility is out of scope (checkpoints are
-// re-taken after an upgrade).
-const Version uint32 = 2
+// re-taken after an upgrade). Version 3 added the window-manager
+// ceiling to the engine codec and the sharing-group section to the
+// runtime codec.
+const Version uint32 = 3
 
 // Writer accumulates a snapshot payload in memory.
 type Writer struct {

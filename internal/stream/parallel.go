@@ -85,7 +85,14 @@ type MultiExecutor struct {
 	sawEvent    bool
 	skipped     int64
 	retiredPeak int64 // summed peaks of retired fallback workers
-	closed      bool
+	// shared marks that every worker runtime (including ones started
+	// later) runs with shared aggregation enabled; retiredFlips and
+	// retiredSaved keep the flip counters of retired fallback workers,
+	// mirroring retiredPeak.
+	shared       bool
+	retiredFlips int64
+	retiredSaved int64
+	closed       bool
 }
 
 // Sub is one query hosted by a MultiExecutor: the executor-level
@@ -151,6 +158,7 @@ const (
 	ctlUnsubscribe
 	ctlDrain
 	ctlStats
+	ctlShare
 )
 
 // ctlMsg asks a worker to change or report its hosted state at the
@@ -166,11 +174,14 @@ type ctlMsg struct {
 }
 
 type ctlReply struct {
-	wsub    *runtime.Subscription
-	results []core.Result
-	intern  int64
-	peak    int64
-	err     error
+	wsub         *runtime.Subscription
+	results      []core.Result
+	intern       int64
+	peak         int64
+	sharedGroups int
+	shareFlips   int64
+	sharedSaved  int64
+	err          error
 }
 
 // NewMultiExecutor starts n workers (n >= 1) executing all plans over
@@ -252,8 +263,41 @@ func (m *MultiExecutor) newWorker() *mworker {
 		rt:      runtime.NewOn(m.cat),
 		engOpts: m.engOpts,
 	}
+	if m.shared {
+		// Enabled before the goroutine starts, so the worker never
+		// observes the runtime flipping under it.
+		w.rt.EnableSharedAggregation(w.hostOpts()...)
+	}
 	go w.run()
 	return w
+}
+
+// hostOpts returns the engine options for engines the worker's runtime
+// creates on its own behalf (sharing-group hosts): the executor-wide
+// policies plus the worker's accountant, exactly like a subscriber's
+// engine.
+func (w *mworker) hostOpts() []core.Option {
+	return append(append([]core.Option(nil), w.engOpts...), core.WithAccountant(&w.acct))
+}
+
+// EnableSharedAggregation turns runtime share/unshare decisions on in
+// every worker runtime — current and future (lazily started executor
+// groups inherit the setting). Call it before subscribing plans;
+// queries hosted earlier never join a sharing group. Each worker takes
+// its share/unshare decisions independently, so flip boundaries may
+// differ across workers; per-worker results are byte-identical to an
+// unshared run, and the Close-time merge is unchanged.
+func (m *MultiExecutor) EnableSharedAggregation() {
+	if m.shared || m.closed {
+		return
+	}
+	m.shared = true
+	m.flushPending()
+	for _, w := range m.allWorkers() {
+		ctl := &ctlMsg{op: ctlShare, reply: make(chan ctlReply, 1)}
+		w.in <- wmsg{ctl: ctl}
+		<-ctl.reply
+	}
 }
 
 // shutdown closes every worker channel and waits; used on constructor
@@ -515,8 +559,11 @@ func (m *MultiExecutor) retireIdleGroups() error {
 		<-g.done
 		// Peak memory is a high-water mark over the whole run: keep the
 		// retired worker's contribution so the reported fleet peak stays
-		// monotone.
+		// monotone. Flip counters are lifetime totals too.
 		m.retiredPeak += g.acct.Peak()
+		rs := g.rt.Stats()
+		m.retiredFlips += rs.ShareFlips
+		m.retiredSaved += rs.SharedSavedOps
 		if g.err != nil && firstErr == nil {
 			firstErr = g.err
 		}
@@ -582,21 +629,30 @@ type Stats struct {
 	// workers' engines; PeakBytes sums the workers' logical peaks.
 	BindingInternBytes int64
 	PeakBytes          int64
+	// SharedGroups counts the sharing groups currently backed by a host
+	// engine, summed across workers; ShareFlips and SharedSavedOps sum
+	// the workers' share/unshare decision counters (retired fallback
+	// workers keep their lifetime contributions, like PeakBytes).
+	SharedGroups   int
+	ShareFlips     int64
+	SharedSavedOps int64
 }
 
 // Stats gathers the executor-wide statistics: each worker reports at
 // its current position after receiving everything routed so far.
 func (m *MultiExecutor) Stats() (Stats, error) {
 	st := Stats{
-		Queries:       len(m.activePlans()),
-		Workers:       len(m.allWorkers()),
-		Groups:        len(m.groups),
-		Events:        m.seq,
-		Skipped:       m.skipped,
-		InternedTypes: m.cat.NumTypes(),
-		InternedAttrs: m.cat.NumAttrs(),
-		RoutingAttrs:  m.routeAttrs,
-		PeakBytes:     m.retiredPeak,
+		Queries:        len(m.activePlans()),
+		Workers:        len(m.allWorkers()),
+		Groups:         len(m.groups),
+		Events:         m.seq,
+		Skipped:        m.skipped,
+		InternedTypes:  m.cat.NumTypes(),
+		InternedAttrs:  m.cat.NumAttrs(),
+		RoutingAttrs:   m.routeAttrs,
+		PeakBytes:      m.retiredPeak,
+		ShareFlips:     m.retiredFlips,
+		SharedSavedOps: m.retiredSaved,
 	}
 	if m.closed {
 		// Workers have exited (Close waited on them), so their state is
@@ -605,6 +661,10 @@ func (m *MultiExecutor) Stats() (Stats, error) {
 		for _, w := range m.allWorkers() {
 			st.PeakBytes += w.acct.Peak()
 			st.BindingInternBytes += w.rt.InternBytes()
+			rs := w.rt.Stats()
+			st.SharedGroups += rs.SharedGroups
+			st.ShareFlips += rs.ShareFlips
+			st.SharedSavedOps += rs.SharedSavedOps
 		}
 		return st, nil
 	}
@@ -618,6 +678,9 @@ func (m *MultiExecutor) Stats() (Stats, error) {
 		}
 		st.BindingInternBytes += rep.intern
 		st.PeakBytes += rep.peak
+		st.SharedGroups += rep.sharedGroups
+		st.ShareFlips += rep.shareFlips
+		st.SharedSavedOps += rep.sharedSaved
 	}
 	return st, nil
 }
@@ -683,6 +746,10 @@ func (w *mworker) handleCtl(c *ctlMsg) {
 		// not a silent zero (Close surfaces the error itself).
 		rep.intern = w.rt.InternBytes()
 		rep.peak = w.acct.Peak()
+		rs := w.rt.Stats()
+		rep.sharedGroups = rs.SharedGroups
+		rep.shareFlips = rs.ShareFlips
+		rep.sharedSaved = rs.SharedSavedOps
 	} else if w.err != nil {
 		rep.err = w.err
 	} else {
@@ -698,6 +765,8 @@ func (w *mworker) handleCtl(c *ctlMsg) {
 			rep.results, rep.err = c.wsub.Unsubscribe()
 		case ctlDrain:
 			rep.results = c.wsub.Drain()
+		case ctlShare:
+			w.rt.EnableSharedAggregation(w.hostOpts()...)
 		}
 	}
 	c.reply <- rep

@@ -41,3 +41,8 @@ func (m *Manager[T]) RestoreCursor(emitted, maxWid int64, everSawWid bool) {
 func (m *Manager[T]) RestoreState(wid int64, st T) {
 	m.active[wid] = st
 }
+
+// RestoreCeiling re-installs a SkipFrom ceiling verbatim.
+func (m *Manager[T]) RestoreCeiling(ceil int64, hasCeil bool) {
+	m.ceil, m.hasCeil = ceil, hasCeil
+}

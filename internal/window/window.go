@@ -112,6 +112,14 @@ type Manager[T any] struct {
 	emitted    int64 // all wids < emitted have been closed and emitted
 	maxWid     int64
 	everSawWid bool
+	// ceil (when hasCeil) caps window creation: wids >= ceil are never
+	// created, so the manager drains — once the watermark closes every
+	// window below the ceiling it owns nothing. A retiring engine (its
+	// sharing group hands ownership of wids >= ceil to the other
+	// execution mode) keeps processing events for its remaining windows
+	// and is torn down when Drained reports true.
+	ceil    int64
+	hasCeil bool
 }
 
 // NewManager builds a manager; newState creates the state for a window
@@ -135,6 +143,9 @@ func (m *Manager[T]) AppendStatesFor(dst []T, t int64) []T {
 	first, last := m.spec.WindowsOf(t)
 	if first < m.emitted {
 		first = m.emitted // late windows already emitted are dropped
+	}
+	if m.hasCeil && last >= m.ceil {
+		last = m.ceil - 1 // windows at/above the ceiling belong elsewhere
 	}
 	for wid := first; wid <= last; wid++ {
 		st, ok := m.active[wid]
@@ -167,6 +178,44 @@ func (m *Manager[T]) SkipBefore(floor int64) {
 			delete(m.active, wid)
 		}
 	}
+}
+
+// SkipFrom suppresses every window with wid >= ceil: they are never
+// created, so the manager owns exactly the windows below the ceiling
+// and drains as the watermark closes them. The mirror image of
+// SkipBefore — a sharing-group flip at window boundary W* retires the
+// outgoing execution side with SkipFrom(W*) while the incoming side
+// aligns with SkipBefore(W*), so every window is owned by exactly one
+// side and results stay byte-identical across the flip. The ceiling
+// only moves downward; states at/above it are dropped.
+func (m *Manager[T]) SkipFrom(ceil int64) {
+	if m.hasCeil && m.ceil <= ceil {
+		return
+	}
+	m.ceil, m.hasCeil = ceil, true
+	for wid := range m.active {
+		if wid >= ceil {
+			delete(m.active, wid)
+		}
+	}
+}
+
+// ClearCeiling lifts a SkipFrom ceiling: the manager owns windows
+// again from the current emission cursor on. A revived engine pairs
+// this with SkipBefore(W*) so ownership resumes exactly at the flip
+// boundary.
+func (m *Manager[T]) ClearCeiling() {
+	m.ceil, m.hasCeil = 0, false
+}
+
+// Ceiling returns the SkipFrom ceiling, if set.
+func (m *Manager[T]) Ceiling() (int64, bool) { return m.ceil, m.hasCeil }
+
+// Drained reports whether a ceiling is set and every window below it
+// has closed: the manager owns nothing anymore and never will until
+// the ceiling is lifted.
+func (m *Manager[T]) Drained() bool {
+	return m.hasCeil && m.emitted >= m.ceil && len(m.active) == 0
 }
 
 // Closed emits (wid, state) pairs for every window that closed at

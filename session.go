@@ -99,6 +99,7 @@ type sessionCfg struct {
 	maxDepth int
 	depth    DepthPolicy
 	evict    bool
+	shared   bool
 }
 
 // WithWorkers runs the session partition-parallel on n workers (n > 1;
@@ -205,6 +206,28 @@ func WithInternEviction() SessionOption {
 	return func(c *sessionCfg) { c.evict = true }
 }
 
+// WithSharedAggregation lets the session share aggregation work
+// across queries with a common sub-pattern (paper §5, "Shared Trend
+// Aggregation"). Queries whose plans are sharing-equivalent — same
+// PATTERN, SEMANTICS, WHERE, GROUP BY and WITHIN clause; only their
+// RETURN lists differ — are clustered into sharing groups. A group the
+// runtime decides to share executes ONE host engine computing the
+// union of the members' aggregation specs, and each member's results
+// are projected out of the union at emission, so the per-event
+// matching and aggregation work is paid once for the whole group
+// instead of once per query.
+//
+// The share/unshare decision is revisited at runtime: a per-epoch
+// monitor watches the group's event volume and flips the group between
+// shared and per-query execution, always at a window boundary, so
+// results stay byte-identical to an unshared session under every flip
+// sequence. Stats reports the live group count and flip totals
+// (SharedGroups, ShareFlips, SharedSavedOps). In parallel sessions the
+// decision is taken independently inside each worker.
+func WithSharedAggregation() SessionOption {
+	return func(c *sessionCfg) { c.shared = true }
+}
+
 // Session hosts a dynamic fleet of queries over one event stream.
 type Session struct {
 	// mu guards the ingest and stats state so Stats may be called from
@@ -264,8 +287,16 @@ func NewSession(opts ...SessionOption) *Session {
 		if cfg.groups > 1 {
 			s.mx.SetExecutorGroups(cfg.groups)
 		}
+		if cfg.shared {
+			s.mx.EnableSharedAggregation()
+		}
 	} else {
 		s.rt = runtime.NewOn(s.cat)
+		if cfg.shared {
+			// Host engines charge the session accountant like every member
+			// engine, so PeakBytes keeps covering the whole footprint.
+			s.rt.EnableSharedAggregation(append([]EngineOption{core.WithAccountant(&s.acct)}, engOpts...)...)
+		}
 	}
 	return s
 }
@@ -714,6 +745,15 @@ type SessionStats struct {
 	// PeakBytes is the peak logical memory across the session's
 	// engines (summed across workers in parallel mode).
 	PeakBytes int64
+	// SharedGroups counts the sharing groups currently backed by a host
+	// engine (WithSharedAggregation sessions; summed across workers in
+	// parallel mode). ShareFlips counts share/unshare decisions taken
+	// over the session's lifetime, and SharedSavedOps estimates the
+	// per-event aggregation passes sharing saved — host events times the
+	// members served beyond the first.
+	SharedGroups   int
+	ShareFlips     int64
+	SharedSavedOps int64
 	// Watermark is the stream position: the time stamp of the last
 	// event dispatched to the execution layer (events still held by a
 	// WithSlack reorder buffer have not been dispatched yet).
@@ -749,6 +789,9 @@ func (s *Session) Stats() (SessionStats, error) {
 			InternedAttrs:      rs.InternedAttrs,
 			BindingInternBytes: rs.BindingInternBytes,
 			PeakBytes:          s.acct.Peak(),
+			SharedGroups:       rs.SharedGroups,
+			ShareFlips:         rs.ShareFlips,
+			SharedSavedOps:     rs.SharedSavedOps,
 			Watermark:          rs.Watermark,
 			WatermarkValid:     rs.WatermarkValid,
 		}
@@ -768,6 +811,9 @@ func (s *Session) Stats() (SessionStats, error) {
 			RoutingAttrs:       ms.RoutingAttrs,
 			BindingInternBytes: ms.BindingInternBytes,
 			PeakBytes:          ms.PeakBytes,
+			SharedGroups:       ms.SharedGroups,
+			ShareFlips:         ms.ShareFlips,
+			SharedSavedOps:     ms.SharedSavedOps,
 			Watermark:          s.mxLast,
 			WatermarkValid:     s.mxSaw,
 		}

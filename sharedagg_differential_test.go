@@ -1,0 +1,270 @@
+package cogra_test
+
+// Differential tests for shared trend aggregation (the fingerprint
+// registry in internal/core + the share/unshare runtime in
+// internal/runtime), extending the repo's differential spine:
+//
+//   - a fleet of sharing-equivalent queries (same PATTERN, SEMANTICS,
+//     WHERE, GROUP-BY and WITHIN — only RETURN differs) produces
+//     byte-identical results with WithSharedAggregation on and off,
+//     across all three granularities × {inline, 4 workers} ×
+//     {intern eviction, snapshot-mid-stream, churn that retires the
+//     sharing group's last member};
+//   - the stream's phase structure (dense burst → sparse idle → dense
+//     burst) drives the burstiness monitor through genuine share AND
+//     unshare decisions, so the differential covers both flip
+//     directions, not just the steady shared state;
+//   - a snapshot cut lands while sharing groups are live: the restored
+//     session rebuilds them (stats continuous across the cut) and the
+//     tail results equal the undisturbed run;
+//   - the sharing group retires with its last subscriber — after churn
+//     removes every member, Stats().SharedGroups is 0.
+//
+// Runs under -race in CI like the rest of the spine.
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	cogra "repro"
+	"repro/internal/fuzz/diff"
+)
+
+// sharedFleetQueries returns, per granularity, three RETURN-variants
+// of one sharing-equivalent query body. Every variant compiles to the
+// same sharing fingerprint, so a shared session folds each trio into
+// one group hosting the union of their aggregation specs.
+func sharedFleetQueries() map[string][]string {
+	bodies := map[string]string{
+		"type": `
+			PATTERN (SEQ(A+, B))+
+			SEMANTICS skip-till-any-match
+			WHERE [patient] GROUP-BY patient
+			WITHIN 64 SLIDE 32`,
+		"mixed": `
+			PATTERN M+
+			SEMANTICS skip-till-any-match
+			WHERE [patient] AND M.rate < NEXT(M).rate
+			GROUP-BY patient
+			WITHIN 64 SLIDE 64`,
+		"pattern": `
+			PATTERN M+
+			SEMANTICS skip-till-next-match
+			WHERE [patient] AND M.rate <= NEXT(M).rate
+			GROUP-BY patient
+			WITHIN 96 SLIDE 48`,
+	}
+	returns := map[string][]string{
+		"type":    {"COUNT(*), SUM(A.v)", "COUNT(*)", "AVG(A.v), COUNT(B)"},
+		"mixed":   {"COUNT(*), MAX(M.rate)", "COUNT(*)", "MIN(M.rate), AVG(M.rate)"},
+		"pattern": {"COUNT(*)", "COUNT(M)", "SUM(M.rate)"},
+	}
+	out := map[string][]string{}
+	for g, body := range bodies {
+		for _, ret := range returns[g] {
+			out[g] = append(out[g], "RETURN "+ret+"\n"+body)
+		}
+	}
+	return out
+}
+
+// sharedPhaseStream emits the session test mix (A/B sequences, M
+// random walks, X noise, all keyed by patient) with a three-phase
+// tempo: a dense burst (time crawls, heavy ties), a sparse idle
+// stretch (time jumps per event), then a second dense burst. The
+// dense phases push per-epoch event volume far above the share-up
+// threshold for a 3-member fleet; the sparse phase drops it below the
+// share-down threshold — so a shared session provably takes both
+// share and unshare decisions along this stream.
+func sharedPhaseStream(n int) []*cogra.Event {
+	rng := rand.New(rand.NewSource(23))
+	rates := [3]float64{60, 70, 80}
+	out := make([]*cogra.Event, 0, n)
+	tm := int64(0)
+	for i := 0; i < n; i++ {
+		p := rng.Intn(3)
+		patient := fmt.Sprintf("p%d", p)
+		ward := fmt.Sprintf("w%d", rng.Intn(2))
+		var ev *cogra.Event
+		switch x := rng.Intn(10); {
+		case x < 3:
+			ev = cogra.NewEvent("A", tm).WithSym("patient", patient).
+				WithSym("ward", ward).WithNum("v", float64(rng.Intn(100)))
+		case x < 5:
+			ev = cogra.NewEvent("B", tm).WithSym("patient", patient).
+				WithSym("ward", ward).WithNum("v", float64(rng.Intn(100)))
+		case x < 8:
+			rates[p] += float64(rng.Intn(7)) - 3
+			ev = cogra.NewEvent("M", tm).WithSym("patient", patient).
+				WithSym("ward", ward).WithNum("rate", rates[p])
+		default:
+			ev = cogra.NewEvent("X", tm).WithSym("patient", patient).
+				WithSym("ward", ward).WithNum("noise", 1)
+		}
+		ev.ID = int64(i + 1)
+		out = append(out, ev)
+		sparse := 3*n/8 <= i && i < 5*n/8
+		switch {
+		case sparse:
+			tm += 16 + int64(rng.Intn(16)) // idle: a few events per epoch
+		case rng.Intn(8) < 5:
+			// dense tie run
+		case rng.Intn(8) == 0:
+			tm += 4 + int64(rng.Intn(8)) // short hop, stays inside the window
+		default:
+			tm++
+		}
+	}
+	return out
+}
+
+// sharedDiffRun drives one scenario: the fleet plus an unrelated
+// control query subscribe up front, the stream flows in batches, and
+// the variant schedule applies — cutAt >= 0 snapshots/discards/
+// restores mid-stream, churn staggers the fleet members out until the
+// sharing group's last member leaves. Returns per-query results
+// (fleet order, control last), the stats probed at the end of the
+// first dense phase, and the final stats.
+func sharedDiffRun(t *testing.T, opts []cogra.SessionOption, fleet []string, events []*cogra.Event, cutAt int, churn bool) ([][]cogra.Result, cogra.SessionStats, cogra.SessionStats) {
+	t.Helper()
+	n := len(fleet)
+	sess := cogra.NewSession(opts...)
+	subs := make([]*cogra.Subscription, n+1)
+	results := make([][]cogra.Result, n+1)
+	var err error
+	for i, src := range fleet {
+		if subs[i], err = sess.Subscribe(cogra.MustParse(src)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if subs[n], err = sess.Subscribe(cogra.MustParse(sessionTestQueries()["contiguous"])); err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]int, n+1)
+	for i, sub := range subs {
+		ids[i] = sub.ID()
+	}
+	leaveAt := map[int][]int{}
+	if churn {
+		// Stagger the whole fleet out: the group shrinks member by
+		// member and must retire when the last one leaves.
+		leaveAt[2048], leaveAt[2304], leaveAt[2560] = []int{1}, []int{2}, []int{0}
+	}
+	var mid cogra.SessionStats
+	probeAt := len(events) * 3 / 8 // end of the first dense phase
+	for i := 0; i < len(events); {
+		end := min(i+256, len(events))
+		for _, p := range []int{cutAt, probeAt} {
+			if p > i && p < end {
+				end = p
+			}
+		}
+		if err := sess.PushBatch(events[i:end]); err != nil {
+			t.Fatal(err)
+		}
+		i = end
+		if i == probeAt {
+			if mid, err = sess.Stats(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, fi := range leaveAt[i] {
+			results[fi] = subs[fi].Unsubscribe()
+			if err := subs[fi].Err(); err != nil {
+				t.Fatal(err)
+			}
+			subs[fi] = nil
+		}
+		if i == cutAt {
+			var buf bytes.Buffer
+			if err := sess.Snapshot(&buf); err != nil {
+				t.Fatal(err)
+			}
+			before, err := sess.Stats()
+			if err != nil {
+				t.Fatal(err)
+			}
+			sess.Close() // the original "crashes"; discard its tail
+			if sess, err = cogra.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+				t.Fatal(err)
+			}
+			after, err := sess.Stats()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fmt.Sprintf("%+v", after) != fmt.Sprintf("%+v", before) {
+				t.Fatalf("stats not continuous across restore\nbefore: %+v\nafter:  %+v", before, after)
+			}
+			all := sess.Subscriptions()
+			for qi, id := range ids {
+				if id >= len(all) || !all[id].Active() {
+					t.Fatalf("restored session lost subscription %d", qi)
+				}
+				subs[qi] = all[id]
+			}
+		}
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	final, err := sess.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, sub := range subs {
+		if sub != nil {
+			results[i] = sub.Drain()
+		}
+	}
+	return results, mid, final
+}
+
+// TestSharedAggregationDifferential pins the tentpole invariant:
+// WithSharedAggregation never changes results — only who computes
+// them. Every (granularity × session mode × lifecycle variant) cell
+// compares the shared run against the unshared run query by query,
+// and checks the shared run actually shared (the differential is not
+// vacuous) via the sharing counters.
+func TestSharedAggregationDifferential(t *testing.T) {
+	events := sharedPhaseStream(3000)
+	variants := map[string]struct {
+		opts  []cogra.SessionOption
+		cutAt int
+		churn bool
+	}{
+		"evict":    {[]cogra.SessionOption{cogra.WithInternEviction()}, -1, false},
+		"snapshot": {nil, 1873, false}, // cut inside the second dense phase: groups are live
+		"churn":    {nil, -1, true},
+	}
+	for mode, mopts := range sessionModes() {
+		for vname, v := range variants {
+			for gname, fleet := range sharedFleetQueries() {
+				t.Run(mode+"/"+vname+"/"+gname, func(t *testing.T) {
+					base := append(mopts[:len(mopts):len(mopts)], v.opts...)
+					want, _, _ := sharedDiffRun(t, base, fleet, events, v.cutAt, v.churn)
+					shared := append(base[:len(base):len(base)], cogra.WithSharedAggregation())
+					got, mid, final := sharedDiffRun(t, shared, fleet, events, v.cutAt, v.churn)
+					for qi := range want {
+						if len(want[qi]) == 0 {
+							t.Errorf("query %d: no results; differential test is vacuous", qi)
+						}
+						if !diff.Equal(got[qi], want[qi]) {
+							t.Errorf("query %d: shared run diverges from unshared\n%s", qi, diff.Diff(got[qi], want[qi]))
+						}
+					}
+					if mid.SharedGroups < 1 {
+						t.Errorf("sharing never engaged by the dense-phase probe: %+v", mid)
+					}
+					if final.ShareFlips < 1 || final.SharedSavedOps < 1 {
+						t.Errorf("sharing counters vacuous at close: flips=%d saved=%d", final.ShareFlips, final.SharedSavedOps)
+					}
+					if v.churn && final.SharedGroups != 0 {
+						t.Errorf("sharing group outlives its last member: %d groups at close", final.SharedGroups)
+					}
+				})
+			}
+		}
+	}
+}

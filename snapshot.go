@@ -76,6 +76,7 @@ func (s *Session) Snapshot(w io.Writer) error {
 	sw.Int(s.cfg.maxDepth)
 	sw.U8(uint8(s.cfg.depth))
 	sw.Bool(s.cfg.evict)
+	sw.Bool(s.cfg.shared)
 	sw.Int(s.roPeak)
 	sw.I64(s.roSeq)
 	sw.I64(s.mxLast)
@@ -163,6 +164,7 @@ func Restore(r io.Reader, opts ...SessionOption) (*Session, error) {
 	orig.maxDepth = rd.Int()
 	depth := rd.U8()
 	orig.evict = rd.Bool()
+	orig.shared = rd.Bool()
 	if err := rd.Err(); err != nil {
 		return nil, err
 	}
@@ -272,8 +274,14 @@ func Restore(r io.Reader, opts ...SessionOption) (*Session, error) {
 			if cfg.groups > 1 {
 				s.mx.SetExecutorGroups(cfg.groups)
 			}
+			if cfg.shared {
+				s.mx.EnableSharedAggregation()
+			}
 		} else {
 			s.rt = runtime.NewOn(cat)
+			if cfg.shared {
+				s.rt.EnableSharedAggregation(append([]EngineOption{core.WithAccountant(&s.acct)}, engOpts...)...)
+			}
 		}
 		for id, plan := range plans {
 			if plan == nil {
@@ -304,6 +312,12 @@ func Restore(r io.Reader, opts ...SessionOption) (*Session, error) {
 				mx.Close()
 				return nil, err
 			}
+			if cfg.shared {
+				// Re-arm the executor-level flag so lazily started executor
+				// groups inherit sharing; worker runtimes restored with
+				// sharing already on are left untouched.
+				mx.EnableSharedAggregation()
+			}
 			s.mx = mx
 			for id := range plans {
 				if !actives[id] {
@@ -327,6 +341,11 @@ func Restore(r io.Reader, opts ...SessionOption) (*Session, error) {
 			}
 			if err := brd.Close(); err != nil {
 				return nil, err
+			}
+			if cfg.shared && !rt.SharedAggregationEnabled() {
+				// WithSharedAggregation added at restore time over an
+				// unshared snapshot: future subscribers may share.
+				rt.EnableSharedAggregation(iopts...)
 			}
 			s.rt = rt
 			for id := range plans {
